@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate the paper's evaluation artifacts (Table 1 and
+the figure-level demonstrations).  Compilation is cached per session so
+the suite spends its time in allocation and interpretation, which is what
+is being measured.
+"""
+
+import pytest
+
+from repro.bench.harness import Harness
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return Harness()
+
+
+def routine_cells(run_gra, run_rap, bench):
+    """Per-routine Table-1 cells for one (program, k) measurement pair."""
+    from repro.bench.harness import _make_cell
+
+    cells = {}
+    for routine in bench.routines:
+        gra = run_gra.routine(bench, routine)
+        rap = run_rap.routine(bench, routine)
+        cells[routine] = _make_cell(gra, rap)
+    return cells

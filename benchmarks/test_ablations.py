@@ -1,0 +1,177 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation answers one question the paper raises:
+
+1. **Peephole on/off** — how much of RAP's win is Figure 6's cleanup?
+2. **Motion on/off** — how much does §3.2's loop hoisting contribute?
+3. **Coalescing for both** — the paper's future-work prediction is that an
+   explicit coalescing pass "particularly ... should improve the
+   performance of GRA" while RAP already kills most copies itself.
+4. **Region granularity** — §4 conjectures that larger regions would
+   reduce RAP's excess spill code.
+5. **Briggs optimistic vs Chaitin pessimistic coloring** — reference [9]'s
+   guarantee: the optimistic allocator never spills more.
+"""
+
+import pytest
+
+from repro.bench.suite import program
+
+ABLATION_PROGRAMS = ("hsort", "sieve", "queens", "linpack")
+K = 3
+
+
+def total_cycles(harness, bench_name, allocator, k=K, **kwargs):
+    run = harness.run(program(bench_name), allocator, k, **kwargs)
+    return run.stats.total
+
+
+@pytest.mark.parametrize("name", ABLATION_PROGRAMS)
+def test_ablation_peephole(benchmark, harness, name):
+    def measure():
+        on = total_cycles(harness, name, "rap")
+        off = total_cycles(harness, name, "rap", enable_peephole=False)
+        return on, off
+
+    on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_with_peephole"] = on.cycles
+    benchmark.extra_info["cycles_without_peephole"] = off.cycles
+    assert on.cycles <= off.cycles  # the peephole never hurts
+
+
+@pytest.mark.parametrize("name", ABLATION_PROGRAMS)
+def test_ablation_motion(benchmark, harness, name):
+    def measure():
+        on = total_cycles(harness, name, "rap")
+        off = total_cycles(harness, name, "rap", enable_motion=False)
+        return on, off
+
+    on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_with_motion"] = on.cycles
+    benchmark.extra_info["cycles_without_motion"] = off.cycles
+    assert on.loads <= off.loads  # hoisting can only remove loop loads
+
+
+@pytest.mark.parametrize("name", ABLATION_PROGRAMS)
+def test_ablation_coalescing(benchmark, harness, name):
+    def measure():
+        plain_gra = total_cycles(harness, name, "gra", k=5)
+        coal_gra = total_cycles(harness, name, "gra", k=5, pre_coalesce=True)
+        plain_rap = total_cycles(harness, name, "rap", k=5)
+        coal_rap = total_cycles(harness, name, "rap", k=5, pre_coalesce=True)
+        return plain_gra, coal_gra, plain_rap, coal_rap
+
+    plain_gra, coal_gra, plain_rap, coal_rap = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    benchmark.extra_info["gra_copies_plain"] = plain_gra.copies
+    benchmark.extra_info["gra_copies_coalesced"] = coal_gra.copies
+    benchmark.extra_info["rap_copies_plain"] = plain_rap.copies
+    benchmark.extra_info["rap_copies_coalesced"] = coal_rap.copies
+    # The paper's prediction: coalescing helps GRA's copy counts at least
+    # as much as RAP's (RAP already eliminates most copies by coloring).
+    gra_gain = plain_gra.copies - coal_gra.copies
+    rap_gain = plain_rap.copies - coal_rap.copies
+    assert gra_gain >= rap_gain
+
+
+@pytest.mark.parametrize("name", ("hsort", "queens"))
+def test_ablation_region_granularity(benchmark, name):
+    """Compare pdgcc-style one-statement regions against merged regions."""
+    from repro.bench.harness import Harness
+    from repro.bench.suite import program as lookup
+    from repro.compiler import compile_source
+
+    bench = lookup(name)
+
+    def measure():
+        results = {}
+        for granularity in ("statement", "merged"):
+            harness = Harness()
+            harness._compiled[bench.name] = compile_source(
+                bench.source(), granularity=granularity
+            )
+            run = harness.run(bench, "rap", K)
+            results[granularity] = run.stats.total
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_statement_regions"] = results["statement"].cycles
+    benchmark.extra_info["cycles_merged_regions"] = results["merged"].cycles
+    # Both must at least be valid allocations (the harness asserted
+    # output equality); record which granularity won.
+    benchmark.extra_info["merged_wins"] = (
+        results["merged"].cycles <= results["statement"].cycles
+    )
+
+
+@pytest.mark.parametrize("name", ABLATION_PROGRAMS)
+def test_ablation_global_peephole(benchmark, harness, name):
+    """Figure 6's peephole per basic block vs the whole-CFG availability
+    pass (the "move spill code out of any subregion" future work)."""
+
+    def measure():
+        local = total_cycles(harness, name, "rap")
+        globl = total_cycles(harness, name, "rap", global_peephole=True)
+        return local, globl
+
+    local, globl = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["loads_local_peephole"] = local.loads
+    benchmark.extra_info["loads_global_peephole"] = globl.loads
+    assert globl.loads <= local.loads
+
+
+@pytest.mark.parametrize("name", ABLATION_PROGRAMS)
+def test_ablation_rematerialization(benchmark, harness, name):
+    """The paper's other excluded extension (reference [11]): recomputing
+    constant-valued spill victims instead of storing/loading them."""
+
+    def measure():
+        plain_gra = total_cycles(harness, name, "gra")
+        remat_gra = total_cycles(harness, name, "gra", remat=True)
+        plain_rap = total_cycles(harness, name, "rap")
+        remat_rap = total_cycles(harness, name, "rap", remat=True)
+        return plain_gra, remat_gra, plain_rap, remat_rap
+
+    plain_gra, remat_gra, plain_rap, remat_rap = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    benchmark.extra_info["gra_loads_plain"] = plain_gra.loads
+    benchmark.extra_info["gra_loads_remat"] = remat_gra.loads
+    benchmark.extra_info["rap_loads_plain"] = plain_rap.loads
+    benchmark.extra_info["rap_loads_remat"] = remat_rap.loads
+    # Rematerialization can only remove spill memory traffic.
+    assert remat_gra.loads <= plain_gra.loads
+
+
+@pytest.mark.parametrize("name", ABLATION_PROGRAMS)
+def test_ablation_loop_weighted_costs(benchmark, harness, name):
+    """Classic Chaitin 10^depth spill-cost weighting vs the paper's plain
+    whole-procedure reference counts (§4 describes GRA as counting "each
+    use and definition of a variable in the whole procedure")."""
+
+    def measure():
+        plain = total_cycles(harness, name, "gra")
+        weighted = total_cycles(harness, name, "gra", loop_weight=True)
+        return plain, weighted
+
+    plain, weighted = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_plain_costs"] = plain.cycles
+    benchmark.extra_info["cycles_loop_weighted"] = weighted.cycles
+    # Both are valid allocations; record which heuristic won.
+    benchmark.extra_info["weighted_wins"] = weighted.cycles <= plain.cycles
+
+
+@pytest.mark.parametrize("name", ABLATION_PROGRAMS)
+def test_ablation_briggs_vs_chaitin(benchmark, harness, name):
+    def measure():
+        briggs = total_cycles(harness, name, "gra")
+        chaitin = total_cycles(harness, name, "gra", optimistic=False)
+        return briggs, chaitin
+
+    briggs, chaitin = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_briggs"] = briggs.cycles
+    benchmark.extra_info["cycles_chaitin"] = chaitin.cycles
+    # Optimistic coloring spills a subset of what pessimistic coloring
+    # spills, so it never executes more spill memory traffic.
+    assert briggs.loads + briggs.stores <= chaitin.loads + chaitin.stores

@@ -1,0 +1,45 @@
+"""Compile-time benchmarks: how fast are the allocators themselves?
+
+The paper notes (contrasting with Proebsting/Fischer) that compile time
+matters for allocator design.  These are genuine multi-round
+pytest-benchmark timings of allocation alone (no interpretation), on a
+representative mid-size function.
+"""
+
+import pytest
+
+from repro.bench.suite import program
+from repro.compiler import compile_source
+from repro.regalloc import allocate_gra, allocate_rap
+
+
+@pytest.fixture(scope="module")
+def compiled_hsort():
+    bench = program("hsort")
+    return compile_source(bench.source())
+
+
+@pytest.mark.parametrize("k", [3, 8])
+def test_speed_gra(benchmark, compiled_hsort, k):
+    def allocate():
+        module = compiled_hsort.fresh_module()
+        return [allocate_gra(f, k) for f in module.functions.values()]
+
+    results = benchmark(allocate)
+    assert all(r.code for r in results)
+
+
+@pytest.mark.parametrize("k", [3, 8])
+def test_speed_rap(benchmark, compiled_hsort, k):
+    def allocate():
+        module = compiled_hsort.fresh_module()
+        return [allocate_rap(f, k) for f in module.functions.values()]
+
+    results = benchmark(allocate)
+    assert all(r.code for r in results)
+
+
+def test_speed_frontend(benchmark):
+    bench = program("livermore")
+    source = bench.source()
+    benchmark(lambda: compile_source(source))

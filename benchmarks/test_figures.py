@@ -1,0 +1,143 @@
+"""Regenerates the paper's figure-level artifacts.
+
+The evaluation section has one table; the figures are worked examples of
+the machinery.  Each benchmark here reconstructs a figure's scenario and
+records the measurable facts it illustrates.
+"""
+
+import pytest
+
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir.iloc import Op
+from repro.pdg.dot import to_dot
+from repro.pdg.nodes import Region
+from repro.regalloc.rap import allocate_rap
+from repro.regalloc.rap.peephole import eliminate_redundant_mem_ops
+
+FIGURE1_SOURCE = """
+void f() {
+    int i; int j;
+    i = 1;
+    while (i < 10) {
+        j = i + 1;
+        if (j == 7) { print(1); } else { print(2); }
+        i = i + 1;
+    }
+    print(i);
+}
+"""
+
+
+def test_figure1_pdg(benchmark):
+    """Figure 1: the PDG of the running example (regions R1..R5)."""
+
+    def build():
+        func = compile_source(FIGURE1_SOURCE).module.functions["f"]
+        return func, to_dot(func, include_data_deps=True)
+
+    func, dot = benchmark.pedantic(build, rounds=1, iterations=1)
+    regions = list(func.walk_regions())
+    loops = [r for r in regions if r.is_loop]
+    benchmark.extra_info["region_count"] = len(regions)
+    benchmark.extra_info["loop_regions"] = len(loops)
+    benchmark.extra_info["dot_bytes"] = len(dot)
+    assert len(loops) == 1
+    assert "diamond" in dot  # predicate nodes rendered
+
+
+def test_figure2_rap_loop(benchmark, harness):
+    """Figure 2: the per-region while(spill) loop, measured as the number
+    of spill rounds RAP needs on a pressured program at k=3."""
+    from repro.bench.suite import program
+
+    def measure():
+        image, _ = harness.allocate_program(program("hsort"), "rap", 3)
+        return image
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+
+def test_figure3_interference_shape(benchmark):
+    """Figure 3: build the paper's worked region graph and record its
+    shape (the detailed structural assertions live in
+    tests/regalloc_rap/test_figure3.py)."""
+    import sys, os
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+    from regalloc_rap.test_figure3 import allocate_subregions, build_figure3
+
+    def measure():
+        func, r1, r2, r3 = build_figure3()
+        ctx = allocate_subregions(func, r1)
+        return ctx, r2, r3
+
+    ctx, r2, r3 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["r2_nodes"] = len(ctx.sub_graphs[id(r2)].nodes)
+    benchmark.extra_info["r3_nodes"] = len(ctx.sub_graphs[id(r3)].nodes)
+    assert len(ctx.sub_graphs[id(r2)].nodes) <= 3
+    assert len(ctx.sub_graphs[id(r3)].nodes) <= 3
+
+
+def test_figure6_peephole_patterns(benchmark):
+    """Figure 6: how often each pattern family fires on a spill-heavy
+    allocation (sieve at k=3, with phase 3 run standalone)."""
+    from repro.bench.suite import program
+
+    bench = program("sieve")
+    prog = compile_source(bench.source())
+
+    def measure():
+        module = prog.fresh_module()
+        reports = []
+        for func in module.functions.values():
+            result = allocate_rap(func, 3, enable_peephole=False)
+            _, report = eliminate_redundant_mem_ops(result.code)
+            reports.append(report)
+        return reports
+
+    reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["loads_deleted"] = sum(r.loads_deleted for r in reports)
+    benchmark.extra_info["loads_to_copies"] = sum(
+        r.loads_to_copies for r in reports
+    )
+    benchmark.extra_info["stores_deleted"] = sum(
+        r.stores_deleted for r in reports
+    )
+
+
+def test_figure7_small_region_spill_overhead(benchmark):
+    """Figure 7: spilling across one-statement regions inserts one load
+    per use region; motion recovers the loop case."""
+    source = """
+    void main() {
+        int a; int i; int s;
+        int p; int q; int r; int t; int u;
+        a = 7; p = 1; q = 2; r = 3; t = 4; u = 5;
+        print(p + q + r + t + u);
+        print(p - q); print(r + t - u);
+        s = 0;
+        for (i = 0; i < 10; i = i + 1) { s = s + a; s = s - a; }
+        print(s); print(a);
+    }
+    """
+
+    def measure():
+        prog = compile_source(source)
+        reference = run_program(prog.reference_image())
+        module = prog.fresh_module()
+        result = allocate_rap(module.functions["main"], 4)
+        image = ProgramImage(
+            list(module.globals.values()),
+            {"main": FunctionImage("main", result.code, [])},
+        )
+        stats = run_program(image)
+        assert stats.output == reference.output
+        return result
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["hoisted_slots"] = len(result.motion.hoisted_slots)
+    benchmark.extra_info["interior_spill_ops_deleted"] = (
+        result.motion.deleted_instrs
+    )
+    assert result.motion.hoisted_slots

@@ -1,0 +1,55 @@
+"""Benchmarks for the scheduling substrate: the allocation/scheduling
+phase-ordering tension that motivates the paper's shared-PDG design.
+
+Two measurements per program:
+
+* how much local list scheduling shortens static schedules of allocated
+  code (stall slots filled with independent work);
+* how much register *pressure* (small k) lengthens the best schedule the
+  scheduler can find — fewer registers ⇒ more anti/output dependences ⇒
+  less instruction-level parallelism.
+"""
+
+import pytest
+
+from repro.bench.suite import program
+from repro.sched import LatencyModel, schedule_code
+
+MODEL = LatencyModel()
+PROGRAMS = ("livermore", "linpack", "hsort")
+
+
+def schedule_lengths(harness, bench_name, allocator, k):
+    bench = program(bench_name)
+    image, _ = harness.allocate_program(bench, allocator, k)
+    before = after = 0
+    for func_image in image.functions.values():
+        _, report = schedule_code(list(func_image.code), MODEL)
+        before += report.length_before
+        after += report.length_after
+    return before, after
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+@pytest.mark.parametrize("allocator", ["gra", "rap"])
+def test_scheduling_gain(benchmark, harness, name, allocator):
+    def measure():
+        return schedule_lengths(harness, name, allocator, 4)
+
+    before, after = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["static_length_unscheduled"] = before
+    benchmark.extra_info["static_length_scheduled"] = after
+    assert after <= before
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_pressure_lengthens_schedules(benchmark, harness, name):
+    def measure():
+        tight = schedule_lengths(harness, name, "gra", 3)[1]
+        roomy = schedule_lengths(harness, name, "gra", 16)[1]
+        return tight, roomy
+
+    tight, roomy = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["scheduled_length_k3"] = tight
+    benchmark.extra_info["scheduled_length_k16"] = roomy
+    assert tight >= roomy

@@ -1,0 +1,85 @@
+"""Regenerates the paper's Table 1 (the only table in the evaluation).
+
+One benchmark per (program, k): the measured body compiles is cached, so
+the timing covers allocation by both allocators plus the counted
+interpreter runs — the same work the paper's experimental apparatus did.
+The Table-1 percentages for every routine row land in
+``benchmark.extra_info`` so a benchmark run doubles as a results dump:
+
+    pytest benchmarks/test_table1.py --benchmark-only
+
+Shape assertions (not absolute numbers — our substrate is a reimplemented
+interpreter, not the authors' iloc toolchain):
+
+* RAP-allocated code never executes *more copy statements* than GRA code
+  (§4 attributes RAP's win largely to first-fit copy elimination);
+* outputs always match the reference execution (asserted inside the
+  harness on every run);
+* the per-k suite-wide average percentage decrease is positive for large
+  k, reproducing the paper's bottom row staying positive.
+"""
+
+import pytest
+
+from repro.bench.harness import DEFAULT_K_VALUES, _make_cell
+from repro.bench.suite import PROGRAMS, program
+
+from conftest import routine_cells
+
+K_VALUES = DEFAULT_K_VALUES
+
+
+def measure(harness, bench, k):
+    run_gra = harness.run(bench, "gra", k)
+    run_rap = harness.run(bench, "rap", k)
+    return run_gra, run_rap
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("bench", PROGRAMS, ids=lambda b: b.name)
+def test_table1_program(benchmark, harness, bench, k):
+    run_gra, run_rap = benchmark.pedantic(
+        measure, args=(harness, bench, k), rounds=1, iterations=1
+    )
+    cells = routine_cells(run_gra, run_rap, bench)
+    benchmark.extra_info["k"] = k
+    for routine, cell in cells.items():
+        benchmark.extra_info[routine] = {
+            "tot": None if cell.tot is None else round(cell.tot, 2),
+            "ld": None if cell.ld is None else round(cell.ld, 2),
+            "st": None if cell.st is None else round(cell.st, 2),
+            "blank": cell.blank,
+        }
+    # Shape: with enough registers that spilling is rare, RAP's first-fit
+    # copy elimination dominates and it never executes more copies than
+    # GRA.  At small k this need not hold — RAP's pattern-2 peephole
+    # *converts* redundant loads into copies, and the paper itself found
+    # "routines in which GRA allocated code contained fewer copy
+    # statements than RAP" (§4).
+    if k >= 7:
+        assert run_rap.stats.total.copies <= run_gra.stats.total.copies
+
+
+def test_table1_overall_shape(benchmark, harness):
+    """The headline: positive suite-wide average gain (paper: 2.7%).
+
+    Measured over the fast half of the suite at k=5 and k=9 to keep the
+    assertion cheap; the full-table run is the per-program benches above
+    plus ``python -m repro.bench.table1``.
+    """
+    fast = [program(n) for n in ("hanoi", "perm", "queens", "sieve", "hsort")]
+
+    def measure_all():
+        gains = []
+        for bench in fast:
+            for k in (5, 9):
+                run_gra, run_rap = measure(harness, bench, k)
+                g = run_gra.stats.total.cycles
+                r = run_rap.stats.total.cycles
+                gains.append(100.0 * (g - r) / g)
+        return gains
+
+    gains = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    average = sum(gains) / len(gains)
+    benchmark.extra_info["average_gain_percent"] = round(average, 2)
+    assert average > 0.0, f"RAP should win on average, got {average:.2f}%"

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a Mini-C program, allocate registers with RAP, and
+compare against the unallocated reference execution.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir.printer import format_code
+from repro.regalloc import allocate_rap
+
+SOURCE = """
+int data[32];
+
+int sum_squares(int n) {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < n; i = i + 1) {
+        data[i] = i * i;
+        total = total + data[i];
+    }
+    return total;
+}
+
+void main() {
+    print(sum_squares(10));
+}
+"""
+
+
+def main() -> None:
+    # 1. Compile: Mini-C -> PDG with attached iloc (virtual registers).
+    program = compile_source(SOURCE)
+
+    # 2. The reference execution uses the infinite virtual register file.
+    reference = run_program(program.reference_image())
+    print(f"reference output : {reference.output}")
+    print(f"reference cycles : {reference.total.cycles}")
+
+    # 3. Allocate with RAP for a 4-register machine.
+    module = program.fresh_module()
+    functions = {}
+    for name, func in module.functions.items():
+        result = allocate_rap(func, k=4)
+        functions[name] = FunctionImage(name, result.code, param_slots(func))
+        print(
+            f"\n{name}: spilled={result.spilled} "
+            f"hoisted={len(result.motion.hoisted_slots)} "
+            f"peephole_rewrites={result.peephole.total}"
+        )
+
+    # 4. Run the allocated program; behaviour is identical, and the
+    #    counters show what allocation cost/saved.
+    image = ProgramImage(list(module.globals.values()), functions)
+    stats = run_program(image)
+    assert stats.output == reference.output
+    print(f"\nallocated output : {stats.output}")
+    print(
+        f"allocated cycles : {stats.total.cycles} "
+        f"(loads={stats.total.loads}, stores={stats.total.stores}, "
+        f"copies={stats.total.copies})"
+    )
+
+    # 5. Peek at the final code of sum_squares.
+    print("\nallocated sum_squares:")
+    print(format_code(functions["sum_squares"].code))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a full reproduction of Norris & Pollock, "Register Allocation
+over the Program Dependence Graph" (PLDI 1994).
+
+Public API tour
+---------------
+
+Compile Mini-C, run the reference, allocate with either allocator::
+
+    from repro import compile_source, run_program, allocate_gra, allocate_rap
+    from repro.compiler import param_slots
+    from repro.interp.machine import FunctionImage, ProgramImage
+
+    prog = compile_source(source_text)
+    reference = run_program(prog.reference_image())
+
+    module = prog.fresh_module()
+    results = {name: allocate_rap(f, k=5) for name, f in module.functions.items()}
+
+Reproduce the paper's Table 1::
+
+    from repro.bench import build_table1
+    table = build_table1()
+    print(table.overall_average())     # paper: 2.7
+
+Subpackages: ``frontend`` (Mini-C), ``ir`` (iloc + PDG builder), ``pdg``
+(region hierarchy, linearization, liveness, data deps), ``cfg`` (basic
+blocks / dataflow), ``regalloc`` (GRA baseline, RAP, coalescing),
+``interp`` (the counting interpreter), ``bench`` (the Table-1 suite).
+"""
+
+from .compiler import CompiledProgram, compile_source, param_slots
+from .interp.machine import FunctionImage, Machine, ProgramImage, run_program
+from .regalloc import allocate_gra, allocate_rap
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "CompiledProgram",
+    "param_slots",
+    "run_program",
+    "Machine",
+    "ProgramImage",
+    "FunctionImage",
+    "allocate_gra",
+    "allocate_rap",
+    "__version__",
+]

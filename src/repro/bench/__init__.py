@@ -1,0 +1,14 @@
+"""Benchmark suite and Table-1 harness."""
+
+from .harness import Harness, Table1, build_table1
+from .suite import PROGRAMS, BenchProgram, all_routines, program
+
+__all__ = [
+    "Harness",
+    "Table1",
+    "build_table1",
+    "PROGRAMS",
+    "BenchProgram",
+    "program",
+    "all_routines",
+]

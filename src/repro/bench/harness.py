@@ -1,0 +1,238 @@
+"""Measurement harness: compile, allocate, run, and compare RAP vs GRA.
+
+This module regenerates the paper's Table 1.  For each benchmark program,
+each register-set size k, and each allocator it:
+
+1. compiles the Mini-C source to a PDG module (cached per program);
+2. allocates every function (GRA on the cloned linear code, RAP on a fresh
+   copy of the PDG) and validates the result structurally;
+3. runs the allocated program in the iloc interpreter, asserting that the
+   observable output matches the infinite-register reference execution;
+4. reports per-routine counters.
+
+Metrics, matching §4 exactly: the ``tot`` column is
+``(cycles(GRA) - cycles(RAP)) / cycles(GRA)`` as a percentage, and the
+``ld``/``st`` columns are the portions of that percentage attributable to
+the change in executed loads and stores (each instruction being one
+cycle); the remainder is due to copy statements.  An entry is blank when
+neither allocation contains spill code for the routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..compiler import CompiledProgram, compile_source, param_slots
+from ..interp.machine import FunctionImage, ProgramImage, run_program
+from ..interp.stats import Counters, ExecStats
+from ..ir.iloc import Instr, Op
+from ..ir.validate import check_allocated, check_wellformed
+from ..regalloc import allocate_gra, allocate_rap
+from .suite import PROGRAMS, BenchProgram
+
+DEFAULT_K_VALUES = (3, 5, 7, 9)
+
+AllocatorFn = Callable[..., object]
+
+
+@dataclass
+class RoutineResult:
+    """Measured counters for one routine under one allocator and one k."""
+
+    counters: Counters
+    has_spill_code: bool
+
+
+@dataclass
+class ProgramRun:
+    """One (program, allocator, k) measurement."""
+
+    program: str
+    allocator: str
+    k: int
+    stats: ExecStats
+    spill_code_functions: Dict[str, bool]
+
+    def routine(self, bench: BenchProgram, name: str) -> RoutineResult:
+        total = Counters()
+        spill = False
+        for func in bench.functions_for(name):
+            total.add(self.stats.per_function.get(func, Counters()))
+            spill = spill or self.spill_code_functions.get(func, False)
+        return RoutineResult(total, spill)
+
+
+class Harness:
+    """Caches compiled programs and executes allocator comparisons."""
+
+    def __init__(
+        self,
+        programs: Optional[Sequence[BenchProgram]] = None,
+        check_outputs: bool = True,
+    ):
+        self.programs = list(programs) if programs is not None else list(PROGRAMS)
+        self.check_outputs = check_outputs
+        self._compiled: Dict[str, CompiledProgram] = {}
+        self._reference_out: Dict[str, list] = {}
+
+    # -- building blocks -----------------------------------------------------
+
+    def compiled(self, bench: BenchProgram) -> CompiledProgram:
+        if bench.name not in self._compiled:
+            self._compiled[bench.name] = compile_source(
+                bench.source(), filename=bench.filename
+            )
+        return self._compiled[bench.name]
+
+    def reference_output(self, bench: BenchProgram) -> list:
+        if bench.name not in self._reference_out:
+            prog = self.compiled(bench)
+            stats = run_program(
+                prog.reference_image(), max_cycles=bench.max_cycles
+            )
+            self._reference_out[bench.name] = stats.output
+        return self._reference_out[bench.name]
+
+    def allocate_program(
+        self,
+        bench: BenchProgram,
+        allocator: str,
+        k: int,
+        pre_coalesce: bool = False,
+        **alloc_kwargs,
+    ) -> Tuple[ProgramImage, Dict[str, bool]]:
+        """Allocate every function of a benchmark; returns the executable
+        image and a per-function "contains spill code" flag.
+
+        ``pre_coalesce=True`` runs the conservative coalescing pass (the
+        paper's future-work extension) before the allocator.
+        """
+        prog = self.compiled(bench)
+        module = prog.fresh_module()
+        functions: Dict[str, FunctionImage] = {}
+        spill_flags: Dict[str, bool] = {}
+        for name, func in module.functions.items():
+            if pre_coalesce:
+                from ..regalloc.coalesce import coalesce_function
+
+                coalesce_function(func, k)
+            if allocator == "gra":
+                result = allocate_gra(func, k, **alloc_kwargs)
+            elif allocator == "rap":
+                result = allocate_rap(func, k, **alloc_kwargs)
+            else:
+                raise ValueError(f"unknown allocator {allocator!r}")
+            check_wellformed(result.code)
+            check_allocated(result.code, k)
+            functions[name] = FunctionImage(name, result.code, param_slots(func))
+            spill_flags[name] = _has_spill_code(result.code, name)
+        image = ProgramImage(list(module.globals.values()), functions)
+        return image, spill_flags
+
+    def run(
+        self,
+        bench: BenchProgram,
+        allocator: str,
+        k: int,
+        pre_coalesce: bool = False,
+        **alloc_kwargs,
+    ) -> ProgramRun:
+        image, spill_flags = self.allocate_program(
+            bench, allocator, k, pre_coalesce=pre_coalesce, **alloc_kwargs
+        )
+        stats = run_program(image, max_cycles=bench.max_cycles)
+        if self.check_outputs:
+            expected = self.reference_output(bench)
+            if stats.output != expected:
+                raise AssertionError(
+                    f"{bench.name} [{allocator}, k={k}]: output "
+                    f"{stats.output!r} != reference {expected!r}"
+                )
+        return ProgramRun(bench.name, allocator, k, stats, spill_flags)
+
+
+def _has_spill_code(code: Sequence[Instr], func_name: str) -> bool:
+    """True if the allocated code contains allocator-inserted spill
+    loads/stores (slots named after a virtual register — incoming-argument
+    slots do not count)."""
+    marker = f"{func_name}.%v"
+    for instr in code:
+        if instr.op in (Op.LDM, Op.STM) and instr.addr is not None:
+            if instr.addr.space == "spill" and marker in instr.addr.name:
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Cell:
+    """One routine × one k: the three percentages of Table 1."""
+
+    tot: Optional[float]
+    ld: Optional[float]
+    st: Optional[float]
+    gra: Counters = field(default_factory=Counters)
+    rap: Counters = field(default_factory=Counters)
+    blank: bool = False
+
+
+@dataclass
+class Table1:
+    """The full reproduction of Table 1."""
+
+    k_values: Tuple[int, ...]
+    #: routine -> {k -> cell}
+    cells: Dict[str, Dict[int, Table1Cell]] = field(default_factory=dict)
+    routine_order: List[str] = field(default_factory=list)
+
+    def average(self, k: int) -> float:
+        """Average percentage decrease over the non-blank rows for one k."""
+        values = [
+            row[k].tot
+            for row in self.cells.values()
+            if k in row and row[k].tot is not None
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def overall_average(self) -> float:
+        per_k = [self.average(k) for k in self.k_values]
+        return sum(per_k) / len(per_k) if per_k else 0.0
+
+
+def build_table1(
+    harness: Optional[Harness] = None,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    gra_kwargs: Optional[dict] = None,
+    rap_kwargs: Optional[dict] = None,
+) -> Table1:
+    """Measure every benchmark and assemble Table 1."""
+    harness = harness or Harness()
+    table = Table1(tuple(k_values))
+    for bench in harness.programs:
+        for k in k_values:
+            gra_run = harness.run(bench, "gra", k, **(gra_kwargs or {}))
+            rap_run = harness.run(bench, "rap", k, **(rap_kwargs or {}))
+            for routine in bench.routines:
+                gra = gra_run.routine(bench, routine)
+                rap = rap_run.routine(bench, routine)
+                cell = _make_cell(gra, rap)
+                table.cells.setdefault(routine, {})[k] = cell
+                if routine not in table.routine_order:
+                    table.routine_order.append(routine)
+    return table
+
+
+def _make_cell(gra: RoutineResult, rap: RoutineResult) -> Table1Cell:
+    blank = not (gra.has_spill_code or rap.has_spill_code)
+    g, r = gra.counters, rap.counters
+    if g.cycles == 0:
+        return Table1Cell(None, None, None, g, r, blank=True)
+    tot = 100.0 * (g.cycles - r.cycles) / g.cycles
+    ld = 100.0 * (g.loads - r.loads) / g.cycles
+    st = 100.0 * (g.stores - r.stores) / g.cycles
+    return Table1Cell(tot, ld, st, g, r, blank=blank)

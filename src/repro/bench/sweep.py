@@ -1,0 +1,75 @@
+"""Register-count sweep: executed cycles as a function of k.
+
+``python -m repro.bench.sweep`` prints, for each program, the GRA and RAP
+cycle counts for every k in a range — the curve behind Table 1's four
+sampled columns.  Useful for seeing where each benchmark stops spilling
+(the curve flattens) and where the allocators cross.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .harness import Harness
+from .suite import program
+
+DEFAULT_PROGRAMS = ("sieve", "hsort", "queens")
+
+
+def sweep(
+    names: Sequence[str],
+    k_values: Sequence[int],
+    harness: Optional[Harness] = None,
+) -> Dict[str, List[Tuple[int, int, int]]]:
+    """Measure ``(k, gra_cycles, rap_cycles)`` triples per program."""
+    harness = harness or Harness()
+    curves: Dict[str, List[Tuple[int, int, int]]] = {}
+    for name in names:
+        bench = program(name)
+        rows: List[Tuple[int, int, int]] = []
+        for k in k_values:
+            gra = harness.run(bench, "gra", k).stats.total.cycles
+            rap = harness.run(bench, "rap", k).stats.total.cycles
+            rows.append((k, gra, rap))
+        curves[name] = rows
+    return curves
+
+
+def render(curves: Dict[str, List[Tuple[int, int, int]]], stream=None) -> None:
+    stream = stream or sys.stdout
+    for name, rows in curves.items():
+        print(f"\n== {name} ==", file=stream)
+        print(f"{'k':>3} | {'GRA':>9} | {'RAP':>9} | {'RAP vs GRA':>10}", file=stream)
+        for k, gra, rap in rows:
+            gain = 100.0 * (gra - rap) / gra if gra else 0.0
+            marker = " <- flat" if _is_flat(rows, k) else ""
+            print(
+                f"{k:>3} | {gra:>9} | {rap:>9} | {gain:>+9.1f}%{marker}",
+                file=stream,
+            )
+
+
+def _is_flat(rows: List[Tuple[int, int, int]], k: int) -> bool:
+    """True when neither allocator improves beyond this k (spilling over)."""
+    this = next(row for row in rows if row[0] == k)
+    later = [row for row in rows if row[0] > k]
+    if not later:
+        return False
+    return all(row[1] == this[1] and row[2] == this[2] for row in later)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--k-min", type=int, default=3)
+    parser.add_argument("--k-max", type=int, default=10)
+    parser.add_argument("--programs", nargs="*", default=list(DEFAULT_PROGRAMS))
+    args = parser.parse_args(argv)
+    curves = sweep(args.programs, range(args.k_min, args.k_max + 1))
+    render(curves)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Render the Table 1 reproduction as text.
+
+Run with ``python -m repro.bench.table1`` — prints the same rows as the
+paper's Table 1: for each routine and register-set size (3, 5, 7, 9), the
+percentage decrease in total executed cycles (RAP vs GRA) and the portions
+of that decrease due to loads and stores, then the per-k averages and the
+overall average (the paper's headline 2.7%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .harness import DEFAULT_K_VALUES, Harness, Table1, build_table1
+
+
+def _fmt(value: Optional[float], blank: bool) -> str:
+    if blank or value is None:
+        return "      "
+    if value == 0.0:
+        return "   0.0"
+    if abs(value) < 0.05:
+        return "  +0.0" if value > 0 else "  -0.0"
+    return f"{value:6.1f}"
+
+
+def render_table1(table: Table1, stream=None) -> None:
+    stream = stream or sys.stdout
+    ks = table.k_values
+    header = "Benchmark".ljust(14) + "".join(
+        f"|  k={k}: tot    ld    st  " for k in ks
+    )
+    print(header, file=stream)
+    print("-" * len(header), file=stream)
+    for routine in table.routine_order:
+        row = table.cells[routine]
+        line = routine.ljust(14)
+        for k in ks:
+            cell = row.get(k)
+            if cell is None:
+                line += "|" + " " * 24
+                continue
+            line += (
+                "|"
+                + _fmt(cell.tot, cell.blank)
+                + _fmt(cell.ld, cell.blank)
+                + _fmt(cell.st, cell.blank)
+                + "  "
+            )
+        print(line, file=stream)
+    print("-" * len(header), file=stream)
+    line = "Average".ljust(14)
+    for k in ks:
+        line += "|" + _fmt(table.average(k), False) + " " * 14
+    print(line, file=stream)
+    print(
+        f"\nOverall average percentage decrease in cycles executed: "
+        f"{table.overall_average():.1f}%  (paper: 2.7%)",
+        file=stream,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--k",
+        type=int,
+        nargs="*",
+        default=list(DEFAULT_K_VALUES),
+        help="register-set sizes to measure (default: 3 5 7 9)",
+    )
+    parser.add_argument(
+        "--programs",
+        nargs="*",
+        default=None,
+        help="restrict to specific benchmark programs",
+    )
+    args = parser.parse_args(argv)
+
+    harness = Harness()
+    if args.programs:
+        from .suite import program
+
+        harness = Harness([program(name) for name in args.programs])
+    table = build_table1(harness, k_values=args.k)
+    render_table1(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Control-flow-graph substrate: basic blocks, liveness, dominators."""
+
+from .graph import CFG, BasicBlock
+from .liveness import LivenessResult, compute_liveness
+from .dominators import DominatorTree, natural_loops
+from .reachdefs import ENTRY_DEF, RegChains, chains_for
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "compute_liveness",
+    "LivenessResult",
+    "DominatorTree",
+    "natural_loops",
+    "chains_for",
+    "RegChains",
+    "ENTRY_DEF",
+]

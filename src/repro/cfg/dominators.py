@@ -1,0 +1,83 @@
+"""Dominator analysis (Cooper-Harvey-Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .graph import CFG, BasicBlock
+
+
+class DominatorTree:
+    """Immediate dominators of every reachable block."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.idom: Dict[int, Optional[int]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        order = self.cfg.reverse_postorder()
+        position = {block.index: i for i, block in enumerate(order)}
+        entry = self.cfg.entry_block()
+        idom: Dict[int, Optional[int]] = {entry.index: entry.index}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while position[a] > position[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while position[b] > position[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                if block is entry:
+                    continue
+                candidates = [
+                    pred.index
+                    for pred in block.preds
+                    if pred.index in idom and pred.index in position
+                ]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for other in candidates[1:]:
+                    new_idom = intersect(new_idom, other)
+                if idom.get(block.index) != new_idom:
+                    idom[block.index] = new_idom
+                    changed = True
+        idom[entry.index] = None
+        self.idom = idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b``."""
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+
+def natural_loops(cfg: CFG) -> List[Dict]:
+    """Find natural loops via back edges ``tail -> head`` where head
+    dominates tail.  Returns ``[{"header": int, "body": set[int]}]``."""
+    dom = DominatorTree(cfg)
+    loops: List[Dict] = []
+    for block in cfg.blocks:
+        for succ in block.succs:
+            if dom.dominates(succ.index, block.index):
+                body = {succ.index, block.index}
+                stack = [block.index]
+                while stack:
+                    current = stack.pop()
+                    if current == succ.index:
+                        continue
+                    for pred in cfg.blocks[current].preds:
+                        if pred.index not in body:
+                            body.add(pred.index)
+                            stack.append(pred.index)
+                loops.append({"header": succ.index, "body": body})
+    return loops

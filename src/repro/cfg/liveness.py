@@ -1,0 +1,92 @@
+"""Iterative live-variable analysis over the CFG.
+
+Produces both block-level live-in/live-out and a *per-position* view:
+``live_at[i]`` is the set of registers live immediately before executing
+``code[i]`` (with ``live_at[len(code)]`` empty).  Because linearization
+shares instruction objects with the PDG, querying by linear position gives
+RAP its per-region live sets directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from ..ir.iloc import Instr, Reg
+from .graph import CFG
+
+
+class LivenessResult:
+    """Liveness facts for one linear function body."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.block_live_in: List[Set[Reg]] = []
+        self.block_live_out: List[Set[Reg]] = []
+        #: live set immediately before each linear position; length is
+        #: ``len(code) + 1`` and the final entry is always empty.
+        self.live_at: List[Set[Reg]] = []
+        self._index_of: Dict[int, int] = {
+            id(instr): i for i, instr in enumerate(cfg.code)
+        }
+
+    def live_before(self, instr: Instr) -> Set[Reg]:
+        return self.live_at[self._index_of[id(instr)]]
+
+    def live_after(self, instr: Instr) -> Set[Reg]:
+        """Registers live immediately after ``instr``.
+
+        For a branch this is the union over its successors, which is what
+        interference construction needs.
+        """
+        index = self._index_of[id(instr)]
+        block = self.cfg.block_at[index]
+        if block is not None and index == block.end - 1 and instr.is_branch:
+            return self.block_live_out[block.index]
+        return self.live_at[index + 1]
+
+
+def compute_liveness(cfg: CFG) -> LivenessResult:
+    """Standard backwards may-analysis, iterated to a fixed point."""
+    code = cfg.code
+    n_blocks = len(cfg.blocks)
+
+    use: List[Set[Reg]] = [set() for _ in range(n_blocks)]
+    defs: List[Set[Reg]] = [set() for _ in range(n_blocks)]
+    for block in cfg.blocks:
+        for index in block.instr_indices():
+            instr = code[index]
+            for reg in instr.uses:
+                if reg not in defs[block.index]:
+                    use[block.index].add(reg)
+            for reg in instr.defs:
+                defs[block.index].add(reg)
+
+    live_in: List[Set[Reg]] = [set() for _ in range(n_blocks)]
+    live_out: List[Set[Reg]] = [set() for _ in range(n_blocks)]
+
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(order):
+            out: Set[Reg] = set()
+            for succ in block.succs:
+                out |= live_in[succ.index]
+            new_in = use[block.index] | (out - defs[block.index])
+            if out != live_out[block.index] or new_in != live_in[block.index]:
+                live_out[block.index] = out
+                live_in[block.index] = new_in
+                changed = True
+
+    result = LivenessResult(cfg)
+    result.block_live_in = live_in
+    result.block_live_out = live_out
+    result.live_at = [set() for _ in range(len(code) + 1)]
+    for block in cfg.blocks:
+        live = set(live_out[block.index])
+        for index in range(block.end - 1, block.start - 1, -1):
+            instr = code[index]
+            # live_at[index] = live *before* this instruction.
+            live = (live - set(instr.defs)) | set(instr.uses)
+            result.live_at[index] = live
+    return result

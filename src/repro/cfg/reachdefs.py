@@ -1,0 +1,115 @@
+"""Reaching definitions for a single register.
+
+RAP's spill-code insertion (§3.1.4 of the paper) must place stores after
+definitions *outside* the spilled region that feed loads inside it, and
+loads before uses *outside* the region whose definitions were renamed
+inside it.  That requires ud/du chains for the one register being
+spilled; this module computes them cheaply per register instead of a full
+all-registers bit-vector analysis.
+
+Function parameters are modelled as defined by a virtual *entry
+definition* (:data:`ENTRY_DEF`), so a spilled parameter is recognized as
+needing a store at function entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Union
+
+from ..ir.iloc import Instr, Reg
+from .graph import CFG
+
+#: Sentinel def site: the register's value on function entry (parameters).
+ENTRY_DEF = "<entry>"
+
+DefSite = Union[Instr, str]
+
+
+class RegChains:
+    """ud/du chains of one register over one linear function body."""
+
+    def __init__(self, reg: Reg):
+        self.reg = reg
+        #: use instruction -> set of reaching def sites
+        self.ud: Dict[int, Set[DefSite]] = {}
+        self._use_instrs: Dict[int, Instr] = {}
+        #: def instruction id -> set of reached use instructions
+        self.du: Dict[int, Set[int]] = {}
+        self._def_instrs: Dict[int, Instr] = {}
+        self.entry_reaches_uses: Set[int] = set()
+
+    def defs_reaching(self, use: Instr) -> Set[DefSite]:
+        return self.ud.get(id(use), set())
+
+    def uses_reached_by(self, definition: Instr) -> List[Instr]:
+        return [self._use_instrs[uid] for uid in self.du.get(id(definition), set())]
+
+    def all_uses(self) -> List[Instr]:
+        return list(self._use_instrs.values())
+
+    def all_defs(self) -> List[Instr]:
+        return list(self._def_instrs.values())
+
+
+def chains_for(cfg: CFG, reg: Reg, is_param: bool = False) -> RegChains:
+    """Compute ud/du chains of ``reg`` over ``cfg``."""
+    code = cfg.code
+    chains = RegChains(reg)
+
+    # Block-level gen: the last def of reg in the block (if any).
+    n = len(cfg.blocks)
+    gen: List[Set[DefSite]] = [set() for _ in range(n)]
+    has_def: List[bool] = [False] * n
+    for block in cfg.blocks:
+        last: Set[DefSite] = set()
+        for index in block.instr_indices():
+            instr = code[index]
+            if reg in instr.defs:
+                last = {instr}
+                has_def[block.index] = True
+                chains._def_instrs[id(instr)] = instr
+        gen[block.index] = last
+
+    reach_in: List[Set[DefSite]] = [set() for _ in range(n)]
+    entry_index = cfg.entry_block().index
+    if is_param:
+        reach_in[entry_index] = {ENTRY_DEF}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.reverse_postorder():
+            in_set: Set[DefSite] = set(reach_in[block.index])
+            for pred in block.preds:
+                if has_def[pred.index]:
+                    in_set |= gen[pred.index]
+                else:
+                    in_set |= _reach_out(reach_in, gen, has_def, pred.index)
+            if block.index == entry_index and is_param:
+                in_set.add(ENTRY_DEF)
+            if in_set != reach_in[block.index]:
+                reach_in[block.index] = in_set
+                changed = True
+
+    # Walk each block forward to attach per-use chains.
+    for block in cfg.blocks:
+        current = set(reach_in[block.index])
+        for index in block.instr_indices():
+            instr = code[index]
+            if reg in instr.uses:
+                chains.ud[id(instr)] = set(current)
+                chains._use_instrs[id(instr)] = instr
+                for site in current:
+                    if site is ENTRY_DEF:
+                        chains.entry_reaches_uses.add(id(instr))
+                    else:
+                        chains.du.setdefault(id(site), set()).add(id(instr))
+            if reg in instr.defs:
+                current = {instr}
+    return chains
+
+
+def _reach_out(reach_in, gen, has_def, index: int) -> Set[DefSite]:
+    if has_def[index]:
+        return gen[index]
+    return reach_in[index]

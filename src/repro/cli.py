@@ -1,0 +1,222 @@
+"""Command-line driver.
+
+Usage (``python -m repro ...``):
+
+.. code-block:: text
+
+    python -m repro run prog.mc                    # reference execution
+    python -m repro run prog.mc --allocator rap -k 5
+    python -m repro compare prog.mc -k 3 5 7 9     # GRA vs RAP sweep
+    python -m repro emit prog.mc --what iloc       # unallocated listing
+    python -m repro emit prog.mc --what pdg        # region tree
+    python -m repro emit prog.mc --what dot        # Graphviz of the PDG
+    python -m repro emit prog.mc --what alloc --allocator rap -k 4
+    python -m repro table1                         # the paper's table
+
+The driver is a thin layer over the library; everything it prints can be
+obtained programmatically (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .compiler import CompiledProgram, compile_source, param_slots
+from .interp.machine import FunctionImage, ProgramImage, run_program
+from .ir.printer import format_code, format_function
+from .pdg.dot import to_dot
+from .pdg.linearize import linearize
+from .regalloc import allocate_gra, allocate_rap
+from .regalloc.coalesce import coalesce_function
+
+ALLOCATORS = {"gra": allocate_gra, "rap": allocate_rap}
+
+
+def _load(path: str, granularity: str = "statement") -> CompiledProgram:
+    with open(path) as handle:
+        source = handle.read()
+    return compile_source(source, filename=path, granularity=granularity)
+
+
+def _allocate_image(
+    prog: CompiledProgram,
+    allocator: str,
+    k: int,
+    coalesce: bool = False,
+) -> ProgramImage:
+    module = prog.fresh_module()
+    functions: Dict[str, FunctionImage] = {}
+    for name, func in module.functions.items():
+        if coalesce:
+            coalesce_function(func, k)
+        result = ALLOCATORS[allocator](func, k)
+        functions[name] = FunctionImage(name, result.code, param_slots(func))
+    return ProgramImage(list(module.globals.values()), functions)
+
+
+def _print_stats(label: str, stats) -> None:
+    total = stats.total
+    print(
+        f"{label}: cycles={total.cycles} loads={total.loads} "
+        f"stores={total.stores} copies={total.copies}"
+    )
+
+
+def cmd_run(args) -> int:
+    prog = _load(args.file, args.granularity)
+    if args.allocator == "none":
+        image = prog.reference_image()
+        label = "reference"
+    else:
+        image = _allocate_image(prog, args.allocator, args.k, args.coalesce)
+        label = f"{args.allocator} k={args.k}"
+    stats = run_program(image, entry=args.entry, max_cycles=args.max_cycles)
+    for value in stats.output:
+        print(value)
+    if not args.quiet:
+        _print_stats(label, stats)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    prog = _load(args.file, args.granularity)
+    reference = run_program(
+        prog.reference_image(), entry=args.entry, max_cycles=args.max_cycles
+    )
+    print(f"reference: cycles={reference.total.cycles} output={reference.output}")
+    header = f"{'k':>3} | {'GRA':>10} | {'RAP':>10} | {'RAP vs GRA':>10}"
+    print(header)
+    print("-" * len(header))
+    for k in args.k:
+        rows = {}
+        for name in ("gra", "rap"):
+            image = _allocate_image(prog, name, k, args.coalesce)
+            stats = run_program(
+                image, entry=args.entry, max_cycles=args.max_cycles
+            )
+            if stats.output != reference.output:
+                print(f"!! {name} k={k}: OUTPUT DIVERGES", file=sys.stderr)
+                return 1
+            rows[name] = stats.total.cycles
+        gain = 100.0 * (rows["gra"] - rows["rap"]) / rows["gra"]
+        print(f"{k:>3} | {rows['gra']:>10} | {rows['rap']:>10} | {gain:>+9.1f}%")
+    return 0
+
+
+def cmd_emit(args) -> int:
+    prog = _load(args.file, args.granularity)
+    module = prog.module
+    if args.what == "src":
+        from .frontend.parser import parse
+        from .frontend.pretty import pretty_program
+
+        with open(args.file) as handle:
+            print(pretty_program(parse(handle.read())), end="")
+    elif args.what == "pdg":
+        for func in module.functions.values():
+            print(format_function(func))
+            print()
+    elif args.what == "dot":
+        for name, func in module.functions.items():
+            if args.function and name != args.function:
+                continue
+            print(to_dot(func, include_data_deps=args.data_deps))
+    elif args.what == "iloc":
+        for name, func in module.functions.items():
+            print(f"; function {name}")
+            print(format_code(linearize(func).instrs))
+            print()
+    elif args.what == "alloc":
+        image = _allocate_image(prog, args.allocator, args.k, args.coalesce)
+        for name, func_image in image.functions.items():
+            print(f"; function {name}  ({args.allocator}, k={args.k})")
+            print(format_code(func_image.code))
+            print()
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.what)
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from .bench.table1 import main as table1_main
+
+    forwarded: List[str] = []
+    if args.k:
+        forwarded += ["--k", *map(str, args.k)]
+    if args.programs:
+        forwarded += ["--programs", *args.programs]
+    return table1_main(forwarded)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="Mini-C source file")
+    parser.add_argument(
+        "--granularity",
+        choices=("statement", "merged"),
+        default="statement",
+        help="region granularity (default: one region per statement)",
+    )
+    parser.add_argument("--entry", default="main")
+    parser.add_argument("--max-cycles", type=int, default=50_000_000)
+    parser.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="run conservative coalescing before allocation",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAP/GRA register allocation over the PDG (PLDI 1994 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile, allocate, and execute")
+    _add_common(run)
+    run.add_argument("--allocator", choices=("none", "gra", "rap"), default="none")
+    run.add_argument("-k", type=int, default=8, help="physical register count")
+    run.add_argument("--quiet", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="GRA vs RAP cycle comparison")
+    _add_common(compare)
+    compare.add_argument("-k", type=int, nargs="+", default=[3, 5, 7, 9])
+    compare.set_defaults(func=cmd_compare)
+
+    emit = sub.add_parser("emit", help="print compiler artifacts")
+    _add_common(emit)
+    emit.add_argument(
+        "--what",
+        choices=("src", "pdg", "dot", "iloc", "alloc"),
+        default="iloc",
+    )
+    emit.add_argument("--allocator", choices=("gra", "rap"), default="rap")
+    emit.add_argument("-k", type=int, default=8)
+    emit.add_argument("--function", help="restrict DOT output to one function")
+    emit.add_argument("--data-deps", action="store_true")
+    emit.set_defaults(func=cmd_emit)
+
+    table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    table1.add_argument("--k", type=int, nargs="*")
+    table1.add_argument("--programs", nargs="*")
+    table1.set_defaults(func=cmd_table1)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

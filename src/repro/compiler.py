@@ -1,0 +1,89 @@
+"""One-call compilation pipeline.
+
+``compile_source`` turns Mini-C text into a :class:`CompiledProgram`, from
+which you can obtain:
+
+* the *reference* image (unallocated code on the infinite virtual register
+  file) — the ground truth for behavioural comparison;
+* a GRA-allocated image (the paper's baseline: Chaitin-style global
+  coloring with the Briggs enhancement, no coalescing/rematerialization);
+* a RAP-allocated image (the paper's contribution: hierarchical allocation
+  over the PDG, spill-code motion, and the load/store peephole).
+
+Example
+-------
+
+>>> from repro.compiler import compile_source
+>>> prog = compile_source('''
+... void main() { int i; int s; s = 0;
+...     for (i = 0; i < 10; i = i + 1) { s = s + i; }
+...     print(s); }
+... ''')
+>>> from repro.interp.machine import run_program
+>>> run_program(prog.reference_image()).output
+[45]
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .frontend import analyze, parse
+from .interp.machine import FunctionImage, ProgramImage
+from .ir.builder import arg_slot_name, build_module
+from .ir.iloc import Instr, Op, Reg
+from .pdg.graph import Module, PDGFunction
+from .pdg.linearize import linearize
+
+
+def param_slots(func: PDGFunction) -> List[str]:
+    """The incoming-argument slot names of a function, in order."""
+    return [arg_slot_name(func.name, i) for i in range(len(func.params))]
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled module plus convenience constructors for executables."""
+
+    module: Module
+
+    def reference_image(self) -> ProgramImage:
+        """Unallocated code (virtual registers, infinite register file)."""
+        functions = {}
+        for name, func in self.module.functions.items():
+            code = [instr.clone() for instr in linearize(func).instrs]
+            functions[name] = FunctionImage(name, code, param_slots(func))
+        return ProgramImage(list(self.module.globals.values()), functions)
+
+    def fresh_module(self) -> Module:
+        """A deep copy of the module, safe for a destructive allocator."""
+        return copy.deepcopy(self.module)
+
+
+def compile_source(
+    source: str,
+    filename: str = "<string>",
+    granularity: str = "statement",
+) -> CompiledProgram:
+    """Front end + lowering: Mini-C text to PDG module."""
+    program = parse(source, filename)
+    info = analyze(program)
+    module = build_module(program, info, granularity=granularity)
+    return CompiledProgram(module)
+
+
+def strip_self_copies(code: List[Instr]) -> List[Instr]:
+    """Drop ``i2i r => r`` instructions.
+
+    "A copy statement in the unallocated iloc code can be eliminated when
+    both operands of the copy are allocated the same register." (§4) —
+    this applies to GRA and RAP alike and is the mechanism behind the
+    paper's copy-elimination analysis.
+    """
+    return [
+        instr
+        for instr in code
+        if not (instr.op is Op.I2I and instr.srcs[0] == instr.dst)
+    ]

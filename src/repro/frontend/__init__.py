@@ -1,0 +1,26 @@
+"""Mini-C front end: lexer, parser, semantic analysis, unparser.
+
+This package stands in for ``pdgcc``, the University of Pittsburgh C-to-PDG
+compiler used as the front end in the paper.  It accepts a C subset rich
+enough to express all 37 evaluation routines (Livermore loops, Linpack,
+heapsort, hanoi, sieve, and the Stanford routines); see docs/LANGUAGE.md.
+"""
+
+from .errors import FrontendError, LexError, ParseError, SemanticError
+from .lexer import tokenize
+from .parser import parse
+from .pretty import pretty_expr, pretty_program
+from .sema import SemaInfo, analyze
+
+__all__ = [
+    "FrontendError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "tokenize",
+    "parse",
+    "analyze",
+    "SemaInfo",
+    "pretty_program",
+    "pretty_expr",
+]

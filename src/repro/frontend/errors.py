@@ -1,0 +1,48 @@
+"""Diagnostic types shared by the Mini-C front end.
+
+All front-end failures raise a subclass of :class:`FrontendError` carrying a
+source location so callers (tests, the CLI driver, the benchmark harness)
+can report *where* a benchmark source is malformed rather than just *that*
+it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a Mini-C source file (1-based line and column)."""
+
+    line: int
+    column: int
+    filename: str = "<string>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class FrontendError(Exception):
+    """Base class for all lexer / parser / semantic errors."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(FrontendError):
+    """An invalid character or malformed literal was encountered."""
+
+
+class ParseError(FrontendError):
+    """The token stream does not conform to the Mini-C grammar."""
+
+
+class SemanticError(FrontendError):
+    """The program is grammatical but ill-typed or ill-formed."""

@@ -1,0 +1,339 @@
+"""Semantic analysis for Mini-C.
+
+Type-checks a parsed :class:`~repro.frontend.ast.Program`, resolves every
+name to a :class:`VarSymbol`, and annotates every expression node with its
+type (``"int"`` or ``"float"``).  The IR builder consumes the annotations.
+
+Rules (deliberately a strict subset of C):
+
+* scalars are ``int`` or ``float``; mixed arithmetic promotes to ``float``;
+* ``%`` and the logical operators require ``int`` operands; comparisons
+  yield ``int``;
+* assignments and argument passing may promote ``int`` to ``float`` but
+  never demote;
+* array parameters are passed by reference; a bare array name is only legal
+  as a call argument; dimension counts must match exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import ast
+from .errors import SemanticError
+
+
+@dataclass
+class VarSymbol:
+    """Resolution result for a variable reference."""
+
+    name: str
+    kind: str  # "global" | "local" | "param"
+    base_type: str
+    dims: List[int] = field(default_factory=list)
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+
+@dataclass
+class FuncSymbol:
+    """Signature of a declared function."""
+
+    name: str
+    ret_type: str
+    params: List[ast.Param]
+
+
+class SemaInfo:
+    """The result of semantic analysis over one program."""
+
+    def __init__(self) -> None:
+        self.globals: Dict[str, VarSymbol] = {}
+        self.functions: Dict[str, FuncSymbol] = {}
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, VarSymbol] = {}
+
+    def declare(self, symbol: VarSymbol, location) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(f"redeclaration of {symbol.name!r}", location)
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[VarSymbol]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+def analyze(program: ast.Program) -> SemaInfo:
+    """Type-check ``program`` in place and return the symbol information."""
+    info = SemaInfo()
+
+    for decl in program.globals:
+        if decl.name in info.globals:
+            raise SemanticError(f"redeclaration of global {decl.name!r}", decl.location)
+        if decl.init is not None and not _is_constant(decl.init):
+            raise SemanticError(
+                "global initializers must be constant literals", decl.location
+            )
+        info.globals[decl.name] = VarSymbol(
+            decl.name, "global", decl.base_type, list(decl.dims)
+        )
+
+    for func in program.functions:
+        if func.name in info.functions:
+            raise SemanticError(f"redefinition of function {func.name!r}", func.location)
+        info.functions[func.name] = FuncSymbol(func.name, func.ret_type, func.params)
+
+    for func in program.functions:
+        _FunctionChecker(info, func).check()
+
+    return info
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+        return True
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return _is_constant(expr.operand)
+    return False
+
+
+def constant_value(expr: ast.Expr):
+    """Evaluate a constant initializer expression."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -constant_value(expr.operand)
+    raise SemanticError("not a constant expression", expr.location)
+
+
+class _FunctionChecker:
+    def __init__(self, info: SemaInfo, func: ast.FuncDecl):
+        self._info = info
+        self._func = func
+
+    def check(self) -> None:
+        scope = _Scope()
+        for param in self._func.params:
+            symbol = VarSymbol(param.name, "param", param.base_type, list(param.dims))
+            scope.declare(symbol, param.location)
+            param.symbol = symbol  # type: ignore[attr-defined]
+        self._check_body(self._func.body, scope)
+
+    # -- statements ---------------------------------------------------------
+
+    def _check_body(self, stmts: List[ast.Stmt], scope: _Scope) -> None:
+        inner = _Scope(scope)
+        for stmt in stmts:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                init_ty = self._check_expr(stmt.init, scope)
+                self._require_assignable(stmt.base_type, init_ty, stmt.location)
+            symbol = VarSymbol(stmt.name, "local", stmt.base_type, list(stmt.dims))
+            scope.declare(symbol, stmt.location)
+            stmt.symbol = symbol  # type: ignore[attr-defined]
+        elif isinstance(stmt, ast.Assign):
+            target_ty = self._check_lvalue(stmt.target, scope)
+            value_ty = self._check_expr(stmt.value, scope)
+            self._require_assignable(target_ty, value_ty, stmt.location)
+        elif isinstance(stmt, ast.If):
+            self._require_int(self._check_expr(stmt.cond, scope), stmt.cond)
+            self._check_body(stmt.then_body, scope)
+            self._check_body(stmt.else_body, scope)
+        elif isinstance(stmt, ast.While):
+            self._require_int(self._check_expr(stmt.cond, scope), stmt.cond)
+            self._check_body(stmt.body, scope)
+        elif isinstance(stmt, ast.For):
+            # The loop clauses share the body scope's parent, as in C.
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, scope)
+            if stmt.cond is not None:
+                self._require_int(self._check_expr(stmt.cond, scope), stmt.cond)
+            if stmt.update is not None:
+                self._check_stmt(stmt.update, scope)
+            self._check_body(stmt.body, scope)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if self._func.ret_type != ast.VOID:
+                    raise SemanticError(
+                        f"function {self._func.name!r} must return a value",
+                        stmt.location,
+                    )
+            else:
+                if self._func.ret_type == ast.VOID:
+                    raise SemanticError(
+                        "void function cannot return a value", stmt.location
+                    )
+                value_ty = self._check_expr(stmt.value, scope)
+                self._require_assignable(self._func.ret_type, value_ty, stmt.location)
+        elif isinstance(stmt, ast.Print):
+            self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_call(stmt.call, scope, allow_void=True)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unknown statement {type(stmt).__name__}", stmt.location)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _resolve(self, name: str, scope: _Scope, location) -> VarSymbol:
+        symbol = scope.lookup(name)
+        if symbol is None:
+            symbol = self._info.globals.get(name)
+        if symbol is None:
+            raise SemanticError(f"undeclared variable {name!r}", location)
+        return symbol
+
+    def _check_lvalue(self, target, scope: _Scope) -> str:
+        if isinstance(target, ast.Name):
+            symbol = self._resolve(target.name, scope, target.location)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"cannot assign to array {target.name!r}", target.location
+                )
+            target.symbol = symbol  # type: ignore[attr-defined]
+            target.ty = symbol.base_type
+            return symbol.base_type
+        assert isinstance(target, ast.Index)
+        return self._check_index(target, scope)
+
+    def _check_index(self, expr: ast.Index, scope: _Scope) -> str:
+        symbol = self._resolve(expr.name, scope, expr.location)
+        if not symbol.is_array:
+            raise SemanticError(f"{expr.name!r} is not an array", expr.location)
+        if len(expr.indices) != len(symbol.dims):
+            raise SemanticError(
+                f"{expr.name!r} expects {len(symbol.dims)} indices, "
+                f"got {len(expr.indices)}",
+                expr.location,
+            )
+        for index in expr.indices:
+            self._require_int(self._check_expr(index, scope), index)
+        expr.symbol = symbol  # type: ignore[attr-defined]
+        expr.ty = symbol.base_type
+        return symbol.base_type
+
+    def _check_call(self, call: ast.Call, scope: _Scope, allow_void: bool) -> str:
+        func = self._info.functions.get(call.callee)
+        if func is None:
+            raise SemanticError(f"call to undefined function {call.callee!r}", call.location)
+        if len(call.args) != len(func.params):
+            raise SemanticError(
+                f"{call.callee!r} expects {len(func.params)} arguments, "
+                f"got {len(call.args)}",
+                call.location,
+            )
+        for arg, param in zip(call.args, func.params):
+            if param.is_array:
+                if not isinstance(arg, ast.Name):
+                    raise SemanticError(
+                        f"argument for array parameter {param.name!r} must be "
+                        "an array name",
+                        arg.location,
+                    )
+                symbol = self._resolve(arg.name, scope, arg.location)
+                if not symbol.is_array:
+                    raise SemanticError(
+                        f"{arg.name!r} is not an array", arg.location
+                    )
+                if symbol.base_type != param.base_type:
+                    raise SemanticError(
+                        "array element type mismatch in call", arg.location
+                    )
+                if len(symbol.dims) != len(param.dims):
+                    raise SemanticError(
+                        "array dimension count mismatch in call", arg.location
+                    )
+                if len(param.dims) == 2 and symbol.dims[1] != param.dims[1]:
+                    raise SemanticError(
+                        "column extent of 2-D array argument must match "
+                        "the parameter declaration",
+                        arg.location,
+                    )
+                arg.symbol = symbol  # type: ignore[attr-defined]
+                arg.ty = param.base_type
+            else:
+                arg_ty = self._check_expr(arg, scope)
+                self._require_assignable(param.base_type, arg_ty, arg.location)
+        if func.ret_type == ast.VOID and not allow_void:
+            raise SemanticError(
+                f"void function {call.callee!r} used as a value", call.location
+            )
+        call.ty = func.ret_type
+        return func.ret_type
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> str:
+        if isinstance(expr, ast.IntLit):
+            expr.ty = ast.INT
+        elif isinstance(expr, ast.FloatLit):
+            expr.ty = ast.FLOAT
+        elif isinstance(expr, ast.Name):
+            symbol = self._resolve(expr.name, scope, expr.location)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"array {expr.name!r} used as a scalar value", expr.location
+                )
+            expr.symbol = symbol  # type: ignore[attr-defined]
+            expr.ty = symbol.base_type
+        elif isinstance(expr, ast.Index):
+            self._check_index(expr, scope)
+        elif isinstance(expr, ast.Call):
+            self._check_call(expr, scope, allow_void=False)
+        elif isinstance(expr, ast.Unary):
+            operand_ty = self._check_expr(expr.operand, scope)
+            if expr.op == "!":
+                self._require_int(operand_ty, expr.operand)
+                expr.ty = ast.INT
+            else:
+                expr.ty = operand_ty
+        elif isinstance(expr, ast.Binary):
+            left_ty = self._check_expr(expr.left, scope)
+            right_ty = self._check_expr(expr.right, scope)
+            if expr.op in ("&&", "||"):
+                self._require_int(left_ty, expr.left)
+                self._require_int(right_ty, expr.right)
+                expr.ty = ast.INT
+            elif expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                expr.ty = ast.INT
+            elif expr.op == "%":
+                self._require_int(left_ty, expr.left)
+                self._require_int(right_ty, expr.right)
+                expr.ty = ast.INT
+            else:
+                expr.ty = (
+                    ast.FLOAT if ast.FLOAT in (left_ty, right_ty) else ast.INT
+                )
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown expression {type(expr).__name__}", expr.location)
+        return expr.ty
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _require_int(ty: str, expr: ast.Expr) -> None:
+        if ty != ast.INT:
+            raise SemanticError("expected an int-valued expression", expr.location)
+
+    @staticmethod
+    def _require_assignable(target_ty: str, value_ty: str, location) -> None:
+        if target_ty == value_ty:
+            return
+        if target_ty == ast.FLOAT and value_ty == ast.INT:
+            return
+        raise SemanticError(
+            f"cannot assign {value_ty} value to {target_ty} target", location
+        )

@@ -1,0 +1,24 @@
+"""The iloc interpreter: machine, memory model, statistics, tracing."""
+
+from .machine import (
+    FunctionImage,
+    Machine,
+    MachineFault,
+    ProgramImage,
+    Tracer,
+    run_program,
+)
+from .memory import Memory
+from .stats import Counters, ExecStats
+
+__all__ = [
+    "Machine",
+    "MachineFault",
+    "ProgramImage",
+    "FunctionImage",
+    "Tracer",
+    "run_program",
+    "Memory",
+    "ExecStats",
+    "Counters",
+]

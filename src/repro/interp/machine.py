@@ -1,0 +1,294 @@
+"""The iloc interpreter.
+
+"An iloc interpreter is used to count the number of cycles required to
+execute the code.  For this study, we assume that each instruction takes
+one cycle to execute." (§4)
+
+This machine executes linear iloc (allocated or not — it is agnostic to
+whether operands are virtual or physical registers, which is what lets the
+test suite compare allocated runs against the infinite-register reference
+run).  Every activation gets a fresh register file and spill-slot frame,
+so register allocation is strictly per-procedure.
+
+Counted events: every non-label instruction is one cycle; ``load``/``ldm``
+increment the load counter, ``store``/``stm`` the store counter, and
+``i2i`` the copy counter — globally and attributed to the routine whose
+body is executing (the paper's Table 1 reports routines individually).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir.iloc import Instr, Op, Reg
+from ..pdg.graph import GlobalVar
+from .memory import MachineFault, Memory
+from .stats import Counters, ExecStats
+
+Number = Union[int, float]
+
+
+@dataclass
+class FunctionImage:
+    """Executable form of one function.
+
+    ``param_slots`` are the spill-space slot names into which the machine
+    writes incoming arguments (the function's prologue loads them from
+    there — the "arguments arrive in memory" C convention).
+    """
+
+    name: str
+    code: Sequence[Instr]
+    param_slots: List[str]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            for index, instr in enumerate(self.code):
+                if instr.op is Op.LABEL:
+                    self.labels[instr.label] = index
+
+
+@dataclass
+class ProgramImage:
+    """A linked program: global layout plus one image per function."""
+
+    globals: List[GlobalVar]
+    functions: Dict[str, FunctionImage]
+
+    def image(self, name: str) -> FunctionImage:
+        if name not in self.functions:
+            raise MachineFault(f"call to unknown function {name!r}")
+        return self.functions[name]
+
+
+class _Frame:
+    __slots__ = ("regs", "slots", "stack_mark")
+
+    def __init__(self, stack_mark: int):
+        self.regs: Dict[Reg, Number] = {}
+        self.slots: Dict[str, Number] = {}
+        self.stack_mark = stack_mark
+
+
+class Tracer:
+    """Records executed instructions (a debugging aid for allocator work).
+
+    Pass one to :class:`Machine`; every executed instruction (labels
+    excluded) is appended as ``(function, pc, text)``, up to ``limit``
+    entries (older entries are dropped, keeping the tail — usually the
+    interesting part when chasing a divergence).
+    """
+
+    def __init__(self, limit: int = 10_000):
+        self.limit = limit
+        self.events: List[Tuple[str, int, str]] = []
+
+    def record(self, func_name: str, pc: int, instr: "Instr") -> None:
+        self.events.append((func_name, pc, str(instr)))
+        if len(self.events) > self.limit:
+            del self.events[: len(self.events) - self.limit]
+
+    def tail(self, count: int = 20) -> List[str]:
+        return [
+            f"{name}@{pc}: {text}" for name, pc, text in self.events[-count:]
+        ]
+
+
+class Machine:
+    """Executes a :class:`ProgramImage`."""
+
+    def __init__(
+        self,
+        program: ProgramImage,
+        max_cycles: int = 50_000_000,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.program = program
+        self.max_cycles = max_cycles
+        self.memory = Memory(program.globals)
+        self.stats = ExecStats()
+        self.tracer = tracer
+        self._arg_queue: List[Number] = []
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Sequence[Number] = ()) -> Number:
+        """Execute ``entry`` and return its return value (0 if void)."""
+        return self._call(entry, list(args))
+
+    # -- execution ---------------------------------------------------------------
+
+    def _call(self, name: str, args: List[Number]) -> Number:
+        image = self.program.image(name)
+        if len(args) != len(image.param_slots):
+            raise MachineFault(
+                f"{name} expects {len(image.param_slots)} args, got {len(args)}"
+            )
+        frame = _Frame(self.memory.stack_top)
+        for slot, value in zip(image.param_slots, args):
+            frame.slots[slot] = value
+        try:
+            return self._execute(image, frame)
+        finally:
+            self.memory.release_to(frame.stack_mark)
+
+    def _execute(self, image: FunctionImage, frame: _Frame) -> Number:
+        code = image.code
+        counters = self.stats.function(image.name)
+        total = self.stats.total
+        pc = 0
+        n = len(code)
+
+        def get(reg: Reg) -> Number:
+            try:
+                return frame.regs[reg]
+            except KeyError:
+                raise MachineFault(
+                    f"read of uninitialized register {reg} in {image.name}"
+                ) from None
+
+        while pc < n:
+            instr = code[pc]
+            op = instr.op
+            if op is Op.LABEL:
+                pc += 1
+                continue
+
+            total.cycles += 1
+            counters.cycles += 1
+            if total.cycles > self.max_cycles:
+                raise MachineFault(f"cycle budget exceeded in {image.name}")
+            if self.tracer is not None:
+                self.tracer.record(image.name, pc, instr)
+
+            if op is Op.LOADI:
+                frame.regs[instr.dst] = instr.imm
+            elif op is Op.ADD:
+                frame.regs[instr.dst] = get(instr.srcs[0]) + get(instr.srcs[1])
+            elif op is Op.SUB:
+                frame.regs[instr.dst] = get(instr.srcs[0]) - get(instr.srcs[1])
+            elif op is Op.MUL:
+                frame.regs[instr.dst] = get(instr.srcs[0]) * get(instr.srcs[1])
+            elif op is Op.DIV:
+                frame.regs[instr.dst] = _div(get(instr.srcs[0]), get(instr.srcs[1]))
+            elif op is Op.MOD:
+                frame.regs[instr.dst] = _mod(get(instr.srcs[0]), get(instr.srcs[1]))
+            elif op is Op.NEG:
+                frame.regs[instr.dst] = -get(instr.srcs[0])
+            elif op is Op.CMP_LT:
+                frame.regs[instr.dst] = int(get(instr.srcs[0]) < get(instr.srcs[1]))
+            elif op is Op.CMP_LE:
+                frame.regs[instr.dst] = int(get(instr.srcs[0]) <= get(instr.srcs[1]))
+            elif op is Op.CMP_GT:
+                frame.regs[instr.dst] = int(get(instr.srcs[0]) > get(instr.srcs[1]))
+            elif op is Op.CMP_GE:
+                frame.regs[instr.dst] = int(get(instr.srcs[0]) >= get(instr.srcs[1]))
+            elif op is Op.CMP_EQ:
+                frame.regs[instr.dst] = int(get(instr.srcs[0]) == get(instr.srcs[1]))
+            elif op is Op.CMP_NE:
+                frame.regs[instr.dst] = int(get(instr.srcs[0]) != get(instr.srcs[1]))
+            elif op is Op.AND:
+                frame.regs[instr.dst] = int(
+                    bool(get(instr.srcs[0])) and bool(get(instr.srcs[1]))
+                )
+            elif op is Op.OR:
+                frame.regs[instr.dst] = int(
+                    bool(get(instr.srcs[0])) or bool(get(instr.srcs[1]))
+                )
+            elif op is Op.NOT:
+                frame.regs[instr.dst] = int(not get(instr.srcs[0]))
+            elif op is Op.I2I:
+                total.copies += 1
+                counters.copies += 1
+                frame.regs[instr.dst] = get(instr.srcs[0])
+            elif op is Op.LOAD:
+                total.loads += 1
+                counters.loads += 1
+                frame.regs[instr.dst] = self.memory.load(get(instr.srcs[0]))
+            elif op is Op.STORE:
+                total.stores += 1
+                counters.stores += 1
+                self.memory.store(get(instr.srcs[1]), get(instr.srcs[0]))
+            elif op is Op.LDM:
+                total.loads += 1
+                counters.loads += 1
+                if instr.addr.space == "spill":
+                    frame.regs[instr.dst] = frame.slots.get(instr.addr.name, 0)
+                else:
+                    frame.regs[instr.dst] = self.memory.load_scalar(instr.addr.name)
+            elif op is Op.STM:
+                total.stores += 1
+                counters.stores += 1
+                if instr.addr.space == "spill":
+                    frame.slots[instr.addr.name] = get(instr.srcs[0])
+                else:
+                    self.memory.store_scalar(instr.addr.name, get(instr.srcs[0]))
+            elif op is Op.LOADA:
+                try:
+                    frame.regs[instr.dst] = self.memory.array_base[instr.addr.name]
+                except KeyError:
+                    raise MachineFault(
+                        f"unknown global array {instr.addr.name!r}"
+                    ) from None
+            elif op is Op.ALLOCA:
+                frame.regs[instr.dst] = self.memory.alloca(int(instr.imm))
+            elif op is Op.CBR:
+                pc = image.labels[
+                    instr.label if get(instr.srcs[0]) else instr.label_false
+                ]
+                continue
+            elif op is Op.JMP:
+                pc = image.labels[instr.label]
+                continue
+            elif op is Op.PARAM:
+                self._arg_queue.append(get(instr.srcs[0]))
+            elif op is Op.CALL:
+                arity = len(self.program.image(instr.callee).param_slots)
+                if len(self._arg_queue) < arity:
+                    raise MachineFault(
+                        f"call to {instr.callee} with too few queued params"
+                    )
+                args = self._arg_queue[len(self._arg_queue) - arity:]
+                del self._arg_queue[len(self._arg_queue) - arity:]
+                result = self._call(instr.callee, args)
+                if instr.dst is not None:
+                    frame.regs[instr.dst] = result
+            elif op is Op.RET:
+                return get(instr.srcs[0]) if instr.srcs else 0
+            elif op is Op.PRINT:
+                self.stats.output.append(get(instr.srcs[0]))
+            elif op is Op.NOP:
+                pass
+            else:  # pragma: no cover
+                raise MachineFault(f"cannot execute {instr}")
+            pc += 1
+        return 0
+
+
+def _div(a: Number, b: Number) -> Number:
+    if b == 0:
+        raise MachineFault("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        quotient = abs(a) // abs(b)
+        return quotient if (a >= 0) == (b >= 0) else -quotient
+    return a / b
+
+
+def _mod(a: Number, b: Number) -> Number:
+    if b == 0:
+        raise MachineFault("modulo by zero")
+    return a - b * _div(a, b)
+
+
+def run_program(
+    program: ProgramImage,
+    entry: str = "main",
+    args: Sequence[Number] = (),
+    max_cycles: int = 50_000_000,
+) -> ExecStats:
+    """Convenience wrapper: execute and return the statistics."""
+    machine = Machine(program, max_cycles=max_cycles)
+    machine.run(entry, args)
+    return machine.stats

@@ -1,0 +1,92 @@
+"""Memory model of the iloc machine.
+
+Three disjoint spaces, matching the IR's instruction split:
+
+* the **data heap**, a flat word-addressed store holding global arrays
+  (laid out at link time) and ``alloca``-ed local arrays (stack-bumped per
+  activation) — accessed by ``load``/``store`` through address registers;
+* **global scalars**, accessed by name with ``ldm``/``stm`` on
+  ``global``-space symbols, shared across the whole program;
+* **spill slots**, accessed by name with ``ldm``/``stm`` on
+  ``spill``-space symbols, private to one activation (so recursion cannot
+  corrupt a caller's spilled values).
+
+Uninitialized heap cells and scalars read as 0/0.0 — like C statics —
+while uninitialized *registers* raise, to surface allocator bugs loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from ..pdg.graph import GlobalVar
+
+Number = Union[int, float]
+
+#: Base address of the first global array; nothing magic, just nonzero so
+#: accidental null-ish addresses fault in tests.
+GLOBAL_BASE = 0x1000
+
+#: Stack (alloca) area starts above all globals.
+STACK_GAP = 0x1000
+
+
+class Memory:
+    """The data heap plus the global-scalar store."""
+
+    def __init__(self, globals_: List[GlobalVar]):
+        self.heap: Dict[int, Number] = {}
+        self.scalars: Dict[str, Number] = {}
+        self.array_base: Dict[str, int] = {}
+        address = GLOBAL_BASE
+        for var in globals_:
+            if var.is_array:
+                self.array_base[var.name] = address
+                address += var.size
+            else:
+                self.scalars[var.name] = (
+                    var.init
+                    if var.init is not None
+                    else (0 if var.base_type == "int" else 0.0)
+                )
+        self.stack_base = address + STACK_GAP
+        self.stack_top = self.stack_base
+
+    # -- heap ------------------------------------------------------------------
+
+    def load(self, address: Number) -> Number:
+        self._check_address(address)
+        return self.heap.get(int(address), 0)
+
+    def store(self, address: Number, value: Number) -> None:
+        self._check_address(address)
+        self.heap[int(address)] = value
+
+    @staticmethod
+    def _check_address(address: Number) -> None:
+        if not isinstance(address, int):
+            raise MachineFault(f"non-integer heap address {address!r}")
+        if address < 0:
+            raise MachineFault(f"negative heap address {address}")
+
+    # -- global scalars -----------------------------------------------------------
+
+    def load_scalar(self, name: str) -> Number:
+        return self.scalars.get(name, 0)
+
+    def store_scalar(self, name: str, value: Number) -> None:
+        self.scalars[name] = value
+
+    # -- stack ---------------------------------------------------------------------
+
+    def alloca(self, count: int) -> int:
+        base = self.stack_top
+        self.stack_top += count
+        return base
+
+    def release_to(self, mark: int) -> None:
+        self.stack_top = mark
+
+
+class MachineFault(Exception):
+    """A runtime fault in the interpreted program (bad address, etc.)."""

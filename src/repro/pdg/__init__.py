@@ -1,0 +1,18 @@
+"""The Program Dependence Graph: regions, predicates, analyses."""
+
+from .graph import GlobalVar, Module, ParamInfo, PDGFunction
+from .linearize import LinearCode, linearize
+from .liveness import FunctionAnalysis
+from .nodes import Predicate, Region
+
+__all__ = [
+    "Region",
+    "Predicate",
+    "PDGFunction",
+    "Module",
+    "GlobalVar",
+    "ParamInfo",
+    "linearize",
+    "LinearCode",
+    "FunctionAnalysis",
+]

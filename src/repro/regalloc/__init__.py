@@ -1,0 +1,16 @@
+"""Register allocators: the GRA baseline and the RAP hierarchical allocator."""
+
+from .chaitin import AllocationError, AllocationResult, allocate_gra
+from .coloring import color_graph
+from .interference import IGNode, InterferenceGraph
+from .rap import allocate_rap
+
+__all__ = [
+    "allocate_gra",
+    "allocate_rap",
+    "AllocationResult",
+    "AllocationError",
+    "InterferenceGraph",
+    "IGNode",
+    "color_graph",
+]

@@ -1,0 +1,225 @@
+"""GRA: the baseline global register allocator of the paper's §4.
+
+"GRA is basically an implementation of Chaitin's global register allocator
+with two exceptions: (1) The enhancement suggested by Briggs et al. has
+been incorporated.  (2) No coalescing or rematerialization is done."
+
+The build/simplify/select/spill loop iterates until the interference graph
+colors with ``k`` colors, then rewrites every virtual register to its
+physical register and drops self-copies ("a copy statement ... can be
+eliminated when both operands of the copy are allocated the same
+register").  Spill costs "count each use and definition of a variable in
+the whole procedure" divided by degree, as §4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..cfg.graph import CFG
+from ..cfg.liveness import compute_liveness
+from ..ir.iloc import Instr, Op, Reg, preg, vreg
+from ..pdg.graph import PDGFunction
+from ..pdg.linearize import linearize
+from .coloring import INFINITE_COST, color_graph
+from .interference import InterferenceGraph
+from .spill import spill_linear
+
+#: Hard cap on build/spill rounds; hitting it indicates a pressure bug.
+MAX_ROUNDS = 60
+
+
+@dataclass
+class AllocationResult:
+    """An allocated function body plus allocation telemetry."""
+
+    name: str
+    code: List[Instr]
+    k: int
+    rounds: int = 1
+    spilled: List[Reg] = field(default_factory=list)
+    assignment: Dict[Reg, int] = field(default_factory=dict)
+
+
+class AllocationError(RuntimeError):
+    """The allocator failed to converge (should never happen for k >= 3)."""
+
+
+def build_interference(code: List[Instr]) -> InterferenceGraph:
+    """Chaitin-style interference graph over linear code.
+
+    A definition interferes with everything live after it (minus the
+    source of a copy, the standard refinement that enables same-color copy
+    elimination).
+    """
+    cfg = CFG(code)
+    live = compute_liveness(cfg)
+    graph = InterferenceGraph()
+
+    for instr in code:
+        for reg in instr.regs():
+            graph.ensure(reg)
+
+    for instr in code:
+        if not instr.defs:
+            continue
+        live_after = live.live_after(instr)
+        for defined in instr.defs:
+            for other in live_after:
+                if other == defined:
+                    continue
+                if instr.is_copy and other == instr.srcs[0]:
+                    continue
+                graph.add_edge(defined, other)
+    return graph
+
+
+def _spill_costs(
+    code: List[Instr],
+    graph: InterferenceGraph,
+    temps: Set[Reg],
+    loop_weight: bool = False,
+) -> None:
+    """Attach spill costs: references (optionally weighted by 10^depth for
+    references inside loops — the classic Chaitin estimate the paper's GRA
+    deliberately does *not* use, kept here as an ablation) / degree."""
+    weights: Dict[int, float] = {}
+    if loop_weight:
+        from ..cfg.dominators import natural_loops
+
+        cfg = CFG(code)
+        depth: Dict[int, int] = {}
+        for loop in natural_loops(cfg):
+            for block_index in loop["body"]:
+                depth[block_index] = depth.get(block_index, 0) + 1
+        for block in cfg.blocks:
+            weight = 10.0 ** depth.get(block.index, 0)
+            for index in block.instr_indices():
+                weights[index] = weight
+
+    counts: Dict[Reg, float] = {}
+    for index, instr in enumerate(code):
+        weight = weights.get(index, 1.0)
+        for reg in instr.regs():
+            counts[reg] = counts.get(reg, 0.0) + weight
+    for node in graph.nodes:
+        reg = next(iter(node.members))
+        if reg in temps:
+            node.spill_cost = INFINITE_COST
+        else:
+            refs = counts.get(reg, 0.0)
+            node.spill_cost = refs / max(node.degree, 1)
+
+
+def allocate_gra(
+    func: PDGFunction,
+    k: int,
+    optimistic: bool = True,
+    remat: bool = False,
+    loop_weight: bool = False,
+) -> AllocationResult:
+    """Allocate one function with the GRA baseline.
+
+    ``func`` is read, not mutated: GRA operates on a cloned linearization,
+    exactly as the paper runs GRA on "the unallocated iloc code" that RAP
+    can "simply output".
+
+    ``remat=True`` enables the rematerialization extension: spill victims
+    whose value is a known constant are recomputed at each use instead of
+    going through memory (the paper's excluded reference [11]).
+    """
+    if k < 3:
+        raise ValueError("a load/store architecture needs at least 3 registers")
+    code = [instr.clone() for instr in linearize(func).instrs]
+
+    next_index = _max_vreg_index(code) + 1
+
+    def new_vreg() -> Reg:
+        nonlocal next_index
+        reg = vreg(next_index)
+        next_index += 1
+        return reg
+
+    temps: Set[Reg] = set()
+    remat_temps: Set[Reg] = set()
+    all_spilled: List[Reg] = []
+
+    for round_number in range(1, MAX_ROUNDS + 1):
+        graph = build_interference(code)
+        _spill_costs(code, graph, temps, loop_weight=loop_weight)
+        result = color_graph(graph, k, optimistic=optimistic)
+        if result.succeeded:
+            assignment: Dict[Reg, int] = {}
+            mapping: Dict[Reg, Reg] = {}
+            for node, color in result.colors.items():
+                for reg in node.members:
+                    assignment[reg] = color
+                    mapping[reg] = preg(color)
+            for instr in code:
+                instr.rewrite_regs(mapping)
+            code = [
+                instr
+                for instr in code
+                if not (instr.op is Op.I2I and instr.srcs[0] == instr.dst)
+            ]
+            return AllocationResult(
+                name=func.name,
+                code=code,
+                k=k,
+                rounds=round_number,
+                spilled=all_spilled,
+                assignment=assignment,
+            )
+        victims: List[Reg] = []
+        for node in result.spilled:
+            reg = next(iter(node.members))
+            if reg in temps:
+                raise AllocationError(
+                    f"{func.name}: spill temporary {reg} became uncolorable "
+                    f"with k={k}"
+                )
+            victims.append(reg)
+        all_spilled.extend(victims)
+        if remat:
+            from .remat import (
+                constant_registers,
+                rematerialize_linear,
+                sweep_dead_defs_linear,
+            )
+
+            constants = constant_registers(code)
+            spill_victims = []
+            swept = False
+            for reg in victims:
+                if reg in constants and reg not in remat_temps:
+                    code, new_temps = rematerialize_linear(
+                        code, reg, constants[reg], new_vreg
+                    )
+                    # Remat temporaries stay normally spillable (unlike
+                    # spill temporaries) but must never re-rematerialize,
+                    # which would loop.
+                    remat_temps |= new_temps
+                    swept = True
+                else:
+                    spill_victims.append(reg)
+            if swept:
+                code = sweep_dead_defs_linear(code)
+            victims = spill_victims
+        code, new_temps = spill_linear(
+            code,
+            victims,
+            new_vreg,
+            slot_name=lambda reg: f"{func.name}.{reg}",
+        )
+        temps |= new_temps
+    raise AllocationError(f"{func.name}: no convergence after {MAX_ROUNDS} rounds")
+
+
+def _max_vreg_index(code: List[Instr]) -> int:
+    top = -1
+    for instr in code:
+        for reg in instr.regs():
+            if reg.is_virtual:
+                top = max(top, reg.index)
+    return top

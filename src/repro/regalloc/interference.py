@@ -1,0 +1,199 @@
+"""Interference graphs whose nodes are *groups* of registers.
+
+In Chaitin-style allocation each node is a single virtual register.  RAP's
+hierarchical scheme additionally *combines* same-colored nodes when a
+region's allocation is finished ("the same color nodes of the interference
+graph are combined and this interference graph is saved for incorporation
+into the interference graph of its parent region", §3.1.5), so a node in a
+parent region's graph "may represent several virtual registers which RAP
+has determined can be allocated to the same physical register in the
+subregion".
+
+One structure serves both allocators: a node (:class:`IGNode`) owns a set
+of member registers; GRA simply never merges.  Merging maintains the
+invariant that merged nodes are never adjacent (an adjacency between two
+nodes being merged would mean RAP tried to share a register between
+interfering values — asserted, because that is a correctness bug).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..ir.iloc import Reg
+
+_node_ids = itertools.count(1)
+
+
+class IGNode:
+    """A group of registers constrained to share one physical register."""
+
+    __slots__ = ("id", "members", "adj", "spill_cost", "color")
+
+    def __init__(self, members: Iterable[Reg]):
+        self.id = next(_node_ids)
+        self.members: Set[Reg] = set(members)
+        self.adj: Set[IGNode] = set()
+        self.spill_cost: float = 0.0
+        self.color: Optional[int] = None
+
+    @property
+    def degree(self) -> int:
+        return len(self.adj)
+
+    def sort_key(self):
+        """Deterministic ordering key (smallest member register)."""
+        return min(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        members = ",".join(str(reg) for reg in sorted(self.members))
+        return f"<IGNode {{{members}}} deg={self.degree}>"
+
+
+class InterferenceGraph:
+    """An undirected conflict graph over register groups."""
+
+    def __init__(self) -> None:
+        self._node_of: Dict[Reg, IGNode] = {}
+        self.nodes: List[IGNode] = []
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, reg: Reg) -> bool:
+        return reg in self._node_of
+
+    def node_of(self, reg: Reg) -> Optional[IGNode]:
+        return self._node_of.get(reg)
+
+    def registers(self) -> Set[Reg]:
+        return set(self._node_of)
+
+    def interferes(self, a: Reg, b: Reg) -> bool:
+        node_a, node_b = self._node_of.get(a), self._node_of.get(b)
+        if node_a is None or node_b is None:
+            return False
+        return node_b in node_a.adj
+
+    def edge_count(self) -> int:
+        return sum(node.degree for node in self.nodes) // 2
+
+    # -- construction ----------------------------------------------------------
+
+    def ensure(self, reg: Reg) -> IGNode:
+        """The node containing ``reg``, creating a singleton if absent."""
+        node = self._node_of.get(reg)
+        if node is None:
+            node = IGNode([reg])
+            self._node_of[reg] = node
+            self.nodes.append(node)
+        return node
+
+    def add_edge(self, a: Reg, b: Reg) -> None:
+        """Record that ``a`` and ``b`` may not share a physical register."""
+        node_a, node_b = self.ensure(a), self.ensure(b)
+        self.add_node_edge(node_a, node_b)
+
+    def add_node_edge(self, node_a: IGNode, node_b: IGNode) -> None:
+        if node_a is node_b:
+            return
+        node_a.adj.add(node_b)
+        node_b.adj.add(node_a)
+
+    def union(self, a: Reg, b: Reg) -> IGNode:
+        """Constrain ``a`` and ``b`` to share a register (merge their nodes)."""
+        node_a, node_b = self.ensure(a), self.ensure(b)
+        return self.merge_nodes(node_a, node_b)
+
+    def merge_nodes(self, node_a: IGNode, node_b: IGNode) -> IGNode:
+        if node_a is node_b:
+            return node_a
+        if node_b in node_a.adj:
+            raise ValueError(
+                f"cannot merge interfering nodes {node_a!r} and {node_b!r}"
+            )
+        # Merge the smaller into the larger.
+        if len(node_b.members) > len(node_a.members):
+            node_a, node_b = node_b, node_a
+        for neighbor in node_b.adj:
+            neighbor.adj.discard(node_b)
+            self.add_node_edge(node_a, neighbor)
+        node_a.members |= node_b.members
+        node_a.spill_cost += node_b.spill_cost
+        for reg in node_b.members:
+            self._node_of[reg] = node_a
+        self.nodes.remove(node_b)
+        return node_a
+
+    def add_group(self, members: Iterable[Reg]) -> IGNode:
+        """Union a whole group of registers into one node."""
+        regs = list(members)
+        node = self.ensure(regs[0])
+        for reg in regs[1:]:
+            node = self.union(regs[0], reg)
+        return node
+
+    def remove_node(self, node: IGNode) -> None:
+        """Detach a node and all its edges from the graph."""
+        for neighbor in list(node.adj):
+            neighbor.adj.discard(node)
+        node.adj.clear()
+        for reg in node.members:
+            self._node_of.pop(reg, None)
+        self.nodes.remove(node)
+
+    def absorb_members(self, node: IGNode, regs: Iterable[Reg]) -> None:
+        """Add registers to an existing node (same conflicts).
+
+        Used when rematerialization replaces a register's uses inside an
+        already-allocated subregion with constant-loading temporaries:
+        each temporary's live range is a sub-range of the old register's,
+        so inheriting its node (and thus its conflicts) is conservative
+        and safe.
+        """
+        for reg in regs:
+            existing = self._node_of.get(reg)
+            if existing is node:
+                continue
+            if existing is not None:
+                raise ValueError(f"{reg} already belongs to another node")
+            node.members.add(reg)
+            self._node_of[reg] = node
+
+    def drop_member(self, reg: Reg) -> None:
+        """Remove one register from its node (deleting empty nodes)."""
+        node = self._node_of.pop(reg, None)
+        if node is None:
+            return
+        node.members.discard(reg)
+        if not node.members:
+            self.remove_node(node)
+
+    def rename_member(self, old: Reg, new: Reg) -> None:
+        """Replace ``old`` by ``new`` inside its node (same conflicts).
+
+        Used when RAP spills a register in a region and renames it inside
+        an already-allocated subregion: the saved subregion graph stays
+        valid because the renamed register covers exactly the old one's
+        (shortened) live ranges there.
+        """
+        node = self._node_of.pop(old, None)
+        if node is None:
+            return
+        node.members.discard(old)
+        node.members.add(new)
+        self._node_of[new] = node
+
+    # -- validation ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert symmetry, irreflexivity, and membership consistency."""
+        seen: Set[int] = set()
+        for node in self.nodes:
+            assert node.id not in seen, "duplicate node"
+            seen.add(node.id)
+            assert node not in node.adj, "self-interference"
+            for neighbor in node.adj:
+                assert node in neighbor.adj, "asymmetric edge"
+            for reg in node.members:
+                assert self._node_of[reg] is node, "stale member index"

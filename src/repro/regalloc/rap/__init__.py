@@ -1,0 +1,14 @@
+"""RAP — Register Allocation over the Program Dependence Graph."""
+
+from .allocator import RAPContext, RAPResult, allocate_rap
+from .motion import MotionReport
+from .peephole import PeepholeReport, eliminate_redundant_mem_ops
+
+__all__ = [
+    "allocate_rap",
+    "RAPResult",
+    "RAPContext",
+    "MotionReport",
+    "PeepholeReport",
+    "eliminate_redundant_mem_ops",
+]

@@ -1,0 +1,267 @@
+"""RAP: the hierarchical register allocator over the PDG (paper §3).
+
+Three phases:
+
+1. **Bottom-up allocation** (:mod:`.region_alloc`): every region's
+   interference graph is built, spill-costed, colored with first-fit
+   Briggs-optimistic simplify/select, and combined into a ≤k-node summary
+   merged into its parent's graph; spills are local to the region and
+   rename the victim per region.  The entry region's coloring is the
+   physical register assignment.
+2. **Spill-code motion** (:mod:`.motion`): loads and stores are hoisted
+   out of loop regions into fresh spill nodes where the carried value owns
+   its physical register for the whole loop.
+3. **Load/store optimization** (:mod:`.peephole`): Figure 6's redundant
+   direct loads and stores are removed within basic blocks, and
+   same-register copies are dropped.
+
+``allocate_rap`` mutates the :class:`~repro.pdg.graph.PDGFunction` it is
+given (callers use :meth:`CompiledProgram.fresh_module` for a private
+copy) and returns the same :class:`~repro.regalloc.chaitin.AllocationResult`
+shape as the GRA baseline, so the harness and tests treat the two
+allocators interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...ir.iloc import Instr, Op, Reg, Symbol, preg
+from ...pdg.graph import PDGFunction
+from ...pdg.linearize import linearize
+from ...pdg.liveness import FunctionAnalysis
+from ...pdg.nodes import Region
+from ..chaitin import AllocationError, AllocationResult
+from ..coloring import ColoringResult
+from ..interference import InterferenceGraph
+from .motion import MotionReport, collect_loop_info, move_spill_code
+from .peephole import PeepholeReport, eliminate_redundant_mem_ops
+from .region_alloc import allocate_region
+
+
+class RAPContext:
+    """Shared state of one RAP run over one function."""
+
+    def __init__(
+        self,
+        func: PDGFunction,
+        k: int,
+        optimistic: bool = True,
+        remat: bool = False,
+    ):
+        self.func = func
+        self.k = k
+        self.optimistic = optimistic
+        self.remat = remat
+        #: temporaries introduced by rematerialization (never re-remat).
+        self.remat_temps: Set[Reg] = set()
+        #: (victim, constant) pairs rematerialized so far.
+        self.remat_log: List[Tuple[Reg, object]] = []
+        #: active combined graphs of already-allocated subregions
+        self.sub_graphs: Dict[int, InterferenceGraph] = {}
+        #: loop graphs retained for phase 2, id(region) -> (region, graph)
+        self.loop_graphs: Dict[int, Tuple[Region, InterferenceGraph]] = {}
+        #: region objects for every id appearing in sub_graphs
+        self.region_by_id: Dict[int, Region] = {}
+        #: renamed register -> original source register
+        self.origin: Dict[Reg, Reg] = {}
+        #: original register -> its spill slot (created on first spill)
+        self.slots: Dict[Reg, Symbol] = {}
+        self.final_graph: Optional[InterferenceGraph] = None
+        self.final_coloring: Optional[ColoringResult] = None
+        #: telemetry: (region name, victims) per spill event
+        self.spill_log: List[Tuple[str, List[Reg]]] = []
+        self._analysis: Optional[FunctionAnalysis] = None
+        self._dirty = True
+
+    # -- analyses ----------------------------------------------------------
+
+    def analysis(self) -> FunctionAnalysis:
+        if self._dirty or self._analysis is None:
+            self._analysis = FunctionAnalysis(self.func)
+            self._dirty = False
+        return self._analysis
+
+    fresh_analysis = analysis
+
+    def mark_dirty(self) -> None:
+        self._dirty = True
+
+    # -- rename / slot bookkeeping ---------------------------------------------
+
+    def origin_of(self, reg: Reg) -> Reg:
+        return self.origin.get(reg, reg)
+
+    def record_rename(self, new: Reg, old: Reg) -> None:
+        self.origin[new] = self.origin_of(old)
+
+    def known_renames(self) -> Set[Reg]:
+        return set(self.origin)
+
+    def slot_for(self, reg: Reg) -> Symbol:
+        source = self.origin_of(reg)
+        slot = self.slots.get(source)
+        if slot is None:
+            slot = Symbol(f"{self.func.name}.{source}", "spill")
+            self.slots[source] = slot
+        return slot
+
+    # -- graph bookkeeping ---------------------------------------------------------
+
+    def patch_subregion_graph(self, sub: Region, old: Reg, new: Reg) -> None:
+        """After renaming ``old`` to ``new`` inside ``sub``, keep the saved
+        graphs (the subregion's combined graph and any retained loop graph
+        within the subtree) consistent."""
+        graph = self.sub_graphs.get(id(sub))
+        if graph is not None:
+            graph.rename_member(old, new)
+        member_ids = {id(r) for r in sub.walk_regions()}
+        for region_id, (region, loop_graph) in self.loop_graphs.items():
+            if region_id in member_ids:
+                loop_graph.rename_member(old, new)
+
+    def save_loop_graph(self, region: Region, graph: InterferenceGraph) -> None:
+        self.loop_graphs[id(region)] = (region, graph)
+
+    def register_sub_graph(
+        self, region: Region, graph: InterferenceGraph
+    ) -> None:
+        self.sub_graphs[id(region)] = graph
+        self.region_by_id[id(region)] = region
+
+    def purge_unreferenced_members(self) -> None:
+        """Drop saved-graph members no longer referenced in their region.
+
+        Every member of a region's combined graph is referenced somewhere
+        in that region's subtree — an invariant the dead-code sweep after
+        rematerialization can break (it may delete, e.g., a then-branch
+        computation whose consumer was renamed dead).  A stale member is
+        dangerous: importing the graph at an ancestor would merge the
+        still-live outer register into the subregion's color group even
+        though it no longer has any connection to it.
+        """
+        targets = [
+            (self.region_by_id[rid], graph)
+            for rid, graph in self.sub_graphs.items()
+        ]
+        targets.extend(self.loop_graphs.values())
+        for region, graph in targets:
+            refs = region.referenced_regs()
+            for reg in sorted(graph.registers() - refs):
+                graph.drop_member(reg)
+
+    def patch_graphs_for_remat(self, victim: Reg, temps: Set[Reg]) -> None:
+        """After a function-wide rematerialization of ``victim``, keep
+        every saved graph consistent: the constant-loading temporaries
+        referenced inside a saved region inherit the victim's node (their
+        live ranges are sub-ranges of its old ones), and the victim itself
+        is dropped everywhere."""
+        targets = [
+            (self.region_by_id[rid], graph)
+            for rid, graph in self.sub_graphs.items()
+        ]
+        targets.extend(self.loop_graphs.values())
+        for region, graph in targets:
+            if victim not in graph:
+                continue
+            node = graph.node_of(victim)
+            refs = region.referenced_regs()
+            inherit = sorted(temp for temp in temps if temp in refs)
+            unplaced = [t for t in inherit if graph.node_of(t) is None]
+            graph.absorb_members(node, unplaced)
+            graph.drop_member(victim)
+
+    def log_spill(self, region: Region, victims: List[Reg]) -> None:
+        self.spill_log.append((region.name, list(victims)))
+
+
+@dataclass
+class RAPResult(AllocationResult):
+    """GRA-compatible result plus RAP phase telemetry."""
+
+    spill_log: List[Tuple[str, List[Reg]]] = field(default_factory=list)
+    motion: MotionReport = field(default_factory=MotionReport)
+    peephole: PeepholeReport = field(default_factory=PeepholeReport)
+    rematerialized: List[Tuple[Reg, object]] = field(default_factory=list)
+
+
+def allocate_rap(
+    func: PDGFunction,
+    k: int,
+    optimistic: bool = True,
+    enable_motion: bool = True,
+    enable_peephole: bool = True,
+    remat: bool = False,
+    global_peephole: bool = False,
+) -> RAPResult:
+    """Run all three RAP phases on ``func`` (mutating it).
+
+    ``remat=True`` enables the rematerialization extension (see
+    :mod:`repro.regalloc.remat`); ``global_peephole=True`` replaces the
+    basic-block peephole with the whole-CFG availability pass (the
+    "move spill code out of any subregion" future-work extension, see
+    :mod:`.global_opt`).
+    """
+    if k < 3:
+        raise ValueError("a load/store architecture needs at least 3 registers")
+
+    # ---- phase 1: bottom-up hierarchical allocation -------------------------
+    ctx = RAPContext(func, k, optimistic=optimistic, remat=remat)
+    allocate_region(ctx, func.entry)
+    if ctx.final_coloring is None:  # pragma: no cover - defensive
+        raise AllocationError(f"{func.name}: entry region never colored")
+
+    assignment: Dict[Reg, int] = {}
+    mapping: Dict[Reg, Reg] = {}
+    for node, color in ctx.final_coloring.colors.items():
+        for reg in node.members:
+            assignment[reg] = color
+            mapping[reg] = preg(color)
+
+    # Metadata for phase 2 must be collected before the rewrite erases the
+    # virtual-register view.
+    loop_infos = (
+        collect_loop_info(func, set(ctx.slots.values())) if enable_motion else []
+    )
+
+    for instr in func.walk_instrs():
+        instr.rewrite_regs(mapping)
+
+    # ---- phase 2: spill-code motion out of loops ----------------------------------
+    motion_report = MotionReport()
+    if enable_motion:
+        slot_of_origin = dict(ctx.slots)
+        motion_report = move_spill_code(
+            func, loop_infos, assignment, dict(ctx.origin), slot_of_origin
+        )
+
+    # ---- phase 3: local load/store elimination --------------------------------------
+    code = list(linearize(func).instrs)
+    code = [
+        instr
+        for instr in code
+        if not (instr.op is Op.I2I and instr.srcs[0] == instr.dst)
+    ]
+    peephole_report = PeepholeReport()
+    if enable_peephole:
+        if global_peephole:
+            from .global_opt import eliminate_redundant_mem_ops_global
+
+            code, peephole_report = eliminate_redundant_mem_ops_global(code)
+        else:
+            code, peephole_report = eliminate_redundant_mem_ops(code)
+
+    spilled = sorted({ctx.origin_of(reg) for _, regs in ctx.spill_log for reg in regs})
+    return RAPResult(
+        name=func.name,
+        code=code,
+        k=k,
+        rounds=1 + len(ctx.spill_log),
+        spilled=spilled,
+        assignment=assignment,
+        spill_log=ctx.spill_log,
+        motion=motion_report,
+        peephole=peephole_report,
+        rematerialized=list(ctx.remat_log),
+    )

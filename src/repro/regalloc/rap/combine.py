@@ -1,0 +1,44 @@
+"""Combining a colored region graph (paper §3.1.5).
+
+"After the interference graph for the parent region has been colored, the
+same color nodes of the interference graph are combined and this
+interference graph is saved for incorporation into the interference graph
+of its parent region. ... the final interference graph contains at most k
+nodes, where k is the number of physical registers."
+
+Safety: two same-colored nodes are never adjacent, and the global/global
+select rule guarantees at most one of the registers folded into a combined
+node is global to the region — everything else is local, so committing
+the group to one register can never conflict with code outside the region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..coloring import ColoringResult
+from ..interference import IGNode, InterferenceGraph
+
+
+def combine(graph: InterferenceGraph, coloring: ColoringResult) -> InterferenceGraph:
+    """Build the ≤k-node summary graph of a successfully colored region."""
+    combined = InterferenceGraph()
+    node_for_color: Dict[int, IGNode] = {}
+    color_of: Dict[int, int] = {}
+
+    for node in sorted(graph.nodes, key=IGNode.sort_key):
+        color = coloring.colors[node]
+        color_of[node.id] = color
+        if color in node_for_color:
+            node_for_color[color] = combined.merge_nodes(
+                node_for_color[color], combined.add_group(sorted(node.members))
+            )
+        else:
+            node_for_color[color] = combined.add_group(sorted(node.members))
+
+    for node in graph.nodes:
+        mine = node_for_color[color_of[node.id]]
+        for neighbor in node.adj:
+            other = node_for_color[color_of[neighbor.id]]
+            combined.add_node_edge(mine, other)
+    return combined

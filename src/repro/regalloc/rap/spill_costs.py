@@ -1,0 +1,98 @@
+"""Spill-cost calculation for one region's graph (paper Figure 5).
+
+The algorithm, verbatim from the paper:
+
+* nodes whose registers are all local to a single subregion, or contain a
+  register already spilled in this region, get cost 999999 — "spilling
+  these virtual registers will not help to make the graph colorable";
+* otherwise cost starts at the number of references in the *parent
+  region's* code (a load before each use, a store after each definition);
+* plus one for each subregion the register enters live-and-used
+  (a load would be needed there) and one for each subregion it leaves
+  live-and-defined (a store would be needed);
+* the degree of every node is incremented once for every *other* node
+  that does not interfere with it but contains a register global to the
+  region when this node does too (the global/global coloring constraint);
+* finally each cost is divided by that adjusted degree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ...ir.iloc import Reg
+from ...pdg.liveness import FunctionAnalysis
+from ...pdg.nodes import Region
+from ..coloring import INFINITE_COST, effective_degree
+from ..interference import IGNode, InterferenceGraph
+
+
+def calc_spill_costs(
+    region: Region,
+    graph: InterferenceGraph,
+    analysis: FunctionAnalysis,
+    spilled_here: Set[Reg],
+    global_nodes: Set[IGNode],
+) -> None:
+    """Attach ``spill_cost`` to every node of ``graph`` (Figure 5)."""
+    subregions = region.subregions()
+
+    # Pre-compute per-subregion boundary sets:
+    #   Livein_Ri  = live on entrance to Ri and *used* in Ri
+    #   Liveout_Ri = live on exit from Ri and *defined* in Ri
+    live_in_used = []
+    live_out_defined = []
+    for sub in subregions:
+        used: Set[Reg] = set()
+        defined: Set[Reg] = set()
+        for instr in sub.walk_instrs():
+            used.update(instr.uses)
+            defined.update(instr.defs)
+        live_in_used.append(analysis.live_in(sub) & used)
+        live_out_defined.append(analysis.live_out(sub) & defined)
+
+    # Initialization: protect hopeless spill candidates.
+    for node in graph.nodes:
+        if any(reg in spilled_here for reg in node.members):
+            node.spill_cost = INFINITE_COST
+        elif any(
+            all(analysis.is_local_to(reg, sub) for reg in node.members)
+            for sub in subregions
+        ):
+            node.spill_cost = INFINITE_COST
+        else:
+            node.spill_cost = 0.0
+
+    # References in the parent region's own code.
+    for instr in region.direct_instrs():
+        for reg in instr.regs():
+            node = graph.node_of(reg)
+            if node is not None:
+                node.spill_cost += 1
+
+    # Loads/stores that a spill would force on subregion boundaries.
+    for index, _sub in enumerate(subregions):
+        for node in graph.nodes:
+            if any(reg in live_in_used[index] for reg in node.members):
+                node.spill_cost += 1
+            if any(reg in live_out_defined[index] for reg in node.members):
+                node.spill_cost += 1
+
+    # Divide by the (global/global-adjusted) degree.
+    for node in graph.nodes:
+        node.spill_cost /= max(effective_degree(node, global_nodes), 1)
+
+
+def compute_global_nodes(
+    region: Region, graph: InterferenceGraph, analysis: FunctionAnalysis
+) -> Set[IGNode]:
+    """Nodes containing a register that is global to ``region``.
+
+    A region-level invariant keeps at most one global register per merged
+    node, so "the node's global register" is well defined.
+    """
+    return {
+        node
+        for node in graph.nodes
+        if any(analysis.is_global_to(reg, region) for reg in node.members)
+    }

@@ -1,0 +1,26 @@
+"""Local instruction scheduling substrate.
+
+The paper's stated motivation (§1) is a register allocator that shares the
+PDG with an instruction scheduler so the two phases can cooperate.  This
+package provides the scheduling half at the local (basic-block) level: a
+dependence DAG, a latency model, a critical-path list scheduler, and an
+in-order pipeline timing metric — enough to measure how register
+allocation (which reuses registers and thereby adds anti/output
+dependences) lengthens schedules, the phase-ordering tension the authors'
+research program targets.
+"""
+
+from .dag import BlockDag
+from .latency import DEFAULT_LATENCIES, UNIT_MODEL, LatencyModel
+from .list_scheduler import ScheduleReport, schedule_block, schedule_code, simulate_block
+
+__all__ = [
+    "BlockDag",
+    "LatencyModel",
+    "DEFAULT_LATENCIES",
+    "UNIT_MODEL",
+    "schedule_code",
+    "schedule_block",
+    "simulate_block",
+    "ScheduleReport",
+]

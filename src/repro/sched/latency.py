@@ -1,0 +1,47 @@
+"""Latency model for the scheduling substrate.
+
+The paper's Table 1 deliberately charges one cycle per instruction ("For
+this study, we assume that each instruction takes one cycle to execute"),
+so the *allocation* evaluation never needs latencies.  The scheduling
+substrate — which exists because the paper's stated motivation is a
+register allocator sharing the PDG with an instruction scheduler — needs a
+machine where reordering matters, so it models a simple in-order pipeline
+with multi-cycle loads, multiplies, and divides (classic early-90s RISC
+numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..ir.iloc import Instr, Op
+
+#: Default result latencies (cycles until the destination is usable).
+DEFAULT_LATENCIES: Dict[Op, int] = {
+    Op.LOAD: 3,
+    Op.LDM: 3,
+    Op.LOADA: 1,
+    Op.MUL: 2,
+    Op.DIV: 5,
+    Op.MOD: 5,
+    Op.CALL: 1,
+}
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Cycles from issue until an instruction's result is available."""
+
+    latencies: Dict[Op, int] = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
+    default: int = 1
+
+    def of(self, instr: Instr) -> int:
+        if instr.op is Op.LABEL:
+            return 0
+        return self.latencies.get(instr.op, self.default)
+
+
+#: A degenerate model where scheduling is a no-op (every latency 1) —
+#: useful to confirm the scheduler never changes single-cycle timing.
+UNIT_MODEL = LatencyModel(latencies={}, default=1)

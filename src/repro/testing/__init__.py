@@ -1,0 +1,13 @@
+"""Testing utilities: the random Mini-C program generator used by the
+property-based differential tests, plus NaN-tolerant output comparison."""
+
+from .compare import first_divergence, outputs_equal, values_equal
+from .generator import ProgramGenerator, random_source
+
+__all__ = [
+    "ProgramGenerator",
+    "random_source",
+    "outputs_equal",
+    "values_equal",
+    "first_divergence",
+]

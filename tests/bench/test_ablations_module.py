@@ -1,0 +1,35 @@
+"""Smoke tests for the ablation report module."""
+
+import io
+
+from repro.bench.ablations import report
+
+
+def test_report_renders_all_sections():
+    stream = io.StringIO()
+    report(["hanoi"], k=3, stream=stream)
+    text = stream.getvalue()
+    assert "== hanoi ==" in text
+    for label in (
+        "GRA baseline",
+        "RAP (all phases)",
+        "RAP, no peephole",
+        "RAP, no motion",
+        "RAP, global peephole",
+        "RAP, rematerialization",
+        "GRA + coalescing",
+        "GRA, Chaitin coloring",
+        "RAP, merged regions",
+    ):
+        assert label in text, label
+
+
+def test_report_numbers_are_sane():
+    stream = io.StringIO()
+    report(["hanoi"], k=5, stream=stream)
+    lines = [l for l in stream.getvalue().splitlines() if "cycles=" in l]
+    cycles = [int(l.split("cycles=")[1].split()[0]) for l in lines]
+    assert all(c > 0 for c in cycles)
+    # All configurations compute the same function; cycle counts stay in
+    # the same ballpark (within 3x of each other).
+    assert max(cycles) < 3 * min(cycles)

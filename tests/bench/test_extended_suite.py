@@ -1,0 +1,54 @@
+"""Differential and semantic tests for the extended (non-Table-1) suite."""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.suite import EXTRA_PROGRAMS, PROGRAMS, program
+from repro.compiler import compile_source
+from repro.interp.machine import run_program
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+class TestRegistry:
+    def test_extended_programs_not_in_table1(self):
+        table1_names = {bench.name for bench in PROGRAMS}
+        for bench in EXTRA_PROGRAMS:
+            assert bench.name not in table1_names
+
+    def test_lookup_finds_extended(self):
+        assert program("bubble").group == "Extended"
+
+
+class TestSemantics:
+    def run(self, name):
+        bench = program(name)
+        prog = compile_source(bench.source())
+        return run_program(prog.reference_image(), max_cycles=bench.max_cycles)
+
+    def test_bubble_sorts(self):
+        out = self.run("bubble").output
+        assert out[0] == 1 and out[1] <= out[2]
+
+    def test_quicksort_sorts(self):
+        out = self.run("quicksort").output
+        assert out[0] == 1 and out[1] <= out[2]
+
+    def test_ackermann_values(self):
+        # ack(2,4) = 11, ack(3,3) = 61.
+        assert self.run("ackermann").output == [11, 61]
+
+    def test_matmul_variants_agree(self):
+        out = self.run("matmul").output
+        assert out[1] == 0.0  # unrolled == naive
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("bench", EXTRA_PROGRAMS, ids=lambda b: b.name)
+    @pytest.mark.parametrize("allocator", ["gra", "rap"])
+    def test_allocated_matches_reference(self, harness, bench, allocator):
+        harness.run(bench, allocator, 3)
+        harness.run(bench, allocator, 6)

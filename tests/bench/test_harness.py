@@ -1,0 +1,103 @@
+"""Tests for the measurement harness and Table-1 assembly."""
+
+import pytest
+
+from repro.bench.harness import (
+    Harness,
+    RoutineResult,
+    Table1,
+    Table1Cell,
+    _make_cell,
+    build_table1,
+)
+from repro.bench.suite import program
+from repro.interp.stats import Counters
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+class TestCellMath:
+    def make(self, gc, rc, gl=0, rl=0, gs=0, rs=0, spill=True):
+        gra = RoutineResult(Counters(cycles=gc, loads=gl, stores=gs), spill)
+        rap = RoutineResult(Counters(cycles=rc, loads=rl, stores=rs), spill)
+        return _make_cell(gra, rap)
+
+    def test_tot_is_percentage_decrease(self):
+        cell = self.make(200, 180)
+        assert cell.tot == pytest.approx(10.0)
+
+    def test_rap_slower_gives_negative(self):
+        cell = self.make(100, 120)
+        assert cell.tot == pytest.approx(-20.0)
+
+    def test_ld_st_portions(self):
+        # 100 GRA cycles; RAP saves 5 loads and 2 stores -> ld 5%, st 2%.
+        cell = self.make(100, 90, gl=20, rl=15, gs=10, rs=8)
+        assert cell.ld == pytest.approx(5.0)
+        assert cell.st == pytest.approx(2.0)
+
+    def test_blank_when_no_spill_code(self):
+        cell = self.make(100, 100, spill=False)
+        assert cell.blank
+
+    def test_zero_cycles_handled(self):
+        cell = self.make(0, 0)
+        assert cell.tot is None and cell.blank
+
+
+class TestTable1Aggregation:
+    def build_fake(self):
+        table = Table1((3, 5))
+        table.routine_order = ["a", "b"]
+        table.cells = {
+            "a": {3: Table1Cell(10.0, 0, 0), 5: Table1Cell(20.0, 0, 0)},
+            "b": {3: Table1Cell(-10.0, 0, 0), 5: Table1Cell(None, None, None, blank=True)},
+        }
+        return table
+
+    def test_average_skips_blank(self):
+        table = self.build_fake()
+        assert table.average(3) == pytest.approx(0.0)
+        assert table.average(5) == pytest.approx(20.0)
+
+    def test_overall_average(self):
+        table = self.build_fake()
+        assert table.overall_average() == pytest.approx(10.0)
+
+
+class TestHarnessEndToEnd:
+    def test_single_program_table(self, harness):
+        small = Harness([program("hanoi"), program("perm")])
+        table = build_table1(small, k_values=(3,))
+        assert set(table.routine_order) == {
+            "hanoi", "permute", "swap", "initialize", "perm"
+        }
+        for routine in table.routine_order:
+            assert 3 in table.cells[routine]
+
+    def test_compilation_is_cached(self, harness):
+        bench = program("hanoi")
+        first = harness.compiled(bench)
+        second = harness.compiled(bench)
+        assert first is second
+
+    def test_output_check_catches_divergence(self, harness):
+        # Sanity: reference output exists and is stable.
+        bench = program("hanoi")
+        assert harness.reference_output(bench) == [511]
+
+    def test_unknown_allocator_rejected(self, harness):
+        with pytest.raises(ValueError):
+            harness.run(program("hanoi"), "magic", 3)
+
+    def test_render_smoke(self, capsys):
+        from repro.bench.table1 import render_table1
+
+        small = Harness([program("hanoi")])
+        table = build_table1(small, k_values=(3,))
+        render_table1(table)
+        out = capsys.readouterr().out
+        assert "hanoi" in out and "Average" in out

@@ -1,0 +1,91 @@
+"""Semantic checks of the benchmark programs themselves.
+
+The Table-1 comparison only needs *identical* behaviour across allocators,
+but the programs should also compute the right thing — a sieve that counts
+wrong would still "reproduce" the table while being embarrassing.
+"""
+
+import pytest
+
+from repro.bench.suite import program
+from repro.compiler import compile_source
+from repro.interp.machine import run_program
+
+
+@pytest.fixture(scope="module")
+def outputs():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            bench = program(name)
+            prog = compile_source(bench.source())
+            cache[name] = run_program(
+                prog.reference_image(), max_cycles=bench.max_cycles
+            ).output
+        return cache[name]
+
+    return get
+
+
+class TestKnownAnswers:
+    def test_hanoi_moves(self, outputs):
+        # 2^9 - 1 moves for 9 discs.
+        assert outputs("hanoi") == [511]
+
+    def test_sieve_prime_count(self, outputs):
+        # pi(2048) = 309.
+        assert outputs("sieve") == [309]
+
+    def test_nsieve_totals(self, outputs):
+        # pi(1024) + pi(512) + pi(256) = 172 + 97 + 54.
+        assert outputs("nsieve") == [172 + 97 + 54]
+
+    def test_queens_ten_solutions(self, outputs):
+        out = outputs("queens")
+        assert out[0] == 10          # 10 successful doit() calls
+        assert 1 <= out[1] <= 8      # a valid queen position
+        assert 1 <= out[2] <= 8
+
+    def test_perm_counter(self, outputs):
+        # Stanford Perm accumulates pctr across rounds: permute(7)
+        # contributes 8660 calls, and the driver runs 4 rounds.
+        assert outputs("perm") == [4 * 8660]
+
+    def test_hsort_sorted(self, outputs):
+        out = outputs("hsort")
+        sorted_flag, first, last = out
+        assert sorted_flag == 1
+        assert first <= last
+
+    def test_puzzle_solves(self, outputs):
+        out = outputs("puzzle")
+        assert out[0] == 1           # the scaled puzzle is solvable
+        assert out[1] > 0            # and took some trials
+
+    def test_linpack_factorization_sane(self, outputs):
+        out = outputs("linpack")
+        norm, info, check, b_last, imax = out
+        assert norm > 0.0            # matgen produced a nonzero matrix
+        assert info == 0             # no zero pivot
+        assert b_last == 0.5         # dscal halved the ones vector
+        assert 0 <= imax < 12
+
+    def test_livermore_kernels_finite(self, outputs):
+        out = outputs("livermore")
+        assert len(out) == 13
+        for value in out[:-1]:
+            assert value == value    # no NaN
+            assert abs(value) < 1e12
+        assert 0 <= out[-1] < 48     # loop24 returns an index
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["sieve", "queens", "hsort"])
+    def test_two_runs_identical(self, name):
+        bench = program(name)
+        prog = compile_source(bench.source())
+        first = run_program(prog.reference_image(), max_cycles=bench.max_cycles)
+        second = run_program(prog.reference_image(), max_cycles=bench.max_cycles)
+        assert first.output == second.output
+        assert first.total.cycles == second.total.cycles

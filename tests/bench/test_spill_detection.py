@@ -1,0 +1,36 @@
+"""Tests for the harness's spill-code detector (drives Table 1's blanks)."""
+
+from repro.bench.harness import _has_spill_code
+from repro.ir import iloc
+from repro.ir.iloc import Symbol, vreg
+
+
+def test_allocator_slot_detected():
+    code = [iloc.ldm(Symbol("f.%v3"), vreg(0))]
+    assert _has_spill_code(code, "f")
+
+
+def test_store_also_detected():
+    code = [iloc.stm(Symbol("f.%v3"), vreg(0))]
+    assert _has_spill_code(code, "f")
+
+
+def test_argument_slots_do_not_count():
+    # Incoming-argument traffic is the calling convention, not spill code.
+    code = [iloc.ldm(Symbol("f.arg0"), vreg(0))]
+    assert not _has_spill_code(code, "f")
+
+
+def test_global_scalars_do_not_count():
+    code = [iloc.ldm(Symbol("g", "global"), vreg(0))]
+    assert not _has_spill_code(code, "f")
+
+
+def test_other_functions_slots_do_not_count():
+    code = [iloc.ldm(Symbol("other.%v3"), vreg(0))]
+    assert not _has_spill_code(code, "f")
+
+
+def test_clean_code():
+    code = [iloc.loadi(1, vreg(0)), iloc.copy(vreg(0), vreg(1))]
+    assert not _has_spill_code(code, "f")

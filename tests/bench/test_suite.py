@@ -1,0 +1,59 @@
+"""Tests for the benchmark registry."""
+
+import pytest
+
+from repro.bench.suite import PROGRAMS, all_routines, program
+from repro.compiler import compile_source
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+
+
+class TestRegistry:
+    def test_exactly_37_routine_rows(self):
+        # Table 1 of the paper reports 37 routines.
+        assert len(all_routines()) == 37
+
+    def test_expected_groups_present(self):
+        groups = {bench.group for bench in PROGRAMS}
+        assert {"Livermore", "cLinpack", "Stanford", "Hanoi"} <= groups
+
+    def test_stanford_routine_names_match_paper(self):
+        rows = set(all_routines())
+        for name in (
+            "initmatrix", "innerproduct", "intmm",
+            "permute", "swap", "initialize", "perm",
+            "fit", "place", "trial", "remove", "puzzle",
+            "queens", "try", "doit",
+        ):
+            assert name in rows
+
+    def test_program_lookup(self):
+        assert program("sieve").name == "sieve"
+        with pytest.raises(KeyError):
+            program("nope")
+
+    def test_rollup_default_is_identity(self):
+        bench = program("hanoi")
+        assert bench.functions_for("hanoi") == ["hanoi"]
+
+    def test_hsort_rollup_includes_sift(self):
+        bench = program("hsort")
+        assert set(bench.functions_for("hsort")) == {"hsort", "sift"}
+
+
+class TestSources:
+    @pytest.mark.parametrize("bench", PROGRAMS, ids=lambda b: b.name)
+    def test_sources_parse_and_typecheck(self, bench):
+        analyze(parse(bench.source(), bench.filename))
+
+    @pytest.mark.parametrize("bench", PROGRAMS, ids=lambda b: b.name)
+    def test_routines_exist_as_functions(self, bench):
+        module = compile_source(bench.source()).module
+        for routine in bench.routines:
+            for func in bench.functions_for(routine):
+                assert func in module.functions
+
+    @pytest.mark.parametrize("bench", PROGRAMS, ids=lambda b: b.name)
+    def test_main_present(self, bench):
+        module = compile_source(bench.source()).module
+        assert "main" in module.functions

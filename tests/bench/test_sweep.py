@@ -1,0 +1,32 @@
+"""Tests for the k-sweep report."""
+
+import io
+
+from repro.bench.sweep import render, sweep
+
+
+def test_sweep_shape_and_monotonicity():
+    curves = sweep(["hanoi"], (3, 5, 8))
+    rows = curves["hanoi"]
+    assert [k for k, _, _ in rows] == [3, 5, 8]
+    gra = [g for _, g, _ in rows]
+    rap = [r for _, _, r in rows]
+    # More registers never cost cycles for either allocator.
+    assert gra == sorted(gra, reverse=True)
+    assert rap == sorted(rap, reverse=True)
+
+
+def test_render_marks_flat_tail():
+    curves = {"x": [(3, 100, 90), (4, 80, 70), (5, 80, 70), (6, 80, 70)]}
+    stream = io.StringIO()
+    render(curves, stream=stream)
+    text = stream.getvalue()
+    assert "== x ==" in text
+    assert text.count("<- flat") == 2  # k=4 and k=5 (k=6 has no successors)
+
+
+def test_render_includes_gain_column():
+    curves = {"x": [(3, 200, 150)]}
+    stream = io.StringIO()
+    render(curves, stream=stream)
+    assert "+25.0%" in stream.getvalue()

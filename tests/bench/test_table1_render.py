@@ -1,0 +1,62 @@
+"""Tests for Table-1 text rendering (the paper's formatting quirks)."""
+
+import io
+
+from repro.bench.harness import Table1, Table1Cell
+from repro.bench.table1 import _fmt, render_table1
+
+
+class TestFormatting:
+    def test_blank_cells_render_empty(self):
+        assert _fmt(5.0, blank=True).strip() == ""
+        assert _fmt(None, blank=False).strip() == ""
+
+    def test_exact_zero(self):
+        assert _fmt(0.0, blank=False).strip() == "0.0"
+
+    def test_tiny_values_get_signed_zero(self):
+        # The paper: "-0.0 entries indicate a very small negative
+        # percentage; +0.0 ... very small positive".
+        assert _fmt(0.01, blank=False).strip() == "+0.0"
+        assert _fmt(-0.02, blank=False).strip() == "-0.0"
+
+    def test_normal_values_one_decimal(self):
+        assert _fmt(12.34, blank=False).strip() == "12.3"
+        assert _fmt(-3.21, blank=False).strip() == "-3.2"
+
+
+class TestRender:
+    def make_table(self):
+        table = Table1((3, 9))
+        table.routine_order = ["alpha", "beta"]
+        table.cells = {
+            "alpha": {
+                3: Table1Cell(10.0, 5.0, 1.0),
+                9: Table1Cell(None, None, None, blank=True),
+            },
+            "beta": {
+                3: Table1Cell(-2.5, -1.0, 0.0),
+                9: Table1Cell(4.0, 0.0, 0.0),
+            },
+        }
+        return table
+
+    def test_all_rows_and_averages(self):
+        stream = io.StringIO()
+        render_table1(self.make_table(), stream=stream)
+        text = stream.getvalue()
+        assert "alpha" in text and "beta" in text
+        assert "Average" in text
+        assert "paper: 2.7%" in text
+
+    def test_averages_skip_blanks(self):
+        table = self.make_table()
+        assert table.average(3) == (10.0 - 2.5) / 2
+        assert table.average(9) == 4.0
+
+    def test_missing_cell_renders_gap(self):
+        table = self.make_table()
+        del table.cells["alpha"][9]
+        stream = io.StringIO()
+        render_table1(table, stream=stream)
+        assert "alpha" in stream.getvalue()

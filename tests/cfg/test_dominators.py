@@ -1,0 +1,75 @@
+"""Tests for dominator analysis and natural-loop detection."""
+
+from repro.cfg.dominators import DominatorTree, natural_loops
+from repro.cfg.graph import CFG
+from repro.compiler import compile_source
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+from repro.pdg.linearize import linearize
+
+
+def cfg_of(source, name="f"):
+    func = compile_source(source).module.functions[name]
+    return CFG(linearize(func).instrs)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of(
+            "void f() { int x; if (1) { x = 1; } else { x = 2; } print(x); }"
+        )
+        dom = DominatorTree(cfg)
+        entry = cfg.entry_block().index
+        for block in cfg.blocks:
+            if block in cfg.reverse_postorder():
+                assert dom.dominates(entry, block.index)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = cfg_of(
+            "void f() { int x; if (1) { x = 1; } else { x = 2; } print(x); }"
+        )
+        dom = DominatorTree(cfg)
+        join = cfg.blocks[-1]
+        arms = [b for b in join.preds]
+        assert len(arms) >= 2
+        for arm in arms:
+            assert not dom.dominates(arm.index, join.index) or arm is join
+
+    def test_entry_has_no_idom(self):
+        cfg = cfg_of("void f() { }")
+        dom = DominatorTree(cfg)
+        assert dom.idom[cfg.entry_block().index] is None
+
+    def test_self_domination(self):
+        cfg = cfg_of("void f() { print(1); }")
+        dom = DominatorTree(cfg)
+        assert dom.dominates(0, 0)
+
+
+class TestNaturalLoops:
+    def test_while_creates_one_loop(self):
+        cfg = cfg_of("void f() { int i; i = 0; while (i < 3) { i = i + 1; } }")
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        header = loops[0]["header"]
+        assert header in loops[0]["body"]
+
+    def test_nested_loops_detected(self):
+        cfg = cfg_of(
+            """
+            void f() {
+                int i; int j;
+                for (i = 0; i < 2; i = i + 1) {
+                    for (j = 0; j < 2; j = j + 1) { print(j); }
+                }
+            }
+            """
+        )
+        loops = natural_loops(cfg)
+        assert len(loops) == 2
+        bodies = sorted(loops, key=lambda l: len(l["body"]))
+        assert set(bodies[0]["body"]) < set(bodies[1]["body"])
+
+    def test_straightline_has_no_loops(self):
+        cfg = cfg_of("void f() { print(1); }")
+        assert natural_loops(cfg) == []

@@ -1,0 +1,98 @@
+"""Tests for iterative CFG liveness."""
+
+from repro.cfg.graph import CFG
+from repro.cfg.liveness import compute_liveness
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+
+
+def live(code):
+    cfg = CFG(code)
+    return cfg, compute_liveness(cfg)
+
+
+class TestStraightline:
+    def test_operand_live_before_use(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(1)),
+            iloc.binary(Op.ADD, vreg(0), vreg(1), vreg(2)),
+            Instr(Op.RET, srcs=[vreg(2)]),
+        ]
+        _, result = live(code)
+        assert result.live_before(code[2]) == {vreg(0), vreg(1)}
+        assert result.live_after(code[2]) == {vreg(2)}
+
+    def test_dead_value_never_live(self):
+        code = [
+            iloc.loadi(1, vreg(0)),  # dead
+            Instr(Op.RET),
+        ]
+        _, result = live(code)
+        assert vreg(0) not in result.live_before(code[0])
+        assert result.live_after(code[0]) == set()
+
+    def test_redefinition_kills(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(0)),
+            Instr(Op.RET, srcs=[vreg(0)]),
+        ]
+        _, result = live(code)
+        assert vreg(0) not in result.live_before(code[1])
+
+
+class TestBranching:
+    def test_value_used_on_one_arm_is_live_at_branch(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(9, vreg(1)),
+            iloc.cbr(vreg(0), "T", "F"),
+            iloc.label("T"),
+            Instr(Op.PRINT, srcs=[vreg(1)]),
+            iloc.jmp("E"),
+            iloc.label("F"),
+            iloc.label("E"),
+            Instr(Op.RET),
+        ]
+        _, result = live(code)
+        assert vreg(1) in result.live_before(code[2])
+        # live_after of the branch unions both arms.
+        assert vreg(1) in result.live_after(code[2])
+
+    def test_loop_carried_liveness(self):
+        code = [
+            iloc.loadi(0, vreg(0)),
+            iloc.label("H"),
+            iloc.loadi(10, vreg(1)),
+            iloc.binary(Op.CMP_LT, vreg(0), vreg(1), vreg(2)),
+            iloc.cbr(vreg(2), "B", "X"),
+            iloc.label("B"),
+            iloc.loadi(1, vreg(3)),
+            iloc.binary(Op.ADD, vreg(0), vreg(3), vreg(0)),
+            iloc.jmp("H"),
+            iloc.label("X"),
+            Instr(Op.RET, srcs=[vreg(0)]),
+        ]
+        cfg, result = live(code)
+        # v0 is live around the whole loop, including at the back edge.
+        assert vreg(0) in result.live_before(code[8])  # before jmp H
+        header = cfg.block_at[1]
+        assert vreg(0) in result.block_live_in[header.index]
+
+    def test_block_live_sets_consistent_with_positions(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.cbr(vreg(0), "T", "T"),
+            iloc.label("T"),
+            Instr(Op.RET, srcs=[vreg(0)]),
+        ]
+        cfg, result = live(code)
+        for block in cfg.blocks:
+            if block.start < len(code):
+                assert result.live_at[block.start] == result.block_live_in[block.index]
+
+    def test_final_position_is_empty(self):
+        code = [iloc.loadi(1, vreg(0)), Instr(Op.RET, srcs=[vreg(0)])]
+        _, result = live(code)
+        assert result.live_at[len(code)] == set()

@@ -1,0 +1,95 @@
+"""Tests for single-register reaching definitions (ud/du chains)."""
+
+from repro.cfg.graph import CFG
+from repro.cfg.reachdefs import ENTRY_DEF, chains_for
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+
+
+def chains(code, reg, is_param=False):
+    return chains_for(CFG(code), reg, is_param=is_param)
+
+
+class TestStraightline:
+    def test_single_def_reaches_use(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.RET),
+        ]
+        result = chains(code, vreg(0))
+        assert result.defs_reaching(code[1]) == {code[0]}
+        assert result.uses_reached_by(code[0]) == [code[1]]
+
+    def test_redefinition_kills_earlier_def(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(0)),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.RET),
+        ]
+        result = chains(code, vreg(0))
+        assert result.defs_reaching(code[2]) == {code[1]}
+        assert result.uses_reached_by(code[0]) == []
+
+    def test_use_and_def_in_same_instruction(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.binary(Op.ADD, vreg(0), vreg(0), vreg(0)),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.RET),
+        ]
+        result = chains(code, vreg(0))
+        assert result.defs_reaching(code[1]) == {code[0]}
+        assert result.defs_reaching(code[2]) == {code[1]}
+
+
+class TestBranching:
+    def test_both_arms_reach_join(self):
+        code = [
+            iloc.loadi(1, vreg(9)),
+            iloc.cbr(vreg(9), "T", "F"),
+            iloc.label("T"),
+            iloc.loadi(1, vreg(0)),
+            iloc.jmp("E"),
+            iloc.label("F"),
+            iloc.loadi(2, vreg(0)),
+            iloc.label("E"),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.RET),
+        ]
+        result = chains(code, vreg(0))
+        assert result.defs_reaching(code[8]) == {code[3], code[6]}
+
+    def test_loop_carried_def_reaches_header_use(self):
+        code = [
+            iloc.loadi(0, vreg(0)),
+            iloc.label("H"),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            iloc.loadi(1, vreg(1)),
+            iloc.binary(Op.ADD, vreg(0), vreg(1), vreg(0)),
+            iloc.jmp("H"),
+        ]
+        result = chains(code, vreg(0))
+        reaching = result.defs_reaching(code[2])
+        assert code[0] in reaching and code[4] in reaching
+
+
+class TestParams:
+    def test_entry_def_reaches_first_use_of_param(self):
+        code = [
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.RET),
+        ]
+        result = chains(code, vreg(0), is_param=True)
+        assert ENTRY_DEF in result.defs_reaching(code[0])
+        assert id(code[0]) in result.entry_reaches_uses
+
+    def test_entry_def_killed_by_explicit_def(self):
+        code = [
+            iloc.loadi(5, vreg(0)),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.RET),
+        ]
+        result = chains(code, vreg(0), is_param=True)
+        assert result.defs_reaching(code[1]) == {code[0]}

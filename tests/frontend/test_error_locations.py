@@ -1,0 +1,57 @@
+"""Diagnostics carry accurate source locations (a front end that cannot
+point at the offending line is not production quality)."""
+
+import pytest
+
+from repro.frontend.errors import LexError, ParseError, SemanticError
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+
+
+def parse_fails_at(source, line, fragment=""):
+    with pytest.raises(ParseError) as err:
+        parse(source, filename="prog.mc")
+    assert err.value.location.line == line, str(err.value)
+    assert fragment in str(err.value)
+    assert "prog.mc" in str(err.value)
+
+
+def sema_fails_at(source, line):
+    with pytest.raises(SemanticError) as err:
+        analyze(parse(source, filename="prog.mc"))
+    assert err.value.location.line == line, str(err.value)
+
+
+class TestParseLocations:
+    def test_missing_semicolon(self):
+        parse_fails_at("void f() {\n    int x;\n    x = 1\n}\n", 4)
+
+    def test_bad_top_level(self):
+        parse_fails_at("void f() { }\nbanana\n", 2)
+
+    def test_unclosed_paren(self):
+        parse_fails_at("void f() {\n    print((1 + 2);\n}\n", 2)
+
+
+class TestSemaLocations:
+    def test_undeclared_variable_line(self):
+        sema_fails_at("void f() {\n    int a;\n    b = 1;\n}\n", 3)
+
+    def test_type_error_line(self):
+        sema_fails_at(
+            "void f() {\n    int x;\n    float y;\n    y = 1.0;\n    x = y;\n}\n",
+            5,
+        )
+
+    def test_bad_call_line(self):
+        sema_fails_at(
+            "int g(int a) { return a; }\nvoid f() {\n    g();\n}\n", 3
+        )
+
+
+class TestLexLocations:
+    def test_bad_char_column(self):
+        with pytest.raises(LexError) as err:
+            parse("void f() {\n  int x@;\n}")
+        assert err.value.location.line == 2
+        assert err.value.location.column == 8

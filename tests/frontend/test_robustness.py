@@ -1,0 +1,114 @@
+"""Robustness tests: the front end on structurally extreme (but legal)
+programs, verified end-to-end through the interpreter."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.frontend.errors import FrontendError
+from repro.interp.machine import run_program
+
+
+def run(source, **kwargs):
+    return run_program(compile_source(source).reference_image(), **kwargs)
+
+
+class TestDeepNesting:
+    def test_deeply_nested_ifs(self):
+        depth = 30
+        body = "print(1);"
+        for i in range(depth):
+            body = f"if (x > {i}) {{ {body} }}"
+        out = run(f"void main() {{ int x; x = {depth + 1}; {body} }}").output
+        assert out == [1]
+
+    def test_deeply_nested_loops(self):
+        source = """
+        void main() {
+            int a; int b; int c; int d; int n;
+            int count;
+            count = 0;
+            for (a = 0; a < 3; a = a + 1) {
+                for (b = 0; b < 3; b = b + 1) {
+                    for (c = 0; c < 3; c = c + 1) {
+                        for (d = 0; d < 3; d = d + 1) {
+                            count = count + 1;
+                        }
+                    }
+                }
+            }
+            print(count);
+        }
+        """
+        assert run(source).output == [81]
+
+    def test_long_expression_chain(self):
+        terms = " + ".join(str(i) for i in range(1, 101))
+        out = run(f"void main() {{ print({terms}); }}").output
+        assert out == [5050]
+
+    def test_deep_parenthesization(self):
+        expr = "1"
+        for _ in range(60):
+            expr = f"({expr} + 1)"
+        out = run(f"void main() {{ print({expr}); }}").output
+        assert out == [61]
+
+    def test_many_variables(self):
+        decls = "".join(f"int v{i}; v{i} = {i}; " for i in range(80))
+        total = " + ".join(f"v{i}" for i in range(80))
+        out = run(f"void main() {{ {decls} print({total}); }}").output
+        assert out == [sum(range(80))]
+
+    def test_many_functions(self):
+        functions = "\n".join(
+            f"int f{i}(int x) {{ return x + {i}; }}" for i in range(40)
+        )
+        calls = "".join(f"s = f{i}(s); " for i in range(40))
+        source = f"{functions}\nvoid main() {{ int s; s = 0; {calls} print(s); }}"
+        assert run(source).output == [sum(range(40))]
+
+
+class TestChainedCalls:
+    def test_deep_call_chain(self):
+        # f0 calls f1 calls ... f29.
+        parts = ["int f29(int x) { return x + 29; }"]
+        for i in range(28, -1, -1):
+            parts.append(f"int f{i}(int x) {{ return f{i + 1}(x + {i}); }}")
+        parts.append("void main() { print(f0(0)); }")
+        assert run("\n".join(parts)).output == [sum(range(30))]
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_odd(int n);
+        """
+        # Mini-C has no forward declarations; use a single recursive
+        # function computing parity instead.
+        source = """
+        int parity(int n) {
+            if (n == 0) { return 0; }
+            return 1 - parity(n - 1);
+        }
+        void main() { print(parity(9)); print(parity(10)); }
+        """
+        assert run(source).output == [1, 0]
+
+
+class TestScaleThroughAllocators:
+    @pytest.mark.parametrize("k", [3, 6])
+    def test_wide_program_allocates(self, k):
+        from repro.compiler import param_slots
+        from repro.interp.machine import FunctionImage, ProgramImage
+        from repro.regalloc import allocate_gra, allocate_rap
+
+        decls = "".join(f"int v{i}; v{i} = {i}; " for i in range(25))
+        total = " + ".join(f"v{i}" for i in range(25))
+        source = f"void main() {{ {decls} print({total}); print({total}); }}"
+        prog = compile_source(source)
+        reference = run_program(prog.reference_image())
+        for allocator in (allocate_gra, allocate_rap):
+            module = prog.fresh_module()
+            result = allocator(module.functions["main"], k)
+            image = ProgramImage(
+                [], {"main": FunctionImage("main", result.code, [])}
+            )
+            assert run_program(image).output == reference.output

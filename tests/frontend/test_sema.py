@@ -1,0 +1,181 @@
+"""Semantic-analysis unit tests."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.errors import SemanticError
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze, constant_value
+
+
+def check(source):
+    program = parse(source)
+    return program, analyze(program)
+
+
+def check_fails(source, fragment=""):
+    with pytest.raises(SemanticError) as err:
+        check(source)
+    assert fragment in str(err.value)
+    return err.value
+
+
+class TestDeclarations:
+    def test_symbols_recorded(self):
+        _, info = check("int n; float x[4]; void f() { }")
+        assert info.globals["n"].base_type == "int"
+        assert info.globals["x"].dims == [4]
+        assert info.functions["f"].ret_type == "void"
+
+    def test_duplicate_global_rejected(self):
+        check_fails("int n; float n;", "redeclaration")
+
+    def test_duplicate_function_rejected(self):
+        check_fails("void f() { } void f() { }", "redefinition")
+
+    def test_duplicate_local_in_same_scope_rejected(self):
+        check_fails("void f() { int x; int x; }", "redeclaration")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        check("void f() { int x; if (1) { int x; x = 2; } x = 1; }")
+
+    def test_local_shadows_global(self):
+        program, _ = check("int x; void f() { int x; x = 1; }")
+        assign = program.functions[0].body[1]
+        assert assign.target.symbol.kind == "local"
+
+    def test_param_visible_in_body(self):
+        program, _ = check("int f(int a) { return a; }")
+        ret = program.functions[0].body[0]
+        assert ret.value.symbol.kind == "param"
+
+    def test_global_init_must_be_constant(self):
+        check_fails("int f() { return 1; } int n = f();", "constant")
+
+    def test_negative_constant_initializer(self):
+        program, _ = check("int n = -3;")
+        assert constant_value(program.globals[0].init) == -3
+
+
+class TestScoping:
+    def test_undeclared_variable_rejected(self):
+        check_fails("void f() { x = 1; }", "undeclared")
+
+    def test_inner_scope_name_invisible_outside(self):
+        check_fails("void f() { if (1) { int y; y = 1; } y = 2; }", "undeclared")
+
+    def test_sibling_scopes_can_reuse_names(self):
+        check("void f() { if (1) { int y; y = 1; } else { int y; y = 2; } }")
+
+    def test_for_variable_must_be_predeclared(self):
+        check_fails("void f() { for (i = 0; i < 3; i = i + 1) { } }", "undeclared")
+
+
+class TestTypes:
+    def test_expression_types_annotated(self):
+        program, _ = check("void f() { float x; x = 1 + 2.0; }")
+        assign = program.functions[0].body[1]
+        assert assign.value.ty == "float"
+        assert assign.value.left.ty == "int"
+
+    def test_int_arith_stays_int(self):
+        program, _ = check("void f() { int x; x = 1 + 2 * 3; }")
+        assert program.functions[0].body[1].value.ty == "int"
+
+    def test_comparison_yields_int(self):
+        program, _ = check("void f() { int x; x = 1.5 < 2.5; }")
+        assert program.functions[0].body[1].value.ty == "int"
+
+    def test_int_to_float_promotion_in_assignment(self):
+        check("void f() { float x; x = 1; }")
+
+    def test_float_to_int_demotion_rejected(self):
+        check_fails("void f() { int x; x = 1.5; }", "cannot assign")
+
+    def test_mod_requires_ints(self):
+        check_fails("void f() { int x; x = 1.5 % 2; }", "int")
+
+    def test_logical_ops_require_ints(self):
+        check_fails("void f() { int x; x = 1.5 && 1; }", "int")
+
+    def test_not_requires_int(self):
+        check_fails("void f() { int x; x = !1.5; }", "int")
+
+    def test_condition_must_be_int(self):
+        check_fails("void f() { if (1.5) { } }", "int")
+
+    def test_while_condition_must_be_int(self):
+        check_fails("void f() { while (2.5) { } }", "int")
+
+    def test_array_index_must_be_int(self):
+        check_fails("void f() { int a[3]; a[1.5] = 1; }", "int")
+
+
+class TestArrays:
+    def test_scalar_indexed_rejected(self):
+        check_fails("void f() { int x; x[0] = 1; }", "not an array")
+
+    def test_array_used_as_scalar_rejected(self):
+        check_fails("void f() { int a[3]; int x; x = a + 1; }", "scalar")
+
+    def test_assignment_to_whole_array_rejected(self):
+        check_fails("void f() { int a[3]; a = 1; }", "array")
+
+    def test_wrong_index_count_rejected(self):
+        check_fails("void f() { int a[3][3]; a[1] = 1; }", "indices")
+
+
+class TestCalls:
+    def test_unknown_function_rejected(self):
+        check_fails("void f() { g(); }", "undefined function")
+
+    def test_arity_mismatch_rejected(self):
+        check_fails("void g(int a) { } void f() { g(); }", "arguments")
+
+    def test_void_call_as_value_rejected(self):
+        check_fails("void g() { } void f() { int x; x = g(); }", "void")
+
+    def test_int_arg_promotes_to_float_param(self):
+        check("void g(float a) { } void f() { g(1); }")
+
+    def test_float_arg_to_int_param_rejected(self):
+        check_fails("void g(int a) { } void f() { g(1.5); }", "cannot assign")
+
+    def test_array_arg_matches_array_param(self):
+        check("int x[4]; void g(int v[]) { } void f() { g(x); }")
+
+    def test_scalar_for_array_param_rejected(self):
+        check_fails("void g(int v[]) { } void f() { int x; g(x); }", "array")
+
+    def test_expression_for_array_param_rejected(self):
+        check_fails(
+            "int x[4]; void g(int v[]) { } void f() { g(x[0] + 1); }", "array"
+        )
+
+    def test_element_type_mismatch_rejected(self):
+        check_fails(
+            "float x[4]; void g(int v[]) { } void f() { g(x); }", "element type"
+        )
+
+    def test_two_dim_column_extent_checked(self):
+        check_fails(
+            "int m[4][5]; void g(int v[][6]) { } void f() { g(m); }",
+            "column extent",
+        )
+
+    def test_two_dim_matching_extent_ok(self):
+        check("int m[4][6]; void g(int v[][6]) { } void f() { g(m); }")
+
+
+class TestReturns:
+    def test_missing_return_value_rejected(self):
+        check_fails("int f() { return; }", "must return")
+
+    def test_value_in_void_function_rejected(self):
+        check_fails("void f() { return 1; }", "void function")
+
+    def test_return_promotion_allowed(self):
+        check("float f() { return 1; }")
+
+    def test_return_demotion_rejected(self):
+        check_fails("int f() { return 1.5; }", "cannot assign")

@@ -1,0 +1,63 @@
+"""Integration: every benchmark program behaves identically under the
+reference execution, GRA, and RAP, at small and moderate register counts.
+
+This is the correctness backbone of the Table-1 reproduction: the harness
+itself asserts the same property on every measurement, and these tests pin
+it independently (with the cheapest k values to keep the suite fast).
+"""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.suite import PROGRAMS, program
+
+FAST_PROGRAMS = ["hanoi", "perm", "queens", "intmm", "hsort"]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+class TestSuiteDifferential:
+    @pytest.mark.parametrize("name", FAST_PROGRAMS)
+    @pytest.mark.parametrize("allocator", ["gra", "rap"])
+    def test_small_k(self, harness, name, allocator):
+        harness.run(program(name), allocator, 3)
+
+    @pytest.mark.parametrize("name", FAST_PROGRAMS)
+    @pytest.mark.parametrize("allocator", ["gra", "rap"])
+    def test_moderate_k(self, harness, name, allocator):
+        harness.run(program(name), allocator, 7)
+
+    @pytest.mark.parametrize("name", ["sieve", "nsieve", "linpack", "puzzle"])
+    def test_heavier_programs_at_k5(self, harness, name):
+        harness.run(program(name), "gra", 5)
+        harness.run(program(name), "rap", 5)
+
+    def test_livermore_at_k5(self, harness):
+        harness.run(program("livermore"), "gra", 5)
+        harness.run(program("livermore"), "rap", 5)
+
+    @pytest.mark.parametrize("name", ["hanoi", "perm"])
+    def test_with_coalescing(self, harness, name):
+        harness.run(program(name), "gra", 4, pre_coalesce=True)
+        harness.run(program(name), "rap", 4, pre_coalesce=True)
+
+
+class TestRoutineAttribution:
+    def test_rows_have_nonzero_cycles(self, harness):
+        bench = program("queens")
+        run = harness.run(bench, "rap", 5)
+        for routine in bench.routines:
+            assert run.routine(bench, routine).counters.cycles > 0
+
+    def test_rollup_combines_functions(self, harness):
+        bench = program("hsort")
+        run = harness.run(bench, "gra", 5)
+        combined = run.routine(bench, "hsort").counters.cycles
+        parts = (
+            run.stats.per_function["hsort"].cycles
+            + run.stats.per_function["sift"].cycles
+        )
+        assert combined == parts

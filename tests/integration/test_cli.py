@@ -1,0 +1,101 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+int f(int n) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+}
+void main() { print(f(10)); }
+"""
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.mc"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestRun:
+    def test_reference_run(self, demo_file, capsys):
+        assert main(["run", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "45"
+        assert "reference:" in out
+
+    def test_allocated_run(self, demo_file, capsys):
+        assert main(["run", demo_file, "--allocator", "rap", "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "45"
+        assert "rap k=4" in out
+
+    def test_gra_run_quiet(self, demo_file, capsys):
+        assert main(
+            ["run", demo_file, "--allocator", "gra", "-k", "3", "--quiet"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "45"
+
+    def test_coalesce_flag(self, demo_file, capsys):
+        assert main(
+            ["run", demo_file, "--allocator", "gra", "-k", "5", "--coalesce"]
+        ) == 0
+        assert capsys.readouterr().out.splitlines()[0] == "45"
+
+    def test_merged_granularity(self, demo_file, capsys):
+        assert main(
+            ["run", demo_file, "--allocator", "rap", "-k", "4",
+             "--granularity", "merged"]
+        ) == 0
+        assert capsys.readouterr().out.splitlines()[0] == "45"
+
+
+class TestCompare:
+    def test_compare_sweep(self, demo_file, capsys):
+        assert main(["compare", demo_file, "-k", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "RAP vs GRA" in out
+        assert out.count("%") >= 2
+
+
+class TestEmit:
+    def test_emit_iloc(self, demo_file, capsys):
+        assert main(["emit", demo_file, "--what", "iloc"]) == 0
+        out = capsys.readouterr().out
+        assert "; function f" in out and "loadI" in out
+
+    def test_emit_pdg(self, demo_file, capsys):
+        assert main(["emit", demo_file, "--what", "pdg"]) == 0
+        out = capsys.readouterr().out
+        assert "[entry]" in out and "(loop)" in out
+
+    def test_emit_dot_single_function(self, demo_file, capsys):
+        assert main(
+            ["emit", demo_file, "--what", "dot", "--function", "f"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "f"')
+        assert 'digraph "main"' not in out
+
+    def test_emit_allocated(self, demo_file, capsys):
+        assert main(
+            ["emit", demo_file, "--what", "alloc", "--allocator", "gra", "-k", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(gra, k=3)" in out
+        # Only physical registers remain as operands (spill-slot *names*
+        # legitimately embed the original virtual register, e.g. [f.%v0]).
+        assert "=> %v" not in out
+        assert ", %v" not in out
+
+
+class TestTable1Subcommand:
+    def test_restricted_table(self, capsys):
+        assert main(["table1", "--k", "3", "--programs", "hanoi"]) == 0
+        out = capsys.readouterr().out
+        assert "hanoi" in out and "Average" in out

@@ -1,0 +1,77 @@
+"""Tests for the one-call compilation pipeline (repro.compiler)."""
+
+from repro.compiler import (
+    CompiledProgram,
+    compile_source,
+    param_slots,
+    strip_self_copies,
+)
+from repro.interp.machine import run_program
+from repro.ir import iloc
+from repro.ir.iloc import Op, preg, vreg
+
+SOURCE = """
+int g = 2;
+int f(int a) { return a * g; }
+void main() { print(f(21)); }
+"""
+
+
+class TestCompiledProgram:
+    def test_reference_image_runs(self):
+        prog = compile_source(SOURCE)
+        stats = run_program(prog.reference_image())
+        assert stats.output == [42]
+
+    def test_reference_image_clones_instructions(self):
+        # Mutating the image's code must not corrupt the module's PDG.
+        prog = compile_source(SOURCE)
+        image = prog.reference_image()
+        pdg_ids = {
+            id(i)
+            for func in prog.module.functions.values()
+            for i in func.walk_instrs()
+        }
+        for func_image in image.functions.values():
+            for instr in func_image.code:
+                assert id(instr) not in pdg_ids
+
+    def test_fresh_module_is_independent(self):
+        prog = compile_source(SOURCE)
+        first = prog.fresh_module()
+        second = prog.fresh_module()
+        instr = next(first.functions["f"].walk_instrs())
+        instr.rewrite_regs({reg: preg(0) for reg in instr.regs()})
+        # The second copy and the original are untouched.
+        for module in (second, prog.module):
+            other = next(module.functions["f"].walk_instrs())
+            assert all(reg.is_virtual for reg in other.regs())
+
+    def test_param_slots_order(self):
+        prog = compile_source("void f(int a, float b, int c) { }")
+        assert param_slots(prog.module.functions["f"]) == [
+            "f.arg0",
+            "f.arg1",
+            "f.arg2",
+        ]
+
+    def test_globals_carried_into_image(self):
+        prog = compile_source(SOURCE)
+        image = prog.reference_image()
+        names = {var.name for var in image.globals}
+        assert "g" in names
+
+
+class TestStripSelfCopies:
+    def test_self_copy_removed(self):
+        code = [iloc.copy(preg(1), preg(1)), iloc.copy(preg(1), preg(2))]
+        out = strip_self_copies(code)
+        assert len(out) == 1 and out[0].dst == preg(2)
+
+    def test_virtual_self_copy_also_removed(self):
+        code = [iloc.copy(vreg(3), vreg(3))]
+        assert strip_self_copies(code) == []
+
+    def test_non_copies_untouched(self):
+        code = [iloc.loadi(1, preg(0))]
+        assert strip_self_copies(code) == code

@@ -1,0 +1,31 @@
+"""The examples must stay runnable — they are documentation."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["reference output", "allocated sum_squares"]),
+    ("figure1_pdg.py", ["Region hierarchy", "digraph"]),
+    ("compare_allocators.py", ["RAP vs GRA", "coalescing extension"]),
+    ("local_spilling.py", ["GRA (k=4)", "RAP (k=4)"]),
+    ("scheduling_tension.py", ["unscheduled", "scheduled"]),
+    ("figure3_conflicts.py", ["combined graph of R3", "{a,e}"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    for fragment in expected:
+        assert fragment in result.stdout, (script, fragment, result.stdout[:500])

@@ -1,0 +1,102 @@
+"""Deeper call-machinery tests: the argument queue under nesting, stack
+discipline for local arrays, per-routine attribution under recursion."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.interp.machine import run_program
+
+
+def run(source, **kwargs):
+    return run_program(compile_source(source).reference_image(), **kwargs)
+
+
+class TestArgumentQueue:
+    def test_nested_multiarg_calls(self):
+        # g's arguments each come from calls to h with 2 args: the queue
+        # must pop exactly the callee's arity, LIFO-nested.
+        source = """
+        int h(int a, int b) { return a * 10 + b; }
+        int g(int a, int b, int c) { return a * 10000 + b * 100 + c; }
+        void main() { print(g(h(1, 2), h(3, 4), h(5, 6))); }
+        """
+        assert run(source).output == [12 * 10000 + 34 * 100 + 56]
+
+    def test_call_inside_condition_and_index(self):
+        source = """
+        int a[8];
+        int idx(int i) { return i % 8; }
+        void main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { a[idx(i)] = i; }
+            if (idx(11) == 3) { print(a[idx(11)]); }
+        }
+        """
+        assert run(source).output == [3]
+
+    def test_recursive_call_as_argument(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int tri(int n) {
+            if (n == 0) { return 0; }
+            return add(n, tri(n - 1));
+        }
+        void main() { print(tri(10)); }
+        """
+        assert run(source).output == [55]
+
+
+class TestLocalArrayFrames:
+    def test_recursive_frames_do_not_alias(self):
+        source = """
+        int depth_sum(int n) {
+            int buf[4];
+            int i;
+            for (i = 0; i < 4; i = i + 1) { buf[i] = n * 10 + i; }
+            if (n > 0) {
+                i = depth_sum(n - 1);
+            }
+            /* our frame must be intact after the recursive call */
+            return buf[0] + buf[3];
+        }
+        void main() { print(depth_sum(3)); }
+        """
+        # buf[0]=30, buf[3]=33 at the top level.
+        assert run(source).output == [63]
+
+    def test_stack_released_between_siblings(self):
+        source = """
+        int probe() {
+            int buf[16];
+            buf[0] = 7;
+            return buf[0];
+        }
+        void main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 100; i = i + 1) { s = s + probe(); }
+            print(s);
+        }
+        """
+        stats = run(source)
+        assert stats.output == [700]
+
+
+class TestAttribution:
+    def test_recursive_function_gets_all_its_cycles(self):
+        source = """
+        int f(int n) { if (n == 0) { return 0; } return f(n - 1) + 1; }
+        void main() { print(f(50)); }
+        """
+        stats = run(source)
+        assert stats.output == [50]
+        assert stats.per_function["f"].cycles > stats.per_function["main"].cycles
+
+    def test_total_is_sum_of_functions(self):
+        source = """
+        int f(int n) { return n * 2; }
+        void main() { print(f(1) + f(2) + f(3)); }
+        """
+        stats = run(source)
+        assert stats.total.cycles == sum(
+            c.cycles for c in stats.per_function.values()
+        )

@@ -1,0 +1,283 @@
+"""Tests for the iloc interpreter."""
+
+import pytest
+
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import (
+    FunctionImage,
+    Machine,
+    ProgramImage,
+    run_program,
+)
+from repro.interp.memory import MachineFault
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Symbol, preg, vreg
+from repro.pdg.graph import GlobalVar
+
+
+def run_code(code, globals_=(), entry="f"):
+    image = ProgramImage(list(globals_), {entry: FunctionImage(entry, code, [])})
+    machine = Machine(image)
+    value = machine.run(entry)
+    return value, machine
+
+
+def run_source(source, **kwargs):
+    prog = compile_source(source)
+    return run_program(prog.reference_image(), **kwargs)
+
+
+class TestArithmetic:
+    def test_add_mul(self):
+        code = [
+            iloc.loadi(6, vreg(0)),
+            iloc.loadi(7, vreg(1)),
+            iloc.binary(Op.MUL, vreg(0), vreg(1), vreg(2)),
+            iloc.binary(Op.ADD, vreg(2), vreg(0), vreg(3)),
+            Instr(Op.RET, srcs=[vreg(3)]),
+        ]
+        assert run_code(code)[0] == 48
+
+    def test_int_division_truncates_toward_zero(self):
+        assert run_source("void main() { print(7 / 2); }").output == [3]
+        assert run_source("void main() { print(-7 / 2); }").output == [-3]
+        assert run_source("void main() { print(7 / -2); }").output == [-3]
+
+    def test_float_division(self):
+        assert run_source("void main() { print(7.0 / 2); }").output == [3.5]
+
+    def test_mod_c_semantics(self):
+        assert run_source("void main() { print(7 % 3); }").output == [1]
+        assert run_source("void main() { print(-7 % 3); }").output == [-1]
+        assert run_source("void main() { print(7 % -3); }").output == [1]
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(MachineFault):
+            run_source("void main() { int z; z = 0; print(1 / z); }")
+
+    def test_comparisons_yield_zero_one(self):
+        out = run_source(
+            "void main() { print(1 < 2); print(2 < 1); print(2 <= 2);"
+            " print(3 > 1); print(1 >= 2); print(2 == 2); print(2 != 2); }"
+        ).output
+        assert out == [1, 0, 1, 1, 0, 1, 0]
+
+    def test_logical_ops(self):
+        out = run_source(
+            "void main() { print(1 && 2); print(1 && 0); print(0 || 3);"
+            " print(0 || 0); print(!0); print(!5); }"
+        ).output
+        assert out == [1, 0, 1, 0, 1, 0]
+
+    def test_negation(self):
+        assert run_source("void main() { print(-(3 + 4)); }").output == [-7]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        out = run_source(
+            "void main() { int x; x = 5;"
+            " if (x > 3) { print(1); } else { print(2); } }"
+        ).output
+        assert out == [1]
+
+    def test_while_loop(self):
+        out = run_source(
+            "void main() { int i; int s; s = 0;"
+            " for (i = 0; i < 10; i = i + 1) { s = s + i; } print(s); }"
+        ).output
+        assert out == [45]
+
+    def test_zero_trip_loop(self):
+        out = run_source(
+            "void main() { int i; for (i = 5; i < 0; i = i + 1) { print(9); }"
+            " print(i); }"
+        ).output
+        assert out == [5]
+
+    def test_early_return(self):
+        out = run_source(
+            "int f(int x) { if (x > 0) { return 1; } return 2; }"
+            "void main() { print(f(5)); print(f(-5)); }"
+        ).output
+        assert out == [1, 2]
+
+    def test_fall_off_end_returns_zero(self):
+        out = run_source("int f() { } void main() { print(f()); }").output
+        assert out == [0]
+
+
+class TestCalls:
+    def test_recursion(self):
+        out = run_source(
+            "int fact(int n) { if (n <= 1) { return 1; }"
+            " return n * fact(n - 1); } void main() { print(fact(6)); }"
+        ).output
+        assert out == [720]
+
+    def test_nested_call_arguments(self):
+        out = run_source(
+            "int add(int a, int b) { return a + b; }"
+            "void main() { print(add(add(1, 2), add(3, 4))); }"
+        ).output
+        assert out == [10]
+
+    def test_register_frames_are_private(self):
+        # The callee writes its registers heavily; the caller's loop
+        # variable must be unaffected.
+        out = run_source(
+            """
+            int burn(int n) { int a; int b; a = n * 2; b = a + 1; return b; }
+            void main() {
+                int i; int s; s = 0;
+                for (i = 0; i < 3; i = i + 1) { s = s + burn(i); }
+                print(s);
+            }
+            """
+        ).output
+        assert out == [9]
+
+    def test_arity_mismatch_faults(self):
+        code = [Instr(Op.CALL, callee="g"), Instr(Op.RET)]
+        image = ProgramImage(
+            [],
+            {
+                "f": FunctionImage("f", code, []),
+                "g": FunctionImage("g", [Instr(Op.RET)], ["g.arg0"]),
+            },
+        )
+        with pytest.raises(MachineFault):
+            Machine(image).run("f")
+
+    def test_unknown_function_faults(self):
+        code = [Instr(Op.CALL, callee="nope"), Instr(Op.RET)]
+        with pytest.raises(MachineFault):
+            run_code(code)
+
+
+class TestMemory:
+    def test_global_scalar_init_and_update(self):
+        out = run_source(
+            "int g = 41; void main() { g = g + 1; print(g); }"
+        ).output
+        assert out == [42]
+
+    def test_global_array_zero_initialized(self):
+        out = run_source("int a[4]; void main() { print(a[3]); }").output
+        assert out == [0]
+
+    def test_array_roundtrip(self):
+        out = run_source(
+            "int a[8]; void main() { int i;"
+            " for (i = 0; i < 8; i = i + 1) { a[i] = i * i; }"
+            " print(a[7]); }"
+        ).output
+        assert out == [49]
+
+    def test_two_dim_array(self):
+        out = run_source(
+            "int m[3][4]; void main() { m[2][3] = 5; m[0][0] = 1;"
+            " print(m[2][3] + m[0][0]); }"
+        ).output
+        assert out == [6]
+
+    def test_local_array_per_activation(self):
+        out = run_source(
+            """
+            int f(int n) {
+                int a[4];
+                a[0] = n;
+                if (n > 0) { f(n - 1); }
+                return a[0];
+            }
+            void main() { print(f(3)); }
+            """
+        ).output
+        assert out == [3]
+
+    def test_array_parameter_aliases_caller_array(self):
+        out = run_source(
+            """
+            int g[4];
+            void set(int v[], int i, int value) { v[i] = value; }
+            void main() { set(g, 2, 9); print(g[2]); }
+            """
+        ).output
+        assert out == [9]
+
+    def test_spill_slots_are_per_activation(self):
+        # Direct machine-level test: recursion must not clobber slots.
+        slot = Symbol("f.s")
+        code_f = [
+            iloc.ldm(Symbol("f.arg0"), vreg(0)),
+            iloc.stm(slot, vreg(0)),
+            iloc.loadi(1, vreg(1)),
+            iloc.binary(Op.CMP_GT, vreg(0), vreg(1), vreg(2)),
+            iloc.cbr(vreg(2), "R", "E"),
+            iloc.label("R"),
+            iloc.binary(Op.SUB, vreg(0), vreg(1), vreg(3)),
+            Instr(Op.PARAM, srcs=[vreg(3)]),
+            Instr(Op.CALL, callee="f", dst=vreg(4)),
+            iloc.label("E"),
+            iloc.ldm(slot, vreg(5)),
+            Instr(Op.RET, srcs=[vreg(5)]),
+        ]
+        image = ProgramImage(
+            [], {"f": FunctionImage("f", code_f, ["f.arg0"])}
+        )
+        machine = Machine(image)
+        assert machine.run("f", [5]) == 5
+
+    def test_uninitialized_register_faults(self):
+        code = [Instr(Op.PRINT, srcs=[vreg(0)]), Instr(Op.RET)]
+        with pytest.raises(MachineFault):
+            run_code(code)
+
+    def test_non_integer_address_faults(self):
+        code = [
+            iloc.loadi(1.5, vreg(0)),
+            iloc.load(vreg(0), vreg(1)),
+            Instr(Op.RET),
+        ]
+        with pytest.raises(MachineFault):
+            run_code(code)
+
+
+class TestCounters:
+    def test_cycle_count_excludes_labels(self):
+        code = [
+            iloc.label("L"),
+            iloc.loadi(1, vreg(0)),
+            Instr(Op.RET, srcs=[vreg(0)]),
+        ]
+        _, machine = run_code(code)
+        assert machine.stats.total.cycles == 2
+
+    def test_load_store_copy_counters(self):
+        stats = run_source(
+            "int g; void main() { int x; x = g; g = x; print(x); }"
+        )
+        assert stats.total.loads >= 1
+        assert stats.total.stores >= 1
+        assert stats.total.copies >= 1
+
+    def test_per_function_attribution_excludes_callees(self):
+        stats = run_source(
+            """
+            int inner() { int i; int s; s = 0;
+                for (i = 0; i < 10; i = i + 1) { s = s + 1; } return s; }
+            void main() { print(inner()); }
+            """
+        )
+        total = stats.total.cycles
+        inner = stats.per_function["inner"].cycles
+        main = stats.per_function["main"].cycles
+        assert inner + main == total
+        assert inner > main
+
+    def test_cycle_budget_enforced(self):
+        with pytest.raises(MachineFault):
+            run_source(
+                "void main() { int i; i = 0; while (i < 100) { i = i + 0; } }",
+                max_cycles=10_000,
+            )

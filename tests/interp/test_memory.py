@@ -1,0 +1,81 @@
+"""Tests for the machine memory model."""
+
+import pytest
+
+from repro.interp.memory import GLOBAL_BASE, MachineFault, Memory
+from repro.pdg.graph import GlobalVar
+
+
+def make_memory():
+    return Memory(
+        [
+            GlobalVar("n", "int", [], 7),
+            GlobalVar("x", "float", [], None),
+            GlobalVar("a", "int", [10]),
+            GlobalVar("m", "float", [4, 4]),
+        ]
+    )
+
+
+class TestLayout:
+    def test_arrays_get_disjoint_ranges(self):
+        memory = make_memory()
+        a, m = memory.array_base["a"], memory.array_base["m"]
+        assert a == GLOBAL_BASE
+        assert m >= a + 10
+
+    def test_stack_above_globals(self):
+        memory = make_memory()
+        assert memory.stack_base > memory.array_base["m"] + 16
+
+    def test_scalars_not_in_heap(self):
+        memory = make_memory()
+        assert "n" not in memory.array_base
+
+
+class TestScalars:
+    def test_initialized_value(self):
+        assert make_memory().load_scalar("n") == 7
+
+    def test_uninitialized_defaults_by_type(self):
+        memory = make_memory()
+        assert memory.load_scalar("x") == 0.0
+        assert isinstance(memory.load_scalar("x"), float)
+
+    def test_store_and_reload(self):
+        memory = make_memory()
+        memory.store_scalar("n", 99)
+        assert memory.load_scalar("n") == 99
+
+
+class TestHeap:
+    def test_uninitialized_reads_zero(self):
+        assert make_memory().load(GLOBAL_BASE + 3) == 0
+
+    def test_store_load_roundtrip(self):
+        memory = make_memory()
+        memory.store(GLOBAL_BASE + 3, 42)
+        assert memory.load(GLOBAL_BASE + 3) == 42
+
+    def test_negative_address_faults(self):
+        with pytest.raises(MachineFault):
+            make_memory().load(-1)
+
+    def test_float_address_faults(self):
+        with pytest.raises(MachineFault):
+            make_memory().store(1.5, 0)
+
+
+class TestStack:
+    def test_alloca_bumps(self):
+        memory = make_memory()
+        first = memory.alloca(8)
+        second = memory.alloca(4)
+        assert second == first + 8
+
+    def test_release_restores(self):
+        memory = make_memory()
+        mark = memory.stack_top
+        memory.alloca(16)
+        memory.release_to(mark)
+        assert memory.alloca(1) == mark

@@ -1,0 +1,22 @@
+"""Tests for execution statistics containers."""
+
+from repro.interp.stats import Counters, ExecStats
+
+
+def test_counters_add():
+    a = Counters(cycles=10, loads=2, stores=1, copies=3)
+    b = Counters(cycles=5, loads=1, stores=1, copies=0)
+    a.add(b)
+    assert (a.cycles, a.loads, a.stores, a.copies) == (15, 3, 2, 3)
+
+
+def test_counters_as_dict():
+    c = Counters(cycles=1, loads=2, stores=3, copies=4)
+    assert c.as_dict() == {"cycles": 1, "loads": 2, "stores": 3, "copies": 4}
+
+
+def test_exec_stats_function_creates_on_demand():
+    stats = ExecStats()
+    stats.function("f").cycles += 5
+    assert stats.per_function["f"].cycles == 5
+    assert stats.function("f") is stats.per_function["f"]

@@ -1,0 +1,52 @@
+"""Tests for the execution tracer."""
+
+from repro.compiler import compile_source
+from repro.interp.machine import Machine, Tracer
+
+SOURCE = """
+int f(int n) { return n + 1; }
+void main() { print(f(1) + f(2)); }
+"""
+
+
+def traced_machine(limit=10_000):
+    prog = compile_source(SOURCE)
+    tracer = Tracer(limit=limit)
+    machine = Machine(prog.reference_image(), tracer=tracer)
+    machine.run("main")
+    return machine, tracer
+
+
+def test_event_count_matches_cycles():
+    machine, tracer = traced_machine()
+    assert len(tracer.events) == machine.stats.total.cycles
+
+
+def test_events_carry_function_names():
+    _, tracer = traced_machine()
+    names = {name for name, _, _ in tracer.events}
+    assert names == {"main", "f"}
+
+
+def test_limit_keeps_tail():
+    machine, tracer = traced_machine(limit=5)
+    assert len(tracer.events) == 5
+    # The tail ends with main's final instructions (print/ret).
+    assert tracer.events[-1][0] == "main"
+
+
+def test_tail_formatting():
+    _, tracer = traced_machine()
+    lines = tracer.tail(3)
+    assert len(lines) == 3
+    assert all("@" in line and ":" in line for line in lines)
+
+
+def test_no_tracer_no_overhead_difference_in_behaviour():
+    prog = compile_source(SOURCE)
+    plain = Machine(prog.reference_image())
+    plain.run("main")
+    traced = Machine(prog.reference_image(), tracer=Tracer())
+    traced.run("main")
+    assert plain.stats.output == traced.stats.output
+    assert plain.stats.total.cycles == traced.stats.total.cycles

@@ -1,0 +1,220 @@
+"""Tests for AST -> PDG lowering."""
+
+import pytest
+
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+from repro.ir.builder import arg_slot_name, build_module
+from repro.ir.iloc import Op
+from repro.pdg.nodes import Predicate, Region
+
+
+def build(source, granularity="statement"):
+    program = parse(source)
+    return build_module(program, analyze(program), granularity=granularity)
+
+
+def func_of(source, name="f", granularity="statement"):
+    return build(source, granularity).functions[name]
+
+
+def ops_of(func):
+    return [instr.op for instr in func.walk_instrs()]
+
+
+class TestScalars:
+    def test_assignment_ends_in_copy(self):
+        # The paper's copy-statement analysis depends on unallocated iloc
+        # containing an explicit i2i per scalar assignment.
+        func = func_of("void f() { int x; x = 1 + 2; }")
+        ops = ops_of(func)
+        assert ops == [Op.LOADI, Op.LOADI, Op.ADD, Op.I2I]
+
+    def test_variable_has_stable_home_register(self):
+        func = func_of("void f() { int x; x = 1; x = 2; }")
+        copies = [i for i in func.walk_instrs() if i.op is Op.I2I]
+        assert copies[0].dst == copies[1].dst
+
+    def test_decl_with_init_emits_copy(self):
+        func = func_of("void f() { int x = 5; }")
+        assert ops_of(func) == [Op.LOADI, Op.I2I]
+
+    def test_decl_without_init_emits_nothing(self):
+        func = func_of("void f() { int x; }")
+        assert ops_of(func) == []  # the implicit ret is added at linearization
+
+
+class TestGlobals:
+    def test_global_scalar_read_is_ldm(self):
+        module = build("int g; void f() { int x; x = g; }")
+        func = module.functions["f"]
+        ldms = [i for i in func.walk_instrs() if i.op is Op.LDM]
+        assert len(ldms) == 1
+        assert ldms[0].addr.name == "g" and ldms[0].addr.space == "global"
+
+    def test_global_scalar_write_is_stm(self):
+        func = build("int g; void f() { g = 3; }").functions["f"]
+        stms = [i for i in func.walk_instrs() if i.op is Op.STM]
+        assert len(stms) == 1 and stms[0].addr.space == "global"
+
+    def test_global_array_access_uses_loada(self):
+        func = build("int a[4]; void f() { a[1] = 2; }").functions["f"]
+        ops = ops_of(func)
+        assert Op.LOADA in ops and Op.STORE in ops
+
+
+class TestArrays:
+    def test_local_array_alloca_hoisted_to_entry(self):
+        func = func_of(
+            "void f() { int i; for (i = 0; i < 2; i = i + 1) { int a[8]; a[0] = i; } }"
+        )
+        first_items = [
+            item for item in func.entry.items if not isinstance(item, Region)
+        ]
+        assert first_items[0].op is Op.ALLOCA
+        assert first_items[0].imm == 8
+
+    def test_two_dim_addressing_multiplies_by_column_extent(self):
+        func = build("int m[3][7]; void f() { m[1][2] = 9; }").functions["f"]
+        loadis = [i for i in func.walk_instrs() if i.op is Op.LOADI]
+        assert any(i.imm == 7 for i in loadis)  # column extent materialized
+
+    def test_one_dim_addressing_has_no_multiply(self):
+        func = build("int a[5]; void f() { a[3] = 1; }").functions["f"]
+        assert Op.MUL not in ops_of(func)
+
+    def test_array_param_base_used_directly(self):
+        func = func_of("void f(int v[]) { v[0] = 1; }")
+        assert Op.LOADA not in ops_of(func)
+
+
+class TestParams:
+    def test_prologue_loads_each_param_from_arg_slot(self):
+        func = func_of("void f(int a, float b) { }")
+        prologue = [i for i in func.entry.items if not isinstance(i, Region)][:2]
+        assert all(i.op is Op.LDM for i in prologue)
+        assert prologue[0].addr.name == arg_slot_name("f", 0)
+        assert prologue[1].addr.name == arg_slot_name("f", 1)
+        assert prologue[0].dst == func.params[0].reg
+
+    def test_param_slots_are_spill_space(self):
+        func = func_of("void f(int a) { }")
+        prologue = next(i for i in func.walk_instrs() if i.op is Op.LDM)
+        assert prologue.addr.space == "spill"
+
+
+class TestCalls:
+    def test_params_then_call(self):
+        module = build("int g(int a, int b) { return a; } void f() { int x; x = g(1, 2); }")
+        func = module.functions["f"]
+        ops = ops_of(func)
+        call_at = ops.index(Op.CALL)
+        assert ops[call_at - 2] is Op.PARAM and ops[call_at - 1] is Op.PARAM
+
+    def test_call_without_result_has_no_dst(self):
+        module = build("void g() { } void f() { g(); }")
+        call = next(i for i in module.functions["f"].walk_instrs() if i.op is Op.CALL)
+        assert call.dst is None
+
+    def test_call_with_result_has_dst(self):
+        module = build("int g() { return 1; } void f() { int x; x = g(); }")
+        call = next(i for i in module.functions["f"].walk_instrs() if i.op is Op.CALL)
+        assert call.dst is not None
+
+    def test_array_argument_passes_base_address(self):
+        module = build("int a[4]; void g(int v[]) { } void f() { g(a); }")
+        func = module.functions["f"]
+        assert Op.LOADA in ops_of(func)
+
+
+class TestRegions:
+    def test_statement_granularity_one_region_per_statement(self):
+        func = func_of("void f() { int x; x = 1; x = 2; x = 3; }")
+        stmt_regions = [
+            item for item in func.entry.items if isinstance(item, Region)
+        ]
+        assert len(stmt_regions) == 3
+        assert all(region.kind == "stmt" for region in stmt_regions)
+
+    def test_merged_granularity_attaches_directly(self):
+        func = func_of(
+            "void f() { int x; x = 1; x = 2; }", granularity="merged"
+        )
+        assert not [i for i in func.entry.items if isinstance(i, Region)]
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            build("void f() { }", granularity="huge")
+
+    def test_if_region_structure(self):
+        func = func_of("void f() { int x; if (1) { x = 1; } else { x = 2; } }")
+        if_region = func.entry.items[-1]
+        pred = next(i for i in if_region.items if isinstance(i, Predicate))
+        assert pred.true_region is not None and pred.false_region is not None
+
+    def test_if_without_else_has_no_false_region(self):
+        func = func_of("void f() { if (1) { print(1); } }")
+        if_region = func.entry.items[-1]
+        pred = next(i for i in if_region.items if isinstance(i, Predicate))
+        assert pred.false_region is None
+
+    def test_while_is_loop_region_with_guard(self):
+        func = func_of("void f() { int i; i = 0; while (i < 3) { i = i + 1; } }")
+        loop = next(
+            item
+            for item in func.entry.items
+            if isinstance(item, Region) and item.is_loop
+        )
+        assert isinstance(loop.items[-1], Predicate)
+        assert loop.items[-1].false_region is None
+
+    def test_for_desugars_to_init_plus_loop(self):
+        func = func_of("void f() { int i; for (i = 0; i < 3; i = i + 1) { print(i); } }")
+        regions = [item for item in func.entry.items if isinstance(item, Region)]
+        assert regions[-1].is_loop
+        # The update statement lands at the end of the body region.
+        body = regions[-1].items[-1].true_region
+        assert isinstance(body.items[-1], Region)
+
+    def test_for_without_condition_guards_on_constant_true(self):
+        func = func_of(
+            "void f() { int i; i = 0; for (;;) { i = i + 1; if (i > 2) { return; } } }"
+        )
+        loop = next(
+            item
+            for item in func.entry.items
+            if isinstance(item, Region) and item.is_loop
+        )
+        guard_cond_def = loop.items[0]
+        assert guard_cond_def.op is Op.LOADI and guard_cond_def.imm == 1
+
+    def test_figure1_shape(self):
+        # The paper's Figure 1: while loop containing an if/else.
+        func = func_of(
+            """
+            void f() {
+                int i; int j;
+                i = 1;
+                while (i < 10) {
+                    j = i + 1;
+                    if (j == 7) { print(1); } else { print(2); }
+                    i = i + 1;
+                }
+                print(i);
+            }
+            """
+        )
+        loop = next(
+            item
+            for item in func.entry.items
+            if isinstance(item, Region) and item.is_loop
+        )
+        body = loop.items[-1].true_region
+        if_region = next(
+            item
+            for item in body.items
+            if isinstance(item, Region)
+            and any(isinstance(x, Predicate) for x in item.items)
+        )
+        pred = next(x for x in if_region.items if isinstance(x, Predicate))
+        assert pred.true_region is not None and pred.false_region is not None

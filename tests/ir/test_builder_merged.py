@@ -1,0 +1,67 @@
+"""Merged-granularity lowering details (the §4 larger-regions variant)."""
+
+import pytest
+
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+from repro.ir.builder import build_module
+from repro.ir.iloc import Op
+from repro.pdg.nodes import Predicate, Region
+
+
+def func_of(source, name="f"):
+    program = parse(source)
+    module = build_module(program, analyze(program), granularity="merged")
+    return module.functions[name]
+
+
+class TestMergedGranularity:
+    def test_simple_statements_attach_to_parent(self):
+        func = func_of("void f() { int x; x = 1; x = 2; print(x); }")
+        assert not [i for i in func.entry.items if isinstance(i, Region)]
+
+    def test_control_statements_still_get_regions(self):
+        func = func_of(
+            "void f() { int x; x = 1; if (x) { x = 2; } while (x) { x = 0; } }"
+        )
+        regions = [i for i in func.entry.items if isinstance(i, Region)]
+        assert len(regions) == 2
+        assert regions[1].is_loop
+
+    def test_branch_bodies_merge_their_statements(self):
+        func = func_of(
+            "void f() { int x; if (1) { x = 1; x = 2; print(x); } }"
+        )
+        if_region = next(i for i in func.entry.items if isinstance(i, Region))
+        pred = next(i for i in if_region.items if isinstance(i, Predicate))
+        then_region = pred.true_region
+        # All three statements lowered directly into the branch region.
+        assert not [i for i in then_region.items if isinstance(i, Region)]
+        assert sum(1 for i in then_region.items if i.op is Op.I2I) == 2
+
+    def test_loop_bodies_merge_their_statements(self):
+        func = func_of(
+            "void f() { int i; int s; s = 0;"
+            " for (i = 0; i < 3; i = i + 1) { s = s + i; s = s * 2; } }"
+        )
+        loop = next(
+            i
+            for i in func.entry.items
+            if isinstance(i, Region) and i.is_loop
+        )
+        body = loop.items[-1].true_region
+        assert not [i for i in body.items if isinstance(i, Region)]
+
+    def test_same_code_both_granularities(self):
+        # The instruction stream is identical; only the region partition
+        # differs (so Table-1 differences are purely allocator behaviour).
+        source = "void f(int a) { int x; x = a + 1; if (x) { print(x); } }"
+        program = parse(source)
+        merged = build_module(program, analyze(program), granularity="merged")
+        program2 = parse(source)
+        per_stmt = build_module(
+            program2, analyze(program2), granularity="statement"
+        )
+        ops_merged = [i.op for i in merged.functions["f"].walk_instrs()]
+        ops_stmt = [i.op for i in per_stmt.functions["f"].walk_instrs()]
+        assert ops_merged == ops_stmt

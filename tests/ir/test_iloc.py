@@ -1,0 +1,107 @@
+"""Unit tests for the iloc instruction set."""
+
+import pytest
+
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Reg, Symbol, preg, vreg
+
+
+class TestReg:
+    def test_virtual_and_physical(self):
+        assert vreg(3).is_virtual and not vreg(3).is_physical
+        assert preg(2).is_physical and not preg(2).is_virtual
+
+    def test_str(self):
+        assert str(vreg(7)) == "%v7"
+        assert str(preg(0)) == "r0"
+
+    def test_equality_and_hash(self):
+        assert vreg(1) == vreg(1)
+        assert vreg(1) != preg(1)
+        assert len({vreg(1), vreg(1), preg(1)}) == 2
+
+    def test_ordering_is_total(self):
+        regs = [vreg(2), preg(1), vreg(0)]
+        assert sorted(regs) == [preg(1), vreg(0), vreg(2)]
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Reg("x", 0)
+
+
+class TestSymbol:
+    def test_spaces(self):
+        assert Symbol("a").space == "spill"
+        assert Symbol("g", "global").space == "global"
+
+    def test_bad_space_rejected(self):
+        with pytest.raises(ValueError):
+            Symbol("a", "heap")
+
+    def test_equality(self):
+        assert Symbol("a") == Symbol("a")
+        assert Symbol("a") != Symbol("a", "global")
+
+
+class TestInstr:
+    def test_uses_and_defs_binary(self):
+        instr = iloc.binary(Op.ADD, vreg(1), vreg(2), vreg(3))
+        assert instr.uses == [vreg(1), vreg(2)]
+        assert instr.defs == [vreg(3)]
+        assert instr.regs() == [vreg(1), vreg(2), vreg(3)]
+
+    def test_store_has_no_defs(self):
+        instr = iloc.store(vreg(1), vreg(2))
+        assert instr.defs == [] and instr.uses == [vreg(1), vreg(2)]
+
+    def test_ldm_defines_only(self):
+        instr = iloc.ldm(Symbol("s"), vreg(4))
+        assert instr.uses == [] and instr.defs == [vreg(4)]
+
+    def test_copy_flag(self):
+        assert iloc.copy(vreg(1), vreg(2)).is_copy
+        assert not iloc.loadi(1, vreg(2)).is_copy
+
+    def test_branch_flags(self):
+        assert iloc.cbr(vreg(1), "a", "b").is_branch
+        assert iloc.jmp("a").is_branch
+        assert Instr(Op.RET).is_branch
+        assert not iloc.copy(vreg(1), vreg(2)).is_branch
+
+    def test_rewrite_regs(self):
+        instr = iloc.binary(Op.ADD, vreg(1), vreg(2), vreg(1))
+        instr.rewrite_regs({vreg(1): preg(0), vreg(2): preg(1)})
+        assert instr.srcs == [preg(0), preg(1)] and instr.dst == preg(0)
+
+    def test_rewrite_leaves_unmapped_regs(self):
+        instr = iloc.copy(vreg(1), vreg(2))
+        instr.rewrite_regs({vreg(1): preg(0)})
+        assert instr.srcs == [preg(0)] and instr.dst == vreg(2)
+
+    def test_clone_is_independent(self):
+        instr = iloc.binary(Op.MUL, vreg(1), vreg(2), vreg(3))
+        other = instr.clone()
+        other.rewrite_regs({vreg(1): preg(0)})
+        assert instr.srcs[0] == vreg(1)
+        assert other.srcs[0] == preg(0)
+
+    def test_binary_constructor_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            iloc.binary(Op.I2I, vreg(1), vreg(2), vreg(3))
+
+    def test_str_forms(self):
+        assert str(iloc.loadi(5, vreg(1))) == "loadI 5 => %v1"
+        assert str(iloc.copy(vreg(1), vreg(2))) == "i2i %v1 => %v2"
+        assert str(iloc.ldm(Symbol("s"), vreg(1))) == "ldm [s] => %v1"
+        assert str(iloc.stm(Symbol("s"), vreg(1))) == "stm [s], %v1"
+        assert str(iloc.cbr(vreg(1), "a", "b")) == "cbr %v1 -> a, b"
+        assert str(iloc.label("L")) == "L:"
+        assert "call f" in str(Instr(Op.CALL, callee="f", dst=vreg(1)))
+
+    def test_counting_categories_are_disjoint(self):
+        load_set = set(iloc.LOAD_OPS)
+        store_set = set(iloc.STORE_OPS)
+        copy_set = set(iloc.COPY_OPS)
+        assert not (load_set & store_set)
+        assert not (load_set & copy_set)
+        assert not (store_set & copy_set)

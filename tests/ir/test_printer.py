@@ -1,0 +1,47 @@
+"""Tests for the listing printer."""
+
+from repro.compiler import compile_source
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+from repro.ir.printer import format_code, format_function, format_region
+from repro.pdg.linearize import linearize
+
+
+SRC = """
+void f(int a) {
+    int x;
+    x = a + 1;
+    if (x > 2) { print(x); }
+    while (x > 0) { x = x - 1; }
+}
+"""
+
+
+def test_format_code_outdents_labels():
+    code = [iloc.label("L1"), iloc.loadi(1, vreg(0))]
+    text = format_code(code)
+    assert text.splitlines()[0] == "L1:"
+    assert text.splitlines()[1].startswith("    ")
+
+
+def test_format_function_shows_header_and_regions():
+    func = compile_source(SRC).module.functions["f"]
+    text = format_function(func)
+    assert text.startswith("function f(")
+    assert "(loop)" in text
+    assert "if %v" in text
+
+
+def test_format_region_nests_branches():
+    func = compile_source(SRC).module.functions["f"]
+    text = format_region(func.entry)
+    assert "[entry]" in text
+    assert "print" in text
+
+
+def test_linear_listing_roundtrips_all_instructions():
+    func = compile_source(SRC).module.functions["f"]
+    linear = linearize(func)
+    text = format_code(linear.instrs)
+    body = [i for i in linear.instrs if i.op is not Op.LABEL]
+    assert len([l for l in text.splitlines() if l.startswith("    ")]) == len(body)

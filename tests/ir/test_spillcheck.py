@@ -1,0 +1,123 @@
+"""Tests for the spill-slot discipline verifier."""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.suite import program
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Symbol, vreg
+from repro.ir.spillcheck import (
+    SpillSlotError,
+    check_spill_discipline,
+    spill_slots_used,
+)
+
+S = Symbol("f.%v1")
+T = Symbol("f.%v2")
+
+
+class TestBasics:
+    def test_store_then_load_ok(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.stm(S, vreg(0)),
+            iloc.ldm(S, vreg(1)),
+            Instr(Op.RET, srcs=[vreg(1)]),
+        ]
+        check_spill_discipline(code)
+
+    def test_load_before_store_rejected(self):
+        code = [
+            iloc.ldm(S, vreg(1)),
+            iloc.stm(S, vreg(1)),
+            Instr(Op.RET),
+        ]
+        with pytest.raises(SpillSlotError):
+            check_spill_discipline(code)
+
+    def test_initialized_slots_whitelisted(self):
+        code = [iloc.ldm(Symbol("f.arg0"), vreg(0)), Instr(Op.RET)]
+        check_spill_discipline(code, initialized=["f.arg0"])
+        with pytest.raises(SpillSlotError):
+            check_spill_discipline(code)
+
+    def test_global_symbols_ignored(self):
+        code = [iloc.ldm(Symbol("g", "global"), vreg(0)), Instr(Op.RET)]
+        check_spill_discipline(code)  # globals are zero-initialized data
+
+    def test_spill_slots_used(self):
+        code = [
+            iloc.stm(S, vreg(0)),
+            iloc.ldm(T, vreg(1)),
+            iloc.ldm(Symbol("g", "global"), vreg(2)),
+        ]
+        assert spill_slots_used(code) == {S.name, T.name}
+
+
+class TestPathSensitivity:
+    def test_store_on_one_branch_only_rejected(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.cbr(vreg(0), "T", "E"),
+            iloc.label("T"),
+            iloc.stm(S, vreg(0)),
+            iloc.label("E"),
+            iloc.ldm(S, vreg(1)),
+            Instr(Op.RET, srcs=[vreg(1)]),
+        ]
+        with pytest.raises(SpillSlotError):
+            check_spill_discipline(code)
+
+    def test_store_on_both_branches_ok(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.cbr(vreg(0), "T", "F"),
+            iloc.label("T"),
+            iloc.stm(S, vreg(0)),
+            iloc.jmp("E"),
+            iloc.label("F"),
+            iloc.stm(S, vreg(0)),
+            iloc.label("E"),
+            iloc.ldm(S, vreg(1)),
+            Instr(Op.RET, srcs=[vreg(1)]),
+        ]
+        check_spill_discipline(code)
+
+    def test_loop_carried_store_counts(self):
+        # store in iteration n feeds load in iteration n+1 — but the first
+        # iteration's load has no prior store: rejected.
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.label("H"),
+            iloc.ldm(S, vreg(1)),
+            iloc.stm(S, vreg(0)),
+            iloc.cbr(vreg(0), "H", "X"),
+            iloc.label("X"),
+            Instr(Op.RET),
+        ]
+        with pytest.raises(SpillSlotError):
+            check_spill_discipline(code)
+
+    def test_preloop_store_makes_loop_load_safe(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.stm(S, vreg(0)),
+            iloc.label("H"),
+            iloc.ldm(S, vreg(1)),
+            iloc.cbr(vreg(0), "H", "X"),
+            iloc.label("X"),
+            Instr(Op.RET),
+        ]
+        check_spill_discipline(code)
+
+
+class TestAllocatorsRespectDiscipline:
+    @pytest.mark.parametrize("allocator", ["gra", "rap"])
+    @pytest.mark.parametrize("name", ["hsort", "queens", "sieve"])
+    def test_suite_output_clean(self, allocator, name):
+        harness = Harness()
+        image, _ = harness.allocate_program(program(name), allocator, 3)
+        for func_image in image.functions.values():
+            check_spill_discipline(
+                func_image.code, initialized=func_image.param_slots
+            )

@@ -1,0 +1,64 @@
+"""Tests for the structural code verifier."""
+
+import pytest
+
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, preg, vreg
+from repro.ir.validate import (
+    ValidationError,
+    check_allocated,
+    check_wellformed,
+    used_registers,
+)
+
+
+class TestWellformed:
+    def test_valid_code_passes(self):
+        code = [
+            iloc.label("L0"),
+            iloc.loadi(1, vreg(0)),
+            iloc.cbr(vreg(0), "L0", "L1"),
+            iloc.label("L1"),
+            Instr(Op.RET),
+        ]
+        check_wellformed(code)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ValidationError):
+            check_wellformed([iloc.label("L"), iloc.label("L")])
+
+    def test_jump_to_unknown_label_rejected(self):
+        with pytest.raises(ValidationError):
+            check_wellformed([iloc.jmp("nowhere")])
+
+    def test_branch_to_unknown_label_rejected(self):
+        with pytest.raises(ValidationError):
+            check_wellformed(
+                [iloc.label("a"), iloc.cbr(vreg(0), "a", "missing")]
+            )
+
+    def test_bad_operand_count_rejected(self):
+        broken = Instr(Op.I2I, srcs=[vreg(1), vreg(2)], dst=vreg(3))
+        with pytest.raises(ValidationError):
+            check_wellformed([broken])
+
+    def test_missing_symbol_rejected(self):
+        with pytest.raises(ValidationError):
+            check_wellformed([Instr(Op.LDM, dst=vreg(0))])
+
+
+class TestAllocated:
+    def test_physical_code_passes(self):
+        check_allocated([iloc.copy(preg(0), preg(1))], k=2)
+
+    def test_surviving_virtual_register_rejected(self):
+        with pytest.raises(ValidationError):
+            check_allocated([iloc.copy(preg(0), vreg(1))], k=2)
+
+    def test_register_index_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            check_allocated([iloc.copy(preg(0), preg(5))], k=3)
+
+    def test_used_registers(self):
+        code = [iloc.copy(preg(0), preg(1)), iloc.loadi(1, preg(0))]
+        assert used_registers(code) == {preg(0), preg(1)}

@@ -1,0 +1,43 @@
+"""Tests for DOT export."""
+
+from repro.compiler import compile_source
+from repro.pdg.dot import to_dot
+
+SRC = """
+void f() {
+    int i;
+    i = 1;
+    while (i < 10) {
+        if (i == 7) { print(1); } else { print(2); }
+        i = i + 1;
+    }
+}
+"""
+
+
+def test_dot_is_syntactically_plausible():
+    func = compile_source(SRC).module.functions["f"]
+    dot = to_dot(func)
+    assert dot.startswith('digraph "f"')
+    assert dot.rstrip().endswith("}")
+    assert dot.count("{") == dot.count("}")
+
+
+def test_dot_contains_predicate_and_loop_markers():
+    func = compile_source(SRC).module.functions["f"]
+    dot = to_dot(func)
+    assert "diamond" in dot          # predicate node
+    assert "(loop)" in dot           # loop region
+    assert '[label="T"]' in dot and '[label="F"]' in dot
+
+
+def test_dot_without_code_has_no_boxes():
+    func = compile_source(SRC).module.functions["f"]
+    dot = to_dot(func, include_code=False)
+    assert "shape=box" not in dot
+
+
+def test_dot_with_data_deps_adds_dashed_edges():
+    func = compile_source(SRC).module.functions["f"]
+    dot = to_dot(func, include_data_deps=True)
+    assert "style=dashed" in dot

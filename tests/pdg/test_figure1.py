@@ -1,0 +1,135 @@
+"""Reproduction of the paper's Figure 1.
+
+The figure shows the PDG of:
+
+    1: i := 1
+    2: while (i < 10) {
+    3:     j = i + 1
+    4:     if (j == 7)
+    5:         ...
+       else
+    6:         ...
+    7:     i = i + 1
+       }
+    8: ...
+
+with region nodes R1 (entry conditions), R2 (loop), R3 (loop body),
+R4 (THEN branch), R5 (ELSE branch), data-dependence edges (1 -> 3 for i,
+the self cycle on 7), and control-dependence structure.  This test builds
+the same program through the front end and checks each structural claim.
+"""
+
+from repro.compiler import compile_source
+from repro.ir.iloc import Op
+from repro.pdg.datadeps import flow_dependences
+from repro.pdg.liveness import FunctionAnalysis
+from repro.pdg.nodes import Predicate, Region
+
+FIGURE1_SOURCE = """
+void f() {
+    int i;
+    int j;
+    i = 1;                 /* statement 1 */
+    while (i < 10) {       /* predicate P1, regions R2/R3 */
+        j = i + 1;         /* statement 3 */
+        if (j == 7) {      /* predicate P2, regions R4/R5 */
+            print(4);      /* statement 5 (then) */
+        } else {
+            print(6);      /* statement 6 (else) */
+        }
+        i = i + 1;         /* statement 7 */
+    }
+    print(i);              /* statement 8 */
+}
+"""
+
+
+def build():
+    func = compile_source(FIGURE1_SOURCE).module.functions["f"]
+    return func, FunctionAnalysis(func)
+
+
+def find_loop(func):
+    return next(
+        item
+        for item in func.entry.items
+        if isinstance(item, Region) and item.is_loop
+    )
+
+
+class TestControlStructure:
+    def test_entry_region_is_r1(self):
+        func, _ = build()
+        assert func.entry.kind == "entry"
+
+    def test_loop_region_r2_under_entry(self):
+        func, _ = build()
+        loop = find_loop(func)
+        assert loop.is_loop
+
+    def test_loop_guard_predicate_p1_controls_body_r3(self):
+        func, _ = build()
+        loop = find_loop(func)
+        guard = loop.items[-1]
+        assert isinstance(guard, Predicate)
+        assert guard.true_region is not None  # R3
+        assert guard.false_region is None     # exiting the loop is implicit
+
+    def test_if_predicate_p2_has_then_r4_and_else_r5(self):
+        func, _ = build()
+        body = find_loop(func).items[-1].true_region
+        if_region = next(
+            item
+            for item in body.items
+            if isinstance(item, Region)
+            and any(isinstance(x, Predicate) for x in item.items)
+        )
+        pred = next(x for x in if_region.items if isinstance(x, Predicate))
+        assert pred.true_region is not None and pred.false_region is not None
+
+    def test_statement_regions_in_body(self):
+        # j = i + 1; the if; i = i + 1  ->  three statement-level items.
+        func, _ = build()
+        body = find_loop(func).items[-1].true_region
+        assert len([i for i in body.items if isinstance(i, Region)]) == 3
+
+    def test_predicates_have_single_true_false_arcs(self):
+        # "After region nodes are inserted, each predicate node has at most
+        # one true outgoing edge and one false outgoing edge."
+        func, _ = build()
+        for region in func.walk_regions():
+            for item in region.items:
+                if isinstance(item, Predicate):
+                    assert item.true_region is None or isinstance(
+                        item.true_region, Region
+                    )
+                    assert item.false_region is None or isinstance(
+                        item.false_region, Region
+                    )
+
+
+class TestDataDependence:
+    def test_initial_def_of_i_reaches_loop_body(self):
+        # Figure 1's edge from node 1 to node 3 (the use of i in j = i + 1).
+        func, analysis = build()
+        deps = flow_dependences(analysis)
+        init_copy = next(i for i in func.walk_instrs() if i.op is Op.I2I)
+        sinks = [d.sink.op for d in deps if d.source is init_copy]
+        assert Op.ADD in sinks or Op.CMP_LT in sinks
+
+    def test_increment_has_self_cycle_through_back_edge(self):
+        # Figure 1's cyclic edge on node 7 (i = i + 1 feeds itself).
+        func, analysis = build()
+        deps = flow_dependences(analysis)
+        increment = [i for i in func.walk_instrs() if i.op is Op.I2I][-1]
+        feeds = [d.sink for d in deps if d.source is increment]
+        # The incremented i reaches the add of the next iteration.
+        assert any(sink.op is Op.ADD for sink in feeds)
+
+    def test_loop_exit_value_reaches_statement8(self):
+        func, analysis = build()
+        deps = flow_dependences(analysis)
+        prints = [i for i in func.walk_instrs() if i.op is Op.PRINT]
+        final_print = prints[-1]
+        sources = [d.source.op for d in deps if d.sink is final_print]
+        assert Op.I2I in sources

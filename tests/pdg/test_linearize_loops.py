@@ -1,0 +1,104 @@
+"""Linearizer edge cases around loop regions (shapes RAP's spill insertion
+can create)."""
+
+import pytest
+
+from repro.interp.machine import FunctionImage, Machine, ProgramImage
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Symbol, vreg
+from repro.pdg.graph import PDGFunction
+from repro.pdg.linearize import linearize
+from repro.pdg.nodes import Predicate, Region
+
+
+def count_up_to(limit):
+    """Manually build: i = 0; while (i < limit) { i = i + 1 }; print i."""
+    func = PDGFunction("f", "void", [])
+    func.reserve_vregs(10)
+    i, lim, cond, one, tmp = (vreg(n) for n in range(5))
+
+    body = Region(kind="body")
+    body.items.append(iloc.loadi(1, one))
+    body.items.append(iloc.binary(Op.ADD, i, one, tmp))
+    body.items.append(iloc.copy(tmp, i))
+
+    loop = Region(kind="loop", is_loop=True)
+    loop.items.append(iloc.loadi(limit, lim))
+    loop.items.append(iloc.binary(Op.CMP_LT, i, lim, cond))
+    loop.items.append(Predicate(cond, body, None))
+
+    func.entry.items.append(iloc.loadi(0, i))
+    func.entry.items.append(loop)
+    func.entry.items.append(Instr(Op.PRINT, srcs=[i]))
+    return func, loop, body, i
+
+
+def run(func):
+    code = list(linearize(func).instrs)
+    image = ProgramImage([], {"f": FunctionImage("f", code, [])})
+    machine = Machine(image)
+    machine.run("f")
+    return machine.stats
+
+
+class TestLoopLayout:
+    def test_basic_loop_counts(self):
+        func, *_ = count_up_to(5)
+        assert run(func).output == [5]
+
+    def test_zero_trip_loop(self):
+        func, *_ = count_up_to(0)
+        assert run(func).output == [0]
+
+    def test_items_after_guard_execute_per_iteration(self):
+        # RAP's spill insertion can leave instructions after the guard
+        # predicate (e.g. a store anchored behind it); they belong to the
+        # body path and run once per iteration.
+        func, loop, body, i = count_up_to(3)
+        slot = Symbol("f.x")
+        loop.items.append(iloc.stm(slot, i))
+        stats = run(func)
+        assert stats.output == [3]
+        assert stats.total.stores == 3  # once per iteration, not per exit
+
+    def test_loop_without_guard_rejected(self):
+        func = PDGFunction("g", "void", [])
+        broken = Region(kind="loop", is_loop=True)
+        broken.items.append(iloc.loadi(1, vreg(0)))
+        func.entry.items.append(broken)
+        with pytest.raises(ValueError):
+            linearize(func)
+
+    def test_spill_regions_around_loop(self):
+        # Motion wraps loops with spill regions; they linearize in order.
+        func, loop, body, i = count_up_to(4)
+        slot = Symbol("f.a")
+        pre = Region(kind="spill")
+        pre.items.append(iloc.stm(slot, i))
+        post = Region(kind="spill")
+        post.items.append(iloc.ldm(slot, vreg(7)))
+        index = func.entry.index_of(loop)
+        func.entry.items.insert(index + 1, post)
+        func.entry.items.insert(index, pre)
+        stats = run(func)
+        assert stats.output == [4]
+        assert stats.total.stores == 1 and stats.total.loads == 1
+
+    def test_nested_loop_spans_nest(self):
+        func, loop, body, i = count_up_to(2)
+        # Nest another loop inside the body.
+        j, jl, jc = vreg(7), vreg(8), vreg(9)
+        inner_body = Region(kind="body")
+        inner_body.items.append(iloc.loadi(1, jl))
+        inner_body.items.append(iloc.binary(Op.ADD, j, jl, j))
+        inner = Region(kind="loop", is_loop=True)
+        inner.items.append(iloc.loadi(2, jl))
+        inner.items.append(iloc.binary(Op.CMP_LT, j, jl, jc))
+        inner.items.append(Predicate(jc, inner_body, None))
+        body.items.insert(0, iloc.loadi(0, j))
+        body.items.insert(1, inner)
+        linear = linearize(func)
+        outer_span = linear.region_span[loop]
+        inner_span = linear.region_span[inner]
+        assert outer_span[0] <= inner_span[0] <= inner_span[1] <= outer_span[1]
+        assert run(func).output == [2]

@@ -1,0 +1,148 @@
+"""Tests for per-region liveness queries (FunctionAnalysis)."""
+
+from repro.compiler import compile_source
+from repro.ir.iloc import Op
+from repro.pdg.liveness import FunctionAnalysis
+from repro.pdg.nodes import Region
+
+
+def analysis_of(source, name="f"):
+    func = compile_source(source).module.functions[name]
+    return func, FunctionAnalysis(func)
+
+
+def home_reg(func, analysis, marker_value):
+    """The register copied into by the assignment whose RHS is the literal
+    ``marker_value`` (a test trick to find a variable's home register)."""
+    for instr in func.walk_instrs():
+        if instr.op is Op.LOADI and instr.imm == marker_value:
+            loadi = instr
+            break
+    else:
+        raise AssertionError("marker not found")
+    for instr in func.walk_instrs():
+        if instr.op is Op.I2I and instr.srcs[0] == loadi.dst:
+            return instr.dst
+    raise AssertionError("copy for marker not found")
+
+
+def stmt_regions(func):
+    return [i for i in func.entry.items if isinstance(i, Region)]
+
+
+class TestRegionLiveness:
+    def test_variable_live_between_def_and_use(self):
+        func, analysis = analysis_of(
+            "void f() { int x; int y; x = 77; y = 0; print(x); }"
+        )
+        x = home_reg(func, analysis, 77)
+        regions = stmt_regions(func)
+        # x is live into the region of `y = 0` (defined before, used after).
+        assert x in analysis.live_in(regions[1])
+        assert x in analysis.live_out(regions[1])
+
+    def test_dead_after_last_use(self):
+        func, analysis = analysis_of(
+            "void f() { int x; x = 77; print(x); print(0); }"
+        )
+        x = home_reg(func, analysis, 77)
+        regions = stmt_regions(func)
+        assert x not in analysis.live_out(regions[1])
+
+    def test_loop_carried_value_live_into_loop(self):
+        func, analysis = analysis_of(
+            """
+            void f() {
+                int i; int s;
+                s = 77; i = 0;
+                while (i < 3) { s = s + i; i = i + 1; }
+                print(s);
+            }
+            """
+        )
+        s = home_reg(func, analysis, 77)
+        loop = next(r for r in func.entry.items if isinstance(r, Region) and r.is_loop)
+        assert s in analysis.live_in(loop)
+        assert s in analysis.live_out(loop)
+
+    def test_value_defined_and_dead_inside_loop_not_live_out(self):
+        func, analysis = analysis_of(
+            """
+            void f() {
+                int i; int t;
+                i = 0;
+                while (i < 3) { t = 77; print(t); i = i + 1; }
+            }
+            """
+        )
+        t = home_reg(func, analysis, 77)
+        loop = next(r for r in func.entry.items if isinstance(r, Region) and r.is_loop)
+        assert t not in analysis.live_out(loop)
+        assert t not in analysis.live_in(loop)
+
+    def test_branch_value_live_into_if_region(self):
+        func, analysis = analysis_of(
+            """
+            void f() {
+                int x; int y;
+                x = 77;
+                if (x > 0) { y = x; } else { y = 0; }
+                print(y);
+            }
+            """
+        )
+        x = home_reg(func, analysis, 77)
+        if_region = stmt_regions(func)[1]
+        assert x in analysis.live_in(if_region)
+
+
+class TestLocality:
+    def test_local_to_statement_region(self):
+        func, analysis = analysis_of("void f() { int x; x = 1 + 2; print(0); }")
+        region = stmt_regions(func)[0]
+        add = next(i for i in region.walk_instrs() if i.op is Op.ADD)
+        temp = add.dst
+        assert analysis.is_local_to(temp, region)
+        assert not analysis.is_global_to(temp, region)
+
+    def test_variable_used_across_regions_is_global(self):
+        func, analysis = analysis_of("void f() { int x; x = 77; print(x); }")
+        x = home_reg(func, analysis, 77)
+        region = stmt_regions(func)[0]
+        assert analysis.is_global_to(x, region)
+
+    def test_everything_local_to_entry(self):
+        func, analysis = analysis_of("void f() { int x; x = 77; print(x); }")
+        for reg in func.referenced_regs():
+            assert analysis.is_local_to(reg, func.entry)
+
+    def test_param_home_is_global_to_subregions(self):
+        func, analysis = analysis_of("void f(int a) { print(a); }")
+        region = stmt_regions(func)[0]
+        assert analysis.is_global_to(func.params[0].reg, region)
+
+
+class TestInstrLevel:
+    def test_live_before_and_after(self):
+        func, analysis = analysis_of("void f() { int x; x = 1 + 2; print(x); }")
+        add = next(i for i in func.walk_instrs() if i.op is Op.ADD)
+        # Operands live before the add; result live after.
+        for src in add.srcs:
+            assert src in analysis.live_before(add)
+        assert add.dst in analysis.live_after(add)
+
+    def test_branch_live_after_unions_successors(self):
+        func, analysis = analysis_of(
+            """
+            void f() {
+                int x; int y; int z;
+                x = 77; y = 2; z = 3;
+                if (x > 0) { print(y); } else { print(z); }
+            }
+            """
+        )
+        cbr = next(i for i in func.walk_instrs() if i.op is Op.CBR)
+        live = analysis.live_after(cbr)
+        y = home_reg(func, analysis, 2)
+        z = home_reg(func, analysis, 3)
+        assert y in live and z in live

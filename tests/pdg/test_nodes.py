@@ -1,0 +1,79 @@
+"""Tests for PDG node structure."""
+
+from repro.ir import iloc
+from repro.ir.iloc import Op, vreg
+from repro.pdg.nodes import Predicate, Region
+
+
+def simple_region():
+    region = Region(kind="stmt")
+    region.items.append(iloc.loadi(1, vreg(0)))
+    region.items.append(iloc.copy(vreg(0), vreg(1)))
+    return region
+
+
+class TestRegion:
+    def test_names_are_unique(self):
+        assert Region().name != Region().name
+
+    def test_direct_instrs_includes_predicate_branch(self):
+        region = Region()
+        region.items.append(iloc.loadi(1, vreg(0)))
+        region.items.append(Predicate(vreg(0), Region(), None))
+        direct = region.direct_instrs()
+        assert len(direct) == 2
+        assert direct[1].op is Op.CBR
+
+    def test_subregions_include_predicate_branches(self):
+        then_r, else_r, plain = Region(), Region(), Region()
+        region = Region()
+        region.items.append(plain)
+        region.items.append(Predicate(vreg(0), then_r, else_r))
+        assert region.subregions() == [plain, then_r, else_r]
+
+    def test_walk_regions_preorder(self):
+        inner = Region()
+        outer = Region()
+        outer.items.append(inner)
+        assert list(outer.walk_regions()) == [outer, inner]
+
+    def test_walk_instrs_execution_order(self):
+        inner = Region()
+        inner.items.append(iloc.loadi(2, vreg(1)))
+        outer = Region()
+        first = iloc.loadi(1, vreg(0))
+        outer.items.append(first)
+        outer.items.append(Predicate(vreg(0), inner, None))
+        ops = [i.op for i in outer.walk_instrs()]
+        assert ops == [Op.LOADI, Op.CBR, Op.LOADI]
+        assert next(outer.walk_instrs()) is first
+
+    def test_referenced_regs(self):
+        region = simple_region()
+        assert region.referenced_regs() == {vreg(0), vreg(1)}
+
+    def test_direct_referenced_excludes_subregions(self):
+        sub = Region()
+        sub.items.append(iloc.loadi(1, vreg(9)))
+        region = simple_region()
+        region.items.append(sub)
+        assert vreg(9) not in region.direct_referenced_regs()
+        assert vreg(9) in region.referenced_regs()
+
+    def test_index_of_by_identity(self):
+        region = simple_region()
+        assert region.index_of(region.items[1]) == 1
+
+
+class TestPredicate:
+    def test_cond_mirrors_branch_sources(self):
+        pred = Predicate(vreg(3))
+        assert pred.cond == vreg(3)
+        pred.branch.rewrite_regs({vreg(3): vreg(7)})
+        assert pred.cond == vreg(7)
+
+    def test_regions_listing(self):
+        t, f = Region(), Region()
+        assert Predicate(vreg(0), t, f).regions() == [t, f]
+        assert Predicate(vreg(0), t, None).regions() == [t]
+        assert Predicate(vreg(0)).regions() == []

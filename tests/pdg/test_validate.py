@@ -1,0 +1,85 @@
+"""Tests for the PDG structural verifier."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.ir import iloc
+from repro.ir.iloc import Op, preg, vreg
+from repro.pdg.graph import PDGFunction
+from repro.pdg.nodes import Predicate, Region
+from repro.pdg.validate import PDGValidationError, check_pdg
+from repro.regalloc.rap.allocator import RAPContext
+from repro.regalloc.rap.region_alloc import allocate_region
+
+SOURCE = """
+void main() {
+    int i; int s; s = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        if (i % 2 == 0) { s = s + i; }
+    }
+    print(s);
+}
+"""
+
+
+class TestValidPrograms:
+    def test_fresh_compile_is_valid(self):
+        func = compile_source(SOURCE).module.functions["main"]
+        check_pdg(func, expect_kind="v")
+
+    def test_after_rap_phase1_still_valid(self):
+        func = compile_source(SOURCE).fresh_module().functions["main"]
+        ctx = RAPContext(func, 3)
+        allocate_region(ctx, func.entry)
+        check_pdg(func, expect_kind="v")  # rewrite has not happened yet
+
+    def test_after_full_rap_physical(self):
+        from repro.regalloc.rap import allocate_rap
+
+        func = compile_source(SOURCE).fresh_module().functions["main"]
+        allocate_rap(func, 3)
+        check_pdg(func, expect_kind="p")
+
+
+class TestViolations:
+    def test_shared_instruction_detected(self):
+        func = PDGFunction("t", "void", [])
+        instr = iloc.loadi(1, vreg(0))
+        func.entry.items.append(instr)
+        func.entry.items.append(instr)
+        with pytest.raises(PDGValidationError):
+            check_pdg(func)
+
+    def test_shared_region_detected(self):
+        func = PDGFunction("t", "void", [])
+        shared = Region()
+        shared.items.append(iloc.loadi(1, vreg(0)))
+        func.entry.items.append(shared)
+        func.entry.items.append(shared)
+        with pytest.raises(PDGValidationError):
+            check_pdg(func)
+
+    def test_loop_without_guard_detected(self):
+        func = PDGFunction("t", "void", [])
+        loop = Region(is_loop=True)
+        loop.items.append(iloc.loadi(1, vreg(0)))
+        func.entry.items.append(loop)
+        with pytest.raises(PDGValidationError):
+            check_pdg(func)
+
+    def test_label_in_pdg_detected(self):
+        func = PDGFunction("t", "void", [])
+        func.entry.items.append(iloc.label("L"))
+        with pytest.raises(PDGValidationError):
+            check_pdg(func)
+
+    def test_mixed_register_kinds_detected(self):
+        func = PDGFunction("t", "void", [])
+        func.entry.items.append(iloc.copy(vreg(0), preg(0)))
+        with pytest.raises(PDGValidationError):
+            check_pdg(func, expect_kind="v")
+
+    def test_kind_check_optional(self):
+        func = PDGFunction("t", "void", [])
+        func.entry.items.append(iloc.copy(vreg(0), preg(0)))
+        check_pdg(func)  # no kind requested: structural checks only

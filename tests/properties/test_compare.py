@@ -1,0 +1,56 @@
+"""Tests for the NaN-tolerant output comparison helper."""
+
+import math
+
+from repro.testing import first_divergence, outputs_equal, values_equal
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestValuesEqual:
+    def test_plain_numbers(self):
+        assert values_equal(1, 1)
+        assert not values_equal(1, 2)
+        assert values_equal(1.5, 1.5)
+
+    def test_nan_equals_nan(self):
+        assert values_equal(NAN, NAN)
+
+    def test_nan_not_equal_to_number(self):
+        assert not values_equal(NAN, 1.0)
+        assert not values_equal(1.0, NAN)
+
+    def test_infinities(self):
+        assert values_equal(INF, INF)
+        assert not values_equal(INF, -INF)
+
+    def test_int_float_type_mismatch(self):
+        # The machine is deterministic: the same program prints the same
+        # types; 1 (int) vs 1.0 (float) signals a real divergence.
+        assert not values_equal(1, 1.0)
+
+
+class TestOutputsEqual:
+    def test_identical_streams(self):
+        assert outputs_equal([1, 2.5, NAN, INF], [1, 2.5, NAN, INF])
+
+    def test_length_mismatch(self):
+        assert not outputs_equal([1, 2], [1])
+
+    def test_element_mismatch(self):
+        assert not outputs_equal([1, 2], [1, 3])
+
+    def test_empty(self):
+        assert outputs_equal([], [])
+
+
+class TestFirstDivergence:
+    def test_agreement(self):
+        assert first_divergence([1, NAN], [1, NAN]) == -1
+
+    def test_points_at_difference(self):
+        assert first_divergence([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_length_difference(self):
+        assert first_divergence([1, 2], [1, 2, 3]) == 2

@@ -1,0 +1,89 @@
+"""Tests for the conservative coalescing extension."""
+
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir.iloc import Op
+from repro.regalloc import allocate_gra, allocate_rap
+from repro.regalloc.coalesce import coalesce_function
+
+SRC = """
+int f(int n) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+}
+void main() { print(f(10)); }
+"""
+
+
+def reference_of(source):
+    prog = compile_source(source)
+    return prog, run_program(prog.reference_image())
+
+
+class TestCoalesce:
+    def test_removes_copies(self):
+        prog, _ = reference_of(SRC)
+        func = prog.fresh_module().functions["f"]
+        before = sum(1 for i in func.walk_instrs() if i.op is Op.I2I)
+        report = coalesce_function(func, 8)
+        after = sum(1 for i in func.walk_instrs() if i.op is Op.I2I)
+        assert report.coalesced > 0
+        assert after == before - report.coalesced
+
+    def test_behaviour_preserved_under_both_allocators(self):
+        prog, reference = reference_of(SRC)
+        for allocator in (allocate_gra, allocate_rap):
+            module = prog.fresh_module()
+            functions = {}
+            for name, func in module.functions.items():
+                coalesce_function(func, 5)
+                result = allocator(func, 5)
+                functions[name] = FunctionImage(
+                    name, result.code, param_slots(func)
+                )
+            stats = run_program(
+                ProgramImage(list(module.globals.values()), functions)
+            )
+            assert stats.output == reference.output
+
+    def test_never_merges_interfering_copy(self):
+        # x and y are simultaneously live; the copy y = x must survive.
+        src = """
+        void main() {
+            int x; int y;
+            x = 1;
+            y = x;
+            x = x + 1;
+            print(x + y);
+        }
+        """
+        prog, reference = reference_of(src)
+        func = prog.fresh_module().functions["main"]
+        coalesce_function(func, 8)
+        module_funcs = {
+            "main": FunctionImage(
+                "main",
+                allocate_gra(func, 8).code,
+                param_slots(func),
+            )
+        }
+        stats = run_program(ProgramImage([], module_funcs))
+        assert stats.output == reference.output == [3]
+
+    def test_report_pairs_are_consistent(self):
+        prog, _ = reference_of(SRC)
+        func = prog.fresh_module().functions["f"]
+        report = coalesce_function(func, 8)
+        assert len(report.merged_pairs) == report.coalesced
+        referenced = func.referenced_regs()
+        for dst, src in report.merged_pairs:
+            assert dst not in referenced  # dst rewritten away
+
+    def test_idempotent_after_fixpoint(self):
+        prog, _ = reference_of(SRC)
+        func = prog.fresh_module().functions["f"]
+        coalesce_function(func, 8)
+        second = coalesce_function(func, 8)
+        assert second.coalesced == 0

@@ -1,0 +1,149 @@
+"""Tests for simplify/select coloring."""
+
+from repro.ir.iloc import vreg
+from repro.regalloc.coloring import (
+    INFINITE_COST,
+    color_graph,
+    effective_degree,
+)
+from repro.regalloc.interference import InterferenceGraph
+
+
+def build_graph(n_nodes, edges, costs=None):
+    graph = InterferenceGraph()
+    for i in range(n_nodes):
+        graph.ensure(vreg(i))
+    for a, b in edges:
+        graph.add_edge(vreg(a), vreg(b))
+    for node in graph.nodes:
+        node.spill_cost = 1.0
+    if costs:
+        for index, cost in costs.items():
+            graph.node_of(vreg(index)).spill_cost = cost
+    return graph
+
+
+def validate(graph, result, k):
+    for node, color in result.colors.items():
+        assert 0 <= color < k
+        for neighbor in node.adj:
+            if neighbor in result.colors:
+                assert result.colors[neighbor] != color
+
+
+class TestBasicColoring:
+    def test_triangle_needs_three_colors(self):
+        graph = build_graph(3, [(0, 1), (1, 2), (0, 2)])
+        result = color_graph(graph, 3)
+        assert result.succeeded
+        assert len({result.colors[n] for n in graph.nodes}) == 3
+        validate(graph, result, 3)
+
+    def test_triangle_with_two_colors_spills(self):
+        graph = build_graph(3, [(0, 1), (1, 2), (0, 2)])
+        result = color_graph(graph, 2)
+        assert not result.succeeded
+        assert len(result.spilled) >= 1
+
+    def test_empty_graph(self):
+        result = color_graph(InterferenceGraph(), 3)
+        assert result.succeeded and result.colors == {}
+
+    def test_independent_nodes_share_first_color(self):
+        graph = build_graph(4, [])
+        result = color_graph(graph, 3)
+        assert {result.colors[n] for n in graph.nodes} == {0}  # first fit
+
+    def test_star_graph(self):
+        graph = build_graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        result = color_graph(graph, 2)
+        assert result.succeeded
+        validate(graph, result, 2)
+
+    def test_cheapest_node_spilled(self):
+        # K4 with k=3: one node must go; pick the cheapest.
+        graph = build_graph(
+            4,
+            [(a, b) for a in range(4) for b in range(a + 1, 4)],
+            costs={2: 0.1},
+        )
+        result = color_graph(graph, 3)
+        assert [vreg(2)] == [
+            reg for node in result.spilled for reg in node.members
+        ]
+
+    def test_infinite_cost_nodes_avoided(self):
+        graph = build_graph(
+            4,
+            [(a, b) for a in range(4) for b in range(a + 1, 4)],
+            costs={0: INFINITE_COST, 1: INFINITE_COST, 2: INFINITE_COST},
+        )
+        result = color_graph(graph, 3)
+        spilled = {reg for node in result.spilled for reg in node.members}
+        assert spilled == {vreg(3)}
+
+
+class TestBriggsOptimism:
+    def test_optimistic_colors_diamond_that_chaitin_spills(self):
+        # The classic diamond: 4-cycle, every node degree 2, k=2.
+        # Chaitin's rule (degree < k) finds no trivial node and spills;
+        # Briggs pushes optimistically and 2-colors it.
+        graph = build_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        optimistic = color_graph(graph, 2, optimistic=True)
+        assert optimistic.succeeded
+        validate(graph, optimistic, 2)
+
+        graph2 = build_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        pessimistic = color_graph(graph2, 2, optimistic=False)
+        assert not pessimistic.succeeded
+
+    def test_briggs_spills_subset_of_chaitin(self):
+        # On a graph where both spill, Briggs never spills more.
+        edges = [(a, b) for a in range(5) for b in range(a + 1, 5)]  # K5
+        graph_b = build_graph(5, edges)
+        graph_c = build_graph(5, edges)
+        briggs = color_graph(graph_b, 3, optimistic=True)
+        chaitin = color_graph(graph_c, 3, optimistic=False)
+        assert len(briggs.spilled) <= len(chaitin.spilled)
+
+
+class TestGlobalRule:
+    def test_global_nodes_get_distinct_colors_without_edges(self):
+        graph = build_graph(3, [])
+        global_nodes = set(graph.nodes)
+        result = color_graph(graph, 3, global_nodes=global_nodes)
+        assert result.succeeded
+        colors = [result.colors[n] for n in graph.nodes]
+        assert len(set(colors)) == 3
+
+    def test_local_may_share_with_global(self):
+        graph = build_graph(2, [])
+        global_nodes = {graph.node_of(vreg(0))}
+        result = color_graph(graph, 3, global_nodes=global_nodes)
+        assert result.colors[graph.node_of(vreg(0))] == result.colors[
+            graph.node_of(vreg(1))
+        ]
+
+    def test_too_many_globals_spill(self):
+        graph = build_graph(4, [])
+        result = color_graph(graph, 3, global_nodes=set(graph.nodes))
+        assert not result.succeeded
+
+    def test_effective_degree_counts_nonadjacent_globals(self):
+        graph = build_graph(3, [(0, 1)])
+        nodes = {i: graph.node_of(vreg(i)) for i in range(3)}
+        global_nodes = {nodes[0], nodes[2]}
+        # node 0: one real neighbor + one non-adjacent global (node 2).
+        assert effective_degree(nodes[0], global_nodes) == 2
+        # node 1 is local: plain degree.
+        assert effective_degree(nodes[1], global_nodes) == 1
+
+
+class TestDeterminism:
+    def test_same_graph_same_coloring(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]
+        first = color_graph(build_graph(5, edges), 3)
+        second = color_graph(build_graph(5, edges), 3)
+        a = sorted((min(n.members), c) for n, c in first.colors.items())
+        b = sorted((min(n.members), c) for n, c in second.colors.items())
+        assert a == b

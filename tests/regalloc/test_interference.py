@@ -1,0 +1,96 @@
+"""Tests for the group-based interference graph."""
+
+import pytest
+
+from repro.ir.iloc import vreg
+from repro.regalloc.interference import IGNode, InterferenceGraph
+
+
+def graph_with(*edges):
+    graph = InterferenceGraph()
+    for a, b in edges:
+        graph.add_edge(vreg(a), vreg(b))
+    return graph
+
+
+class TestBasics:
+    def test_ensure_creates_singleton(self):
+        graph = InterferenceGraph()
+        node = graph.ensure(vreg(1))
+        assert node.members == {vreg(1)}
+        assert graph.node_of(vreg(1)) is node
+
+    def test_ensure_idempotent(self):
+        graph = InterferenceGraph()
+        assert graph.ensure(vreg(1)) is graph.ensure(vreg(1))
+
+    def test_add_edge_is_symmetric(self):
+        graph = graph_with((1, 2))
+        assert graph.interferes(vreg(1), vreg(2))
+        assert graph.interferes(vreg(2), vreg(1))
+
+    def test_self_edge_ignored(self):
+        graph = InterferenceGraph()
+        graph.add_edge(vreg(1), vreg(1))
+        assert graph.ensure(vreg(1)).degree == 0
+
+    def test_edge_count(self):
+        graph = graph_with((1, 2), (2, 3), (1, 2))
+        assert graph.edge_count() == 2
+
+    def test_unknown_registers_do_not_interfere(self):
+        graph = graph_with((1, 2))
+        assert not graph.interferes(vreg(1), vreg(9))
+
+    def test_contains(self):
+        graph = graph_with((1, 2))
+        assert vreg(1) in graph and vreg(9) not in graph
+
+
+class TestMerging:
+    def test_union_merges_members_and_edges(self):
+        graph = graph_with((1, 3), (2, 4))
+        node = graph.union(vreg(1), vreg(2))
+        assert node.members == {vreg(1), vreg(2)}
+        assert graph.interferes(vreg(1), vreg(4))
+        assert graph.interferes(vreg(2), vreg(3))
+
+    def test_union_of_interfering_nodes_rejected(self):
+        graph = graph_with((1, 2))
+        with pytest.raises(ValueError):
+            graph.union(vreg(1), vreg(2))
+
+    def test_union_accumulates_spill_cost(self):
+        graph = InterferenceGraph()
+        graph.ensure(vreg(1)).spill_cost = 2.0
+        graph.ensure(vreg(2)).spill_cost = 3.0
+        assert graph.union(vreg(1), vreg(2)).spill_cost == 5.0
+
+    def test_add_group(self):
+        graph = InterferenceGraph()
+        node = graph.add_group([vreg(1), vreg(2), vreg(3)])
+        assert node.members == {vreg(1), vreg(2), vreg(3)}
+        assert len(graph.nodes) == 1
+
+    def test_neighbors_rewired_after_merge(self):
+        graph = graph_with((1, 5), (2, 5))
+        graph.union(vreg(1), vreg(2))
+        five = graph.node_of(vreg(5))
+        assert five.degree == 1
+
+    def test_rename_member(self):
+        graph = graph_with((1, 2))
+        graph.rename_member(vreg(1), vreg(9))
+        assert vreg(1) not in graph
+        assert graph.interferes(vreg(9), vreg(2))
+
+    def test_rename_absent_is_noop(self):
+        graph = graph_with((1, 2))
+        graph.rename_member(vreg(7), vreg(9))
+        assert vreg(9) not in graph
+
+    def test_invariants_hold_after_mutations(self):
+        graph = graph_with((1, 2), (3, 4), (1, 4))
+        graph.union(vreg(2), vreg(3))
+        graph.rename_member(vreg(4), vreg(7))
+        graph.check_invariants()

@@ -1,0 +1,78 @@
+"""Tests for the graph-editing operations RAP's extensions rely on
+(absorb_members, drop_member, remove_node)."""
+
+import pytest
+
+from repro.ir.iloc import vreg
+from repro.regalloc.interference import InterferenceGraph
+
+
+def build():
+    graph = InterferenceGraph()
+    graph.add_edge(vreg(0), vreg(1))
+    graph.add_edge(vreg(1), vreg(2))
+    return graph
+
+
+class TestRemoveNode:
+    def test_edges_detached(self):
+        graph = build()
+        node = graph.node_of(vreg(1))
+        graph.remove_node(node)
+        assert vreg(1) not in graph
+        assert graph.node_of(vreg(0)).degree == 0
+        assert graph.node_of(vreg(2)).degree == 0
+        graph.check_invariants()
+
+    def test_node_list_shrinks(self):
+        graph = build()
+        before = len(graph.nodes)
+        graph.remove_node(graph.node_of(vreg(0)))
+        assert len(graph.nodes) == before - 1
+
+
+class TestAbsorbMembers:
+    def test_new_members_share_conflicts(self):
+        graph = build()
+        node = graph.node_of(vreg(0))
+        graph.absorb_members(node, [vreg(7), vreg(8)])
+        assert graph.node_of(vreg(7)) is node
+        assert graph.interferes(vreg(7), vreg(1))
+        graph.check_invariants()
+
+    def test_absorbing_own_member_is_noop(self):
+        graph = build()
+        node = graph.node_of(vreg(0))
+        graph.absorb_members(node, [vreg(0)])
+        assert node.members == {vreg(0)}
+
+    def test_absorbing_foreign_member_rejected(self):
+        graph = build()
+        node = graph.node_of(vreg(0))
+        with pytest.raises(ValueError):
+            graph.absorb_members(node, [vreg(2)])
+
+
+class TestDropMember:
+    def test_drop_keeps_rest_of_group(self):
+        graph = InterferenceGraph()
+        node = graph.add_group([vreg(0), vreg(1)])
+        graph.add_edge(vreg(0), vreg(5))
+        graph.drop_member(vreg(0))
+        assert vreg(0) not in graph
+        assert vreg(1) in graph
+        # The group's conflicts survive for the remaining member.
+        assert graph.interferes(vreg(1), vreg(5))
+        graph.check_invariants()
+
+    def test_drop_last_member_removes_node(self):
+        graph = build()
+        graph.drop_member(vreg(2))
+        assert vreg(2) not in graph
+        assert all(vreg(2) not in n.members for n in graph.nodes)
+        graph.check_invariants()
+
+    def test_drop_unknown_is_noop(self):
+        graph = build()
+        graph.drop_member(vreg(99))
+        graph.check_invariants()

@@ -1,0 +1,93 @@
+"""Tests for linear spill-code insertion."""
+
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+from repro.regalloc.spill import spill_linear
+
+
+def new_vreg_factory(start=100):
+    state = {"next": start}
+
+    def new_vreg():
+        reg = vreg(state["next"])
+        state["next"] += 1
+        return reg
+
+    return new_vreg
+
+
+def slot_name(reg):
+    return f"f.{reg}"
+
+
+class TestSpillLinear:
+    def test_load_before_each_use(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.RET),
+        ]
+        out, temps = spill_linear(code, [vreg(0)], new_vreg_factory(), slot_name)
+        ldms = [i for i in out if i.op is Op.LDM]
+        assert len(ldms) == 2
+        # Each use reads a fresh temporary.
+        assert len({i.dst for i in ldms}) == 2
+        assert temps == {i.dst for i in out if i.op is Op.LDM} | {
+            i.srcs[0] for i in out if i.op is Op.STM
+        }
+
+    def test_store_after_each_def(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(0)),
+            Instr(Op.RET),
+        ]
+        out, _ = spill_linear(code, [vreg(0)], new_vreg_factory(), slot_name)
+        assert [i.op for i in out] == [
+            Op.LOADI,
+            Op.STM,
+            Op.LOADI,
+            Op.STM,
+            Op.RET,
+        ]
+
+    def test_use_and_def_share_one_temp(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.binary(Op.ADD, vreg(0), vreg(0), vreg(0)),
+            Instr(Op.RET),
+        ]
+        out, _ = spill_linear(code, [vreg(0)], new_vreg_factory(), slot_name)
+        add = next(i for i in out if i.op is Op.ADD)
+        assert add.srcs[0] == add.srcs[1] == add.dst
+        # load before, store after.
+        position = out.index(add)
+        assert out[position - 1].op is Op.LDM
+        assert out[position + 1].op is Op.STM
+
+    def test_untouched_instructions_pass_through(self):
+        code = [iloc.loadi(1, vreg(1)), Instr(Op.RET)]
+        out, temps = spill_linear(code, [vreg(0)], new_vreg_factory(), slot_name)
+        assert out == code and temps == set()
+
+    def test_victim_register_fully_renamed(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.binary(Op.ADD, vreg(0), vreg(1), vreg(2)),
+            Instr(Op.RET, srcs=[vreg(2)]),
+        ]
+        out, _ = spill_linear(code, [vreg(0)], new_vreg_factory(), slot_name)
+        for instr in out:
+            if instr.op not in (Op.LDM, Op.STM):
+                assert vreg(0) not in instr.regs()
+
+    def test_slot_names_stable_per_register(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.RET),
+        ]
+        out, _ = spill_linear(code, [vreg(0)], new_vreg_factory(), slot_name)
+        addrs = {i.addr.name for i in out if i.op in (Op.LDM, Op.STM)}
+        assert addrs == {"f.%v0"}

@@ -1,0 +1,158 @@
+"""End-to-end tests for the full three-phase RAP allocator."""
+
+import pytest
+
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir.iloc import Op
+from repro.ir.validate import check_allocated, check_wellformed
+from repro.regalloc.rap import allocate_rap
+
+PROGRAMS = {
+    "straightline": """
+        void main() { int a; int b; int c;
+            a = 1; b = a + 2; c = a * b; print(c - b); }
+    """,
+    "pressure": """
+        void main() {
+            int a; int b; int c; int d; int e; int f;
+            a = 1; b = 2; c = 3; d = 4; e = 5; f = 6;
+            print(a + b + c + d + e + f);
+            print(f - e - d - c - b - a);
+        }
+    """,
+    "loops": """
+        int x[16];
+        void main() {
+            int i; int j; int s;
+            s = 0;
+            for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) {
+                    x[i * 4 + j] = i + j;
+                    s = s + x[i * 4 + j];
+                }
+            }
+            print(s);
+        }
+    """,
+    "recursion": """
+        int ack(int m, int n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        void main() { print(ack(2, 3)); }
+    """,
+    "branches": """
+        void main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 20; i = i + 1) {
+                if (i % 3 == 0) { s = s + i; }
+                else { if (i % 3 == 1) { s = s - i; } else { s = s * 2 % 97; } }
+            }
+            print(s);
+        }
+    """,
+    "globals": """
+        int g = 10; float h;
+        void bump() { g = g + 1; h = h + 0.5; }
+        void main() { int i;
+            for (i = 0; i < 5; i = i + 1) { bump(); }
+            print(g); print(h); }
+    """,
+}
+
+
+def run_with_rap(source, k, **kwargs):
+    prog = compile_source(source)
+    reference = run_program(prog.reference_image())
+    module = prog.fresh_module()
+    functions = {}
+    results = {}
+    for name, func in module.functions.items():
+        result = allocate_rap(func, k, **kwargs)
+        check_wellformed(result.code)
+        check_allocated(result.code, k)
+        functions[name] = FunctionImage(name, result.code, param_slots(func))
+        results[name] = result
+    stats = run_program(ProgramImage(list(module.globals.values()), functions))
+    assert stats.output == reference.output, (source[:40], k, kwargs)
+    return stats, results
+
+
+class TestBehaviourPreservation:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    @pytest.mark.parametrize("k", [3, 4, 5, 9])
+    def test_output_matches_reference(self, name, k):
+        run_with_rap(PROGRAMS[name], k)
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_phases_can_be_disabled_independently(self, name):
+        run_with_rap(PROGRAMS[name], 3, enable_motion=False)
+        run_with_rap(PROGRAMS[name], 3, enable_peephole=False)
+        run_with_rap(
+            PROGRAMS[name], 3, enable_motion=False, enable_peephole=False
+        )
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_pessimistic_coloring_also_correct(self, name):
+        run_with_rap(PROGRAMS[name], 4, optimistic=False)
+
+
+class TestAllocationQuality:
+    def test_no_copies_survive_without_pressure(self):
+        # RAP's first-fit small-region coloring aligns copy operands.
+        stats, _ = run_with_rap(PROGRAMS["loops"], 9)
+        assert stats.total.copies == 0
+
+    def test_spill_log_populated_under_pressure(self):
+        _, results = run_with_rap(PROGRAMS["pressure"], 3)
+        assert results["main"].spilled
+
+    def test_no_spills_with_ample_registers(self):
+        _, results = run_with_rap(PROGRAMS["pressure"], 9)
+        assert not results["main"].spilled
+
+    def test_more_registers_never_slower(self):
+        cycles = [
+            run_with_rap(PROGRAMS["loops"], k)[0].total.cycles
+            for k in (3, 5, 9)
+        ]
+        assert cycles[0] >= cycles[1] >= cycles[2]
+
+    def test_peephole_never_hurts(self):
+        for k in (3, 4):
+            on, _ = run_with_rap(PROGRAMS["loops"], k)
+            off, _ = run_with_rap(PROGRAMS["loops"], k, enable_peephole=False)
+            assert on.total.cycles <= off.total.cycles
+
+    def test_motion_reduces_loop_spill_traffic(self):
+        on, _ = run_with_rap(PROGRAMS["loops"], 3)
+        off, _ = run_with_rap(PROGRAMS["loops"], 3, enable_motion=False)
+        assert on.total.cycles <= off.total.cycles
+
+    def test_assignment_covers_every_virtual_register(self):
+        prog = compile_source(PROGRAMS["branches"])
+        func = prog.fresh_module().functions["main"]
+        original = {r for r in func.referenced_regs() if r.is_virtual}
+        result = allocate_rap(func, 4)
+        assert original <= set(result.assignment)
+
+    def test_k_below_three_rejected(self):
+        prog = compile_source("void f() { }")
+        with pytest.raises(ValueError):
+            allocate_rap(prog.fresh_module().functions["f"], 2)
+
+
+class TestTelemetry:
+    def test_result_reports_rounds_and_phases(self):
+        _, results = run_with_rap(PROGRAMS["pressure"], 3)
+        result = results["main"]
+        assert result.rounds >= 1
+        assert result.k == 3
+        assert result.peephole.total >= 0
+
+    def test_spilled_reports_source_registers(self):
+        _, results = run_with_rap(PROGRAMS["pressure"], 3)
+        for reg in results["main"].spilled:
+            assert reg.is_virtual

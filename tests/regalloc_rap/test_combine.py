@@ -1,0 +1,69 @@
+"""Tests for combining a colored region graph (paper §3.1.5)."""
+
+import pytest
+
+from repro.ir.iloc import vreg
+from repro.regalloc.coloring import color_graph
+from repro.regalloc.interference import InterferenceGraph
+from repro.regalloc.rap.combine import combine
+
+
+def colored_path_graph(n, k):
+    """A path 0-1-2-...: easy to color, exercises combining."""
+    graph = InterferenceGraph()
+    for i in range(n):
+        graph.ensure(vreg(i))
+    for i in range(n - 1):
+        graph.add_edge(vreg(i), vreg(i + 1))
+    result = color_graph(graph, k)
+    assert result.succeeded
+    return graph, result
+
+
+class TestCombine:
+    def test_at_most_k_nodes(self):
+        graph, result = colored_path_graph(9, 3)
+        summary = combine(graph, result)
+        assert len(summary.nodes) <= 3
+
+    def test_all_registers_preserved(self):
+        graph, result = colored_path_graph(9, 3)
+        summary = combine(graph, result)
+        assert summary.registers() == {vreg(i) for i in range(9)}
+
+    def test_same_color_registers_share_nodes(self):
+        graph, result = colored_path_graph(6, 3)
+        summary = combine(graph, result)
+        for node, color in result.colors.items():
+            members = list(node.members)
+            for reg in members:
+                for other_node, other_color in result.colors.items():
+                    if other_color == color:
+                        other_reg = next(iter(other_node.members))
+                        assert summary.node_of(reg) is summary.node_of(
+                            other_reg
+                        )
+
+    def test_edges_lifted_between_color_groups(self):
+        graph, result = colored_path_graph(4, 4)
+        summary = combine(graph, result)
+        # Original adjacency implies combined adjacency.
+        for node in graph.nodes:
+            for neighbor in node.adj:
+                a = summary.node_of(next(iter(node.members)))
+                b = summary.node_of(next(iter(neighbor.members)))
+                if a is not b:
+                    assert b in a.adj
+
+    def test_combined_graph_invariants(self):
+        graph, result = colored_path_graph(10, 4)
+        summary = combine(graph, result)
+        summary.check_invariants()
+
+    def test_singleton_graph(self):
+        graph = InterferenceGraph()
+        graph.ensure(vreg(0))
+        result = color_graph(graph, 3)
+        summary = combine(graph, result)
+        assert len(summary.nodes) == 1
+        assert summary.node_of(vreg(0)).members == {vreg(0)}

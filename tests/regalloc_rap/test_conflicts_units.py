@@ -1,0 +1,117 @@
+"""Additional focused unit tests for Figure 4's two loops."""
+
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+from repro.pdg.graph import PDGFunction
+from repro.pdg.liveness import FunctionAnalysis
+from repro.pdg.nodes import Region
+from repro.regalloc.interference import InterferenceGraph
+from repro.regalloc.rap.conflicts import (
+    add_region_conflicts,
+    add_subregion_conflicts,
+)
+
+A, B, C, D = (vreg(i) for i in range(4))
+
+
+def build_with_two_subregions():
+    """entry: def A, def B; sub1 uses A; sub2 uses B; print(A+B) later —
+    so A and B are live into the region and referenced only in subregions."""
+    func = PDGFunction("u", "void", [])
+    func.reserve_vregs(10)
+    sub1 = Region(kind="stmt", note="uses A")
+    sub1.items.append(Instr(Op.PRINT, srcs=[A]))
+    sub2 = Region(kind="stmt", note="uses B")
+    sub2.items.append(Instr(Op.PRINT, srcs=[B]))
+    wrapper = Region(kind="block", note="wrapper")
+    wrapper.items.append(sub1)
+    wrapper.items.append(sub2)
+    entry = func.entry
+    entry.items.append(iloc.loadi(1, A))
+    entry.items.append(iloc.loadi(2, B))
+    entry.items.append(wrapper)
+    entry.items.append(Instr(Op.PRINT, srcs=[A]))
+    entry.items.append(Instr(Op.PRINT, srcs=[B]))
+    return func, wrapper, sub1, sub2
+
+
+def trivial_graph(*regs):
+    graph = InterferenceGraph()
+    for reg in regs:
+        graph.ensure(reg)
+    return graph
+
+
+class TestFirstLoop:
+    def test_live_in_subregion_only_registers_added_pairwise(self):
+        # A and B are live into `wrapper` and referenced only inside its
+        # subregions: Figure 4's first loop must add both to the graph and
+        # make them interfere with each other.
+        func, wrapper, sub1, sub2 = build_with_two_subregions()
+        analysis = FunctionAnalysis(func)
+        graph = InterferenceGraph()
+        add_region_conflicts(wrapper, graph, analysis)
+        assert A not in graph and B not in graph  # no direct references
+        add_subregion_conflicts(
+            wrapper,
+            graph,
+            {id(sub1): trivial_graph(A), id(sub2): trivial_graph(B)},
+            analysis,
+        )
+        assert graph.interferes(A, B)
+
+    def test_dead_on_entry_register_not_added(self):
+        # D is never live into the wrapper: even if it were in Vars it
+        # must not enter via the first loop.  (Here it is simply absent.)
+        func, wrapper, sub1, sub2 = build_with_two_subregions()
+        analysis = FunctionAnalysis(func)
+        graph = InterferenceGraph()
+        add_region_conflicts(wrapper, graph, analysis)
+        add_subregion_conflicts(
+            wrapper,
+            graph,
+            {id(sub1): trivial_graph(A), id(sub2): trivial_graph(B)},
+            analysis,
+        )
+        assert D not in graph
+
+
+class TestSecondLoop:
+    def test_live_through_unreferenced_conflicts_with_subregion_nodes(self):
+        # B is live into sub1 (used later) but not referenced in sub1:
+        # Figure 4's second loop adds B x (every node of sub1's graph).
+        func, wrapper, sub1, sub2 = build_with_two_subregions()
+        analysis = FunctionAnalysis(func)
+        graph = InterferenceGraph()
+        add_region_conflicts(wrapper, graph, analysis)
+        add_subregion_conflicts(
+            wrapper,
+            graph,
+            {id(sub1): trivial_graph(A), id(sub2): trivial_graph(B)},
+            analysis,
+        )
+        assert graph.interferes(B, A)
+
+    def test_subregion_edges_imported(self):
+        func, wrapper, sub1, sub2 = build_with_two_subregions()
+        analysis = FunctionAnalysis(func)
+        sub_graph = trivial_graph(A, C)
+        sub_graph.add_edge(A, C)
+        graph = InterferenceGraph()
+        add_region_conflicts(wrapper, graph, analysis)
+        add_subregion_conflicts(
+            wrapper, graph, {id(sub1): sub_graph}, analysis
+        )
+        assert graph.interferes(A, C)
+
+    def test_combined_groups_preserved_on_import(self):
+        func, wrapper, sub1, sub2 = build_with_two_subregions()
+        analysis = FunctionAnalysis(func)
+        sub_graph = InterferenceGraph()
+        sub_graph.add_group([A, C])  # subregion decided A and C share
+        graph = InterferenceGraph()
+        add_region_conflicts(wrapper, graph, analysis)
+        add_subregion_conflicts(
+            wrapper, graph, {id(sub1): sub_graph}, analysis
+        )
+        assert graph.node_of(A) is graph.node_of(C)

@@ -1,0 +1,176 @@
+"""Reproduction of the paper's Figure 3: building a region's graph.
+
+The scenario (paper §3.1.1):
+
+    S1: a = b              -- parent region R1's own code
+    S2: c = a + c
+    if (P)
+        S3: a = b + c      -- subregion R2
+    else {
+        S4: e = 10         -- subregion R3
+        S5: a = e
+        S6: a = a + b
+    }
+
+with a register ``d`` that is live through the region but never referenced
+in it.  The claims checked:
+
+* (c) the parent graph contains nodes for a, b, c only — ``d`` is omitted
+  "so that referenced virtual registers are given priority when coloring";
+* (b) in R3's combined graph, a and e share a node (the coloring combined
+  them);
+* (a) in R2's combined graph, a and b are *not* combined, "because there
+  are uses of both a and b outside of the subregion" (the global/global
+  rule);
+* (d) the full region graph merges the subregion nodes with the parent's
+  by shared register, and still excludes ``d`` (its interference is
+  enforced one level up, by Figure 4's boundary rule — also checked).
+"""
+
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+from repro.pdg.graph import PDGFunction
+from repro.pdg.liveness import FunctionAnalysis
+from repro.pdg.nodes import Predicate, Region
+from repro.regalloc.interference import InterferenceGraph
+from repro.regalloc.rap.allocator import RAPContext
+from repro.regalloc.rap.conflicts import add_region_conflicts, add_subregion_conflicts
+from repro.regalloc.rap.region_alloc import allocate_region
+
+A, B, C, E, D, P = (vreg(i) for i in range(6))
+
+
+def build_figure3():
+    """The function: defs of b, c, p, d; region R1 with the S1..S6 code;
+    uses of a and d afterwards (making a global and d live-through)."""
+    func = PDGFunction("fig3", "void", [])
+    func.reserve_vregs(10)
+
+    r2 = Region(kind="branch", note="R2 (then)")
+    r2.items.append(iloc.binary(Op.ADD, B, C, A))          # S3: a = b + c
+
+    r3 = Region(kind="branch", note="R3 (else)")
+    r3.items.append(iloc.loadi(10, E))                     # S4: e = 10
+    r3.items.append(iloc.copy(E, A))                       # S5: a = e
+    r3.items.append(iloc.binary(Op.ADD, A, B, A))          # S6: a = a + b
+
+    r1 = Region(kind="block", note="R1")
+    r1.items.append(iloc.copy(B, A))                       # S1: a = b
+    r1.items.append(iloc.binary(Op.ADD, A, C, C))          # S2: c = a + c
+    r1.items.append(Predicate(P, r2, r3))
+
+    entry = func.entry
+    entry.items.append(iloc.loadi(1, B))
+    entry.items.append(iloc.loadi(2, C))
+    entry.items.append(iloc.loadi(3, P))
+    entry.items.append(iloc.loadi(4, D))
+    entry.items.append(r1)
+    entry.items.append(Instr(Op.PRINT, srcs=[A]))
+    entry.items.append(Instr(Op.PRINT, srcs=[D]))
+    return func, r1, r2, r3
+
+
+def allocate_subregions(func, r1, k=3):
+    ctx = RAPContext(func, k)
+    for sub in r1.subregions():
+        ctx.sub_graphs[id(sub)] = allocate_region(ctx, sub)
+    return ctx
+
+
+class TestParentGraph:
+    def test_nodes_are_parent_referenced_registers_only(self):
+        func, r1, _, _ = build_figure3()
+        graph = InterferenceGraph()
+        add_region_conflicts(r1, graph, FunctionAnalysis(func))
+        regs = graph.registers()
+        assert {A, B, C, P} <= regs
+        assert D not in regs          # live through, not referenced: omitted
+        assert E not in regs          # subregion-only
+
+    def test_a_and_c_interfere(self):
+        func, r1, _, _ = build_figure3()
+        graph = InterferenceGraph()
+        add_region_conflicts(r1, graph, FunctionAnalysis(func))
+        assert graph.interferes(A, C)
+
+    def test_b_and_c_interfere(self):
+        func, r1, _, _ = build_figure3()
+        graph = InterferenceGraph()
+        add_region_conflicts(r1, graph, FunctionAnalysis(func))
+        assert graph.interferes(B, C)
+
+    def test_copy_operands_do_not_interfere(self):
+        # S1 is a = b; nothing else makes them simultaneously live in R1's
+        # own code beyond the live-in rule (b and a are not both live-in).
+        func, r1, _, _ = build_figure3()
+        graph = InterferenceGraph()
+        add_region_conflicts(r1, graph, FunctionAnalysis(func))
+        assert not graph.interferes(A, B)
+
+    def test_live_in_referenced_pairs_interfere(self):
+        # b, c, p are all live on entrance to R1 and referenced in it.
+        func, r1, _, _ = build_figure3()
+        graph = InterferenceGraph()
+        add_region_conflicts(r1, graph, FunctionAnalysis(func))
+        assert graph.interferes(B, P)
+        assert graph.interferes(C, P)
+
+
+class TestSubregionGraphs:
+    def test_r3_combines_a_and_e(self):
+        func, r1, _, r3 = build_figure3()
+        ctx = allocate_subregions(func, r1)
+        combined = ctx.sub_graphs[id(r3)]
+        assert combined.node_of(A) is combined.node_of(E)
+
+    def test_r2_does_not_combine_a_and_b(self):
+        # Both are global to R2 (used outside), so the global/global rule
+        # keeps their colors distinct even though they do not interfere
+        # inside R2.
+        func, r1, r2, _ = build_figure3()
+        ctx = allocate_subregions(func, r1)
+        combined = ctx.sub_graphs[id(r2)]
+        assert combined.node_of(A) is not combined.node_of(B)
+
+    def test_combined_graphs_bounded_by_k(self):
+        func, r1, r2, r3 = build_figure3()
+        ctx = allocate_subregions(func, r1, k=3)
+        assert len(ctx.sub_graphs[id(r2)].nodes) <= 3
+        assert len(ctx.sub_graphs[id(r3)].nodes) <= 3
+
+
+class TestFullRegionGraph:
+    def build_full(self):
+        func, r1, r2, r3 = build_figure3()
+        ctx = allocate_subregions(func, r1)
+        graph = InterferenceGraph()
+        analysis = ctx.analysis()
+        add_region_conflicts(r1, graph, analysis)
+        add_subregion_conflicts(r1, graph, ctx.sub_graphs, analysis)
+        return func, graph
+
+    def test_subregion_nodes_merged_with_parent_by_register(self):
+        _, graph = self.build_full()
+        # a (parent) and e (R3) ended up in one node via R3's combining.
+        assert graph.node_of(A) is graph.node_of(E)
+
+    def test_d_still_not_in_region_graph(self):
+        _, graph = self.build_full()
+        assert D not in graph
+
+    def test_d_constrained_one_level_up(self):
+        # When the *entry* region incorporates R1's combined graph, d is
+        # live into R1 but not referenced there, so Figure 4's second loop
+        # makes d interfere with every R1 node.
+        func, r1, r2, r3 = build_figure3()
+        ctx = RAPContext(func, 3)
+        ctx.sub_graphs[id(r1)] = allocate_region(ctx, r1)
+        entry_graph = InterferenceGraph()
+        analysis = ctx.analysis()
+        add_region_conflicts(func.entry, entry_graph, analysis)
+        add_subregion_conflicts(
+            func.entry, entry_graph, ctx.sub_graphs, analysis
+        )
+        assert D in entry_graph
+        for other in (A, B, C):
+            assert entry_graph.interferes(D, other)

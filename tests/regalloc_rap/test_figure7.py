@@ -1,0 +1,123 @@
+"""Reproduction of the paper's Figure 7: the effect of small regions on
+spilling.
+
+    S1: a = ...
+    S2: ... = a        (own region R2 under pdgcc granularity)
+    S3: ... = a        (own region R3)
+
+If ``a`` is spilled while coloring the region with parent R1, RAP inserts
+a load prior to the first use *in each subregion* containing a use — so
+with one-statement regions there are two loads where merged regions would
+need one.  §4 argues (a) larger regions reduce this overhead, and (b) when
+R1 is a loop region, the motion phase recovers by hoisting to a single
+load before the region.
+"""
+
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir.iloc import Op
+from repro.pdg.nodes import Region
+from repro.regalloc.rap.allocator import RAPContext
+from repro.regalloc.rap.spill_insert import spill_register
+
+SRC = """
+void main() {
+    int a;
+    a = 70;
+    print(a + 1);
+    print(a + 2);
+}
+"""
+
+
+def spill_a(granularity):
+    prog = compile_source(SRC, granularity=granularity)
+    module = prog.fresh_module()
+    func = module.functions["main"]
+    loadi = next(i for i in func.walk_instrs() if i.imm == 70)
+    a = next(
+        i for i in func.walk_instrs() if i.op is Op.I2I and i.srcs[0] == loadi.dst
+    ).dst
+    ctx = RAPContext(func, 3)
+    spill_register(ctx, func.entry, a)
+    # Behaviour must be preserved either way.
+    reference = run_program(prog.reference_image())
+    functions = {}
+    from repro.pdg.linearize import linearize
+
+    for name, f in module.functions.items():
+        functions[name] = FunctionImage(
+            name, list(linearize(f).instrs), param_slots(f)
+        )
+    stats = run_program(ProgramImage(list(module.globals.values()), functions))
+    assert stats.output == reference.output
+    spill_loads = [
+        i
+        for i in func.walk_instrs()
+        if i.op is Op.LDM and ".%v" in i.addr.name
+    ]
+    return len(spill_loads)
+
+
+class TestFigure7:
+    def test_per_statement_regions_need_one_load_per_use_region(self):
+        # S2 and S3 live in separate regions: two loads.
+        assert spill_a("statement") == 2
+
+    def test_merged_regions_reduce_spill_loads(self):
+        # With the uses merged into the parent region's own code the paper
+        # still inserts a load before *each use* in the parent region
+        # (load/store architecture), so the comparison point here is that
+        # merged granularity never needs MORE loads than per-statement.
+        assert spill_a("merged") <= spill_a("statement")
+
+    def test_loop_case_motion_recovers_single_preload(self):
+        # "If R1 is the parent region node for a loop region, RAP may move
+        # the spill code for a out of the region.  A single load for a may
+        # be placed prior to the entrance of R1."
+        source = """
+        void main() {
+            int a; int i; int s;
+            int p; int q; int r; int t; int u;
+            a = 7; p = 1; q = 2; r = 3; t = 4; u = 5;
+            print(p + q + r + t + u);
+            print(p - q); print(r + t - u);
+            s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                s = s + a;
+                s = s - a;
+            }
+            print(s); print(a);
+        }
+        """
+        from repro.regalloc.rap import allocate_rap
+
+        prog = compile_source(source)
+        reference = run_program(prog.reference_image())
+        module = prog.fresh_module()
+        result = allocate_rap(module.functions["main"], 4)
+        image = ProgramImage(
+            list(module.globals.values()),
+            {"main": FunctionImage("main", result.code, [])},
+        )
+        stats = run_program(image)
+        assert stats.output == reference.output
+        assert result.motion.hoisted_slots
+        # The hoisted slot is loaded once before the loop, not once per
+        # use per iteration: no load of it remains inside the loop span
+        # (between the loop header label and the back-edge jump).
+        hoisted = {slot for _, slot in result.motion.hoisted_slots}
+        back_jump = next(
+            pos
+            for pos, instr in enumerate(result.code)
+            if instr.op is Op.JMP
+        )
+        header = next(
+            pos
+            for pos, instr in enumerate(result.code)
+            if instr.op is Op.LABEL
+            and instr.label == result.code[back_jump].label
+        )
+        for instr in result.code[header:back_jump]:
+            if instr.op is Op.LDM:
+                assert instr.addr not in hoisted

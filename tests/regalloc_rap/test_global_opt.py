@@ -1,0 +1,168 @@
+"""Tests for the global (cross-block) redundant load/store elimination."""
+
+import pytest
+
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Symbol, preg
+from repro.regalloc.rap import allocate_rap
+from repro.regalloc.rap.global_opt import eliminate_redundant_mem_ops_global
+
+A = Symbol("f.%v1")
+G = Symbol("g", "global")
+
+
+def ops(code):
+    return [i.op for i in code]
+
+
+class TestCrossBlock:
+    def test_load_available_across_fallthrough(self):
+        code = [
+            iloc.ldm(A, preg(1)),
+            iloc.jmp("L"),
+            iloc.label("L"),
+            iloc.ldm(A, preg(1)),  # available on the only path
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops_global(code)
+        assert report.loads_deleted == 1
+
+    def test_load_after_diamond_where_both_arms_load(self):
+        # Both branch arms load A into r1 -> the join's reload is redundant.
+        code = [
+            iloc.loadi(1, preg(0)),
+            iloc.cbr(preg(0), "T", "F"),
+            iloc.label("T"),
+            iloc.ldm(A, preg(1)),
+            iloc.jmp("E"),
+            iloc.label("F"),
+            iloc.ldm(A, preg(1)),
+            iloc.label("E"),
+            iloc.ldm(A, preg(1)),
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops_global(code)
+        assert report.loads_deleted == 1
+        assert sum(1 for i in out if i.op is Op.LDM) == 2
+
+    def test_one_arm_only_keeps_reload(self):
+        code = [
+            iloc.loadi(1, preg(0)),
+            iloc.cbr(preg(0), "T", "E"),
+            iloc.label("T"),
+            iloc.ldm(A, preg(1)),
+            iloc.label("E"),
+            iloc.ldm(A, preg(1)),  # NOT available on the fall-through path
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops_global(code)
+        assert report.loads_deleted == 0
+
+    def test_different_holders_on_arms_keeps_reload(self):
+        code = [
+            iloc.loadi(1, preg(0)),
+            iloc.cbr(preg(0), "T", "F"),
+            iloc.label("T"),
+            iloc.ldm(A, preg(1)),
+            iloc.jmp("E"),
+            iloc.label("F"),
+            iloc.ldm(A, preg(2)),
+            iloc.label("E"),
+            iloc.ldm(A, preg(1)),
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops_global(code)
+        assert report.loads_deleted == 0
+
+    def test_loop_carried_availability(self):
+        # The value is loaded before the loop and neither the register nor
+        # the slot changes inside: the in-loop reload dies.
+        code = [
+            iloc.loadi(1, preg(2)),
+            iloc.stm(A, preg(2)),
+            iloc.ldm(A, preg(1)),
+            iloc.label("H"),
+            iloc.ldm(A, preg(1)),   # redundant on every iteration
+            iloc.loadi(0, preg(0)),
+            iloc.cbr(preg(0), "H", "X"),
+            iloc.label("X"),
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops_global(code)
+        assert report.loads_deleted == 1
+
+    def test_loop_with_interior_clobber_keeps_reload(self):
+        code = [
+            iloc.loadi(1, preg(2)),
+            iloc.stm(A, preg(2)),
+            iloc.ldm(A, preg(1)),
+            iloc.label("H"),
+            iloc.ldm(A, preg(1)),
+            iloc.loadi(9, preg(1)),  # clobbers the holder inside the loop
+            iloc.loadi(0, preg(0)),
+            iloc.cbr(preg(0), "H", "X"),
+            iloc.label("X"),
+            Instr(Op.RET, srcs=[preg(0)]),
+        ]
+        out, report = eliminate_redundant_mem_ops_global(code)
+        assert report.loads_deleted == 0
+
+    def test_call_kills_global_across_blocks(self):
+        code = [
+            iloc.ldm(G, preg(1)),
+            iloc.jmp("L"),
+            iloc.label("L"),
+            Instr(Op.CALL, callee="h"),
+            iloc.ldm(G, preg(1)),  # must survive
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops_global(code)
+        assert report.loads_deleted == 0
+
+    def test_copy_transfers_fact(self):
+        code = [
+            iloc.ldm(A, preg(1)),
+            iloc.copy(preg(1), preg(2)),
+            iloc.loadi(0, preg(1)),   # original holder clobbered
+            iloc.ldm(A, preg(2)),     # but r2 still mirrors A
+            Instr(Op.RET, srcs=[preg(2)]),
+        ]
+        out, report = eliminate_redundant_mem_ops_global(code)
+        assert report.loads_deleted == 1
+
+
+class TestAsRapPhase:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_behaviour_preserved(self, k):
+        source = """
+        int a[16];
+        void main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i % 2 == 0) { s = s + a[i]; } else { s = s - a[i]; }
+            }
+            print(s);
+        }
+        """
+        prog = compile_source(source)
+        reference = run_program(prog.reference_image())
+        module = prog.fresh_module()
+        result = allocate_rap(module.functions["main"], k, global_peephole=True)
+        image = ProgramImage(
+            list(module.globals.values()),
+            {"main": FunctionImage("main", result.code, [])},
+        )
+        stats = run_program(image)
+        assert stats.output == reference.output
+
+    def test_never_worse_than_local(self):
+        from repro.bench.harness import Harness
+        from repro.bench.suite import program
+
+        harness = Harness()
+        bench = program("linpack")
+        local = harness.run(bench, "rap", 3)
+        globl = harness.run(bench, "rap", 3, global_peephole=True)
+        assert globl.stats.total.loads <= local.stats.total.loads

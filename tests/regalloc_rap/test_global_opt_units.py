@@ -1,0 +1,80 @@
+"""Unit tests for the availability lattice of the global peephole."""
+
+from repro.ir.iloc import Instr, Op, Symbol, preg
+from repro.ir import iloc
+from repro.regalloc.rap.global_opt import _meet, _transfer
+
+A = Symbol("f.a")
+B = Symbol("f.b")
+G = Symbol("g", "global")
+
+
+class TestMeet:
+    def test_agreeing_states_intersect(self):
+        left = {A: (preg(1), True), B: (preg(2), True)}
+        right = {A: (preg(1), True)}
+        assert _meet([left, right]) == {A: (preg(1), True)}
+
+    def test_disagreeing_holders_dropped(self):
+        left = {A: (preg(1), True)}
+        right = {A: (preg(2), True)}
+        assert _meet([left, right]) == {}
+
+    def test_synced_flag_anded(self):
+        left = {A: (preg(1), True)}
+        right = {A: (preg(1), False)}
+        assert _meet([left, right]) == {A: (preg(1), False)}
+
+    def test_top_predecessors_skipped(self):
+        known = {A: (preg(1), True)}
+        assert _meet([None, known, None]) == known
+
+    def test_all_top_gives_bottom(self):
+        assert _meet([None, None]) == {}
+
+
+class TestTransfer:
+    def test_ldm_establishes_fact(self):
+        state = {}
+        _transfer(state, iloc.ldm(A, preg(1)))
+        assert state == {A: (preg(1), True)}
+
+    def test_ldm_kills_other_facts_of_dst(self):
+        state = {B: (preg(1), True)}
+        _transfer(state, iloc.ldm(A, preg(1)))
+        assert B not in state and state[A] == (preg(1), True)
+
+    def test_stm_establishes_fact(self):
+        state = {}
+        _transfer(state, iloc.stm(A, preg(2)))
+        assert state == {A: (preg(2), True)}
+
+    def test_def_kills_holder(self):
+        state = {A: (preg(1), True)}
+        _transfer(state, iloc.loadi(9, preg(1)))
+        assert state == {}
+
+    def test_unrelated_def_keeps_facts(self):
+        state = {A: (preg(1), True)}
+        _transfer(state, iloc.loadi(9, preg(2)))
+        assert state == {A: (preg(1), True)}
+
+    def test_call_kills_globals_only(self):
+        state = {A: (preg(1), True), G: (preg(2), True)}
+        _transfer(state, Instr(Op.CALL, callee="h"))
+        assert A in state and G not in state
+
+    def test_call_result_kills_holder(self):
+        state = {A: (preg(1), True)}
+        _transfer(state, Instr(Op.CALL, callee="h", dst=preg(1)))
+        assert state == {}
+
+    def test_copy_propagates_one_mirror(self):
+        state = {A: (preg(1), True)}
+        _transfer(state, iloc.copy(preg(1), preg(2)))
+        assert state[A][0] in (preg(1), preg(2))
+
+    def test_heap_store_keeps_symbolic_facts(self):
+        state = {A: (preg(1), True)}
+        _transfer(state, iloc.store(preg(2), preg(3)))
+        assert state == {A: (preg(1), True)}

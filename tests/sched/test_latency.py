@@ -1,0 +1,40 @@
+"""Tests for the latency model."""
+
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Symbol, vreg
+from repro.sched.latency import DEFAULT_LATENCIES, UNIT_MODEL, LatencyModel
+
+
+def test_default_memory_latencies():
+    model = LatencyModel()
+    assert model.of(iloc.load(vreg(0), vreg(1))) == 3
+    assert model.of(iloc.ldm(Symbol("s"), vreg(1))) == 3
+
+
+def test_default_alu_latencies():
+    model = LatencyModel()
+    assert model.of(iloc.binary(Op.MUL, vreg(0), vreg(1), vreg(2))) == 2
+    assert model.of(iloc.binary(Op.DIV, vreg(0), vreg(1), vreg(2))) == 5
+    assert model.of(iloc.binary(Op.ADD, vreg(0), vreg(1), vreg(2))) == 1
+
+
+def test_labels_are_free():
+    assert LatencyModel().of(iloc.label("L")) == 0
+
+
+def test_unit_model_flattens_everything():
+    assert UNIT_MODEL.of(iloc.load(vreg(0), vreg(1))) == 1
+    assert UNIT_MODEL.of(iloc.binary(Op.DIV, vreg(0), vreg(1), vreg(2))) == 1
+
+
+def test_custom_model():
+    model = LatencyModel(latencies={Op.LOAD: 10}, default=2)
+    assert model.of(iloc.load(vreg(0), vreg(1))) == 10
+    assert model.of(iloc.copy(vreg(0), vreg(1))) == 2
+
+
+def test_defaults_table_is_not_shared_state():
+    first = LatencyModel()
+    second = LatencyModel()
+    assert first.latencies == DEFAULT_LATENCIES
+    assert first.latencies is not second.latencies

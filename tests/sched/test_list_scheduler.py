@@ -1,0 +1,176 @@
+"""Tests for the list scheduler and pipeline metric."""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.suite import program
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, vreg
+from repro.sched import (
+    LatencyModel,
+    UNIT_MODEL,
+    schedule_block,
+    schedule_code,
+    simulate_block,
+)
+
+MODEL = LatencyModel()
+
+
+class TestSimulate:
+    def test_straightline_no_stalls(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(1)),
+        ]
+        assert simulate_block(code, UNIT_MODEL) == 2
+
+    def test_load_use_stall(self):
+        code = [
+            iloc.loadi(4096, vreg(0)),
+            iloc.load(vreg(0), vreg(1)),        # ready at issue+3
+            iloc.binary(Op.ADD, vreg(1), vreg(1), vreg(2)),
+        ]
+        # load issues at 1, result at 4; add issues at 4, done 5.
+        assert simulate_block(code, MODEL) == 5
+
+    def test_independent_work_hides_latency(self):
+        code = [
+            iloc.loadi(4096, vreg(0)),
+            iloc.load(vreg(0), vreg(1)),
+            iloc.loadi(7, vreg(3)),             # fills one stall slot
+            iloc.loadi(8, vreg(4)),             # fills the other
+            iloc.binary(Op.ADD, vreg(1), vreg(1), vreg(2)),
+        ]
+        assert simulate_block(code, MODEL) == 5
+
+    def test_labels_free(self):
+        code = [iloc.label("L"), iloc.loadi(1, vreg(0))]
+        assert simulate_block(code, UNIT_MODEL) == 1
+
+
+class TestScheduleBlock:
+    def test_hides_load_latency_by_hoisting_independent_work(self):
+        code = [
+            iloc.loadi(4096, vreg(0)),
+            iloc.load(vreg(0), vreg(1)),
+            iloc.binary(Op.ADD, vreg(1), vreg(1), vreg(2)),
+            iloc.loadi(7, vreg(3)),
+            iloc.loadi(8, vreg(4)),
+            Instr(Op.PRINT, srcs=[vreg(2)]),
+        ]
+        scheduled, before, after = schedule_block(code, MODEL)
+        assert after < before
+        # The independent loadIs moved between the load and its use.
+        add_at = next(i for i, x in enumerate(scheduled) if x.op is Op.ADD)
+        load_at = next(i for i, x in enumerate(scheduled) if x.op is Op.LOAD)
+        assert add_at - load_at > 1
+
+    def test_never_regresses(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(1)),
+            iloc.binary(Op.ADD, vreg(0), vreg(1), vreg(2)),
+        ]
+        _, before, after = schedule_block(code, MODEL)
+        assert after <= before
+
+    def test_preserves_instruction_multiset(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(4096, vreg(1)),
+            iloc.load(vreg(1), vreg(2)),
+            iloc.binary(Op.MUL, vreg(2), vreg(0), vreg(3)),
+            Instr(Op.PRINT, srcs=[vreg(3)]),
+        ]
+        scheduled, _, _ = schedule_block(code, MODEL)
+        assert sorted(id(i) for i in scheduled) == sorted(id(i) for i in code)
+
+    def test_unit_model_keeps_order_length(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.loadi(2, vreg(1)),
+            iloc.binary(Op.ADD, vreg(0), vreg(1), vreg(2)),
+        ]
+        _, before, after = schedule_block(code, UNIT_MODEL)
+        assert before == after == 3
+
+
+class TestScheduleCode:
+    def test_labels_stay_at_block_heads(self):
+        source = """
+        void f() {
+            int i; int s; s = 0;
+            for (i = 0; i < 3; i = i + 1) { s = s + i; }
+            print(s);
+        }
+        """
+        from repro.pdg.linearize import linearize
+
+        func = compile_source(source).module.functions["f"]
+        code = [i.clone() for i in linearize(func).instrs]
+        scheduled, report = schedule_code(code, MODEL)
+        labels_before = [i.label for i in code if i.op is Op.LABEL]
+        labels_after = [i.label for i in scheduled if i.op is Op.LABEL]
+        assert labels_before == labels_after
+        assert report.blocks >= 3
+
+    @pytest.mark.parametrize("bench_name", ["hsort", "queens"])
+    @pytest.mark.parametrize("allocator", ["gra", "rap"])
+    def test_scheduled_code_behaves_identically(self, bench_name, allocator):
+        harness = Harness()
+        bench = program(bench_name)
+        image, _ = harness.allocate_program(bench, allocator, 4)
+        functions = {}
+        for name, func_image in image.functions.items():
+            code, _ = schedule_code(list(func_image.code), MODEL)
+            functions[name] = FunctionImage(name, code, func_image.param_slots)
+        stats = run_program(
+            ProgramImage(image.globals, functions), max_cycles=bench.max_cycles
+        )
+        assert stats.output == harness.reference_output(bench)
+
+    def test_allocation_pressure_lengthens_schedules(self):
+        # The motivating tension: k=3 code (heavy register reuse) has a
+        # longer static schedule than k=16 code for the same program.
+        harness = Harness()
+        bench = program("linpack")
+        lengths = {}
+        for k in (3, 16):
+            image, _ = harness.allocate_program(bench, "gra", k)
+            total = 0
+            for func_image in image.functions.values():
+                _, report = schedule_code(list(func_image.code), MODEL)
+                total += report.length_after
+            lengths[k] = total
+        assert lengths[3] > lengths[16]
+
+
+class TestIssueWidth:
+    def test_dual_issue_halves_independent_work(self):
+        code = [iloc.loadi(i, vreg(i)) for i in range(8)]
+        single = simulate_block(code, UNIT_MODEL, issue_width=1)
+        dual = simulate_block(code, UNIT_MODEL, issue_width=2)
+        assert single == 8
+        assert dual == 4
+
+    def test_dependent_chain_gains_nothing_from_width(self):
+        code = [
+            iloc.loadi(1, vreg(0)),
+            iloc.binary(Op.ADD, vreg(0), vreg(0), vreg(1)),
+            iloc.binary(Op.ADD, vreg(1), vreg(1), vreg(2)),
+            iloc.binary(Op.ADD, vreg(2), vreg(2), vreg(3)),
+        ]
+        assert simulate_block(code, UNIT_MODEL, 1) == simulate_block(
+            code, UNIT_MODEL, 4
+        )
+
+    def test_width_one_matches_legacy_semantics(self):
+        code = [
+            iloc.loadi(4096, vreg(0)),
+            iloc.load(vreg(0), vreg(1)),
+            iloc.binary(Op.ADD, vreg(1), vreg(1), vreg(2)),
+        ]
+        assert simulate_block(code, MODEL, issue_width=1) == 5

@@ -1,0 +1,36 @@
+"""Every module in the package imports cleanly and exposes its __all__."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # __main__ runs the CLI (and exits) on import, by design.
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_package_version():
+    assert repro.__version__
+
+
+def test_public_api_surface():
+    for symbol in (
+        "compile_source",
+        "run_program",
+        "allocate_gra",
+        "allocate_rap",
+    ):
+        assert hasattr(repro, symbol)
