@@ -5,10 +5,19 @@ each register-set size k, and each allocator it:
 
 1. compiles the Mini-C source to a PDG module (cached per program);
 2. allocates every function (GRA on the cloned linear code, RAP on a fresh
-   copy of the PDG) and validates the result structurally;
-3. runs the allocated program in the iloc interpreter, asserting that the
-   observable output matches the infinite-register reference execution;
+   copy of the PDG) through the :class:`~repro.resilience.pipeline.PassPipeline`,
+   which validates every result structurally;
+3. runs the allocated program in the iloc interpreter, checking that the
+   observable output matches the infinite-register reference execution
+   (NaN-tolerant; a mismatch raises a structured
+   :class:`~repro.resilience.errors.MiscompileError`);
 4. reports per-routine counters.
+
+When an allocator crashes, fails validation, or miscompiles, the harness
+walks the fallback ladder (rap -> gra -> spillall, see
+:mod:`repro.resilience.fallback`) instead of aborting, recording every
+abandoned rung in ``ProgramRun.fallbacks_taken`` so a sweep always
+completes and the report shows *which* cells are degraded.
 
 Metrics, matching §4 exactly: the ``tot`` column is
 ``(cycles(GRA) - cycles(RAP)) / cycles(GRA)`` as a percentage, and the
@@ -27,8 +36,9 @@ from ..compiler import CompiledProgram, compile_source, param_slots
 from ..interp.machine import FunctionImage, ProgramImage, run_program
 from ..interp.stats import Counters, ExecStats
 from ..ir.iloc import Instr, Op
-from ..ir.validate import check_allocated, check_wellformed
-from ..regalloc import allocate_gra, allocate_rap
+from ..resilience.errors import StageError
+from ..resilience.fallback import FallbackEvent, chain_for
+from ..resilience.pipeline import PassPipeline, PipelineConfig
 from .suite import PROGRAMS, BenchProgram
 
 DEFAULT_K_VALUES = (3, 5, 7, 9)
@@ -46,13 +56,25 @@ class RoutineResult:
 
 @dataclass
 class ProgramRun:
-    """One (program, allocator, k) measurement."""
+    """One (program, allocator, k) measurement.
+
+    ``allocator`` is the allocator that was *requested*;
+    ``allocator_used`` is the one whose code actually ran (different when
+    the fallback ladder engaged), and ``fallbacks_taken`` records every
+    rung abandoned on the way there (empty in a healthy run).
+    """
 
     program: str
     allocator: str
     k: int
     stats: ExecStats
     spill_code_functions: Dict[str, bool]
+    allocator_used: str = ""
+    fallbacks_taken: List[FallbackEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.allocator_used:
+            self.allocator_used = self.allocator
 
     def routine(self, bench: BenchProgram, name: str) -> RoutineResult:
         total = Counters()
@@ -64,15 +86,24 @@ class ProgramRun:
 
 
 class Harness:
-    """Caches compiled programs and executes allocator comparisons."""
+    """Caches compiled programs and executes allocator comparisons.
+
+    ``fallback=False`` restores fail-fast behaviour: the first stage
+    failure propagates as a :class:`StageError` instead of degrading to
+    the next allocator in the ladder.
+    """
 
     def __init__(
         self,
         programs: Optional[Sequence[BenchProgram]] = None,
         check_outputs: bool = True,
+        fallback: bool = True,
+        pipeline: Optional[PassPipeline] = None,
     ):
         self.programs = list(programs) if programs is not None else list(PROGRAMS)
         self.check_outputs = check_outputs
+        self.fallback = fallback
+        self.pipeline = pipeline or PassPipeline(PipelineConfig())
         self._compiled: Dict[str, CompiledProgram] = {}
         self._reference_out: Dict[str, list] = {}
 
@@ -117,14 +148,12 @@ class Harness:
                 from ..regalloc.coalesce import coalesce_function
 
                 coalesce_function(func, k)
-            if allocator == "gra":
-                result = allocate_gra(func, k, **alloc_kwargs)
-            elif allocator == "rap":
-                result = allocate_rap(func, k, **alloc_kwargs)
-            else:
-                raise ValueError(f"unknown allocator {allocator!r}")
-            check_wellformed(result.code)
-            check_allocated(result.code, k)
+            try:
+                result = self.pipeline.allocate(func, allocator, k, **alloc_kwargs)
+            except StageError as err:
+                if err.context.program is None:
+                    err.context.program = bench.name
+                raise
             functions[name] = FunctionImage(name, result.code, param_slots(func))
             spill_flags[name] = _has_spill_code(result.code, name)
         image = ProgramImage(list(module.globals.values()), functions)
@@ -138,18 +167,59 @@ class Harness:
         pre_coalesce: bool = False,
         **alloc_kwargs,
     ) -> ProgramRun:
-        image, spill_flags = self.allocate_program(
-            bench, allocator, k, pre_coalesce=pre_coalesce, **alloc_kwargs
-        )
-        stats = run_program(image, max_cycles=bench.max_cycles)
-        if self.check_outputs:
-            expected = self.reference_output(bench)
-            if stats.output != expected:
-                raise AssertionError(
-                    f"{bench.name} [{allocator}, k={k}]: output "
-                    f"{stats.output!r} != reference {expected!r}"
+        """Allocate, execute, and check one (program, allocator, k) cell.
+
+        Walks the fallback ladder on failure (unless ``fallback=False``),
+        so the returned run may have executed a simpler allocator than the
+        one requested — see :class:`ProgramRun`.
+        """
+        attempts = chain_for(allocator)  # validates the allocator name
+        if not self.fallback:
+            attempts = attempts[:1]
+        fallbacks: List[FallbackEvent] = []
+        for position, rung in enumerate(attempts):
+            # Requested-allocator tuning does not transfer down the ladder:
+            # rap-only kwargs would crash gra, and a knob that just broke
+            # one allocator should not be re-applied to its replacement.
+            own = rung == allocator
+            try:
+                image, spill_flags = self.allocate_program(
+                    bench,
+                    rung,
+                    k,
+                    pre_coalesce=pre_coalesce if own else False,
+                    **(alloc_kwargs if own else {}),
                 )
-        return ProgramRun(bench.name, allocator, k, stats, spill_flags)
+                stats = self.pipeline.execute(
+                    image,
+                    max_cycles=bench.max_cycles,
+                    program=bench.name,
+                    allocator=rung,
+                    k=k,
+                )
+                if self.check_outputs:
+                    self.pipeline.check_output(
+                        stats.output,
+                        self.reference_output(bench),
+                        program=bench.name,
+                        allocator=rung,
+                        k=k,
+                    )
+            except StageError as err:
+                if position == len(attempts) - 1:
+                    raise
+                fallbacks.append(FallbackEvent(rung, err.stage, err.message))
+                continue
+            return ProgramRun(
+                bench.name,
+                allocator,
+                k,
+                stats,
+                spill_flags,
+                allocator_used=rung,
+                fallbacks_taken=fallbacks,
+            )
+        raise AssertionError("unreachable: ladder exhausted without raising")
 
 
 def _has_spill_code(code: Sequence[Instr], func_name: str) -> bool:
@@ -171,7 +241,12 @@ def _has_spill_code(code: Sequence[Instr], func_name: str) -> bool:
 
 @dataclass
 class Table1Cell:
-    """One routine × one k: the three percentages of Table 1."""
+    """One routine × one k: the three percentages of Table 1.
+
+    ``fallbacks`` records any allocator degradations behind the numbers
+    (from either the GRA or the RAP run of the owning program); a non-empty
+    list means the cell compares something other than pure GRA vs pure RAP.
+    """
 
     tot: Optional[float]
     ld: Optional[float]
@@ -179,6 +254,7 @@ class Table1Cell:
     gra: Counters = field(default_factory=Counters)
     rap: Counters = field(default_factory=Counters)
     blank: bool = False
+    fallbacks: List[FallbackEvent] = field(default_factory=list)
 
 
 @dataclass
@@ -203,6 +279,16 @@ class Table1:
         per_k = [self.average(k) for k in self.k_values]
         return sum(per_k) / len(per_k) if per_k else 0.0
 
+    def degraded_cells(self) -> List[Tuple[str, int, List[FallbackEvent]]]:
+        """Every (routine, k) whose measurement involved a fallback."""
+        out: List[Tuple[str, int, List[FallbackEvent]]] = []
+        for routine in self.routine_order:
+            for k in self.k_values:
+                cell = self.cells.get(routine, {}).get(k)
+                if cell is not None and cell.fallbacks:
+                    out.append((routine, k, cell.fallbacks))
+        return out
+
 
 def build_table1(
     harness: Optional[Harness] = None,
@@ -217,22 +303,28 @@ def build_table1(
         for k in k_values:
             gra_run = harness.run(bench, "gra", k, **(gra_kwargs or {}))
             rap_run = harness.run(bench, "rap", k, **(rap_kwargs or {}))
+            fallbacks = gra_run.fallbacks_taken + rap_run.fallbacks_taken
             for routine in bench.routines:
                 gra = gra_run.routine(bench, routine)
                 rap = rap_run.routine(bench, routine)
-                cell = _make_cell(gra, rap)
+                cell = _make_cell(gra, rap, fallbacks)
                 table.cells.setdefault(routine, {})[k] = cell
                 if routine not in table.routine_order:
                     table.routine_order.append(routine)
     return table
 
 
-def _make_cell(gra: RoutineResult, rap: RoutineResult) -> Table1Cell:
+def _make_cell(
+    gra: RoutineResult,
+    rap: RoutineResult,
+    fallbacks: Optional[List[FallbackEvent]] = None,
+) -> Table1Cell:
     blank = not (gra.has_spill_code or rap.has_spill_code)
+    fallbacks = list(fallbacks or [])
     g, r = gra.counters, rap.counters
     if g.cycles == 0:
-        return Table1Cell(None, None, None, g, r, blank=True)
+        return Table1Cell(None, None, None, g, r, blank=True, fallbacks=fallbacks)
     tot = 100.0 * (g.cycles - r.cycles) / g.cycles
     ld = 100.0 * (g.loads - r.loads) / g.cycles
     st = 100.0 * (g.stores - r.stores) / g.cycles
-    return Table1Cell(tot, ld, st, g, r, blank=blank)
+    return Table1Cell(tot, ld, st, g, r, blank=blank, fallbacks=fallbacks)

@@ -60,6 +60,14 @@ def render_table1(table: Table1, stream=None) -> None:
         f"{table.overall_average():.1f}%  (paper: 2.7%)",
         file=stream,
     )
+    degraded = table.degraded_cells()
+    if degraded:
+        # Only printed when a fallback fired, so a healthy run's output
+        # stays byte-identical to the reference table.
+        print("\nDegraded cells (allocator fallbacks taken):", file=stream)
+        for routine, k, events in degraded:
+            for event in events:
+                print(f"  {routine} k={k}: {event}", file=stream)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -6,15 +6,21 @@ Usage (``python -m repro ...``):
 
     python -m repro run prog.mc                    # reference execution
     python -m repro run prog.mc --allocator rap -k 5
+    python -m repro run prog.mc --allocator gra -k 3 --inject gra.spill.corrupt-slot
     python -m repro compare prog.mc -k 3 5 7 9     # GRA vs RAP sweep
     python -m repro emit prog.mc --what iloc       # unallocated listing
     python -m repro emit prog.mc --what pdg        # region tree
     python -m repro emit prog.mc --what dot        # Graphviz of the PDG
     python -m repro emit prog.mc --what alloc --allocator rap -k 4
     python -m repro table1                         # the paper's table
+    python -m repro fuzz --seeds 25                # differential fuzzing
+    python -m repro replay artifacts/<bundle>      # re-run a triage bundle
+    python -m repro faults                         # list fault probe points
 
 The driver is a thin layer over the library; everything it prints can be
-obtained programmatically (see README).
+obtained programmatically (see README).  Failures surface as structured
+diagnostics on stderr — the pipeline stage, function, allocator, and k
+that failed — with exit status 1, never a raw traceback.
 """
 
 from __future__ import annotations
@@ -24,14 +30,18 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from .compiler import CompiledProgram, compile_source, param_slots
+from .frontend.errors import FrontendError
 from .interp.machine import FunctionImage, ProgramImage, run_program
+from .interp.memory import MachineFault
 from .ir.printer import format_code, format_function
 from .pdg.dot import to_dot
 from .pdg.linearize import linearize
-from .regalloc import allocate_gra, allocate_rap
 from .regalloc.coalesce import coalesce_function
+from .resilience import faults
+from .resilience.errors import StageError
+from .resilience.pipeline import PassPipeline, PipelineConfig
 
-ALLOCATORS = {"gra": allocate_gra, "rap": allocate_rap}
+ALLOCATOR_CHOICES = ("gra", "rap", "spillall")
 
 
 def _load(path: str, granularity: str = "statement") -> CompiledProgram:
@@ -45,13 +55,16 @@ def _allocate_image(
     allocator: str,
     k: int,
     coalesce: bool = False,
+    pipeline: Optional[PassPipeline] = None,
 ) -> ProgramImage:
+    """Allocate every function through the verifying pipeline."""
+    pipeline = pipeline or PassPipeline(PipelineConfig())
     module = prog.fresh_module()
     functions: Dict[str, FunctionImage] = {}
     for name, func in module.functions.items():
         if coalesce:
             coalesce_function(func, k)
-        result = ALLOCATORS[allocator](func, k)
+        result = pipeline.allocate(func, allocator, k)
         functions[name] = FunctionImage(name, result.code, param_slots(func))
     return ProgramImage(list(module.globals.values()), functions)
 
@@ -65,14 +78,16 @@ def _print_stats(label: str, stats) -> None:
 
 
 def cmd_run(args) -> int:
-    prog = _load(args.file, args.granularity)
-    if args.allocator == "none":
-        image = prog.reference_image()
-        label = "reference"
-    else:
-        image = _allocate_image(prog, args.allocator, args.k, args.coalesce)
-        label = f"{args.allocator} k={args.k}"
-    stats = run_program(image, entry=args.entry, max_cycles=args.max_cycles)
+    specs = [faults.FaultSpec(point) for point in args.inject or []]
+    with faults.injected(*specs):
+        prog = _load(args.file, args.granularity)
+        if args.allocator == "none":
+            image = prog.reference_image()
+            label = "reference"
+        else:
+            image = _allocate_image(prog, args.allocator, args.k, args.coalesce)
+            label = f"{args.allocator} k={args.k}"
+        stats = run_program(image, entry=args.entry, max_cycles=args.max_cycles)
     for value in stats.output:
         print(value)
     if not args.quiet:
@@ -81,6 +96,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    from .testing.compare import first_divergence, outputs_equal
+
     prog = _load(args.file, args.granularity)
     reference = run_program(
         prog.reference_image(), entry=args.entry, max_cycles=args.max_cycles
@@ -96,8 +113,13 @@ def cmd_compare(args) -> int:
             stats = run_program(
                 image, entry=args.entry, max_cycles=args.max_cycles
             )
-            if stats.output != reference.output:
-                print(f"!! {name} k={k}: OUTPUT DIVERGES", file=sys.stderr)
+            if not outputs_equal(stats.output, reference.output):
+                index = first_divergence(stats.output, reference.output)
+                print(
+                    f"!! {name} k={k}: output diverges from reference at "
+                    f"index {index}",
+                    file=sys.stderr,
+                )
                 return 1
             rows[name] = stats.total.cycles
         gain = 100.0 * (rows["gra"] - rows["rap"]) / rows["gra"]
@@ -150,6 +172,37 @@ def cmd_table1(args) -> int:
     return table1_main(forwarded)
 
 
+def cmd_fuzz(args) -> int:
+    from .resilience.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seeds=args.seeds,
+        start=args.start,
+        size=args.size,
+        k_values=tuple(args.k),
+        allocators=tuple(args.allocators),
+        out_dir=args.out,
+        max_cycles=args.max_cycles,
+        minimize=not args.no_minimize,
+    )
+    return 0 if report.ok else 1
+
+
+def cmd_replay(args) -> int:
+    from .resilience.triage import replay_bundle
+
+    result = replay_bundle(args.bundle)
+    print(result.describe())
+    return 0 if result.reproduced else 1
+
+
+def cmd_faults(args) -> int:
+    width = max(len(point) for point in faults.PROBE_POINTS)
+    for point in sorted(faults.PROBE_POINTS):
+        print(f"{point.ljust(width)}  {faults.PROBE_POINTS[point]}")
+    return 0
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("file", help="Mini-C source file")
     parser.add_argument(
@@ -176,9 +229,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="compile, allocate, and execute")
     _add_common(run)
-    run.add_argument("--allocator", choices=("none", "gra", "rap"), default="none")
+    run.add_argument(
+        "--allocator", choices=("none",) + ALLOCATOR_CHOICES, default="none"
+    )
     run.add_argument("-k", type=int, default=8, help="physical register count")
     run.add_argument("--quiet", action="store_true")
+    run.add_argument(
+        "--inject",
+        action="append",
+        metavar="POINT",
+        help="arm a fault-injection probe (repeatable; see `repro faults`)",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="GRA vs RAP cycle comparison")
@@ -193,7 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("src", "pdg", "dot", "iloc", "alloc"),
         default="iloc",
     )
-    emit.add_argument("--allocator", choices=("gra", "rap"), default="rap")
+    emit.add_argument("--allocator", choices=ALLOCATOR_CHOICES, default="rap")
     emit.add_argument("-k", type=int, default=8)
     emit.add_argument("--function", help="restrict DOT output to one function")
     emit.add_argument("--data-deps", action="store_true")
@@ -203,6 +264,32 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--k", type=int, nargs="*")
     table1.add_argument("--programs", nargs="*")
     table1.set_defaults(func=cmd_table1)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing with crash triage"
+    )
+    fuzz.add_argument("--seeds", type=int, default=25)
+    fuzz.add_argument("--start", type=int, default=0)
+    fuzz.add_argument("--size", choices=("small", "medium", "large"), default="small")
+    fuzz.add_argument("--k", type=int, nargs="+", default=[3, 5])
+    fuzz.add_argument(
+        "--allocators", nargs="+", choices=ALLOCATOR_CHOICES, default=["gra", "rap"]
+    )
+    fuzz.add_argument("--out", default="artifacts")
+    fuzz.add_argument("--max-cycles", type=int, default=3_000_000)
+    fuzz.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip delta minimization of failing programs",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    replay = sub.add_parser("replay", help="re-run a triage bundle")
+    replay.add_argument("bundle", help="bundle directory (see artifacts/)")
+    replay.set_defaults(func=cmd_replay)
+
+    flt = sub.add_parser("faults", help="list fault-injection probe points")
+    flt.set_defaults(func=cmd_faults)
     return parser
 
 
@@ -216,6 +303,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    except StageError as err:
+        print(err.render(), file=sys.stderr)
+        return 1
+    except FrontendError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except MachineFault as err:
+        print(f"machine fault: {err}", file=sys.stderr)
+        return 1
+    except (ValueError, OSError) as err:
+        # bad user input: unknown probe point, missing source file,
+        # a replay directory without a bundle.json, ...
+        print(f"error: {err}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

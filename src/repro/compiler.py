@@ -28,12 +28,11 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List
 
-from .frontend import analyze, parse
 from .interp.machine import FunctionImage, ProgramImage
-from .ir.builder import arg_slot_name, build_module
-from .ir.iloc import Instr, Op, Reg
+from .ir.builder import arg_slot_name
+from .ir.iloc import Instr, Op
 from .pdg.graph import Module, PDGFunction
 from .pdg.linearize import linearize
 
@@ -66,12 +65,26 @@ def compile_source(
     source: str,
     filename: str = "<string>",
     granularity: str = "statement",
+    pipeline=None,
 ) -> CompiledProgram:
-    """Front end + lowering: Mini-C text to PDG module."""
-    program = parse(source, filename)
-    info = analyze(program)
-    module = build_module(program, info, granularity=granularity)
-    return CompiledProgram(module)
+    """Front end + lowering: Mini-C text to PDG module.
+
+    Runs the parse -> sema -> pdg-build stages of a
+    :class:`~repro.resilience.pipeline.PassPipeline`.  By default
+    front-end errors surface unwrapped (the historical contract:
+    :class:`~repro.frontend.errors.FrontendError` with a source location)
+    while internal failures are wrapped into structured
+    :class:`~repro.resilience.errors.StageError` diagnostics; pass your
+    own ``pipeline`` to change either policy.
+    """
+    from .resilience.pipeline import PassPipeline, PipelineConfig  # late: cycle
+
+    if pipeline is None:
+        pipeline = PassPipeline(
+            PipelineConfig(granularity=granularity, wrap_frontend_errors=False),
+            filename=filename,
+        )
+    return pipeline.compile(source, filename)
 
 
 def strip_self_copies(code: List[Instr]) -> List[Instr]:

@@ -111,6 +111,8 @@ class Machine:
         self.stats = ExecStats()
         self.tracer = tracer
         self._arg_queue: List[Number] = []
+        #: pc of the instruction currently dispatching (for fault context).
+        self._fault_pc = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -138,8 +140,26 @@ class Machine:
         code = image.code
         counters = self.stats.function(image.name)
         total = self.stats.total
+        try:
+            return self._dispatch(image, frame, code, counters, total)
+        except MachineFault as fault:
+            # Innermost frame wins: annotate() never overwrites fields a
+            # callee's dispatch already filled in.
+            raise fault.annotate(
+                function=image.name, pc=self._fault_pc, cycles=total.cycles
+            )
+
+    def _dispatch(
+        self,
+        image: FunctionImage,
+        frame: _Frame,
+        code: Sequence[Instr],
+        counters: Counters,
+        total: Counters,
+    ) -> Number:
         pc = 0
         n = len(code)
+        self._fault_pc = 0
 
         def get(reg: Reg) -> Number:
             try:
@@ -150,6 +170,7 @@ class Machine:
                 ) from None
 
         while pc < n:
+            self._fault_pc = pc
             instr = code[pc]
             op = instr.op
             if op is Op.LABEL:

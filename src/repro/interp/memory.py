@@ -89,4 +89,53 @@ class Memory:
 
 
 class MachineFault(Exception):
-    """A runtime fault in the interpreted program (bad address, etc.)."""
+    """A runtime fault in the interpreted program (bad address, etc.).
+
+    Carries where it happened: the function and program counter of the
+    faulting instruction plus the number of cycles executed so far.  The
+    dispatch loop fills these via :meth:`annotate` as the fault unwinds;
+    only the innermost frame's values stick, so a fault inside a callee
+    reports the callee, not ``main``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        function: "str | None" = None,
+        pc: "int | None" = None,
+        cycles: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.function = function
+        self.pc = pc
+        self.cycles = cycles
+
+    def annotate(
+        self,
+        function: "str | None" = None,
+        pc: "int | None" = None,
+        cycles: "int | None" = None,
+    ) -> "MachineFault":
+        """Fill in execution context without overwriting inner frames'."""
+        if self.function is None:
+            self.function = function
+        if self.pc is None:
+            self.pc = pc
+        if self.cycles is None:
+            self.cycles = cycles
+        return self
+
+    def where(self) -> str:
+        parts = []
+        if self.function is not None:
+            parts.append(f"function={self.function}")
+        if self.pc is not None:
+            parts.append(f"pc={self.pc}")
+        if self.cycles is not None:
+            parts.append(f"cycle={self.cycles}")
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        where = self.where()
+        return f"{self.message} ({where})" if where else self.message

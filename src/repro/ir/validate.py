@@ -73,6 +73,39 @@ def check_allocated(code: Sequence[Instr], k: int) -> None:
                 )
 
 
+def check_assignment(virtual_code: Sequence[Instr], assignment) -> None:
+    """Independently recheck a coloring against a rebuilt interference graph.
+
+    ``virtual_code`` is the function body *before* physical-register
+    rewriting (captured by the allocators as
+    ``AllocationResult.virtual_code``) and ``assignment`` maps each virtual
+    register to its color.  The interference graph is rebuilt from scratch
+    — same liveness, same copy refinement — and every edge must connect
+    two differently colored registers.  An allocator that dropped or
+    never discovered an interference (the classic silent-miscompile bug
+    class) is caught *here*, structurally, instead of as a wrong answer
+    three stages later.
+    """
+    from ..regalloc.chaitin import build_interference  # late: layering
+
+    graph = build_interference(list(virtual_code))
+    for node in graph.nodes:
+        for neighbor in node.adj:
+            for a in node.members:
+                color_a = assignment.get(a)
+                if color_a is None:
+                    continue
+                for b in neighbor.members:
+                    if a >= b:
+                        continue  # each unordered pair once
+                    color_b = assignment.get(b)
+                    if color_b is not None and color_a == color_b:
+                        raise ValidationError(
+                            f"interfering registers {a} and {b} share "
+                            f"color {color_a}"
+                        )
+
+
 def used_registers(code: Sequence[Instr]) -> Set[Reg]:
     out: Set[Reg] = set()
     for instr in code:

@@ -4,10 +4,12 @@ from .chaitin import AllocationError, AllocationResult, allocate_gra
 from .coloring import color_graph
 from .interference import IGNode, InterferenceGraph
 from .rap import allocate_rap
+from .spillall import allocate_spillall
 
 __all__ = [
     "allocate_gra",
     "allocate_rap",
+    "allocate_spillall",
     "AllocationResult",
     "AllocationError",
     "InterferenceGraph",

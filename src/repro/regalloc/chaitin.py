@@ -22,6 +22,7 @@ from ..cfg.liveness import compute_liveness
 from ..ir.iloc import Instr, Op, Reg, preg, vreg
 from ..pdg.graph import PDGFunction
 from ..pdg.linearize import linearize
+from ..resilience import faults
 from .coloring import INFINITE_COST, color_graph
 from .interference import InterferenceGraph
 from .spill import spill_linear
@@ -32,7 +33,13 @@ MAX_ROUNDS = 60
 
 @dataclass
 class AllocationResult:
-    """An allocated function body plus allocation telemetry."""
+    """An allocated function body plus allocation telemetry.
+
+    ``virtual_code`` is the body as it stood immediately before physical
+    registers were substituted (spill code included) — the input the
+    pipeline's validate stage uses to recheck ``assignment`` against an
+    independently rebuilt interference graph.
+    """
 
     name: str
     code: List[Instr]
@@ -40,6 +47,7 @@ class AllocationResult:
     rounds: int = 1
     spilled: List[Reg] = field(default_factory=list)
     assignment: Dict[Reg, int] = field(default_factory=dict)
+    virtual_code: Optional[List[Instr]] = None
 
 
 class AllocationError(RuntimeError):
@@ -118,6 +126,7 @@ def allocate_gra(
     optimistic: bool = True,
     remat: bool = False,
     loop_weight: bool = False,
+    max_rounds: Optional[int] = None,
 ) -> AllocationResult:
     """Allocate one function with the GRA baseline.
 
@@ -145,11 +154,17 @@ def allocate_gra(
     remat_temps: Set[Reg] = set()
     all_spilled: List[Reg] = []
 
-    for round_number in range(1, MAX_ROUNDS + 1):
+    round_budget = max_rounds if max_rounds is not None else MAX_ROUNDS
+    for round_number in range(1, round_budget + 1):
         graph = build_interference(code)
+        if faults.active() is not None:
+            faults.maybe_drop_edge(
+                "gra.interference.drop-edge", func.name, graph
+            )
         _spill_costs(code, graph, temps, loop_weight=loop_weight)
         result = color_graph(graph, k, optimistic=optimistic)
         if result.succeeded:
+            virtual_code = [instr.clone() for instr in code]
             assignment: Dict[Reg, int] = {}
             mapping: Dict[Reg, Reg] = {}
             for node, color in result.colors.items():
@@ -170,6 +185,7 @@ def allocate_gra(
                 rounds=round_number,
                 spilled=all_spilled,
                 assignment=assignment,
+                virtual_code=virtual_code,
             )
         victims: List[Reg] = []
         for node in result.spilled:
@@ -206,14 +222,23 @@ def allocate_gra(
             if swept:
                 code = sweep_dead_defs_linear(code)
             victims = spill_victims
+        slot_name = lambda reg: f"{func.name}.{reg}"  # noqa: E731
+        load_slot_name = slot_name
+        if faults.active() is not None:
+            load_slot_name = lambda reg: faults.maybe_corrupt_slot(  # noqa: E731
+                "gra.spill.corrupt-slot", func.name, slot_name(reg)
+            )
         code, new_temps = spill_linear(
             code,
             victims,
             new_vreg,
-            slot_name=lambda reg: f"{func.name}.{reg}",
+            slot_name=slot_name,
+            load_slot_name=load_slot_name,
         )
         temps |= new_temps
-    raise AllocationError(f"{func.name}: no convergence after {MAX_ROUNDS} rounds")
+    raise AllocationError(
+        f"{func.name}: no convergence after {round_budget} rounds"
+    )
 
 
 def _max_vreg_index(code: List[Instr]) -> int:

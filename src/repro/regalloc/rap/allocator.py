@@ -49,11 +49,14 @@ class RAPContext:
         k: int,
         optimistic: bool = True,
         remat: bool = False,
+        max_region_rounds: Optional[int] = None,
     ):
         self.func = func
         self.k = k
         self.optimistic = optimistic
         self.remat = remat
+        #: per-region round budget override (None = module default).
+        self.max_region_rounds = max_region_rounds
         #: temporaries introduced by rematerialization (never re-remat).
         self.remat_temps: Set[Reg] = set()
         #: (victim, constant) pairs rematerialized so far.
@@ -194,6 +197,7 @@ def allocate_rap(
     enable_peephole: bool = True,
     remat: bool = False,
     global_peephole: bool = False,
+    max_rounds: Optional[int] = None,
 ) -> RAPResult:
     """Run all three RAP phases on ``func`` (mutating it).
 
@@ -201,13 +205,17 @@ def allocate_rap(
     :mod:`repro.regalloc.remat`); ``global_peephole=True`` replaces the
     basic-block peephole with the whole-CFG availability pass (the
     "move spill code out of any subregion" future-work extension, see
-    :mod:`.global_opt`).
+    :mod:`.global_opt`).  ``max_rounds`` overrides the per-region
+    build/spill round budget.
     """
     if k < 3:
         raise ValueError("a load/store architecture needs at least 3 registers")
 
     # ---- phase 1: bottom-up hierarchical allocation -------------------------
-    ctx = RAPContext(func, k, optimistic=optimistic, remat=remat)
+    ctx = RAPContext(
+        func, k, optimistic=optimistic, remat=remat,
+        max_region_rounds=max_rounds,
+    )
     allocate_region(ctx, func.entry)
     if ctx.final_coloring is None:  # pragma: no cover - defensive
         raise AllocationError(f"{func.name}: entry region never colored")
@@ -220,10 +228,12 @@ def allocate_rap(
             mapping[reg] = preg(color)
 
     # Metadata for phase 2 must be collected before the rewrite erases the
-    # virtual-register view.
+    # virtual-register view; so must the snapshot the validate stage
+    # rechecks the coloring against.
     loop_infos = (
         collect_loop_info(func, set(ctx.slots.values())) if enable_motion else []
     )
+    virtual_code = [instr.clone() for instr in linearize(func).instrs]
 
     for instr in func.walk_instrs():
         instr.rewrite_regs(mapping)
@@ -260,6 +270,7 @@ def allocate_rap(
         rounds=1 + len(ctx.spill_log),
         spilled=spilled,
         assignment=assignment,
+        virtual_code=virtual_code,
         spill_log=ctx.spill_log,
         motion=motion_report,
         peephole=peephole_report,

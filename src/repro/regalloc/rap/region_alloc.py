@@ -31,6 +31,7 @@ from typing import List, Set
 
 from ...ir.iloc import Reg
 from ...pdg.nodes import Region
+from ...resilience import faults
 from ..chaitin import AllocationError
 from ..coloring import color_graph
 from ..interference import InterferenceGraph
@@ -48,12 +49,18 @@ def allocate_region(ctx, region: Region) -> InterferenceGraph:
     for sub in region.subregions():
         ctx.register_sub_graph(sub, allocate_region(ctx, sub))
 
+    if faults.active() is not None:
+        faults.maybe_raise("rap.region.raise", ctx.func.name)
+
+    round_budget = ctx.max_region_rounds or MAX_REGION_ROUNDS
     spilled_here: Set[Reg] = set()
-    for _round in range(MAX_REGION_ROUNDS):
+    for _round in range(round_budget):
         analysis = ctx.analysis()
         graph = InterferenceGraph()
         add_region_conflicts(region, graph, analysis)
         add_subregion_conflicts(region, graph, ctx.sub_graphs, analysis)
+        if faults.active() is not None:
+            faults.maybe_drop_edge("rap.region.drop-edge", ctx.func.name, graph)
         global_nodes = compute_global_nodes(region, graph, analysis)
         calc_spill_costs(region, graph, analysis, spilled_here, global_nodes)
         result = color_graph(graph, ctx.k, global_nodes, optimistic=ctx.optimistic)
@@ -86,7 +93,7 @@ def allocate_region(ctx, region: Region) -> InterferenceGraph:
 
     raise AllocationError(
         f"{ctx.func.name}: region {region.name} did not converge after "
-        f"{MAX_REGION_ROUNDS} rounds (k={ctx.k})"
+        f"{round_budget} rounds (k={ctx.k})"
     )
 
 

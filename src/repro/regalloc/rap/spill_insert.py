@@ -40,6 +40,7 @@ from ...cfg.graph import CFG, BasicBlock
 from ...ir.iloc import Instr, Op, Reg, Symbol, ldm, stm
 from ...pdg.liveness import FunctionAnalysis
 from ...pdg.nodes import Item, Predicate, Region
+from ...resilience import faults
 
 
 class _Reachability:
@@ -104,6 +105,16 @@ def spill_register(ctx, region: Region, victim: Reg) -> None:
     analysis: FunctionAnalysis = ctx.fresh_analysis()
     func = ctx.func
     slot = ctx.slot_for(victim)
+    # Loads normally reference the same slot as the stores; the fault
+    # probe can desynchronize them for one spill event to model a
+    # slot-naming bug (spill-discipline validation must catch it).
+    load_slot = slot
+    if faults.active() is not None:
+        corrupted = faults.maybe_corrupt_slot(
+            "rap.spill.corrupt-slot", func.name, slot.name
+        )
+        if corrupted != slot.name:
+            load_slot = Symbol(corrupted, "spill")
     chains = analysis.chains(victim)
 
     inside_ids = {id(instr) for instr in region.walk_instrs()}
@@ -143,7 +154,7 @@ def spill_register(ctx, region: Region, victim: Reg) -> None:
 
     for instr in direct:
         if victim in instr.uses:
-            edits.append((instr, "before", ldm(slot, parent_name)))
+            edits.append((instr, "before", ldm(load_slot, parent_name)))
             load_anchor_instrs.append(instr)
         if victim in instr.defs:
             edits.append((instr, "after", stm(slot, parent_name)))
@@ -199,7 +210,7 @@ def spill_register(ctx, region: Region, victim: Reg) -> None:
 
     # Patch-up edits outside the region (reference the original register).
     for use in uses_needing_load:
-        edits.append((use, "before", ldm(slot, victim)))
+        edits.append((use, "before", ldm(load_slot, victim)))
     for definition in defs_needing_store:
         edits.append((definition, "after", stm(slot, victim)))
 
@@ -213,7 +224,7 @@ def spill_register(ctx, region: Region, victim: Reg) -> None:
             if _item_references(item, victim):
                 index = position
                 break
-        sub.items.insert(index, ldm(slot, sub_name))
+        sub.items.insert(index, ldm(load_slot, sub_name))
 
     # ---- renames ------------------------------------------------------------------
     for instr in direct:

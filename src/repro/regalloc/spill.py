@@ -14,7 +14,7 @@ that gets a store after it like any other when its register is spilled.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 from ..ir.iloc import Instr, Op, Reg, Symbol, ldm, stm
 
@@ -24,15 +24,21 @@ def spill_linear(
     victims: Iterable[Reg],
     new_vreg: Callable[[], Reg],
     slot_name: Callable[[Reg], str],
+    load_slot_name: Optional[Callable[[Reg], str]] = None,
 ) -> Tuple[List[Instr], Set[Reg]]:
     """Rewrite ``code`` spilling every register in ``victims``.
 
     Returns the new instruction list and the set of temporaries created
-    (which the caller must mark unspillable).
+    (which the caller must mark unspillable).  ``load_slot_name``
+    defaults to ``slot_name``; it exists so the fault-injection layer can
+    desynchronize load slots from store slots (a deliberate slot-naming
+    bug the validators must catch).
     """
     victims = set(victims)
     temps: Set[Reg] = set()
     out: List[Instr] = []
+    if load_slot_name is None:
+        load_slot_name = slot_name
 
     for instr in code:
         used = [reg for reg in instr.uses if reg in victims]
@@ -46,7 +52,7 @@ def spill_linear(
             temps.add(temp)
             mapping[reg] = temp
         for reg in dict.fromkeys(used):
-            out.append(ldm(Symbol(slot_name(reg)), mapping[reg]))
+            out.append(ldm(Symbol(load_slot_name(reg)), mapping[reg]))
         instr.rewrite_regs(mapping)
         out.append(instr)
         for reg in dict.fromkeys(defined):

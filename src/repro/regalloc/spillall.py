@@ -1,0 +1,79 @@
+"""The spill-everywhere allocator — the fallback chain's bottom rung.
+
+Every virtual register lives in its own spill slot; each instruction
+loads its operands into scratch physical registers, executes, and stores
+its result back.  No liveness, no interference graph, no coloring — and
+therefore nothing that can fail: any function allocates with any
+``k >= 3`` (two operand scratches plus one result scratch).  The code is
+awful (that is the point — it is the allocation of last resort, and the
+harness records every cell that had to sink this far), but it is
+*correct by construction*: register lifetimes never cross an instruction
+boundary, so no assignment decision exists to get wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.iloc import Instr, Reg, Symbol, ldm, preg, stm
+from ..pdg.graph import PDGFunction
+from ..pdg.linearize import linearize
+from .chaitin import AllocationResult
+
+
+def allocate_spillall(
+    func: PDGFunction,
+    k: int,
+    max_rounds: Optional[int] = None,  # accepted for interface parity
+    **_ignored,
+) -> AllocationResult:
+    """Allocate one function by spilling every virtual register.
+
+    ``func`` is read, not mutated (like GRA, it operates on a cloned
+    linearization).  Scratch registers: sources use ``r0``/``r1`` in
+    operand order, results use ``r2``.
+    """
+    if k < 3:
+        raise ValueError("a load/store architecture needs at least 3 registers")
+    code = [instr.clone() for instr in linearize(func).instrs]
+    virtual_code = [instr.clone() for instr in code]
+
+    out: List[Instr] = []
+    spilled = sorted(
+        {reg for instr in code for reg in instr.regs() if reg.is_virtual}
+    )
+
+    def slot_of(reg: Reg) -> Symbol:
+        return Symbol(f"{func.name}.{reg}", "spill")
+
+    for instr in code:
+        # Sources and destination get *separate* mappings: an instruction
+        # like ``add %v1, %v2 => %v1`` must read %v1 from its operand
+        # scratch while writing the result scratch.
+        use_map: Dict[Reg, Reg] = {}
+        for position, reg in enumerate(dict.fromkeys(instr.uses)):
+            if not reg.is_virtual:
+                continue
+            scratch = preg(position)
+            use_map[reg] = scratch
+            out.append(ldm(slot_of(reg), scratch))
+        stores: List[Instr] = []
+        if instr.dst is not None and instr.dst.is_virtual:
+            stores.append(stm(slot_of(instr.dst), preg(2)))
+            instr.dst = preg(2)
+        instr.srcs = [use_map.get(reg, reg) for reg in instr.srcs]
+        out.append(instr)
+        out.extend(stores)
+
+    # The trivial assignment: every live range is a point, colored by the
+    # scratch convention above.  ``assignment`` stays empty because no
+    # virtual register owns a register across instructions.
+    return AllocationResult(
+        name=func.name,
+        code=out,
+        k=k,
+        rounds=1,
+        spilled=spilled,
+        assignment={},
+        virtual_code=virtual_code,
+    )

@@ -1,0 +1,56 @@
+"""Resilience subsystem: staged pipeline, fault injection, and triage.
+
+This package is the repository's answer to "what happens when an
+allocator is wrong?".  Four layers, each usable on its own:
+
+* :mod:`.pipeline` — the compiler as named, verified stages with
+  structured :class:`~repro.resilience.errors.StageError` diagnostics;
+* :mod:`.fallback` — the rap → gra → spillall retry ladder used by the
+  benchmark harness so a sweep degrades instead of dying;
+* :mod:`.faults` — deterministic probe points inside the allocators that
+  let tests *prove* the verification and fallback nets catch corruption;
+* :mod:`.triage` / :mod:`.fuzz` — differential fuzzing with
+  delta-minimized repro bundles written to ``artifacts/``.
+"""
+
+from .errors import MiscompileError, StageContext, StageError
+from .fallback import FALLBACK_CHAIN, FallbackEvent, chain_for
+from .faults import PROBE_POINTS, FaultInjected, FaultPlan, FaultSpec, injected
+from .pipeline import STAGES, PassPipeline, PipelineConfig
+from .triage import (
+    Failure,
+    ReplayResult,
+    TriageBundle,
+    load_bundle,
+    make_bundle,
+    minimize_source,
+    probe_failure,
+    replay_bundle,
+    write_bundle,
+)
+
+__all__ = [
+    "FALLBACK_CHAIN",
+    "Failure",
+    "FallbackEvent",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "MiscompileError",
+    "PROBE_POINTS",
+    "PassPipeline",
+    "PipelineConfig",
+    "ReplayResult",
+    "STAGES",
+    "StageContext",
+    "StageError",
+    "TriageBundle",
+    "chain_for",
+    "injected",
+    "load_bundle",
+    "make_bundle",
+    "minimize_source",
+    "probe_failure",
+    "replay_bundle",
+    "write_bundle",
+]

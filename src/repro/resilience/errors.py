@@ -1,0 +1,140 @@
+"""Structured diagnostics for pipeline failures.
+
+Every failure escaping a :class:`~repro.resilience.pipeline.PassPipeline`
+stage is a :class:`StageError` carrying a :class:`StageContext`: which
+stage failed, for which function, at which register count, under which
+allocator, and — when the input came from the fuzzer — the generator seed
+that reproduces it.  The harness uses the context to decide *where* in the
+fallback chain to retry, and the triage tool serializes it into repro
+bundles, so the same structure serves containment and forensics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class StageContext:
+    """Everything needed to reproduce one stage execution.
+
+    All fields are optional: the front-end stages know no allocator, the
+    benchmark harness knows no seed.  ``extra`` absorbs ad-hoc facts
+    (probe point fired, region name, ...) without schema churn.
+    """
+
+    stage: str
+    program: Optional[str] = None
+    function: Optional[str] = None
+    allocator: Optional[str] = None
+    k: Optional[int] = None
+    seed: Optional[int] = None
+    filename: Optional[str] = None
+    granularity: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        parts = [f"stage={self.stage}"]
+        for label, value in (
+            ("program", self.program),
+            ("function", self.function),
+            ("allocator", self.allocator),
+            ("k", self.k),
+            ("seed", self.seed),
+            ("file", self.filename),
+            ("granularity", self.granularity),
+        ):
+            if value is not None:
+                parts.append(f"{label}={value}")
+        for key, value in sorted(self.extra.items()):
+            parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"stage": self.stage}
+        for key in (
+            "program",
+            "function",
+            "allocator",
+            "k",
+            "seed",
+            "filename",
+            "granularity",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+
+class StageError(Exception):
+    """A pipeline stage failed; carries the stage context and root cause."""
+
+    def __init__(
+        self,
+        message: str,
+        context: StageContext,
+        cause: Optional[BaseException] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.context = context
+        self.cause = cause
+
+    @property
+    def stage(self) -> str:
+        return self.context.stage
+
+    def render(self) -> str:
+        """Multi-line human-readable diagnostic (used by the CLI)."""
+        lines = [f"error: {self.message}", f"  where: {self.context.describe()}"]
+        if self.cause is not None and str(self.cause) != self.message:
+            lines.append(
+                f"  cause: {type(self.cause).__name__}: {self.cause}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return f"[{self.context.stage}] {self.message}"
+
+
+class MiscompileError(StageError):
+    """Allocated code produced observably different output than the
+    reference execution — the one error class that means *wrong code*, not
+    a crash.  Carries the first divergence index and both streams so the
+    triage tool can bundle them without re-running anything."""
+
+    def __init__(
+        self,
+        message: str,
+        context: StageContext,
+        divergence_index: int,
+        expected: Sequence[Any],
+        actual: Sequence[Any],
+    ):
+        super().__init__(message, context)
+        self.divergence_index = divergence_index
+        self.expected = list(expected)
+        self.actual = list(actual)
+
+    def render(self) -> str:
+        lines = [super().render(), f"  first divergence at output index {self.divergence_index}"]
+        lines.append(f"  expected: {_clip(self.expected, self.divergence_index)}")
+        lines.append(f"  actual:   {_clip(self.actual, self.divergence_index)}")
+        return "\n".join(lines)
+
+
+def _clip(stream: List[Any], index: int, width: int = 3) -> str:
+    """A window of the output stream around the divergence index."""
+    lo = max(0, index - width)
+    hi = index + width + 1
+    window = stream[lo:hi]
+    prefix = "... " if lo > 0 else ""
+    suffix = " ..." if hi < len(stream) else ""
+    body = ", ".join(repr(v) for v in window)
+    if not window:
+        body = f"<stream ended at {len(stream)} values>"
+    return f"{prefix}[{body}]{suffix} (len={len(stream)})"

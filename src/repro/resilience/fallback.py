@@ -1,0 +1,53 @@
+"""The allocator fallback ladder.
+
+When an allocator crashes, fails validation, or miscompiles, the harness
+does not abort the sweep: it retries the same (program, k) cell with the
+next-simpler allocator, recording the degradation.  The ladder is ordered
+by ambition:
+
+    rap -> gra -> spillall
+
+RAP (the paper's contribution) falls back to GRA (the paper's baseline),
+which falls back to the trivial spill-everywhere allocation — which cannot
+fail for any k >= 3, because it performs no analysis at all.  A sweep
+therefore always completes; the output reports *which* cells are degraded
+instead of the whole table dying on the first bad cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: allocator -> the allocators to try next, in order.
+FALLBACK_CHAIN: Dict[str, Tuple[str, ...]] = {
+    "rap": ("gra", "spillall"),
+    "gra": ("spillall",),
+    "spillall": (),
+}
+
+
+def chain_for(allocator: str) -> List[str]:
+    """The full attempt order starting at ``allocator``."""
+    if allocator not in FALLBACK_CHAIN:
+        raise ValueError(f"unknown allocator {allocator!r}")
+    return [allocator, *FALLBACK_CHAIN[allocator]]
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One rung abandoned: which allocator failed, at which stage, why."""
+
+    allocator: str
+    stage: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.allocator} failed at {self.stage}: {self.reason}"
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "allocator": self.allocator,
+            "stage": self.stage,
+            "reason": self.reason,
+        }

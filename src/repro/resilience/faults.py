@@ -1,0 +1,217 @@
+"""Deterministic fault injection for the allocators.
+
+The verification-plus-fallback safety net is itself code, and untested
+safety code is decoration.  This module plants *probe points* inside the
+allocators — places where a realistic allocator bug can be switched on
+deliberately — so the test suite can prove that each class of corruption
+is (a) caught by structural validation rather than by output divergence,
+and (b) contained by the harness's fallback chain.
+
+Probes are disabled by default and cost one module-attribute check when
+off.  A :class:`FaultPlan` is installed globally (the allocators are
+deterministic single-threaded code; a plan is active for the dynamic
+extent of one test or one CLI invocation) and every firing is recorded so
+tests can assert a probe actually triggered.
+
+Probe points
+------------
+
+``gra.interference.drop-edge``
+    Remove one edge from GRA's freshly built interference graph (the two
+    highest-degree adjacent nodes).  Models a liveness/interference bug;
+    the coloring may then share one physical register between two
+    simultaneously live values.  Caught by ``check_assignment``.
+``gra.spill.corrupt-slot``
+    Rename the spill slot used by GRA's spill *loads* (stores keep the
+    real slot).  Models a slot-naming bug; every load of the corrupt slot
+    reads memory no store initializes.  Caught by
+    ``check_spill_discipline``.
+``rap.region.drop-edge``
+    Remove one edge from a region's interference graph during RAP's
+    bottom-up walk.  Caught by ``check_assignment``.
+``rap.spill.corrupt-slot``
+    Rename the slot used by the loads of one RAP spill event.  Caught by
+    ``check_spill_discipline``.
+``rap.region.raise``
+    Raise :class:`FaultInjected` at a region boundary (on entry to the
+    per-region allocation loop).  Models an outright allocator crash;
+    contained by the fallback chain, no validation needed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Tuple
+
+#: Registry of every probe point with a one-line description (rendered by
+#: ``python -m repro faults``).
+PROBE_POINTS: Dict[str, str] = {
+    "gra.interference.drop-edge": (
+        "drop one edge from GRA's interference graph (liveness bug)"
+    ),
+    "gra.spill.corrupt-slot": (
+        "corrupt the slot name of GRA spill loads (slot-naming bug)"
+    ),
+    "rap.region.drop-edge": (
+        "drop one edge from a RAP region interference graph"
+    ),
+    "rap.spill.corrupt-slot": (
+        "corrupt the slot name of one RAP spill event's loads"
+    ),
+    "rap.region.raise": "raise at a region boundary inside RAP",
+}
+
+#: Suffix appended to a corrupted spill-slot name.  Kept printable so the
+#: corruption is visible in ``emit --what alloc`` listings.
+CORRUPT_SUFFIX = "!corrupt"
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``raise``-type probe; deliberately *not* a subclass of
+    any validation or allocation error so tests can tell an injected crash
+    from a genuine one."""
+
+    def __init__(self, point: str, function: str):
+        super().__init__(f"injected fault at probe {point!r} in {function}")
+        self.point = point
+        self.function = function
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Arms one probe point.
+
+    ``function`` is an ``fnmatch`` pattern on the function being
+    allocated (``"*"`` = any).  ``times`` bounds how often the probe
+    fires (``None`` = every time it is reached), ``skip`` lets it pass
+    the first occurrences through unharmed — together they make firings
+    deterministic and addressable ("the second spill in dgefa").
+    """
+
+    point: str
+    function: str = "*"
+    times: Optional[int] = 1
+    skip: int = 0
+
+    def __post_init__(self) -> None:
+        if self.point not in PROBE_POINTS:
+            raise ValueError(
+                f"unknown probe point {self.point!r}; known: "
+                f"{', '.join(sorted(PROBE_POINTS))}"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """A set of armed probes plus the firing log."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    #: (point, function) for every shot actually fired.
+    fired: List[Tuple[str, str]] = field(default_factory=list)
+    _seen: Dict[int, int] = field(default_factory=dict)
+
+    def should_fire(self, point: str, function: str) -> bool:
+        for spec in self.specs:
+            if spec.point != point or not fnmatch(function, spec.function):
+                continue
+            count = self._seen.get(id(spec), 0)
+            self._seen[id(spec)] = count + 1
+            if count < spec.skip:
+                return False
+            if spec.times is not None and count - spec.skip >= spec.times:
+                return False
+            self.fired.append((point, function))
+            return True
+        return False
+
+    def fired_points(self) -> List[str]:
+        return sorted({point for point, _ in self.fired})
+
+
+#: The active plan; ``None`` keeps every probe dormant.  Checked by the
+#: allocators through :func:`active`, so the disabled-path overhead is one
+#: global read.
+_PLAN: Optional[FaultPlan] = None
+
+
+def active() -> Optional[FaultPlan]:
+    return _PLAN
+
+
+def install(*specs: FaultSpec) -> FaultPlan:
+    """Activate a plan arming ``specs``; returns it for log inspection."""
+    global _PLAN
+    _PLAN = FaultPlan(list(specs))
+    return _PLAN
+
+
+def clear() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+@contextmanager
+def injected(*specs: FaultSpec):
+    """Context manager: arm ``specs`` for the duration of the block.
+
+    Restores whatever plan (or absence of one) was active before, so
+    nested scopes — e.g. a per-probe plan inside a test's outer plan —
+    compose instead of clobbering each other.
+    """
+    global _PLAN
+    previous = _PLAN
+    plan = install(*specs)
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+# ---------------------------------------------------------------------------
+# Probe-site helpers (called from inside the allocators)
+# ---------------------------------------------------------------------------
+
+
+def maybe_raise(point: str, function: str) -> None:
+    """Raise :class:`FaultInjected` if ``point`` is armed."""
+    plan = _PLAN
+    if plan is not None and plan.should_fire(point, function):
+        raise FaultInjected(point, function)
+
+
+def maybe_drop_edge(point: str, function: str, graph) -> None:
+    """Remove the edge between the two highest-degree adjacent nodes.
+
+    Deterministic: node order is fixed by each node's smallest member
+    register.  A graph with no edges leaves the shot unconsumed (the probe
+    waits for a graph where the corruption can matter).
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    best = None
+    for node in graph.nodes:
+        for neighbor in node.adj:
+            key = (
+                node.degree + neighbor.degree,
+                max(node.sort_key(), neighbor.sort_key()),
+            )
+            if best is None or key > best[0]:
+                best = (key, node, neighbor)
+    if best is None:
+        return  # no edges: nothing to corrupt
+    if not plan.should_fire(point, function):
+        return
+    _, node, neighbor = best
+    node.adj.discard(neighbor)
+    neighbor.adj.discard(node)
+
+
+def maybe_corrupt_slot(point: str, function: str, name: str) -> str:
+    """Return a corrupted variant of a spill-slot name if armed."""
+    plan = _PLAN
+    if plan is not None and plan.should_fire(point, function):
+        return name + CORRUPT_SUFFIX
+    return name

@@ -1,0 +1,119 @@
+"""The differential fuzz driver (``python -m repro fuzz``).
+
+Runs the house generator's random Mini-C programs through the full
+resilient pipeline — reference execution vs every (allocator, k) scenario
+— and, instead of dying on the first divergence, triages it: the failing
+program is delta-minimized and written to ``artifacts/`` as a repro
+bundle, then the sweep continues.  The exit status reports whether any
+scenario failed, which is exactly what CI wants: a red build *with* the
+witness attached.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TextIO
+
+from ..testing.generator import random_source
+from .faults import FaultSpec
+from .pipeline import PipelineConfig
+from .triage import Failure, make_bundle, probe_failure, write_bundle
+
+DEFAULT_K_VALUES = (3, 5)
+DEFAULT_ALLOCATORS = ("gra", "rap")
+
+
+@dataclass
+class FuzzFailure:
+    """One failing (seed, allocator, k) scenario and its bundle."""
+
+    seed: int
+    allocator: str
+    k: int
+    failure: Failure
+    bundle_path: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzz run."""
+
+    seeds: List[int] = field(default_factory=list)
+    scenarios: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_fuzz(
+    seeds: int = 25,
+    start: int = 0,
+    size: str = "small",
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    allocators: Sequence[str] = DEFAULT_ALLOCATORS,
+    out_dir: str = "artifacts",
+    max_cycles: int = 3_000_000,
+    config: Optional[PipelineConfig] = None,
+    minimize: bool = True,
+    stream: Optional[TextIO] = None,
+    inject: Optional[Sequence[FaultSpec]] = None,
+) -> FuzzReport:
+    """Fuzz ``seeds`` consecutive generator seeds starting at ``start``.
+
+    Every failure is triaged into a bundle under ``out_dir``.  One bundle
+    per distinct (kind, allocator, k, seed); the sweep never aborts.
+    ``inject`` arms fault probes for every scenario (fresh plan per
+    probe) — the way to exercise the triage machinery on a healthy
+    compiler.
+    """
+    stream = stream or sys.stdout
+    report = FuzzReport()
+    for seed in range(start, start + seeds):
+        report.seeds.append(seed)
+        source = random_source(seed, size)
+        for allocator in allocators:
+            for k in k_values:
+                report.scenarios += 1
+                failure = probe_failure(
+                    source,
+                    allocator,
+                    k,
+                    config=config,
+                    max_cycles=max_cycles,
+                    seed=seed,
+                    inject=inject,
+                )
+                if failure is None:
+                    continue
+                print(
+                    f"FAIL seed={seed} {allocator} k={k}: "
+                    f"{failure.kind} at {failure.stage}",
+                    file=stream,
+                )
+                bundle = make_bundle(
+                    source,
+                    failure,
+                    allocator,
+                    k,
+                    seed=seed,
+                    size=size,
+                    config=config,
+                    minimize=minimize,
+                    inject=inject,
+                )
+                path = write_bundle(bundle, out_dir)
+                print(f"  bundle: {path}", file=stream)
+                report.failures.append(
+                    FuzzFailure(seed, allocator, k, failure, path)
+                )
+    verdict = "ok" if report.ok else f"{len(report.failures)} FAILURES"
+    print(
+        f"fuzz: {len(report.seeds)} seeds x {len(allocators)} allocators x "
+        f"{len(list(k_values))} k-values = {report.scenarios} scenarios: "
+        f"{verdict}",
+        file=stream,
+    )
+    return report

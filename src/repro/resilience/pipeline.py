@@ -1,0 +1,235 @@
+"""The resilient compilation pipeline.
+
+:class:`PassPipeline` executes the compiler as *named stages* —
+
+    parse -> sema -> pdg-build -> allocate -> validate -> execute
+
+— each wrapped so that any failure surfaces as a structured
+:class:`~repro.resilience.errors.StageError` identifying the stage, the
+function, the allocator, and the register count, instead of a bare
+traceback from somewhere inside the allocator.  The validate stage runs
+every structural verifier the repository has (iloc well-formedness,
+physical-register bounds, PDG tree shape, spill-slot discipline, and an
+independent recheck of the coloring against a rebuilt interference graph),
+so corruption is caught *at the stage that produced it*, not three stages
+later as a wrong answer.
+
+The harness composes this with the allocator fallback chain
+(:mod:`repro.resilience.fallback`); the fuzzer composes it with crash
+triage (:mod:`repro.resilience.triage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from ..frontend import analyze, parse
+from ..frontend.errors import FrontendError
+from ..interp.machine import Machine, ProgramImage
+from ..interp.memory import MachineFault
+from ..interp.stats import ExecStats
+from ..ir.builder import build_module
+from ..ir.spillcheck import check_spill_discipline
+from ..ir.validate import check_allocated, check_assignment, check_wellformed
+from ..pdg.graph import PDGFunction
+from ..pdg.validate import check_pdg
+from .errors import MiscompileError, StageContext, StageError
+
+#: Stage names, in pipeline order.
+STAGES = ("parse", "sema", "pdg-build", "allocate", "validate", "execute")
+
+
+def _allocator_registry() -> Dict[str, Callable[..., Any]]:
+    from ..regalloc import allocate_gra, allocate_rap, allocate_spillall
+
+    return {
+        "gra": allocate_gra,
+        "rap": allocate_rap,
+        "spillall": allocate_spillall,
+    }
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of one pipeline instance.
+
+    ``max_cycles`` is the execute-stage cycle budget; ``max_alloc_rounds``
+    caps the allocators' build/spill iterations (``None`` keeps each
+    allocator's own default).  The ``verify_*`` switches exist so tests
+    can prove a given corruption is caught by a given check — production
+    callers leave them all on.
+    """
+
+    granularity: str = "statement"
+    max_cycles: int = 50_000_000
+    max_alloc_rounds: Optional[int] = None
+    verify: bool = True
+    verify_spill_discipline: bool = True
+    verify_assignment: bool = True
+    #: ``False`` re-raises front-end errors unwrapped (the legacy
+    #: :func:`repro.compiler.compile_source` contract: callers get
+    #: :class:`~repro.frontend.errors.FrontendError` with a location).
+    wrap_frontend_errors: bool = True
+
+
+class PassPipeline:
+    """Runs compiler stages with verification and structured failure.
+
+    ``defaults`` (program name, seed, ...) are merged into every stage
+    context, so a pipeline created for one fuzz seed stamps that seed on
+    every error it ever raises.
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None, **defaults: Any):
+        self.config = config or PipelineConfig()
+        self.defaults = defaults
+
+    # -- context plumbing ---------------------------------------------------
+
+    def context(self, stage: str, **kw: Any) -> StageContext:
+        merged: Dict[str, Any] = dict(self.defaults)
+        merged.update({k: v for k, v in kw.items() if v is not None})
+        extra = merged.pop("extra", {})
+        return StageContext(stage=stage, extra=extra, **merged)
+
+    def _run_stage(
+        self,
+        stage: str,
+        thunk: Callable[[], Any],
+        **ctx_kw: Any,
+    ) -> Any:
+        try:
+            return thunk()
+        except StageError:
+            raise
+        except FrontendError as err:
+            if not self.config.wrap_frontend_errors:
+                raise
+            raise StageError(str(err), self.context(stage, **ctx_kw), err) from err
+        except MachineFault as err:
+            raise StageError(str(err), self.context(stage, **ctx_kw), err) from err
+        except Exception as err:
+            raise StageError(str(err), self.context(stage, **ctx_kw), err) from err
+
+    # -- front-end stages ---------------------------------------------------
+
+    def compile(self, source: str, filename: str = "<string>"):
+        """parse -> sema -> pdg-build; returns a ``CompiledProgram``."""
+        from ..compiler import CompiledProgram  # late: avoids import cycle
+
+        program = self._run_stage(
+            "parse", lambda: parse(source, filename), filename=filename
+        )
+        info = self._run_stage(
+            "sema", lambda: analyze(program), filename=filename
+        )
+        module = self._run_stage(
+            "pdg-build",
+            lambda: build_module(
+                program, info, granularity=self.config.granularity
+            ),
+            filename=filename,
+            granularity=self.config.granularity,
+        )
+        return CompiledProgram(module)
+
+    # -- back-end stages ----------------------------------------------------
+
+    def allocate(
+        self,
+        func: PDGFunction,
+        allocator: str,
+        k: int,
+        **alloc_kwargs: Any,
+    ):
+        """allocate -> validate for one function; returns the
+        ``AllocationResult`` (``func`` is mutated by RAP, as always)."""
+        registry = _allocator_registry()
+        if allocator not in registry:
+            raise ValueError(f"unknown allocator {allocator!r}")
+        if self.config.max_alloc_rounds is not None:
+            alloc_kwargs.setdefault("max_rounds", self.config.max_alloc_rounds)
+
+        result = self._run_stage(
+            "allocate",
+            lambda: registry[allocator](func, k, **alloc_kwargs),
+            function=func.name,
+            allocator=allocator,
+            k=k,
+        )
+        if self.config.verify:
+            self._run_stage(
+                "validate",
+                lambda: self.validate(func, allocator, k, result),
+                function=func.name,
+                allocator=allocator,
+                k=k,
+            )
+        return result
+
+    def validate(self, func: PDGFunction, allocator: str, k: int, result) -> None:
+        """Every structural invariant the allocated code must satisfy."""
+        check_wellformed(result.code)
+        check_allocated(result.code, k)
+        if allocator == "rap":
+            # RAP rewrites the PDG in place; the tree must survive intact
+            # and uniformly physical.
+            check_pdg(func, expect_kind="p")
+        if allocator != "spillall" and self.config.verify_spill_discipline:
+            # The spill-everywhere fallback legitimately mirrors the
+            # program's own (possibly path-dependent) def-before-use
+            # structure, so the must-store analysis only applies to the
+            # real allocators, whose spill loads must be self-initializing.
+            from ..compiler import param_slots
+
+            check_spill_discipline(result.code, initialized=param_slots(func))
+        if self.config.verify_assignment:
+            virtual_code = getattr(result, "virtual_code", None)
+            if virtual_code is not None:
+                check_assignment(virtual_code, result.assignment)
+
+    def execute(
+        self,
+        image: ProgramImage,
+        entry: str = "main",
+        args: Sequence = (),
+        max_cycles: Optional[int] = None,
+        **ctx_kw: Any,
+    ) -> ExecStats:
+        """Run a program image under the configured cycle budget."""
+
+        def thunk() -> ExecStats:
+            machine = Machine(
+                image, max_cycles=max_cycles or self.config.max_cycles
+            )
+            machine.run(entry, args)
+            return machine.stats
+
+        return self._run_stage("execute", thunk, **ctx_kw)
+
+    def check_output(
+        self,
+        actual: Sequence,
+        expected: Sequence,
+        **ctx_kw: Any,
+    ) -> None:
+        """Compare a run's output against the reference; NaN-tolerant.
+
+        Raises :class:`MiscompileError` with the first divergence index —
+        never a bare ``AssertionError`` and never a false positive on
+        NaN-producing float programs.
+        """
+        from ..testing.compare import first_divergence, outputs_equal
+
+        if outputs_equal(actual, expected):
+            return
+        index = first_divergence(actual, expected)
+        context = self.context("compare", **ctx_kw)
+        raise MiscompileError(
+            f"output diverges from reference at index {index}",
+            context,
+            index,
+            expected,
+            actual,
+        )

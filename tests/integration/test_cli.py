@@ -99,3 +99,65 @@ class TestTable1Subcommand:
         assert main(["table1", "--k", "3", "--programs", "hanoi"]) == 0
         out = capsys.readouterr().out
         assert "hanoi" in out and "Average" in out
+
+
+class TestResilienceCommands:
+    def test_run_spillall(self, demo_file, capsys):
+        assert main(["run", demo_file, "--allocator", "spillall", "-k", "3"]) == 0
+        assert capsys.readouterr().out.splitlines()[0] == "45"
+
+    def test_faults_listing(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "gra.interference.drop-edge" in out
+        assert "rap.region.raise" in out
+
+    def test_inject_surfaces_structured_error(self, demo_file, capsys):
+        code = main(
+            ["run", demo_file, "--allocator", "gra", "-k", "3",
+             "--inject", "gra.spill.corrupt-slot"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "stage=validate" in err
+        assert "allocator=gra" in err
+
+    def test_frontend_error_rendered(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mc"
+        bad.write_text("void main() { int ; }")
+        assert main(["run", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fuzz_and_replay_roundtrip(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        # A healthy compiler fuzzes clean.
+        assert main(["fuzz", "--seeds", "2", "--k", "3",
+                     "--allocators", "gra", "--out", out_dir]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_replay_bundle_via_cli(self, tmp_path, capsys):
+        from repro.resilience.faults import FaultSpec
+        from repro.resilience.pipeline import PipelineConfig
+        from repro.resilience.triage import (
+            make_bundle, probe_failure, write_bundle,
+        )
+
+        source = (
+            "int f(int a, int b, int c, int d) {\n"
+            "    int e; int g; int h;\n"
+            "    e = a * b; g = c * d; h = a * d;\n"
+            "    return e + g + h + a + b + c + d;\n"
+            "}\n"
+            "void main() { print(f(2, 3, 5, 7)); }\n"
+        )
+        cfg = PipelineConfig(verify_spill_discipline=False)
+        spec = FaultSpec("gra.spill.corrupt-slot", times=None)
+        failure = probe_failure(source, "gra", 3, config=cfg, inject=[spec])
+        assert failure is not None
+        bundle = make_bundle(
+            source, failure, "gra", 3, config=cfg, inject=[spec],
+            minimize=False,
+        )
+        path = write_bundle(bundle, str(tmp_path))
+        assert main(["replay", path]) == 0
+        assert "reproduces" in capsys.readouterr().out

@@ -281,3 +281,45 @@ class TestCounters:
                 "void main() { int i; i = 0; while (i < 100) { i = i + 0; } }",
                 max_cycles=10_000,
             )
+
+
+class TestFaultContext:
+    """MachineFaults carry where they happened: function, pc, cycles."""
+
+    def test_division_fault_annotated(self):
+        with pytest.raises(MachineFault) as info:
+            run_source(
+                """
+                int f(int x) { return 10 / x; }
+                void main() { print(f(2)); print(f(0)); }
+                """
+            )
+        fault = info.value
+        assert fault.function == "f"  # the innermost frame, not main
+        assert fault.pc is not None and fault.pc >= 0
+        assert fault.cycles is not None and fault.cycles > 0
+        rendered = str(fault)
+        assert "function=f" in rendered and "pc=" in rendered
+
+    def test_cycle_budget_fault_annotated(self):
+        with pytest.raises(MachineFault) as info:
+            run_source(
+                "void main() { int i; i = 0; while (i < 9) { i = i + 0; } }",
+                max_cycles=50,
+            )
+        assert info.value.function == "main"
+        assert info.value.cycles == 51
+
+    def test_uninitialized_register_fault_annotated(self):
+        code = [Instr(Op.PRINT, srcs=[vreg(0)]), Instr(Op.RET)]
+        with pytest.raises(MachineFault) as info:
+            run_code(code)
+        assert info.value.pc == 0
+
+    def test_annotate_never_overwrites(self):
+        fault = MachineFault("boom", function="callee", pc=3, cycles=9)
+        fault.annotate(function="caller", pc=99, cycles=100)
+        assert (fault.function, fault.pc, fault.cycles) == ("callee", 3, 9)
+
+    def test_message_without_context(self):
+        assert str(MachineFault("plain")) == "plain"

@@ -1,0 +1,76 @@
+"""The fallback ladder and its bookkeeping in harness and Table 1."""
+
+import pytest
+
+from repro.bench.harness import Harness, build_table1
+from repro.bench.suite import program
+from repro.resilience import faults
+from repro.resilience.fallback import FallbackEvent, chain_for
+from repro.resilience.faults import FaultSpec
+
+BENCH = program("sieve")
+
+
+class TestChain:
+    def test_orders(self):
+        assert chain_for("rap") == ["rap", "gra", "spillall"]
+        assert chain_for("gra") == ["gra", "spillall"]
+        assert chain_for("spillall") == ["spillall"]
+
+    def test_unknown_allocator(self):
+        with pytest.raises(ValueError):
+            chain_for("magic")
+
+    def test_event_rendering(self):
+        event = FallbackEvent("rap", "validate", "boom")
+        assert str(event) == "rap failed at validate: boom"
+        assert event.as_dict() == {
+            "allocator": "rap", "stage": "validate", "reason": "boom"
+        }
+
+
+class TestHarnessLadder:
+    def test_healthy_run_records_nothing(self):
+        harness = Harness([BENCH])
+        run = harness.run(BENCH, "rap", 5)
+        assert run.allocator_used == "rap"
+        assert run.fallbacks_taken == []
+
+    def test_two_rung_descent(self):
+        # rap crashes AND gra's spill slots corrupt: only spillall is left.
+        with faults.injected(
+            FaultSpec("rap.region.raise", times=None),
+            FaultSpec("gra.spill.corrupt-slot", times=None),
+        ):
+            harness = Harness([BENCH])
+            run = harness.run(BENCH, "rap", 3)
+        assert run.allocator_used == "spillall"
+        assert [e.allocator for e in run.fallbacks_taken] == ["rap", "gra"]
+        assert run.stats.output == harness.reference_output(BENCH)
+
+    def test_requested_kwargs_not_inherited_by_fallback(self):
+        # enable_motion is a RAP-only kwarg; after RAP is knocked out it
+        # must not be forwarded to GRA (which would TypeError).
+        with faults.injected(FaultSpec("rap.region.raise", times=None)):
+            harness = Harness([BENCH])
+            run = harness.run(BENCH, "rap", 5, enable_motion=False)
+        assert run.allocator_used == "gra"
+
+
+class TestTable1Degradation:
+    def test_sweep_completes_with_fault_and_reports_cells(self):
+        with faults.injected(FaultSpec("rap.region.raise", times=None)):
+            harness = Harness([BENCH])
+            table = build_table1(harness, k_values=(3,))
+        degraded = table.degraded_cells()
+        assert degraded, "fallback was taken but no cell reports it"
+        routine, k, events = degraded[0]
+        assert k == 3
+        assert events[0].allocator == "rap"
+        for row in table.cells.values():
+            assert row[3].fallbacks
+
+    def test_clean_sweep_reports_no_cells(self):
+        harness = Harness([BENCH])
+        table = build_table1(harness, k_values=(3,))
+        assert table.degraded_cells() == []
