@@ -1,7 +1,8 @@
 """Benchmark suite and Table-1 harness."""
 
 from .harness import Harness, Table1, build_table1
-from .suite import PROGRAMS, BenchProgram, all_routines, program
+from .parallel import CellSpec, cells_for, default_jobs, run_cells
+from .suite import PROGRAMS, BenchProgram, all_programs, all_routines, program
 
 __all__ = [
     "Harness",
@@ -9,6 +10,11 @@ __all__ = [
     "build_table1",
     "PROGRAMS",
     "BenchProgram",
+    "CellSpec",
     "program",
+    "all_programs",
     "all_routines",
+    "cells_for",
+    "default_jobs",
+    "run_cells",
 ]

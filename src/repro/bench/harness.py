@@ -29,16 +29,18 @@ neither allocation contains spill code for the routine.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..compiler import CompiledProgram, compile_source, param_slots
+from ..compiler import CompiledProgram, param_slots
 from ..interp.machine import FunctionImage, ProgramImage, run_program
 from ..interp.stats import Counters, ExecStats
 from ..ir.iloc import Instr, Op
 from ..resilience.errors import StageError
 from ..resilience.fallback import FallbackEvent, chain_for
 from ..resilience.pipeline import PassPipeline, PipelineConfig
+from ..resilience.telemetry import MetricsCollector, StageMetrics
 from .suite import PROGRAMS, BenchProgram
 
 DEFAULT_K_VALUES = (3, 5, 7, 9)
@@ -62,6 +64,14 @@ class ProgramRun:
     ``allocator_used`` is the one whose code actually ran (different when
     the fallback ladder engaged), and ``fallbacks_taken`` records every
     rung abandoned on the way there (empty in a healthy run).
+
+    ``metrics`` maps stage name to the cell's
+    :class:`~repro.resilience.telemetry.StageMetrics` (wall time spent
+    in each pipeline stage, plus allocation rounds / spill counts /
+    peephole hits), aggregated across every function allocated and every
+    ladder rung attempted; ``wall_time`` is the whole cell's wall-clock
+    seconds.  Front-end stages only appear on the first run of a program
+    per harness, because compilation is cached.
     """
 
     program: str
@@ -71,6 +81,8 @@ class ProgramRun:
     spill_code_functions: Dict[str, bool]
     allocator_used: str = ""
     fallbacks_taken: List[FallbackEvent] = field(default_factory=list)
+    metrics: Dict[str, StageMetrics] = field(default_factory=dict)
+    wall_time: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.allocator_used:
@@ -111,7 +123,9 @@ class Harness:
 
     def compiled(self, bench: BenchProgram) -> CompiledProgram:
         if bench.name not in self._compiled:
-            self._compiled[bench.name] = compile_source(
+            # Through the pipeline (not bare compile_source) so the
+            # front-end stages are timed by the active metrics collector.
+            self._compiled[bench.name] = self.pipeline.compile(
                 bench.source(), filename=bench.filename
             )
         return self._compiled[bench.name]
@@ -177,49 +191,59 @@ class Harness:
         if not self.fallback:
             attempts = attempts[:1]
         fallbacks: List[FallbackEvent] = []
-        for position, rung in enumerate(attempts):
-            # Requested-allocator tuning does not transfer down the ladder:
-            # rap-only kwargs would crash gra, and a knob that just broke
-            # one allocator should not be re-applied to its replacement.
-            own = rung == allocator
-            try:
-                image, spill_flags = self.allocate_program(
-                    bench,
-                    rung,
-                    k,
-                    pre_coalesce=pre_coalesce if own else False,
-                    **(alloc_kwargs if own else {}),
-                )
-                stats = self.pipeline.execute(
-                    image,
-                    max_cycles=bench.max_cycles,
-                    program=bench.name,
-                    allocator=rung,
-                    k=k,
-                )
-                if self.check_outputs:
-                    self.pipeline.check_output(
-                        stats.output,
-                        self.reference_output(bench),
+        collector = MetricsCollector()
+        previous_collector = self.pipeline.metrics
+        self.pipeline.metrics = collector
+        started = time.perf_counter()
+        try:
+            for position, rung in enumerate(attempts):
+                # Requested-allocator tuning does not transfer down the
+                # ladder: rap-only kwargs would crash gra, and a knob that
+                # just broke one allocator should not be re-applied to its
+                # replacement.
+                own = rung == allocator
+                try:
+                    image, spill_flags = self.allocate_program(
+                        bench,
+                        rung,
+                        k,
+                        pre_coalesce=pre_coalesce if own else False,
+                        **(alloc_kwargs if own else {}),
+                    )
+                    stats = self.pipeline.execute(
+                        image,
+                        max_cycles=bench.max_cycles,
                         program=bench.name,
                         allocator=rung,
                         k=k,
                     )
-            except StageError as err:
-                if position == len(attempts) - 1:
-                    raise
-                fallbacks.append(FallbackEvent(rung, err.stage, err.message))
-                continue
-            return ProgramRun(
-                bench.name,
-                allocator,
-                k,
-                stats,
-                spill_flags,
-                allocator_used=rung,
-                fallbacks_taken=fallbacks,
-            )
-        raise AssertionError("unreachable: ladder exhausted without raising")
+                    if self.check_outputs:
+                        self.pipeline.check_output(
+                            stats.output,
+                            self.reference_output(bench),
+                            program=bench.name,
+                            allocator=rung,
+                            k=k,
+                        )
+                except StageError as err:
+                    if position == len(attempts) - 1:
+                        raise
+                    fallbacks.append(FallbackEvent(rung, err.stage, err.message))
+                    continue
+                return ProgramRun(
+                    bench.name,
+                    allocator,
+                    k,
+                    stats,
+                    spill_flags,
+                    allocator_used=rung,
+                    fallbacks_taken=fallbacks,
+                    metrics=collector.stages,
+                    wall_time=time.perf_counter() - started,
+                )
+            raise AssertionError("unreachable: ladder exhausted without raising")
+        finally:
+            self.pipeline.metrics = previous_collector
 
 
 def _has_spill_code(code: Sequence[Instr], func_name: str) -> bool:
@@ -295,14 +319,56 @@ def build_table1(
     k_values: Sequence[int] = DEFAULT_K_VALUES,
     gra_kwargs: Optional[dict] = None,
     rap_kwargs: Optional[dict] = None,
+    jobs: Optional[int] = None,
+    runs_out: Optional[List[ProgramRun]] = None,
 ) -> Table1:
-    """Measure every benchmark and assemble Table 1."""
+    """Measure every benchmark and assemble Table 1.
+
+    ``jobs > 1`` farms the (program, allocator, k) cells out to a
+    process pool (:mod:`repro.bench.parallel`); the table is assembled
+    from the returned runs in the same order as the serial loop, so the
+    rendered text is byte-identical either way.  ``runs_out``, when
+    given, receives every :class:`ProgramRun` in serial order — the raw
+    material for the ``--profile`` and ``--metrics-out`` reports.
+    """
     harness = harness or Harness()
     table = Table1(tuple(k_values))
+
+    if jobs is not None and jobs > 1:
+        from .parallel import CellSpec, run_cells
+
+        specs = []
+        for bench in harness.programs:
+            for k in k_values:
+                for allocator, kwargs in (
+                    ("gra", gra_kwargs),
+                    ("rap", rap_kwargs),
+                ):
+                    specs.append(
+                        CellSpec(
+                            bench.name,
+                            allocator,
+                            k,
+                            alloc_kwargs=tuple(sorted((kwargs or {}).items())),
+                        )
+                    )
+        runs = run_cells(specs, jobs, harness=harness)
+
+        def measure(bench: BenchProgram, allocator: str, k: int) -> ProgramRun:
+            return runs[(bench.name, allocator, k)]
+
+    else:
+
+        def measure(bench: BenchProgram, allocator: str, k: int) -> ProgramRun:
+            kwargs = gra_kwargs if allocator == "gra" else rap_kwargs
+            return harness.run(bench, allocator, k, **(kwargs or {}))
+
     for bench in harness.programs:
         for k in k_values:
-            gra_run = harness.run(bench, "gra", k, **(gra_kwargs or {}))
-            rap_run = harness.run(bench, "rap", k, **(rap_kwargs or {}))
+            gra_run = measure(bench, "gra", k)
+            rap_run = measure(bench, "rap", k)
+            if runs_out is not None:
+                runs_out.extend((gra_run, rap_run))
             fallbacks = gra_run.fallbacks_taken + rap_run.fallbacks_taken
             for routine in bench.routines:
                 gra = gra_run.routine(bench, routine)

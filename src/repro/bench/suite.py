@@ -146,8 +146,15 @@ EXTRA_PROGRAMS: List[BenchProgram] = [
 ]
 
 
+def all_programs() -> List[BenchProgram]:
+    """Every registered program: the Table-1 set plus the extensions.
+    This is the registry sweep workers resolve :class:`CellSpec` program
+    names against, so any program listed here can be swept in parallel."""
+    return PROGRAMS + EXTRA_PROGRAMS
+
+
 def program(name: str) -> BenchProgram:
-    for bench in PROGRAMS + EXTRA_PROGRAMS:
+    for bench in all_programs():
         if bench.name == name:
             return bench
     raise KeyError(name)

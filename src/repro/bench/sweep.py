@@ -22,17 +22,33 @@ def sweep(
     names: Sequence[str],
     k_values: Sequence[int],
     harness: Optional[Harness] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[Tuple[int, int, int]]]:
-    """Measure ``(k, gra_cycles, rap_cycles)`` triples per program."""
+    """Measure ``(k, gra_cycles, rap_cycles)`` triples per program.
+
+    ``jobs > 1`` measures the (program, allocator, k) cells in a process
+    pool; the curves are identical to a serial sweep (cells are
+    independent), only wall time changes.
+    """
     harness = harness or Harness()
+    if jobs is not None and jobs > 1:
+        from .parallel import cells_for, run_cells
+
+        runs = run_cells(cells_for(names, k_values), jobs, harness=harness)
+
+        def cycles(name: str, allocator: str, k: int) -> int:
+            return runs[(name, allocator, k)].stats.total.cycles
+
+    else:
+
+        def cycles(name: str, allocator: str, k: int) -> int:
+            return harness.run(program(name), allocator, k).stats.total.cycles
+
     curves: Dict[str, List[Tuple[int, int, int]]] = {}
     for name in names:
-        bench = program(name)
         rows: List[Tuple[int, int, int]] = []
         for k in k_values:
-            gra = harness.run(bench, "gra", k).stats.total.cycles
-            rap = harness.run(bench, "rap", k).stats.total.cycles
-            rows.append((k, gra, rap))
+            rows.append((k, cycles(name, "gra", k), cycles(name, "rap", k)))
         curves[name] = rows
     return curves
 
@@ -65,8 +81,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--k-min", type=int, default=3)
     parser.add_argument("--k-max", type=int, default=10)
     parser.add_argument("--programs", nargs="*", default=list(DEFAULT_PROGRAMS))
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measure cells in N worker processes (default: serial)",
+    )
     args = parser.parse_args(argv)
-    curves = sweep(args.programs, range(args.k_min, args.k_max + 1))
+    curves = sweep(
+        args.programs, range(args.k_min, args.k_max + 1), jobs=args.jobs
+    )
     render(curves)
     return 0
 

@@ -5,15 +5,25 @@ paper's Table 1: for each routine and register-set size (3, 5, 7, 9), the
 percentage decrease in total executed cycles (RAP vs GRA) and the portions
 of that decrease due to loads and stores, then the per-k averages and the
 overall average (the paper's headline 2.7%).
+
+``--jobs N`` measures the sweep cells in N worker processes; the table
+text is byte-identical to a serial run (cells are independent and
+assembled in serial order), only the wall-time footer on *stderr*
+differs.  ``--profile`` appends aggregated per-stage telemetry,
+``--metrics-out FILE`` dumps per-cell stage metrics as JSON — see
+docs/BENCHMARKING.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+import time
+from typing import List, Optional, Sequence
 
-from .harness import DEFAULT_K_VALUES, Harness, Table1, build_table1
+from ..resilience.telemetry import aggregate, render_profile
+from .harness import DEFAULT_K_VALUES, Harness, ProgramRun, Table1, build_table1
 
 
 def _fmt(value: Optional[float], blank: bool) -> str:
@@ -70,6 +80,43 @@ def render_table1(table: Table1, stream=None) -> None:
                 print(f"  {routine} k={k}: {event}", file=stream)
 
 
+def metrics_payload(
+    runs: List[ProgramRun],
+    wall_time: float,
+    k_values: Sequence[int],
+    jobs: Optional[int],
+) -> dict:
+    """The ``--metrics-out`` JSON document: sweep-level aggregate plus
+    one record per (program, allocator, k) cell."""
+    from ..resilience.telemetry import MetricsCollector
+
+    def stages_of(run: ProgramRun) -> dict:
+        collector = MetricsCollector()
+        collector.merge(run.metrics)
+        return collector.as_dict()
+
+    return {
+        "sweep": "table1",
+        "k_values": list(k_values),
+        "jobs": jobs if jobs else 1,
+        "wall_time_s": round(wall_time, 3),
+        "stages": aggregate(run.metrics for run in runs).as_dict(),
+        "cells": [
+            {
+                "program": run.program,
+                "allocator": run.allocator,
+                "k": run.k,
+                "allocator_used": run.allocator_used,
+                "wall_time_s": round(run.wall_time, 6),
+                "cycles": run.stats.total.cycles,
+                "fallbacks": [e.as_dict() for e in run.fallbacks_taken],
+                "stages": stages_of(run),
+            }
+            for run in runs
+        ],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -85,6 +132,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="restrict to specific benchmark programs",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measure sweep cells in N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print aggregated per-stage telemetry after the table",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write per-cell stage metrics as JSON",
+    )
     args = parser.parse_args(argv)
 
     harness = Harness()
@@ -92,8 +156,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .suite import program
 
         harness = Harness([program(name) for name in args.programs])
-    table = build_table1(harness, k_values=args.k)
+    runs: List[ProgramRun] = []
+    started = time.perf_counter()
+    table = build_table1(harness, k_values=args.k, jobs=args.jobs, runs_out=runs)
+    wall_time = time.perf_counter() - started
     render_table1(table)
+    if args.profile:
+        render_profile(
+            aggregate(run.metrics for run in runs),
+            sys.stdout,
+            title="Per-stage telemetry (all cells):",
+        )
+    if args.metrics_out:
+        payload = metrics_payload(runs, wall_time, args.k, args.jobs)
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    # stderr, so the table on stdout stays byte-identical to
+    # results_table1.txt for healthy runs, serial or parallel.
+    mode = f"jobs={args.jobs}" if args.jobs and args.jobs > 1 else "serial"
+    print(f"[wall] table1 completed in {wall_time:.2f}s ({mode})", file=sys.stderr)
     return 0
 
 

@@ -6,6 +6,7 @@ Usage (``python -m repro ...``):
 
     python -m repro run prog.mc                    # reference execution
     python -m repro run prog.mc --allocator rap -k 5
+    python -m repro run prog.mc --allocator rap -k 5 --profile
     python -m repro run prog.mc --allocator gra -k 3 --inject gra.spill.corrupt-slot
     python -m repro compare prog.mc -k 3 5 7 9     # GRA vs RAP sweep
     python -m repro emit prog.mc --what iloc       # unallocated listing
@@ -13,6 +14,8 @@ Usage (``python -m repro ...``):
     python -m repro emit prog.mc --what dot        # Graphviz of the PDG
     python -m repro emit prog.mc --what alloc --allocator rap -k 4
     python -m repro table1                         # the paper's table
+    python -m repro table1 --jobs 4 --profile      # parallel, with telemetry
+    python -m repro table1 --jobs 4 --metrics-out metrics.json
     python -m repro fuzz --seeds 25                # differential fuzzing
     python -m repro replay artifacts/<bundle>      # re-run a triage bundle
     python -m repro faults                         # list fault probe points
@@ -40,14 +43,21 @@ from .regalloc.coalesce import coalesce_function
 from .resilience import faults
 from .resilience.errors import StageError
 from .resilience.pipeline import PassPipeline, PipelineConfig
+from .resilience.telemetry import MetricsCollector, render_profile
 
 ALLOCATOR_CHOICES = ("gra", "rap", "spillall")
 
 
-def _load(path: str, granularity: str = "statement") -> CompiledProgram:
+def _load(
+    path: str,
+    granularity: str = "statement",
+    pipeline: Optional[PassPipeline] = None,
+) -> CompiledProgram:
     with open(path) as handle:
         source = handle.read()
-    return compile_source(source, filename=path, granularity=granularity)
+    return compile_source(
+        source, filename=path, granularity=granularity, pipeline=pipeline
+    )
 
 
 def _allocate_image(
@@ -78,20 +88,42 @@ def _print_stats(label: str, stats) -> None:
 
 
 def cmd_run(args) -> int:
+    import time
+
     specs = [faults.FaultSpec(point) for point in args.inject or []]
+    collector = MetricsCollector() if args.profile else None
+    pipeline = None
+    if collector is not None:
+        # Same error policy as the default path (front-end errors surface
+        # unwrapped, machine faults stay machine faults) — the collector
+        # is the only difference.
+        pipeline = PassPipeline(
+            PipelineConfig(
+                granularity=args.granularity, wrap_frontend_errors=False
+            ),
+            metrics=collector,
+            filename=args.file,
+        )
     with faults.injected(*specs):
-        prog = _load(args.file, args.granularity)
+        prog = _load(args.file, args.granularity, pipeline=pipeline)
         if args.allocator == "none":
             image = prog.reference_image()
             label = "reference"
         else:
-            image = _allocate_image(prog, args.allocator, args.k, args.coalesce)
+            image = _allocate_image(
+                prog, args.allocator, args.k, args.coalesce, pipeline=pipeline
+            )
             label = f"{args.allocator} k={args.k}"
+        started = time.perf_counter()
         stats = run_program(image, entry=args.entry, max_cycles=args.max_cycles)
+        if collector is not None:
+            collector.record_duration("execute", time.perf_counter() - started)
     for value in stats.output:
         print(value)
     if not args.quiet:
         _print_stats(label, stats)
+    if collector is not None:
+        render_profile(collector, sys.stdout, title=f"Per-stage telemetry ({label}):")
     return 0
 
 
@@ -169,6 +201,12 @@ def cmd_table1(args) -> int:
         forwarded += ["--k", *map(str, args.k)]
     if args.programs:
         forwarded += ["--programs", *args.programs]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.profile:
+        forwarded += ["--profile"]
+    if args.metrics_out:
+        forwarded += ["--metrics-out", args.metrics_out]
     return table1_main(forwarded)
 
 
@@ -240,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="POINT",
         help="arm a fault-injection probe (repeatable; see `repro faults`)",
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage wall time, allocation rounds, spill counts,"
+        " and peephole hits after the run",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="GRA vs RAP cycle comparison")
@@ -263,6 +307,23 @@ def build_parser() -> argparse.ArgumentParser:
     table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
     table1.add_argument("--k", type=int, nargs="*")
     table1.add_argument("--programs", nargs="*")
+    table1.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measure sweep cells in N worker processes (default: serial)",
+    )
+    table1.add_argument(
+        "--profile",
+        action="store_true",
+        help="print aggregated per-stage telemetry after the table",
+    )
+    table1.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write per-cell stage metrics as JSON",
+    )
     table1.set_defaults(func=cmd_table1)
 
     fuzz = sub.add_parser(

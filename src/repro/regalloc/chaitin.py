@@ -49,6 +49,16 @@ class AllocationResult:
     assignment: Dict[Reg, int] = field(default_factory=dict)
     virtual_code: Optional[List[Instr]] = None
 
+    def telemetry(self) -> Dict[str, int]:
+        """Counters the pipeline's metrics collector folds into the
+        allocate stage: build/spill rounds, distinct spilled registers,
+        and (for allocators with a peephole phase) peephole rewrites."""
+        return {
+            "rounds": self.rounds,
+            "spills": len(self.spilled),
+            "peephole_hits": 0,
+        }
+
 
 class AllocationError(RuntimeError):
     """The allocator failed to converge (should never happen for k >= 3)."""

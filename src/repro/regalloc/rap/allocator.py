@@ -188,6 +188,11 @@ class RAPResult(AllocationResult):
     peephole: PeepholeReport = field(default_factory=PeepholeReport)
     rematerialized: List[Tuple[Reg, object]] = field(default_factory=list)
 
+    def telemetry(self) -> Dict[str, int]:
+        counters = super().telemetry()
+        counters["peephole_hits"] = self.peephole.total
+        return counters
+
 
 def allocate_rap(
     func: PDGFunction,

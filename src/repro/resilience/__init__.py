@@ -9,6 +9,9 @@ allocator is wrong?".  Four layers, each usable on its own:
   benchmark harness so a sweep degrades instead of dying;
 * :mod:`.faults` — deterministic probe points inside the allocators that
   let tests *prove* the verification and fallback nets catch corruption;
+* :mod:`.telemetry` — per-stage wall time and allocation counters
+  (rounds, spills, peephole hits), surfaced by the ``--profile`` and
+  ``--metrics-out`` CLI flags;
 * :mod:`.triage` / :mod:`.fuzz` — differential fuzzing with
   delta-minimized repro bundles written to ``artifacts/``.
 """
@@ -17,6 +20,7 @@ from .errors import MiscompileError, StageContext, StageError
 from .fallback import FALLBACK_CHAIN, FallbackEvent, chain_for
 from .faults import PROBE_POINTS, FaultInjected, FaultPlan, FaultSpec, injected
 from .pipeline import STAGES, PassPipeline, PipelineConfig
+from .telemetry import MetricsCollector, StageMetrics, aggregate
 from .triage import (
     Failure,
     ReplayResult,
@@ -36,6 +40,7 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "FaultSpec",
+    "MetricsCollector",
     "MiscompileError",
     "PROBE_POINTS",
     "PassPipeline",
@@ -44,7 +49,9 @@ __all__ = [
     "STAGES",
     "StageContext",
     "StageError",
+    "StageMetrics",
     "TriageBundle",
+    "aggregate",
     "chain_for",
     "injected",
     "load_bundle",

@@ -100,6 +100,48 @@ class StageError(Exception):
     def __str__(self) -> str:
         return f"[{self.context.stage}] {self.message}"
 
+    def freeze(self) -> Dict[str, Any]:
+        """Pickle-safe snapshot for transport across process boundaries.
+
+        The parallel sweep's workers return failures as plain data
+        rather than raised exceptions, so an unpicklable ``cause``
+        (exceptions pickle by ``args``, which this hierarchy does not
+        round-trip) can never poison the pool.  The cause survives as
+        its rendered ``Type: message`` text.
+        """
+        payload: Dict[str, Any] = {
+            "kind": "miscompile" if isinstance(self, MiscompileError) else "stage",
+            "message": self.message,
+            "context": self.context.as_dict(),
+            "cause": None
+            if self.cause is None
+            else f"{type(self.cause).__name__}: {self.cause}",
+        }
+        if isinstance(self, MiscompileError):
+            payload["divergence_index"] = self.divergence_index
+            payload["expected"] = list(self.expected)
+            payload["actual"] = list(self.actual)
+        return payload
+
+    @staticmethod
+    def thaw(payload: Dict[str, Any]) -> "StageError":
+        """Rebuild a (sub)class instance from :meth:`freeze` output."""
+        context = StageContext(**payload["context"])
+        cause = (
+            None if payload["cause"] is None else RuntimeError(payload["cause"])
+        )
+        if payload["kind"] == "miscompile":
+            error: StageError = MiscompileError(
+                payload["message"],
+                context,
+                payload["divergence_index"],
+                payload["expected"],
+                payload["actual"],
+            )
+            error.cause = cause
+            return error
+        return StageError(payload["message"], context, cause)
+
 
 class MiscompileError(StageError):
     """Allocated code produced observably different output than the

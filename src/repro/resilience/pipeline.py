@@ -21,6 +21,7 @@ triage (:mod:`repro.resilience.triage`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence
 
@@ -35,6 +36,7 @@ from ..ir.validate import check_allocated, check_assignment, check_wellformed
 from ..pdg.graph import PDGFunction
 from ..pdg.validate import check_pdg
 from .errors import MiscompileError, StageContext, StageError
+from .telemetry import MetricsCollector
 
 #: Stage names, in pipeline order.
 STAGES = ("parse", "sema", "pdg-build", "allocate", "validate", "execute")
@@ -79,10 +81,24 @@ class PassPipeline:
     ``defaults`` (program name, seed, ...) are merged into every stage
     context, so a pipeline created for one fuzz seed stamps that seed on
     every error it ever raises.
+
+    ``metrics`` is an optional
+    :class:`~repro.resilience.telemetry.MetricsCollector`; when set,
+    every stage execution records its wall time into it (successful or
+    not), and the allocate stage additionally records the allocator's
+    round/spill/peephole counters.  Callers may swap the attribute
+    between runs — the benchmark harness attaches a fresh collector per
+    sweep cell.
     """
 
-    def __init__(self, config: Optional[PipelineConfig] = None, **defaults: Any):
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        metrics: Optional[MetricsCollector] = None,
+        **defaults: Any,
+    ):
         self.config = config or PipelineConfig()
+        self.metrics = metrics
         self.defaults = defaults
 
     # -- context plumbing ---------------------------------------------------
@@ -99,6 +115,7 @@ class PassPipeline:
         thunk: Callable[[], Any],
         **ctx_kw: Any,
     ) -> Any:
+        started = time.perf_counter()
         try:
             return thunk()
         except StageError:
@@ -111,6 +128,11 @@ class PassPipeline:
             raise StageError(str(err), self.context(stage, **ctx_kw), err) from err
         except Exception as err:
             raise StageError(str(err), self.context(stage, **ctx_kw), err) from err
+        finally:
+            if self.metrics is not None:
+                self.metrics.record_duration(
+                    stage, time.perf_counter() - started
+                )
 
     # -- front-end stages ---------------------------------------------------
 
@@ -158,6 +180,8 @@ class PassPipeline:
             allocator=allocator,
             k=k,
         )
+        if self.metrics is not None:
+            self.metrics.record_allocation(result)
         if self.config.verify:
             self._run_stage(
                 "validate",
@@ -222,14 +246,21 @@ class PassPipeline:
         """
         from ..testing.compare import first_divergence, outputs_equal
 
-        if outputs_equal(actual, expected):
-            return
-        index = first_divergence(actual, expected)
-        context = self.context("compare", **ctx_kw)
-        raise MiscompileError(
-            f"output diverges from reference at index {index}",
-            context,
-            index,
-            expected,
-            actual,
-        )
+        started = time.perf_counter()
+        try:
+            if outputs_equal(actual, expected):
+                return
+            index = first_divergence(actual, expected)
+            context = self.context("compare", **ctx_kw)
+            raise MiscompileError(
+                f"output diverges from reference at index {index}",
+                context,
+                index,
+                expected,
+                actual,
+            )
+        finally:
+            if self.metrics is not None:
+                self.metrics.record_duration(
+                    "compare", time.perf_counter() - started
+                )

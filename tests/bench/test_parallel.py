@@ -1,0 +1,118 @@
+"""Tier-1 tests for the parallel sweep path (`bench/parallel.py`).
+
+The contract under test: a `--jobs N` sweep is *indistinguishable* from
+a serial one except in wall time — byte-identical table text, identical
+fallback degradation when a fault is armed, and the same first-failure
+diagnostic when a cell dies with the ladder disabled.
+
+Kept to the two cheapest programs (hanoi ~0.2s, sieve ~1s per k) so the
+pool startup, not the cells, dominates the cost of this module.
+"""
+
+import io
+
+from repro.bench.harness import Harness, build_table1
+from repro.bench.parallel import CellSpec, cells_for, run_cells
+from repro.bench.suite import program
+from repro.bench.sweep import sweep
+from repro.bench.table1 import render_table1
+from repro.resilience import faults
+from repro.resilience.errors import StageError
+
+SUBSET = ("hanoi", "sieve")
+K_VALUES = (3, 5)
+
+
+def _programs():
+    return [program(name) for name in SUBSET]
+
+
+def _render(table) -> str:
+    stream = io.StringIO()
+    render_table1(table, stream)
+    return stream.getvalue()
+
+
+def test_jobs4_table_text_identical_to_serial():
+    serial = build_table1(Harness(_programs()), k_values=K_VALUES)
+    parallel = build_table1(Harness(_programs()), k_values=K_VALUES, jobs=4)
+    assert _render(parallel) == _render(serial)
+
+
+def test_parallel_runs_out_in_serial_order_with_metrics():
+    runs = []
+    build_table1(Harness(_programs()), k_values=(3,), jobs=2, runs_out=runs)
+    assert [(r.program, r.allocator, r.k) for r in runs] == [
+        ("hanoi", "gra", 3),
+        ("hanoi", "rap", 3),
+        ("sieve", "gra", 3),
+        ("sieve", "rap", 3),
+    ]
+    for run in runs:
+        assert run.wall_time > 0.0
+        assert "allocate" in run.metrics
+        assert run.metrics["allocate"].rounds >= 1
+
+
+def test_armed_fault_degrades_only_its_cells():
+    # times=None: occurrence counters are per worker process, so an
+    # every-time spec is the one shape whose firings are independent of
+    # how cells land on workers.
+    spec = faults.FaultSpec("rap.region.raise", function="hanoi", times=None)
+    with faults.injected(spec):
+        serial = build_table1(Harness(_programs()), k_values=K_VALUES)
+    with faults.injected(spec):
+        parallel = build_table1(
+            Harness(_programs()), k_values=K_VALUES, jobs=2
+        )
+    # Only the faulted program's cells are degraded, each by exactly the
+    # rap rung, at every k ...
+    degraded = {(routine, k) for routine, k, _ in parallel.degraded_cells()}
+    assert degraded == {("hanoi", k) for k in K_VALUES}
+    for _, _, events in parallel.degraded_cells():
+        assert [event.allocator for event in events] == ["rap"]
+        assert events[0].stage == "allocate"
+    for k in K_VALUES:
+        assert parallel.cells["sieve"][k].fallbacks == []
+    # ... and the degradation is identical to the serial run's, down to
+    # the rendered text (including the degraded-cells footer).
+    assert _render(parallel) == _render(serial)
+
+
+def test_ladder_escaping_error_rethaws_in_parent():
+    spec = faults.FaultSpec("rap.region.raise", function="hanoi", times=None)
+    with faults.injected(spec):
+        try:
+            run_cells(
+                cells_for(["hanoi"], [3], ["rap"]),
+                jobs=2,
+                harness=Harness(fallback=False),
+            )
+        except StageError as err:
+            assert err.stage == "allocate"
+            assert err.context.allocator == "rap"
+            assert err.context.program == "hanoi"
+            assert "rap.region.raise" in err.message
+        else:
+            raise AssertionError("frozen StageError should have re-raised")
+
+
+def test_sweep_jobs_matches_serial():
+    serial = sweep(["hanoi"], K_VALUES)
+    parallel = sweep(["hanoi"], K_VALUES, jobs=2)
+    assert parallel == serial
+
+
+def test_cell_spec_enumeration_order():
+    specs = cells_for(["a", "b"], [3, 5])
+    assert [spec.key for spec in specs] == [
+        ("a", "gra", 3),
+        ("a", "rap", 3),
+        ("a", "gra", 5),
+        ("a", "rap", 5),
+        ("b", "gra", 3),
+        ("b", "rap", 3),
+        ("b", "gra", 5),
+        ("b", "rap", 5),
+    ]
+    assert specs[0] == CellSpec("a", "gra", 3)

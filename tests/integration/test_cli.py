@@ -54,6 +54,23 @@ class TestRun:
         ) == 0
         assert capsys.readouterr().out.splitlines()[0] == "45"
 
+    def test_profile_prints_stage_table(self, demo_file, capsys):
+        assert main(
+            ["run", demo_file, "--allocator", "rap", "-k", "4", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "45"
+        assert "Per-stage telemetry" in out
+        for stage in ("parse", "allocate", "validate", "execute"):
+            assert stage in out
+        for column in ("rounds", "spills", "peephole"):
+            assert column in out
+
+    def test_profile_reference_run(self, demo_file, capsys):
+        assert main(["run", demo_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "execute" in out and "allocate" not in out
+
 
 class TestCompare:
     def test_compare_sweep(self, demo_file, capsys):
@@ -99,6 +116,25 @@ class TestTable1Subcommand:
         assert main(["table1", "--k", "3", "--programs", "hanoi"]) == 0
         out = capsys.readouterr().out
         assert "hanoi" in out and "Average" in out
+
+    def test_parallel_profile_and_metrics_out(self, capsys, tmp_path):
+        import json
+
+        metrics_file = tmp_path / "metrics.json"
+        assert main(
+            ["table1", "--k", "3", "--programs", "hanoi", "--jobs", "2",
+             "--profile", "--metrics-out", str(metrics_file)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "hanoi" in captured.out
+        assert "Per-stage telemetry" in captured.out
+        # wall-time footer goes to stderr so stdout stays byte-stable
+        assert "[wall]" in captured.err and "jobs=2" in captured.err
+        payload = json.loads(metrics_file.read_text())
+        assert payload["jobs"] == 2
+        assert payload["stages"]["allocate"]["calls"] >= 1
+        cells = {(c["program"], c["allocator"], c["k"]) for c in payload["cells"]}
+        assert cells == {("hanoi", "gra", 3), ("hanoi", "rap", 3)}
 
 
 class TestResilienceCommands:

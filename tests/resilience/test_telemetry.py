@@ -1,0 +1,131 @@
+"""Tests for the per-stage telemetry layer (`resilience/telemetry.py`)."""
+
+import io
+
+from repro.bench.harness import Harness
+from repro.bench.suite import program
+from repro.resilience.errors import MiscompileError, StageContext, StageError
+from repro.resilience.pipeline import PassPipeline, PipelineConfig
+from repro.resilience.telemetry import (
+    MetricsCollector,
+    StageMetrics,
+    aggregate,
+    render_profile,
+)
+
+#: Enough same-time-live products to force spills at k=3.
+PRESSURED = """
+int f(int a, int b, int c, int d) {
+    int e; int g; int h;
+    e = a * b; g = c * d; h = a * d;
+    return e + g + h + a + b + c + d;
+}
+void main() { print(f(2, 3, 5, 7)); }
+"""
+
+
+def test_pipeline_records_every_stage():
+    collector = MetricsCollector()
+    pipe = PassPipeline(PipelineConfig(), metrics=collector)
+    prog = pipe.compile(PRESSURED)
+    module = prog.fresh_module()
+    for func in module.functions.values():
+        pipe.allocate(func, "gra", 3)
+    stages = collector.stages
+    for stage in ("parse", "sema", "pdg-build", "allocate", "validate"):
+        assert stage in stages, stage
+        assert stages[stage].calls >= 1
+        assert stages[stage].wall_time >= 0.0
+    # one round minimum per function, and f must spill at k=3
+    assert stages["allocate"].calls == 2
+    assert stages["allocate"].rounds >= 3
+    assert stages["allocate"].spills >= 1
+
+
+def test_allocation_telemetry_accessor():
+    pipe = PassPipeline()
+    prog = pipe.compile(PRESSURED)
+    module = prog.fresh_module()
+    func = module.functions["f"]
+    result = pipe.allocate(func, "rap", 3)
+    counters = result.telemetry()
+    assert counters["rounds"] == result.rounds
+    assert counters["spills"] == len(result.spilled)
+    assert counters["peephole_hits"] == result.peephole.total
+
+
+def test_failed_stage_still_timed():
+    collector = MetricsCollector()
+    pipe = PassPipeline(PipelineConfig(), metrics=collector)
+    try:
+        pipe.compile("void main() { int ; }")
+    except StageError:
+        pass
+    assert collector.stages["parse"].calls == 1
+
+
+def test_harness_threads_metrics_into_program_run():
+    harness = Harness()
+    run = harness.run(program("hanoi"), "rap", 3)
+    assert run.wall_time > 0.0
+    for stage in ("parse", "allocate", "validate", "execute", "compare"):
+        assert stage in run.metrics, stage
+    assert run.metrics["allocate"].rounds >= 1
+    # The compile cache makes front-end stages a first-run-only cost.
+    second = harness.run(program("hanoi"), "gra", 3)
+    assert "parse" not in second.metrics
+    assert "execute" in second.metrics
+
+
+def test_aggregate_folds_stage_maps():
+    a = {"allocate": StageMetrics("allocate", wall_time=1.0, calls=2, rounds=3)}
+    b = {
+        "allocate": StageMetrics("allocate", wall_time=0.5, calls=1, spills=4),
+        "execute": StageMetrics("execute", wall_time=2.0, calls=1),
+    }
+    total = aggregate([a, b])
+    assert total.stages["allocate"].wall_time == 1.5
+    assert total.stages["allocate"].calls == 3
+    assert total.stages["allocate"].rounds == 3
+    assert total.stages["allocate"].spills == 4
+    assert total.stages["execute"].calls == 1
+    # canonical order: allocate before execute, extras after
+    assert [m.stage for m in total.ordered()] == ["allocate", "execute"]
+
+
+def test_render_profile_table_has_every_column():
+    collector = aggregate(
+        [{"allocate": StageMetrics("allocate", 0.25, 2, 5, 1, 7)}]
+    )
+    stream = io.StringIO()
+    render_profile(collector, stream, title="T:")
+    text = stream.getvalue()
+    assert "T:" in text
+    for column in ("stage", "wall(s)", "calls", "rounds", "spills", "peephole"):
+        assert column in text
+    assert "allocate" in text and "0.250" in text
+
+
+def test_stage_error_freeze_thaw_roundtrip():
+    context = StageContext(
+        stage="allocate", program="sieve", function="sieve", allocator="rap",
+        k=5, extra={"probe": "rap.region.raise"},
+    )
+    err = StageError("boom", context, ValueError("root"))
+    thawed = StageError.thaw(err.freeze())
+    assert type(thawed) is StageError
+    assert thawed.message == "boom"
+    assert thawed.context.as_dict() == context.as_dict()
+    assert "ValueError: root" in str(thawed.cause)
+    assert thawed.render().splitlines()[0] == err.render().splitlines()[0]
+
+
+def test_miscompile_freeze_thaw_roundtrip():
+    context = StageContext(stage="compare", program="sieve", allocator="gra", k=3)
+    err = MiscompileError("diverged", context, 2, [1, 2, 3], [1, 2, 4])
+    thawed = StageError.thaw(err.freeze())
+    assert isinstance(thawed, MiscompileError)
+    assert thawed.divergence_index == 2
+    assert thawed.expected == [1, 2, 3]
+    assert thawed.actual == [1, 2, 4]
+    assert thawed.render() == err.render()
