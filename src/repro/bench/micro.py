@@ -1,0 +1,115 @@
+"""Interpreter microbenchmark: slow (tree-walking) vs fast (pre-decoded)
+dispatch.
+
+``python -m repro.bench.micro`` runs every benchmark program's reference
+image through both interpreter paths and reports executed instructions
+per second (Minstr/s) for each, plus the speedup.  Both paths execute
+the *same* :class:`~repro.interp.machine.FunctionImage` objects and must
+produce identical outputs and cycle counts — the harness asserts both,
+so this doubles as a quick whole-suite equivalence smoke test.
+
+The decoded form is cached on the image, so the fast column includes the
+(one-time) decode cost on its first run; ``--repeat`` amortizes it the
+way a sweep's repeated executions do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from ..compiler import compile_source
+from ..interp.machine import Machine
+from .suite import all_programs, program
+
+
+def _time_run(image, max_cycles: int, force_slow: bool):
+    machine = Machine(image, max_cycles=max_cycles, force_slow=force_slow)
+    started = time.perf_counter()
+    machine.run("main")
+    return time.perf_counter() - started, machine.stats
+
+
+def run_micro(
+    names: Optional[Sequence[str]] = None,
+    repeat: int = 1,
+    stream=sys.stdout,
+) -> float:
+    """Run the microbenchmark; returns the aggregate fast-path speedup."""
+    benches = (
+        [program(name) for name in names] if names else all_programs()
+    )
+    header = (
+        f"{'program':<12} {'Minstr':>8} {'slow(s)':>9} {'fast(s)':>9} "
+        f"{'slow Mi/s':>10} {'fast Mi/s':>10} {'speedup':>8}"
+    )
+    print(header, file=stream)
+    print("-" * len(header), file=stream)
+    total_slow = total_fast = 0.0
+    total_instrs = 0
+    for bench in benches:
+        image = compile_source(
+            bench.source(), filename=bench.filename
+        ).reference_image()
+        slow = fast = 0.0
+        slow_stats = fast_stats = None
+        for _ in range(repeat):
+            seconds, slow_stats = _time_run(
+                image, bench.max_cycles, force_slow=True
+            )
+            slow += seconds
+            seconds, fast_stats = _time_run(
+                image, bench.max_cycles, force_slow=False
+            )
+            fast += seconds
+        if slow_stats.output != fast_stats.output:
+            raise AssertionError(f"{bench.name}: outputs diverge across paths")
+        if slow_stats.total != fast_stats.total:
+            raise AssertionError(f"{bench.name}: counters diverge across paths")
+        instrs = slow_stats.total.cycles * repeat
+        total_slow += slow
+        total_fast += fast
+        total_instrs += instrs
+        print(
+            f"{bench.name:<12} {instrs / 1e6:>8.2f} {slow:>9.3f} {fast:>9.3f} "
+            f"{instrs / slow / 1e6:>10.2f} {instrs / fast / 1e6:>10.2f} "
+            f"{slow / fast:>7.1f}x",
+            file=stream,
+        )
+    speedup = total_slow / total_fast
+    print("-" * len(header), file=stream)
+    print(
+        f"{'total':<12} {total_instrs / 1e6:>8.2f} {total_slow:>9.3f} "
+        f"{total_fast:>9.3f} {total_instrs / total_slow / 1e6:>10.2f} "
+        f"{total_instrs / total_fast / 1e6:>10.2f} {speedup:>7.1f}x",
+        file=stream,
+    )
+    return speedup
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.micro",
+        description="slow-vs-fast interpreter microbenchmark",
+    )
+    parser.add_argument(
+        "--programs",
+        nargs="+",
+        metavar="NAME",
+        help="benchmark programs to run (default: all)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="executions per (program, path) pair (default 1)",
+    )
+    args = parser.parse_args(argv)
+    run_micro(args.programs, repeat=args.repeat)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

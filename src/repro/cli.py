@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .compiler import CompiledProgram, compile_source, param_slots
 from .frontend.errors import FrontendError
-from .interp.machine import FunctionImage, ProgramImage, run_program
+from .interp.machine import FunctionImage, Machine, ProgramImage, run_program
 from .interp.memory import MachineFault
 from .ir.printer import format_code, format_function
 from .pdg.dot import to_dot
@@ -104,7 +104,11 @@ def cmd_run(args) -> int:
             metrics=collector,
             filename=args.file,
         )
-    with faults.injected(*specs):
+    # Only arm a plan when probes were requested: an armed plan (even an
+    # empty one) sidelines the interpreter's pre-decoded fast path.
+    from contextlib import nullcontext
+
+    with faults.injected(*specs) if specs else nullcontext():
         prog = _load(args.file, args.granularity, pipeline=pipeline)
         if args.allocator == "none":
             image = prog.reference_image()
@@ -115,9 +119,19 @@ def cmd_run(args) -> int:
             )
             label = f"{args.allocator} k={args.k}"
         started = time.perf_counter()
-        stats = run_program(image, entry=args.entry, max_cycles=args.max_cycles)
         if collector is not None:
+            # Drive the machine directly so pre-decode time (a subset of
+            # the execute wall time) lands in its own profile row.
+            machine = Machine(image, max_cycles=args.max_cycles)
+            machine.run(args.entry)
+            stats = machine.stats
             collector.record_duration("execute", time.perf_counter() - started)
+            if machine.decode_seconds:
+                collector.record_duration("decode", machine.decode_seconds)
+        else:
+            stats = run_program(
+                image, entry=args.entry, max_cycles=args.max_cycles
+            )
     for value in stats.output:
         print(value)
     if not args.quiet:

@@ -27,7 +27,7 @@ Example
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 from .interp.machine import FunctionImage, ProgramImage
@@ -47,14 +47,25 @@ class CompiledProgram:
     """A compiled module plus convenience constructors for executables."""
 
     module: Module
+    _reference: ProgramImage = field(default=None, init=False, repr=False)
 
     def reference_image(self) -> ProgramImage:
-        """Unallocated code (virtual registers, infinite register file)."""
-        functions = {}
-        for name, func in self.module.functions.items():
-            code = [instr.clone() for instr in linearize(func).instrs]
-            functions[name] = FunctionImage(name, code, param_slots(func))
-        return ProgramImage(list(self.module.globals.values()), functions)
+        """Unallocated code (virtual registers, infinite register file).
+
+        Cached: images are immutable during execution (machines keep all
+        mutable state in frames and their own memory), so one image — and
+        therefore one pre-decoded form per function — is shared by every
+        machine run against this program (e.g. all k-cells of a sweep).
+        """
+        if self._reference is None:
+            functions = {}
+            for name, func in self.module.functions.items():
+                code = [instr.clone() for instr in linearize(func).instrs]
+                functions[name] = FunctionImage(name, code, param_slots(func))
+            self._reference = ProgramImage(
+                list(self.module.globals.values()), functions
+            )
+        return self._reference
 
     def fresh_module(self) -> Module:
         """A deep copy of the module, safe for a destructive allocator."""

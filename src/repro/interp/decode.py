@@ -1,0 +1,426 @@
+"""Pre-decoded interpreter images: decode once, dispatch on small ints.
+
+The slow dispatch loop in :mod:`repro.interp.machine` pays, per executed
+instruction, for an ``Op`` enum identity ladder, label skipping, hashing
+of :class:`~repro.ir.iloc.Reg` dataclasses, and a closure call per
+operand read.  This module compiles a :class:`FunctionImage` once into a
+dense decoded form that removes all of that from the hot loop:
+
+* labels are stripped; branch and jump targets are pre-resolved to
+  *decoded* pc integers;
+* operands are unpacked out of :class:`~repro.ir.iloc.Instr` into flat
+  per-op tuples whose first element is a small-int opcode;
+* register operands become dense per-function integer indices (the
+  register file is a dict keyed by those ints; ``DecodedFunction.regs``
+  maps an index back to the original :class:`Reg` so fault messages are
+  byte-identical to the slow path's);
+* ``ldm``/``stm`` are split into spill/global variants so the address
+  space test disappears from the loop.
+
+``HANDLERS`` is the dispatch table: one handler per opcode, indexed by
+the small int, called as ``pc = HANDLERS[op](machine, frame, regs, ins,
+pc)``.  ``ret`` and ``call`` are *not* in the table — the machine's fast
+dispatch loop handles them inline because both need to flush the
+dispatch-local cycle counter (for the shared cycle budget and for fault
+annotation).  Memory-traffic counters (loads/stores/copies) accumulate in
+``frame.counts`` and are folded into :class:`~repro.interp.stats.Counters`
+at frame exit, call boundaries, and faults.
+
+Decoded code is machine-independent: a decoded image cached on its
+:class:`FunctionImage` is shared by every machine (and every sweep cell)
+executing that image.  ``pc_map`` maps each decoded pc back to the
+original code index, so faults raised from the fast path are annotated in
+original-code coordinates.
+
+Semantics are replicated from the slow path expression by expression —
+including operand evaluation order, the ``and``/``or`` short-circuit (an
+uninitialized second operand only faults when the first operand forces
+its evaluation), and counter increments *before* the (possibly faulting)
+memory access — so fast and slow runs produce identical ``ExecStats`` and
+identical ``MachineFault`` annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.iloc import Instr, Op, Reg
+from .memory import MachineFault
+
+# Late import target: machine.py imports this module lazily (first decode),
+# at which point machine.py is fully initialized.
+from .machine import _div, _mod
+
+# -- small-int opcodes -------------------------------------------------------
+# RET and CALL stay below 2 so the dispatch loop can test ``op > 1`` once
+# and handle both inline (they must flush dispatch-local counters).
+
+OP_RET = 0
+OP_CALL = 1
+OP_LOADI = 2
+OP_ADD = 3
+OP_SUB = 4
+OP_MUL = 5
+OP_DIV = 6
+OP_MOD = 7
+OP_NEG = 8
+OP_CMP_LT = 9
+OP_CMP_LE = 10
+OP_CMP_GT = 11
+OP_CMP_GE = 12
+OP_CMP_EQ = 13
+OP_CMP_NE = 14
+OP_AND = 15
+OP_OR = 16
+OP_NOT = 17
+OP_I2I = 18
+OP_LOAD = 19
+OP_STORE = 20
+OP_LDM_SPILL = 21
+OP_LDM_GLOBAL = 22
+OP_STM_SPILL = 23
+OP_STM_GLOBAL = 24
+OP_LOADA = 25
+OP_ALLOCA = 26
+OP_CBR = 27
+OP_JMP = 28
+OP_PARAM = 29
+OP_PRINT = 30
+OP_NOP = 31
+
+
+@dataclass
+class DecodedFunction:
+    """Dense decoded form of one :class:`FunctionImage`.
+
+    ``code[pc]`` is a flat tuple whose first element is a small-int
+    opcode; ``pc_map[pc]`` is the original-code index of that
+    instruction; ``regs[i]`` is the :class:`Reg` behind dense register
+    index ``i`` (for fault messages).
+    """
+
+    name: str
+    code: Tuple[tuple, ...]
+    pc_map: Tuple[int, ...]
+    regs: Tuple[Reg, ...]
+
+
+def decode_image(image) -> DecodedFunction:
+    """Compile one :class:`FunctionImage` into its decoded form."""
+    code = list(image.code)
+
+    # Pass 1: strip labels, build decoded<->original pc maps.
+    originals: List[Instr] = []
+    pc_map: List[int] = []
+    dec_of_orig: Dict[int, int] = {}
+    for index, instr in enumerate(code):
+        if instr.op is not Op.LABEL:
+            dec_of_orig[index] = len(originals)
+            pc_map.append(index)
+            originals.append(instr)
+    n_decoded = len(originals)
+
+    # orig_to_dec[i]: decoded pc of the first non-label at or after i.
+    orig_to_dec = [n_decoded] * (len(code) + 1)
+    following = n_decoded
+    for index in range(len(code) - 1, -1, -1):
+        if code[index].op is not Op.LABEL:
+            following = dec_of_orig[index]
+        orig_to_dec[index] = following
+
+    def target(label_name: str) -> int:
+        return orig_to_dec[image.labels[label_name]]
+
+    # Pass 2: dense register indices + per-op operand tuples.
+    reg_index: Dict[Reg, int] = {}
+    regs: List[Reg] = []
+
+    def ri(reg: Reg) -> int:
+        index = reg_index.get(reg)
+        if index is None:
+            index = reg_index[reg] = len(regs)
+            regs.append(reg)
+        return index
+
+    def ri_opt(reg: Optional[Reg]) -> Optional[int]:
+        return None if reg is None else ri(reg)
+
+    decoded: List[tuple] = []
+    for instr in originals:
+        op = instr.op
+        if op in _BINARY_CODE:
+            decoded.append(
+                (_BINARY_CODE[op], ri(instr.dst), ri(instr.srcs[0]), ri(instr.srcs[1]))
+            )
+        elif op is Op.LOADI:
+            decoded.append((OP_LOADI, ri(instr.dst), instr.imm))
+        elif op is Op.NEG:
+            decoded.append((OP_NEG, ri(instr.dst), ri(instr.srcs[0])))
+        elif op is Op.NOT:
+            decoded.append((OP_NOT, ri(instr.dst), ri(instr.srcs[0])))
+        elif op is Op.I2I:
+            decoded.append((OP_I2I, ri(instr.dst), ri(instr.srcs[0])))
+        elif op is Op.LOAD:
+            decoded.append((OP_LOAD, ri(instr.dst), ri(instr.srcs[0])))
+        elif op is Op.STORE:
+            decoded.append((OP_STORE, ri(instr.srcs[0]), ri(instr.srcs[1])))
+        elif op is Op.LDM:
+            kind = OP_LDM_SPILL if instr.addr.space == "spill" else OP_LDM_GLOBAL
+            decoded.append((kind, ri(instr.dst), instr.addr.name))
+        elif op is Op.STM:
+            kind = OP_STM_SPILL if instr.addr.space == "spill" else OP_STM_GLOBAL
+            decoded.append((kind, instr.addr.name, ri(instr.srcs[0])))
+        elif op is Op.LOADA:
+            decoded.append((OP_LOADA, ri(instr.dst), instr.addr.name))
+        elif op is Op.ALLOCA:
+            decoded.append((OP_ALLOCA, ri(instr.dst), int(instr.imm)))
+        elif op is Op.CBR:
+            decoded.append(
+                (OP_CBR, ri(instr.srcs[0]), target(instr.label), target(instr.label_false))
+            )
+        elif op is Op.JMP:
+            decoded.append((OP_JMP, target(instr.label)))
+        elif op is Op.PARAM:
+            decoded.append((OP_PARAM, ri(instr.srcs[0])))
+        elif op is Op.CALL:
+            decoded.append((OP_CALL, instr.callee, ri_opt(instr.dst)))
+        elif op is Op.RET:
+            decoded.append((OP_RET, ri(instr.srcs[0]) if instr.srcs else None))
+        elif op is Op.PRINT:
+            decoded.append((OP_PRINT, ri(instr.srcs[0])))
+        elif op is Op.NOP:
+            decoded.append((OP_NOP,))
+        else:
+            raise ValueError(f"cannot decode {instr}")
+
+    return DecodedFunction(
+        name=image.name,
+        code=tuple(decoded),
+        pc_map=tuple(pc_map),
+        regs=tuple(regs),
+    )
+
+
+_BINARY_CODE = {
+    Op.ADD: OP_ADD,
+    Op.SUB: OP_SUB,
+    Op.MUL: OP_MUL,
+    Op.DIV: OP_DIV,
+    Op.MOD: OP_MOD,
+    Op.CMP_LT: OP_CMP_LT,
+    Op.CMP_LE: OP_CMP_LE,
+    Op.CMP_GT: OP_CMP_GT,
+    Op.CMP_GE: OP_CMP_GE,
+    Op.CMP_EQ: OP_CMP_EQ,
+    Op.CMP_NE: OP_CMP_NE,
+    Op.AND: OP_AND,
+    Op.OR: OP_OR,
+}
+
+
+# -- handlers ----------------------------------------------------------------
+# Signature: handler(machine, frame, regs, ins, pc) -> next pc.  ``regs``
+# is ``frame.regs`` hoisted by the dispatch loop; an uninitialized read
+# surfaces as KeyError (dense int key) and is converted to the exact
+# slow-path MachineFault by the loop.  Counter increments happen *before*
+# the operand reads, mirroring the slow path's order on faulting runs.
+
+
+def _h_loadi(m, fr, regs, ins, pc):
+    regs[ins[1]] = ins[2]
+    return pc + 1
+
+
+def _h_add(m, fr, regs, ins, pc):
+    regs[ins[1]] = regs[ins[2]] + regs[ins[3]]
+    return pc + 1
+
+
+def _h_sub(m, fr, regs, ins, pc):
+    regs[ins[1]] = regs[ins[2]] - regs[ins[3]]
+    return pc + 1
+
+
+def _h_mul(m, fr, regs, ins, pc):
+    regs[ins[1]] = regs[ins[2]] * regs[ins[3]]
+    return pc + 1
+
+
+def _h_div(m, fr, regs, ins, pc):
+    regs[ins[1]] = _div(regs[ins[2]], regs[ins[3]])
+    return pc + 1
+
+
+def _h_mod(m, fr, regs, ins, pc):
+    regs[ins[1]] = _mod(regs[ins[2]], regs[ins[3]])
+    return pc + 1
+
+
+def _h_neg(m, fr, regs, ins, pc):
+    regs[ins[1]] = -regs[ins[2]]
+    return pc + 1
+
+
+def _h_cmp_lt(m, fr, regs, ins, pc):
+    regs[ins[1]] = int(regs[ins[2]] < regs[ins[3]])
+    return pc + 1
+
+
+def _h_cmp_le(m, fr, regs, ins, pc):
+    regs[ins[1]] = int(regs[ins[2]] <= regs[ins[3]])
+    return pc + 1
+
+
+def _h_cmp_gt(m, fr, regs, ins, pc):
+    regs[ins[1]] = int(regs[ins[2]] > regs[ins[3]])
+    return pc + 1
+
+
+def _h_cmp_ge(m, fr, regs, ins, pc):
+    regs[ins[1]] = int(regs[ins[2]] >= regs[ins[3]])
+    return pc + 1
+
+
+def _h_cmp_eq(m, fr, regs, ins, pc):
+    regs[ins[1]] = int(regs[ins[2]] == regs[ins[3]])
+    return pc + 1
+
+
+def _h_cmp_ne(m, fr, regs, ins, pc):
+    regs[ins[1]] = int(regs[ins[2]] != regs[ins[3]])
+    return pc + 1
+
+
+def _h_and(m, fr, regs, ins, pc):
+    # Short-circuit exactly like the slow path: the second operand is only
+    # read (and can only fault) when the first operand is truthy.
+    regs[ins[1]] = int(bool(regs[ins[2]]) and bool(regs[ins[3]]))
+    return pc + 1
+
+
+def _h_or(m, fr, regs, ins, pc):
+    regs[ins[1]] = int(bool(regs[ins[2]]) or bool(regs[ins[3]]))
+    return pc + 1
+
+
+def _h_not(m, fr, regs, ins, pc):
+    regs[ins[1]] = int(not regs[ins[2]])
+    return pc + 1
+
+
+def _h_i2i(m, fr, regs, ins, pc):
+    fr.counts[2] += 1
+    regs[ins[1]] = regs[ins[2]]
+    return pc + 1
+
+
+def _h_load(m, fr, regs, ins, pc):
+    fr.counts[0] += 1
+    regs[ins[1]] = m.memory.load(regs[ins[2]])
+    return pc + 1
+
+
+def _h_store(m, fr, regs, ins, pc):
+    # Slow path reads the address operand (srcs[1]) before the value.
+    fr.counts[1] += 1
+    m.memory.store(regs[ins[2]], regs[ins[1]])
+    return pc + 1
+
+
+def _h_ldm_spill(m, fr, regs, ins, pc):
+    fr.counts[0] += 1
+    regs[ins[1]] = fr.slots.get(ins[2], 0)
+    return pc + 1
+
+
+def _h_ldm_global(m, fr, regs, ins, pc):
+    fr.counts[0] += 1
+    regs[ins[1]] = m.memory.load_scalar(ins[2])
+    return pc + 1
+
+
+def _h_stm_spill(m, fr, regs, ins, pc):
+    fr.counts[1] += 1
+    fr.slots[ins[1]] = regs[ins[2]]
+    return pc + 1
+
+
+def _h_stm_global(m, fr, regs, ins, pc):
+    fr.counts[1] += 1
+    m.memory.store_scalar(ins[1], regs[ins[2]])
+    return pc + 1
+
+
+def _h_loada(m, fr, regs, ins, pc):
+    try:
+        base = m.memory.array_base[ins[2]]
+    except KeyError:
+        raise MachineFault(f"unknown global array {ins[2]!r}") from None
+    regs[ins[1]] = base
+    return pc + 1
+
+
+def _h_alloca(m, fr, regs, ins, pc):
+    regs[ins[1]] = m.memory.alloca(ins[2])
+    return pc + 1
+
+
+def _h_cbr(m, fr, regs, ins, pc):
+    return ins[2] if regs[ins[1]] else ins[3]
+
+
+def _h_jmp(m, fr, regs, ins, pc):
+    return ins[1]
+
+
+def _h_param(m, fr, regs, ins, pc):
+    m._arg_queue.append(regs[ins[1]])
+    return pc + 1
+
+
+def _h_print(m, fr, regs, ins, pc):
+    m.stats.output.append(regs[ins[1]])
+    return pc + 1
+
+
+def _h_nop(m, fr, regs, ins, pc):
+    return pc + 1
+
+
+#: Dispatch table indexed by small-int opcode.  RET/CALL slots are None —
+#: the machine's fast dispatch loop handles them inline.
+HANDLERS: Tuple[Optional[object], ...] = (
+    None,           # OP_RET (inline)
+    None,           # OP_CALL (inline)
+    _h_loadi,
+    _h_add,
+    _h_sub,
+    _h_mul,
+    _h_div,
+    _h_mod,
+    _h_neg,
+    _h_cmp_lt,
+    _h_cmp_le,
+    _h_cmp_gt,
+    _h_cmp_ge,
+    _h_cmp_eq,
+    _h_cmp_ne,
+    _h_and,
+    _h_or,
+    _h_not,
+    _h_i2i,
+    _h_load,
+    _h_store,
+    _h_ldm_spill,
+    _h_ldm_global,
+    _h_stm_spill,
+    _h_stm_global,
+    _h_loada,
+    _h_alloca,
+    _h_cbr,
+    _h_jmp,
+    _h_param,
+    _h_print,
+    _h_nop,
+)

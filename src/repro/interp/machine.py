@@ -18,6 +18,8 @@ body is executing (the paper's Table 1 reports routines individually).
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -27,6 +29,26 @@ from .memory import MachineFault, Memory
 from .stats import Counters, ExecStats
 
 Number = Union[int, float]
+
+#: ``REPRO_INTERP=slow`` forces the original instruction-by-instruction
+#: dispatch everywhere (used to prove fast/slow equivalence end to end).
+_FORCE_SLOW_ENV = os.environ.get("REPRO_INTERP", "").strip().lower() == "slow"
+
+_faults_module = None
+
+
+def _faults_active():
+    """Late-bound ``repro.resilience.faults.active()``.
+
+    The resilience package imports this module (via the pipeline), so the
+    dependency must be resolved lazily to avoid an import cycle.
+    """
+    global _faults_module
+    if _faults_module is None:
+        from ..resilience import faults
+
+        _faults_module = faults
+    return _faults_module.active()
 
 
 @dataclass
@@ -42,12 +64,33 @@ class FunctionImage:
     code: Sequence[Instr]
     param_slots: List[str]
     labels: Dict[str, int] = field(default_factory=dict)
+    #: lazily decoded fast-path form (None = not decoded yet, False =
+    #: decode failed and the slow path is authoritative for this image).
+    _decoded: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.labels:
             for index, instr in enumerate(self.code):
                 if instr.op is Op.LABEL:
                     self.labels[instr.label] = index
+
+    def decoded_or_none(self):
+        """The cached :class:`~repro.interp.decode.DecodedFunction`.
+
+        Decoding happens once per image and is shared by every machine
+        (the code is frozen once an image exists).  Returns None when the
+        image cannot be decoded — the slow path then reproduces whatever
+        behaviour (including crashes) the original code has, at original
+        timing.
+        """
+        if self._decoded is None:
+            try:
+                from .decode import decode_image
+
+                self._decoded = decode_image(self)
+            except Exception:
+                self._decoded = False
+        return self._decoded or None
 
 
 @dataclass
@@ -64,12 +107,16 @@ class ProgramImage:
 
 
 class _Frame:
-    __slots__ = ("regs", "slots", "stack_mark")
+    __slots__ = ("regs", "slots", "stack_mark", "counts")
 
     def __init__(self, stack_mark: int):
-        self.regs: Dict[Reg, Number] = {}
+        #: keyed by Reg on the slow path, by dense int on the fast path.
+        self.regs: Dict[object, Number] = {}
         self.slots: Dict[str, Number] = {}
         self.stack_mark = stack_mark
+        #: fast-path pending [loads, stores, copies], flushed into the
+        #: Counters at frame exit, call boundaries, and faults.
+        self.counts = [0, 0, 0]
 
 
 class Tracer:
@@ -104,14 +151,23 @@ class Machine:
         program: ProgramImage,
         max_cycles: int = 50_000_000,
         tracer: Optional[Tracer] = None,
+        force_slow: Optional[bool] = None,
     ):
         self.program = program
         self.max_cycles = max_cycles
         self.memory = Memory(program.globals)
         self.stats = ExecStats()
         self.tracer = tracer
+        #: True disables the decoded fast path (also settable globally
+        #: with ``REPRO_INTERP=slow`` for equivalence sweeps).
+        self.force_slow = _FORCE_SLOW_ENV if force_slow is None else force_slow
+        #: seconds spent decoding images on behalf of this machine (zero
+        #: when every image was already decoded by an earlier run).
+        self.decode_seconds = 0.0
         self._arg_queue: List[Number] = []
-        #: pc of the instruction currently dispatching (for fault context).
+        #: pc of the instruction currently dispatching, always in
+        #: *original-code* coordinates (fast-path faults are mapped back
+        #: through the decoded image's pc_map).
         self._fault_pc = 0
 
     # -- public API -------------------------------------------------------------
@@ -119,6 +175,35 @@ class Machine:
     def run(self, entry: str = "main", args: Sequence[Number] = ()) -> Number:
         """Execute ``entry`` and return its return value (0 if void)."""
         return self._call(entry, list(args))
+
+    def uses_fast_path(self) -> bool:
+        """True when dispatch will run on decoded images: no tracer
+        attached, fault injection not armed, slow path not forced."""
+        return (
+            self.tracer is None
+            and not self.force_slow
+            and _faults_active() is None
+        )
+
+    def predecode(self) -> int:
+        """Eagerly decode every function image (normally decode happens on
+        first activation); returns the number of decoded images."""
+        if not self.uses_fast_path():
+            return 0
+        count = 0
+        for image in self.program.functions.values():
+            if self._decoded_for(image) is not None:
+                count += 1
+        return count
+
+    def _decoded_for(self, image: FunctionImage):
+        decoded = image._decoded
+        if decoded is None:
+            started = time.perf_counter()
+            decoded = image.decoded_or_none()
+            self.decode_seconds += time.perf_counter() - started
+            return decoded
+        return decoded or None
 
     # -- execution ---------------------------------------------------------------
 
@@ -137,6 +222,10 @@ class Machine:
             self.memory.release_to(frame.stack_mark)
 
     def _execute(self, image: FunctionImage, frame: _Frame) -> Number:
+        if self.uses_fast_path():
+            decoded = self._decoded_for(image)
+            if decoded is not None:
+                return self._dispatch_fast(image, decoded, frame)
         code = image.code
         counters = self.stats.function(image.name)
         total = self.stats.total
@@ -148,6 +237,92 @@ class Machine:
             raise fault.annotate(
                 function=image.name, pc=self._fault_pc, cycles=total.cycles
             )
+
+    def _dispatch_fast(self, image: FunctionImage, decoded, frame: _Frame) -> Number:
+        """Drive the decoded handler table (see :mod:`repro.interp.decode`).
+
+        Cycles accumulate in a local and are folded into the shared
+        Counters at returns, call boundaries, and faults; the budget test
+        against ``limit`` is therefore equivalent to the slow path's
+        per-instruction ``total.cycles > max_cycles`` check.  ``ret`` and
+        ``call`` are handled inline because both need that flush.
+        """
+        from .decode import HANDLERS
+
+        code = decoded.code
+        n = len(code)
+        regs = frame.regs
+        counts = frame.counts
+        counters = self.stats.function(image.name)
+        total = self.stats.total
+        max_cycles = self.max_cycles
+        limit = max_cycles - total.cycles
+        cycles = 0
+        pc = 0
+        result = 0
+        try:
+            while pc < n:
+                ins = code[pc]
+                op = ins[0]
+                cycles += 1
+                if cycles > limit:
+                    raise MachineFault(f"cycle budget exceeded in {image.name}")
+                if op > 1:
+                    pc = HANDLERS[op](self, frame, regs, ins, pc)
+                elif op == 0:  # ret
+                    src = ins[1]
+                    result = regs[src] if src is not None else 0
+                    break
+                else:  # call
+                    callee = ins[1]
+                    arity = len(self.program.image(callee).param_slots)
+                    queue = self._arg_queue
+                    if len(queue) < arity:
+                        raise MachineFault(
+                            f"call to {callee} with too few queued params"
+                        )
+                    args = queue[len(queue) - arity:]
+                    del queue[len(queue) - arity:]
+                    # Flush before recursing so the callee's budget check
+                    # and fault annotation see an up-to-date total.
+                    total.cycles += cycles
+                    counters.cycles += cycles
+                    cycles = 0
+                    value = self._call(callee, args)
+                    limit = max_cycles - total.cycles
+                    dst = ins[2]
+                    if dst is not None:
+                        regs[dst] = value
+                    pc += 1
+        except MachineFault as fault:
+            total.cycles += cycles
+            counters.cycles += cycles
+            _flush_counts(counts, counters, total)
+            self._fault_pc = decoded.pc_map[pc] if pc < n else 0
+            raise fault.annotate(
+                function=image.name, pc=self._fault_pc, cycles=total.cycles
+            )
+        except KeyError as err:
+            # An uninitialized register read: the only bare KeyError the
+            # handlers can leak is a miss in the dense register file.
+            key = err.args[0] if err.args else None
+            if not (isinstance(key, int) and 0 <= key < len(decoded.regs)):
+                raise
+            total.cycles += cycles
+            counters.cycles += cycles
+            _flush_counts(counts, counters, total)
+            self._fault_pc = decoded.pc_map[pc]
+            raise MachineFault(
+                f"read of uninitialized register {decoded.regs[key]} "
+                f"in {image.name}",
+                function=image.name,
+                pc=self._fault_pc,
+                cycles=total.cycles,
+            ) from None
+        total.cycles += cycles
+        counters.cycles += cycles
+        _flush_counts(counts, counters, total)
+        return result
 
     def _dispatch(
         self,
@@ -286,6 +461,23 @@ class Machine:
                 raise MachineFault(f"cannot execute {instr}")
             pc += 1
         return 0
+
+
+def _flush_counts(counts: List[int], counters: Counters, total: Counters) -> None:
+    """Fold a frame's pending load/store/copy counts into the stats."""
+    loads, stores, copies = counts
+    if loads:
+        total.loads += loads
+        counters.loads += loads
+        counts[0] = 0
+    if stores:
+        total.stores += stores
+        counters.stores += stores
+        counts[1] = 0
+    if copies:
+        total.copies += copies
+        counters.copies += copies
+        counts[2] = 0
 
 
 def _div(a: Number, b: Number) -> Number:

@@ -61,6 +61,17 @@ class PDGFunction:
         self.entry = Region(kind="entry", note=f"entry of {name}")
         self._next_vreg = 0
         self._next_spill = 0
+        #: monotonic mutation counter: every mutation entry point (spill
+        #: insertion, rematerialization, dead-def sweeps, spill-code
+        #: motion, coalescing, the final physical rewrite) bumps it, so
+        #: analysis caches can key on "has the code actually changed"
+        #: instead of a coarse dirty flag.
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Record one mutation of the region tree or its instructions."""
+        self.version += 1
+        return self.version
 
     # -- register management -----------------------------------------------
 

@@ -38,6 +38,11 @@ class LinearCode:
         """Linear position of an instruction (by identity)."""
         return self._index_of[id(instr)]
 
+    def contains(self, instr: Instr) -> bool:
+        """True when ``instr`` (by identity) appears in this snapshot —
+        false for instructions inserted after linearization."""
+        return id(instr) in self._index_of
+
     def _append(self, instr: Instr) -> None:
         self._index_of[id(instr)] = len(self.instrs)
         self.instrs.append(instr)

@@ -37,11 +37,16 @@ class FunctionAnalysis:
 
     def __init__(self, func: PDGFunction):
         self.func = func
+        #: the function's mutation counter at snapshot time (consumers
+        #: key their caches on it — see ``RAPContext.analysis``).
+        self.version = getattr(func, "version", 0)
         self.linear: LinearCode = linearize(func)
         self.cfg = CFG(self.linear.instrs)
         self.live: LivenessResult = compute_liveness(self.cfg)
         self._referenced: Dict[int, Set[Reg]] = {}
         self._ref_counts: Optional[Dict[Reg, int]] = None
+        self._region_ref_counts: Dict[int, Dict[Reg, int]] = {}
+        self._chains: Dict[Reg, RegChains] = {}
 
     # -- per-instruction ----------------------------------------------------
 
@@ -54,9 +59,7 @@ class FunctionAnalysis:
     # -- per-region -----------------------------------------------------------
 
     def live_in(self, region: Region) -> Set[Reg]:
-        start, end = self.linear.region_span[region]
-        if start == end:
-            return self.live.live_at[start]
+        start, _ = self.linear.region_span[region]
         return self.live.live_at[start]
 
     def live_out(self, region: Region) -> Set[Reg]:
@@ -79,12 +82,16 @@ class FunctionAnalysis:
         """
         if self._ref_counts is None:
             self._ref_counts = self.func.reference_counts()
-        inside = 0
-        for instr in region.walk_instrs():
-            for operand in instr.regs():
-                if operand == reg:
-                    inside += 1
-        return inside == self._ref_counts.get(reg, 0)
+        counts = self._region_ref_counts.get(id(region))
+        if counts is None:
+            # One walk per region per snapshot (memoized) instead of one
+            # walk per (register, region) query.
+            counts = {}
+            for instr in region.walk_instrs():
+                for operand in instr.regs():
+                    counts[operand] = counts.get(operand, 0) + 1
+            self._region_ref_counts[id(region)] = counts
+        return counts.get(reg, 0) == self._ref_counts.get(reg, 0)
 
     def is_global_to(self, reg: Reg, region: Region) -> bool:
         """Referenced (or arriving as a parameter) outside ``region``."""
@@ -93,5 +100,9 @@ class FunctionAnalysis:
     # -- chains ---------------------------------------------------------------
 
     def chains(self, reg: Reg) -> RegChains:
-        """ud/du chains of one register (used by spill insertion)."""
-        return chains_for(self.cfg, reg)
+        """ud/du chains of one register (used by spill insertion);
+        memoized per register for the lifetime of the snapshot."""
+        cached = self._chains.get(reg)
+        if cached is None:
+            cached = self._chains[reg] = chains_for(self.cfg, reg)
+        return cached

@@ -94,6 +94,7 @@ def _one_pass(func: PDGFunction, k: int, report: CoalesceReport) -> bool:
 
     full_mapping = {reg: resolve(reg) for reg in mapping}
     _delete_and_rewrite(func.entry, doomed, full_mapping)
+    func.bump_version()
     return True
 
 

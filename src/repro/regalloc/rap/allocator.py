@@ -50,11 +50,16 @@ class RAPContext:
         optimistic: bool = True,
         remat: bool = False,
         max_region_rounds: Optional[int] = None,
+        paranoid_analysis: bool = False,
     ):
         self.func = func
         self.k = k
         self.optimistic = optimistic
         self.remat = remat
+        #: True rebuilds a FunctionAnalysis for every planning query (the
+        #: pre-caching behaviour) — kept as an A/B switch so tests can
+        #: prove the cache changes rebuild counts but not results.
+        self.paranoid_analysis = paranoid_analysis
         #: per-region round budget override (None = module default).
         self.max_region_rounds = max_region_rounds
         #: temporaries introduced by rematerialization (never re-remat).
@@ -75,21 +80,60 @@ class RAPContext:
         self.final_coloring: Optional[ColoringResult] = None
         #: telemetry: (region name, victims) per spill event
         self.spill_log: List[Tuple[str, List[Reg]]] = []
+        #: telemetry: FunctionAnalysis builds performed during this run.
+        self.analysis_builds = 0
         self._analysis: Optional[FunctionAnalysis] = None
-        self._dirty = True
+        #: False when the cached snapshot may be *structurally* stale
+        #: (instructions deleted), which planning must never tolerate.
+        self._planning_ok = False
+        #: per-region referenced-register sets, valid for one func.version.
+        self._region_refs: Dict[int, Set[Reg]] = {}
+        self._region_refs_version = -1
 
     # -- analyses ----------------------------------------------------------
 
     def analysis(self) -> FunctionAnalysis:
-        if self._dirty or self._analysis is None:
+        """A snapshot guaranteed current: rebuilt iff the function's
+        version counter moved since the cached snapshot was taken."""
+        if self._analysis is None or self._analysis.version != self.func.version:
             self._analysis = FunctionAnalysis(self.func)
-            self._dirty = False
+            self._planning_ok = True
+            self.analysis_builds += 1
         return self._analysis
 
     fresh_analysis = analysis
 
+    def planning_analysis(self) -> FunctionAnalysis:
+        """The round-start snapshot, tolerated stale across same-round
+        spill insertions.
+
+        Spilling victim A inserts ``ldm``/``stm`` around existing
+        instructions and renames A — it never deletes an instruction,
+        never changes the basic-block structure, and never touches a
+        different victim B's references.  B's def-use chains, per-region
+        liveness, and reachability queries against the round-start
+        snapshot therefore still answer correctly, so same-round
+        multi-victim spills can share one snapshot.  Anything that
+        *deletes* instructions (rematerialization's dead-def sweep) calls
+        :meth:`invalidate_analysis`, after which planning rebuilds.
+        """
+        if (
+            not self.paranoid_analysis
+            and self._planning_ok
+            and self._analysis is not None
+        ):
+            return self._analysis
+        return self.analysis()
+
+    def invalidate_analysis(self) -> None:
+        """Drop the snapshot entirely (after structural deletions)."""
+        self._analysis = None
+        self._planning_ok = False
+
     def mark_dirty(self) -> None:
-        self._dirty = True
+        """Record that the function was mutated (bumps its version, so
+        the next strict :meth:`analysis` call rebuilds)."""
+        self.func.bump_version()
 
     # -- rename / slot bookkeeping ---------------------------------------------
 
@@ -127,6 +171,34 @@ class RAPContext:
     def save_loop_graph(self, region: Region, graph: InterferenceGraph) -> None:
         self.loop_graphs[id(region)] = (region, graph)
 
+    def region_refs(self, region: Region) -> Set[Reg]:
+        """Registers referenced in ``region``'s subtree, cached per
+        ``func.version``.
+
+        Equivalent to ``region.referenced_regs()`` but computed
+        recursively with memoization, so overlapping subtrees (a loop
+        graph retained inside another saved region) and repeated queries
+        at the same version share one walk instead of re-walking the
+        whole subtree per saved graph.
+        """
+        if self._region_refs_version != self.func.version:
+            self._region_refs.clear()
+            self._region_refs_version = self.func.version
+        refs = self._region_refs.get(id(region))
+        if refs is None:
+            refs = set()
+            for item in region.items:
+                if isinstance(item, Instr):
+                    refs.update(item.regs())
+                elif isinstance(item, Region):
+                    refs |= self.region_refs(item)
+                else:  # Predicate
+                    refs.update(item.branch.regs())
+                    for sub in item.regions():
+                        refs |= self.region_refs(sub)
+            self._region_refs[id(region)] = refs
+        return refs
+
     def register_sub_graph(
         self, region: Region, graph: InterferenceGraph
     ) -> None:
@@ -150,7 +222,7 @@ class RAPContext:
         ]
         targets.extend(self.loop_graphs.values())
         for region, graph in targets:
-            refs = region.referenced_regs()
+            refs = self.region_refs(region)
             for reg in sorted(graph.registers() - refs):
                 graph.drop_member(reg)
 
@@ -169,7 +241,7 @@ class RAPContext:
             if victim not in graph:
                 continue
             node = graph.node_of(victim)
-            refs = region.referenced_regs()
+            refs = self.region_refs(region)
             inherit = sorted(temp for temp in temps if temp in refs)
             unplaced = [t for t in inherit if graph.node_of(t) is None]
             graph.absorb_members(node, unplaced)
@@ -187,10 +259,13 @@ class RAPResult(AllocationResult):
     motion: MotionReport = field(default_factory=MotionReport)
     peephole: PeepholeReport = field(default_factory=PeepholeReport)
     rematerialized: List[Tuple[Reg, object]] = field(default_factory=list)
+    #: FunctionAnalysis (linearize + CFG + liveness) builds this run.
+    analysis_builds: int = 0
 
     def telemetry(self) -> Dict[str, int]:
         counters = super().telemetry()
         counters["peephole_hits"] = self.peephole.total
+        counters["analysis_builds"] = self.analysis_builds
         return counters
 
 
@@ -203,6 +278,7 @@ def allocate_rap(
     remat: bool = False,
     global_peephole: bool = False,
     max_rounds: Optional[int] = None,
+    paranoid_analysis: bool = False,
 ) -> RAPResult:
     """Run all three RAP phases on ``func`` (mutating it).
 
@@ -211,7 +287,10 @@ def allocate_rap(
     basic-block peephole with the whole-CFG availability pass (the
     "move spill code out of any subregion" future-work extension, see
     :mod:`.global_opt`).  ``max_rounds`` overrides the per-region
-    build/spill round budget.
+    build/spill round budget.  ``paranoid_analysis=True`` disables the
+    same-round analysis-snapshot reuse (rebuilding one per spill victim,
+    the pre-caching behaviour) — results are identical either way; the
+    flag exists so tests can prove that.
     """
     if k < 3:
         raise ValueError("a load/store architecture needs at least 3 registers")
@@ -220,6 +299,7 @@ def allocate_rap(
     ctx = RAPContext(
         func, k, optimistic=optimistic, remat=remat,
         max_region_rounds=max_rounds,
+        paranoid_analysis=paranoid_analysis,
     )
     allocate_region(ctx, func.entry)
     if ctx.final_coloring is None:  # pragma: no cover - defensive
@@ -242,6 +322,7 @@ def allocate_rap(
 
     for instr in func.walk_instrs():
         instr.rewrite_regs(mapping)
+    func.bump_version()
 
     # ---- phase 2: spill-code motion out of loops ----------------------------------
     motion_report = MotionReport()
@@ -280,4 +361,5 @@ def allocate_rap(
         motion=motion_report,
         peephole=peephole_report,
         rematerialized=list(ctx.remat_log),
+        analysis_builds=ctx.analysis_builds,
     )

@@ -145,6 +145,8 @@ def move_spill_code(
             parent.items.insert(index, spill_node)
             report.inserted_loads += 1
             report.hoisted_slots.append((info.loop.name, slot))
+    if report.deleted_instrs or report.hoisted_slots:
+        func.bump_version()
     return report
 
 

@@ -106,7 +106,7 @@ def _spill_one(ctx, region: Region, victim: Reg) -> Set[Reg]:
             sweep_dead_defs_pdg,
         )
 
-        constants = constant_registers(ctx.analysis().linear.instrs)
+        constants = constant_registers(ctx.planning_analysis().linear.instrs)
         if victim in constants:
             temps = rematerialize_pdg(ctx.func, victim, constants[victim])
             ctx.patch_graphs_for_remat(victim, temps)
@@ -114,6 +114,10 @@ def _spill_one(ctx, region: Region, victim: Reg) -> Set[Reg]:
                 ctx.purge_unreferenced_members()
             ctx.remat_temps |= temps
             ctx.remat_log.append((victim, constants[victim]))
+            # Rematerialization deletes instructions (the dead-def sweep),
+            # so the round snapshot is structurally stale: drop it rather
+            # than let same-round planning reuse it.
+            ctx.invalidate_analysis()
             ctx.mark_dirty()
             return temps
     before = ctx.known_renames()

@@ -95,6 +95,27 @@ def _first_instr_of(item: Item) -> Optional[Instr]:
     return None
 
 
+def _first_snapshot_instr_of(item: Item, linear) -> Optional[Instr]:
+    """Like :func:`_first_instr_of`, but restricted to instructions the
+    analysis snapshot knows about.
+
+    When a same-round sibling spill already inserted spill code, an
+    item's literal first instruction may be a fresh ``ldm`` absent from
+    the round-start snapshot.  The first *snapshot* instruction of the
+    item anchors the same position in snapshot coordinates: the skipped
+    instructions are non-branch insertions sitting immediately before it,
+    so block membership and reachability are unchanged.
+    """
+    first = _first_instr_of(item)
+    if first is None or linear.contains(first):
+        return first
+    if isinstance(item, Region):
+        for instr in item.walk_instrs():
+            if linear.contains(instr):
+                return instr
+    return None
+
+
 def spill_register(ctx, region: Region, victim: Reg) -> None:
     """Insert spill code for one victim register spilled at ``region``.
 
@@ -102,7 +123,10 @@ def spill_register(ctx, region: Region, victim: Reg) -> None:
     function mutates the PDG, records rename origins, and patches saved
     subregion graphs.
     """
-    analysis: FunctionAnalysis = ctx.fresh_analysis()
+    # The round-start snapshot: safely shared by every victim of this
+    # round's spill list (see RAPContext.planning_analysis for why pure
+    # spill insertions keep it valid for the *other* victims).
+    analysis: FunctionAnalysis = ctx.planning_analysis()
     func = ctx.func
     slot = ctx.slot_for(victim)
     # Loads normally reference the same slot as the stores; the fault
@@ -172,7 +196,7 @@ def spill_register(ctx, region: Region, victim: Reg) -> None:
             entry_loads.append((sub, sub_name))
             for item in sub.items:
                 if _item_references(item, victim):
-                    anchor = _first_instr_of(item)
+                    anchor = _first_snapshot_instr_of(item, analysis.linear)
                     if anchor is not None:
                         load_anchor_instrs.append(anchor)
                     break

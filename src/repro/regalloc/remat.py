@@ -192,6 +192,8 @@ def sweep_dead_defs_pdg(func: PDGFunction) -> int:
             region.items = kept
         removed += change
         if not change:
+            if removed:
+                func.bump_version()
             return removed
 
 
@@ -225,4 +227,5 @@ def rematerialize_pdg(
                     item.branch.rewrite_regs({victim: temp})
                 new_items.append(item)
         region.items = new_items
+    func.bump_version()
     return temps

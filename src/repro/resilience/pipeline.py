@@ -227,7 +227,15 @@ class PassPipeline:
             machine = Machine(
                 image, max_cycles=max_cycles or self.config.max_cycles
             )
-            machine.run(entry, args)
+            try:
+                machine.run(entry, args)
+            finally:
+                # Pre-decode time is a subset of the execute stage's wall
+                # time, surfaced separately so profiles show the split.
+                if self.metrics is not None and machine.decode_seconds:
+                    self.metrics.record_duration(
+                        "decode", machine.decode_seconds
+                    )
             return machine.stats
 
         return self._run_stage("execute", thunk, **ctx_kw)

@@ -30,6 +30,7 @@ STAGE_ORDER = (
     "pdg-build",
     "allocate",
     "validate",
+    "decode",
     "execute",
     "compare",
 )
@@ -39,9 +40,13 @@ STAGE_ORDER = (
 class StageMetrics:
     """Aggregated counters for one pipeline stage.
 
-    ``rounds``, ``spills``, and ``peephole_hits`` are only ever non-zero
-    for the allocate stage; they are carried on every record so one
-    shape serves the whole profile table.
+    ``rounds``, ``spills``, ``peephole_hits``, and ``analysis_builds``
+    are only ever non-zero for the allocate stage; they are carried on
+    every record so one shape serves the whole profile table.  The
+    ``decode`` stage's wall time is a *subset* of the execute stage's
+    (pre-decoding happens inside the machine's first dispatch of each
+    function image), broken out so sweeps can see how little of the run
+    is spent decoding versus executing.
     """
 
     stage: str
@@ -50,6 +55,7 @@ class StageMetrics:
     rounds: int = 0
     spills: int = 0
     peephole_hits: int = 0
+    analysis_builds: int = 0
 
     def merge(self, other: "StageMetrics") -> None:
         self.wall_time += other.wall_time
@@ -57,6 +63,7 @@ class StageMetrics:
         self.rounds += other.rounds
         self.spills += other.spills
         self.peephole_hits += other.peephole_hits
+        self.analysis_builds += other.analysis_builds
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -65,6 +72,7 @@ class StageMetrics:
             "rounds": self.rounds,
             "spills": self.spills,
             "peephole_hits": self.peephole_hits,
+            "analysis_builds": self.analysis_builds,
         }
 
 
@@ -93,6 +101,7 @@ class MetricsCollector:
         metrics.rounds += counters.get("rounds", 0)
         metrics.spills += counters.get("spills", 0)
         metrics.peephole_hits += counters.get("peephole_hits", 0)
+        metrics.analysis_builds += counters.get("analysis_builds", 0)
 
     def merge(self, stages: Mapping[str, StageMetrics]) -> None:
         for name, metrics in stages.items():
@@ -121,18 +130,18 @@ def render_profile(
     collector: MetricsCollector, stream, title: Optional[str] = None
 ) -> None:
     """The ``--profile`` table: per-stage wall time, calls, rounds,
-    spill counts, and peephole hits."""
+    spill counts, peephole hits, and analysis rebuilds."""
     if title:
         print(f"\n{title}", file=stream)
     header = (
         f"{'stage':<10} {'wall(s)':>9} {'calls':>7} {'rounds':>7} "
-        f"{'spills':>7} {'peephole':>9}"
+        f"{'spills':>7} {'peephole':>9} {'rebuilds':>9}"
     )
     print(header, file=stream)
     print("-" * len(header), file=stream)
     for m in collector.ordered():
         print(
             f"{m.stage:<10} {m.wall_time:>9.3f} {m.calls:>7} {m.rounds:>7} "
-            f"{m.spills:>7} {m.peephole_hits:>9}",
+            f"{m.spills:>7} {m.peephole_hits:>9} {m.analysis_builds:>9}",
             file=stream,
         )

@@ -1,0 +1,249 @@
+"""Golden equivalence of the pre-decoded fast path and the slow path.
+
+The decoded interpreter must be an *observationally invisible*
+optimization: identical outputs, identical cycle/load/store/copy
+counters (total and per-function), and identical fault annotations —
+with the fault pc always reported in original-code coordinates, even
+though the fast path executes label-stripped code.
+"""
+
+import pytest
+
+from repro.bench.suite import all_programs
+from repro.compiler import compile_source
+from repro.interp.machine import (
+    FunctionImage,
+    Machine,
+    ProgramImage,
+    Tracer,
+)
+from repro.interp.memory import MachineFault
+from repro.ir import iloc
+from repro.ir.iloc import Instr, Op, Symbol, vreg
+from repro.resilience import faults
+from repro.testing import random_source
+
+
+def execute(image, force_slow, entry="main", run_args=(), max_cycles=5_000_000):
+    """Run one path; returns (stats, fault-or-None)."""
+    machine = Machine(image, max_cycles=max_cycles, force_slow=force_slow)
+    fault = None
+    try:
+        machine.run(entry, run_args)
+    except MachineFault as err:
+        fault = (err.message, err.function, err.pc, err.cycles)
+    return machine.stats, fault
+
+
+def assert_paths_agree(image, entry="main", run_args=(), max_cycles=5_000_000):
+    slow_stats, slow_fault = execute(
+        image, True, entry=entry, run_args=run_args, max_cycles=max_cycles
+    )
+    fast_stats, fast_fault = execute(
+        image, False, entry=entry, run_args=run_args, max_cycles=max_cycles
+    )
+    assert fast_fault == slow_fault
+    assert fast_stats.output == slow_stats.output
+    assert fast_stats.total == slow_stats.total
+    assert fast_stats.per_function == slow_stats.per_function
+    return slow_fault
+
+
+class TestBenchEquivalence:
+    @pytest.mark.parametrize(
+        "bench", all_programs(), ids=lambda b: b.name
+    )
+    def test_reference_image_equivalence(self, bench):
+        image = compile_source(
+            bench.source(), filename=bench.filename
+        ).reference_image()
+        fault = assert_paths_agree(image, max_cycles=bench.max_cycles)
+        assert fault is None
+
+
+class TestFuzzEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_fuzz_seed_equivalence(self, seed):
+        # Mirrors the CI fuzz configuration (25 seeds, size="small",
+        # 3M-cycle budget) on the unallocated reference image.
+        source = random_source(seed, "small")
+        image = compile_source(source).reference_image()
+        assert_paths_agree(image, max_cycles=3_000_000)
+
+
+def single_image(code, globals_=(), params=(), extra=None):
+    functions = {"f": FunctionImage("f", code, list(params))}
+    if extra:
+        functions.update(extra)
+    return ProgramImage(list(globals_), functions)
+
+
+class TestFaultEquivalence:
+    """Hand-built images hitting every fault class on both paths."""
+
+    def test_uninitialized_register(self):
+        image = single_image(
+            [
+                iloc.loadi(1, vreg(0)),
+                iloc.binary(Op.ADD, vreg(0), vreg(9), vreg(1)),
+                Instr(Op.RET, srcs=[vreg(1)]),
+            ]
+        )
+        fault = assert_paths_agree(image, entry="f")
+        assert fault == ("read of uninitialized register %v9 in f", "f", 1, 2)
+
+    @pytest.mark.parametrize("op", [Op.DIV, Op.MOD])
+    def test_division_by_zero(self, op):
+        image = single_image(
+            [
+                iloc.loadi(7, vreg(0)),
+                iloc.loadi(0, vreg(1)),
+                iloc.binary(op, vreg(0), vreg(1), vreg(2)),
+                Instr(Op.RET, srcs=[vreg(2)]),
+            ]
+        )
+        fault = assert_paths_agree(image, entry="f")
+        assert fault is not None
+        assert "by zero" in fault[0]
+        assert fault[1:] == ("f", 2, 3)
+
+    def test_cycle_budget_exceeded(self):
+        image = single_image(
+            [
+                iloc.label("spin"),
+                iloc.jmp("spin"),
+            ]
+        )
+        fault = assert_paths_agree(image, entry="f", max_cycles=1000)
+        assert fault == ("cycle budget exceeded in f", "f", 1, 1001)
+
+    def test_unknown_function(self):
+        image = single_image([Instr(Op.CALL, callee="nope"), Instr(Op.RET)])
+        fault = assert_paths_agree(image, entry="f")
+        assert fault is not None
+        assert "nope" in fault[0]
+        assert fault[1:] == ("f", 0, 1)
+
+    def test_too_few_queued_params(self):
+        callee = FunctionImage(
+            "g", [Instr(Op.RET)], ["g.%arg0", "g.%arg1"]
+        )
+        image = single_image(
+            [
+                iloc.loadi(1, vreg(0)),
+                Instr(Op.PARAM, srcs=[vreg(0)]),
+                Instr(Op.CALL, callee="g"),
+                Instr(Op.RET),
+            ],
+            extra={"g": callee},
+        )
+        fault = assert_paths_agree(image, entry="f")
+        assert fault == ("call to g with too few queued params", "f", 2, 3)
+
+    def test_bad_heap_address(self):
+        image = single_image(
+            [
+                iloc.loadi(-1, vreg(0)),
+                iloc.load(vreg(0), vreg(1)),
+                Instr(Op.RET, srcs=[vreg(1)]),
+            ]
+        )
+        fault = assert_paths_agree(image, entry="f")
+        assert fault is not None
+        assert fault[1:] == ("f", 1, 2)
+
+    def test_unknown_global_array(self):
+        image = single_image(
+            [
+                Instr(Op.LOADA, addr=Symbol("ghost", "global"), dst=vreg(0)),
+                Instr(Op.RET, srcs=[vreg(0)]),
+            ]
+        )
+        fault = assert_paths_agree(image, entry="f")
+        assert fault == ("unknown global array 'ghost'", "f", 0, 1)
+
+    def test_fault_pc_is_original_coordinates(self):
+        """Labels precede the faulting instruction: the fast path (which
+        strips them) must still report the original pc."""
+        image = single_image(
+            [
+                iloc.loadi(1, vreg(0)),
+                iloc.label("a"),
+                iloc.label("b"),
+                iloc.binary(Op.ADD, vreg(0), vreg(9), vreg(1)),
+                Instr(Op.RET, srcs=[vreg(1)]),
+            ]
+        )
+        fault = assert_paths_agree(image, entry="f")
+        # pc 3 in original code (after two labels); labels cost no cycles.
+        assert fault == ("read of uninitialized register %v9 in f", "f", 3, 2)
+
+    @pytest.mark.parametrize(
+        "op,first,expected",
+        [
+            (Op.AND, 0, 0),  # falsy left: right operand never read
+            (Op.OR, 1, 1),   # truthy left: right operand never read
+        ],
+    )
+    def test_short_circuit_skips_uninitialized_operand(
+        self, op, first, expected
+    ):
+        image = single_image(
+            [
+                iloc.loadi(first, vreg(0)),
+                iloc.binary(op, vreg(0), vreg(9), vreg(1)),
+                Instr(Op.RET, srcs=[vreg(1)]),
+            ]
+        )
+        fault = assert_paths_agree(image, entry="f")
+        assert fault is None
+        machine = Machine(single_image([]), force_slow=False)
+        assert machine.uses_fast_path()
+
+
+class TestSlowPathForcing:
+    """The fast path must stand down for tracing, fault injection, and
+    the explicit opt-outs — without decoding anything."""
+
+    def source_image(self):
+        return compile_source(
+            "void main() { int i; int s; s = 0;"
+            " for (i = 0; i < 10; i = i + 1) { s = s + i; }"
+            " print(s); }"
+        ).reference_image()
+
+    def test_tracer_forces_slow_path(self):
+        image = self.source_image()
+        tracer = Tracer()
+        machine = Machine(image, tracer=tracer)
+        assert not machine.uses_fast_path()
+        machine.run("main")
+        assert machine.stats.output == [45]
+        assert tracer.events  # the slow path actually recorded
+        assert image.functions["main"]._decoded is None
+
+    def test_armed_fault_probe_forces_slow_path(self):
+        image = self.source_image()
+        with faults.injected(faults.FaultSpec("rap.region.raise", "nope")):
+            machine = Machine(image)
+            assert not machine.uses_fast_path()
+            machine.run("main")
+        assert machine.stats.output == [45]
+        assert image.functions["main"]._decoded is None
+
+    def test_force_slow_flag(self):
+        image = self.source_image()
+        machine = Machine(image, force_slow=True)
+        assert not machine.uses_fast_path()
+        machine.run("main")
+        assert machine.stats.output == [45]
+        assert image.functions["main"]._decoded is None
+
+    def test_fast_path_populates_decode_cache(self):
+        image = self.source_image()
+        machine = Machine(image)
+        assert machine.uses_fast_path()
+        machine.run("main")
+        assert machine.stats.output == [45]
+        assert image.functions["main"]._decoded is not None
+        assert machine.decode_seconds > 0.0

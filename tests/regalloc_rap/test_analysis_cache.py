@@ -1,0 +1,72 @@
+"""The version-keyed FunctionAnalysis cache must be invisible in results.
+
+``allocate_rap(..., paranoid_analysis=True)`` rebuilds a fresh snapshot
+for every planning query (the pre-cache behaviour); the default path
+reuses the round-start snapshot across all victims of one spill round.
+Both must produce identical code, spill decisions, and assignments —
+with strictly fewer analysis rebuilds on programs that spill.
+"""
+
+import pytest
+
+from repro.bench.suite import program
+from repro.compiler import compile_source
+from repro.regalloc.rap.allocator import allocate_rap
+
+#: (bench, k) cells known to spill heavily — where caching must both
+#: preserve results and demonstrably cut rebuilds.
+SPILLING_CELLS = [
+    ("livermore", 3),
+    ("linpack", 3),
+    ("puzzle", 3),
+    ("queens", 3),
+]
+
+
+def allocate_all(source, k, **kwargs):
+    module = compile_source(source).fresh_module()
+    results = {}
+    for name, func in module.functions.items():
+        results[name] = allocate_rap(func, k, **kwargs)
+    return results
+
+
+@pytest.mark.parametrize("bench_name,k", SPILLING_CELLS)
+def test_cached_matches_paranoid(bench_name, k):
+    source = program(bench_name).source()
+    cached = allocate_all(source, k)
+    paranoid = allocate_all(source, k, paranoid_analysis=True)
+    total_cached = total_paranoid = 0
+    spilled_somewhere = False
+    for name in cached:
+        ra, rb = cached[name], paranoid[name]
+        assert [str(i) for i in ra.code] == [str(i) for i in rb.code], name
+        # Region display names draw on a process-global counter, so
+        # compare the spill decisions (victim sequences), not the labels.
+        assert [v for _, v in ra.spill_log] == [v for _, v in rb.spill_log]
+        assert ra.assignment == rb.assignment, name
+        assert ra.analysis_builds <= rb.analysis_builds, name
+        spilled_somewhere = spilled_somewhere or bool(ra.spill_log)
+        total_cached += ra.analysis_builds
+        total_paranoid += rb.analysis_builds
+    assert spilled_somewhere, "cell no longer spills; pick another"
+    assert total_cached < total_paranoid
+
+
+def test_analysis_builds_surface_in_telemetry():
+    source = program("queens").source()
+    module = compile_source(source).fresh_module()
+    func = module.functions["queens"]
+    result = allocate_rap(func, 3)
+    counters = result.telemetry()
+    assert counters["analysis_builds"] == result.analysis_builds
+    assert result.analysis_builds >= 1
+
+
+def test_version_counter_tracks_mutation():
+    source = program("hanoi").source()
+    module = compile_source(source).fresh_module()
+    func = module.functions["hanoi"]
+    before = func.version
+    allocate_rap(func, 3)
+    assert func.version > before
