@@ -14,7 +14,7 @@ each register-set size k, and each allocator it:
 4. reports per-routine counters.
 
 When an allocator crashes, fails validation, or miscompiles, the harness
-walks the fallback ladder (rap -> gra -> spillall, see
+walks the fallback ladder (rap -> gra -> linearscan -> spillall, see
 :mod:`repro.resilience.fallback`) instead of aborting, recording every
 abandoned rung in ``ProgramRun.fallbacks_taken`` so a sweep always
 completes and the report shows *which* cells are degraded.
@@ -270,6 +270,8 @@ class Table1Cell:
     ``fallbacks`` records any allocator degradations behind the numbers
     (from either the GRA or the RAP run of the owning program); a non-empty
     list means the cell compares something other than pure GRA vs pure RAP.
+    ``used`` maps each requested allocator to the ladder rung whose code
+    actually ran (identical keys and values in a healthy cell).
     """
 
     tot: Optional[float]
@@ -279,6 +281,7 @@ class Table1Cell:
     rap: Counters = field(default_factory=Counters)
     blank: bool = False
     fallbacks: List[FallbackEvent] = field(default_factory=list)
+    used: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -370,10 +373,14 @@ def build_table1(
             if runs_out is not None:
                 runs_out.extend((gra_run, rap_run))
             fallbacks = gra_run.fallbacks_taken + rap_run.fallbacks_taken
+            used = {
+                "gra": gra_run.allocator_used,
+                "rap": rap_run.allocator_used,
+            }
             for routine in bench.routines:
                 gra = gra_run.routine(bench, routine)
                 rap = rap_run.routine(bench, routine)
-                cell = _make_cell(gra, rap, fallbacks)
+                cell = _make_cell(gra, rap, fallbacks, used)
                 table.cells.setdefault(routine, {})[k] = cell
                 if routine not in table.routine_order:
                     table.routine_order.append(routine)
@@ -384,13 +391,19 @@ def _make_cell(
     gra: RoutineResult,
     rap: RoutineResult,
     fallbacks: Optional[List[FallbackEvent]] = None,
+    used: Optional[Dict[str, str]] = None,
 ) -> Table1Cell:
     blank = not (gra.has_spill_code or rap.has_spill_code)
     fallbacks = list(fallbacks or [])
+    used = dict(used or {})
     g, r = gra.counters, rap.counters
     if g.cycles == 0:
-        return Table1Cell(None, None, None, g, r, blank=True, fallbacks=fallbacks)
+        return Table1Cell(
+            None, None, None, g, r, blank=True, fallbacks=fallbacks, used=used
+        )
     tot = 100.0 * (g.cycles - r.cycles) / g.cycles
     ld = 100.0 * (g.loads - r.loads) / g.cycles
     st = 100.0 * (g.stores - r.stores) / g.cycles
-    return Table1Cell(tot, ld, st, g, r, blank=blank, fallbacks=fallbacks)
+    return Table1Cell(
+        tot, ld, st, g, r, blank=blank, fallbacks=fallbacks, used=used
+    )

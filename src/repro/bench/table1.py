@@ -78,6 +78,14 @@ def render_table1(table: Table1, stream=None) -> None:
         for routine, k, events in degraded:
             for event in events:
                 print(f"  {routine} k={k}: {event}", file=stream)
+            used = table.cells[routine][k].used
+            rungs = ", ".join(
+                f"{req}->{used[req]}"
+                for req in sorted(used)
+                if used[req] != req
+            )
+            if rungs:
+                print(f"  {routine} k={k}: completed on {rungs}", file=stream)
 
 
 def metrics_payload(
@@ -149,6 +157,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="FILE",
         help="write per-cell stage metrics as JSON",
     )
+    parser.add_argument(
+        "--inject",
+        action="append",
+        metavar="POINT",
+        help="arm a fault-injection probe for the whole sweep (repeatable;"
+        " fires every matching occurrence — see `repro faults`); the"
+        " fallback ladder keeps the table complete and the footer shows"
+        " the degradation",
+    )
     args = parser.parse_args(argv)
 
     harness = Harness()
@@ -157,8 +174,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         harness = Harness([program(name) for name in args.programs])
     runs: List[ProgramRun] = []
+    from contextlib import nullcontext
+
+    from ..resilience import faults
+
+    specs = [faults.FaultSpec(point, times=None) for point in args.inject or []]
     started = time.perf_counter()
-    table = build_table1(harness, k_values=args.k, jobs=args.jobs, runs_out=runs)
+    with faults.injected(*specs) if specs else nullcontext():
+        table = build_table1(
+            harness, k_values=args.k, jobs=args.jobs, runs_out=runs
+        )
     wall_time = time.perf_counter() - started
     render_table1(table)
     if args.profile:

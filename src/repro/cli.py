@@ -13,10 +13,13 @@ Usage (``python -m repro ...``):
     python -m repro emit prog.mc --what pdg        # region tree
     python -m repro emit prog.mc --what dot        # Graphviz of the PDG
     python -m repro emit prog.mc --what alloc --allocator rap -k 4
+    python -m repro run prog.mc --allocator rap -k 5 --schedule
     python -m repro table1                         # the paper's table
     python -m repro table1 --jobs 4 --profile      # parallel, with telemetry
     python -m repro table1 --jobs 4 --metrics-out metrics.json
-    python -m repro fuzz --seeds 25                # differential fuzzing
+    python -m repro table1 --inject rap.region.raise   # ladder under fire
+    python -m repro fuzz --seeds 25                # corpus + differential fuzzing
+    python -m repro fuzz --update-corpus           # grow tests/corpus/
     python -m repro replay artifacts/<bundle>      # re-run a triage bundle
     python -m repro faults                         # list fault probe points
 
@@ -45,7 +48,7 @@ from .resilience.errors import StageError
 from .resilience.pipeline import PassPipeline, PipelineConfig
 from .resilience.telemetry import MetricsCollector, render_profile
 
-ALLOCATOR_CHOICES = ("gra", "rap", "spillall")
+ALLOCATOR_CHOICES = ("gra", "rap", "linearscan", "spillall")
 
 
 def _load(
@@ -93,13 +96,15 @@ def cmd_run(args) -> int:
     specs = [faults.FaultSpec(point) for point in args.inject or []]
     collector = MetricsCollector() if args.profile else None
     pipeline = None
-    if collector is not None:
+    if collector is not None or args.schedule:
         # Same error policy as the default path (front-end errors surface
         # unwrapped, machine faults stay machine faults) — the collector
-        # is the only difference.
+        # and the optional schedule stage are the only differences.
         pipeline = PassPipeline(
             PipelineConfig(
-                granularity=args.granularity, wrap_frontend_errors=False
+                granularity=args.granularity,
+                wrap_frontend_errors=False,
+                schedule=args.schedule,
             ),
             metrics=collector,
             filename=args.file,
@@ -221,6 +226,8 @@ def cmd_table1(args) -> int:
         forwarded += ["--profile"]
     if args.metrics_out:
         forwarded += ["--metrics-out", args.metrics_out]
+    for point in args.inject or []:
+        forwarded += ["--inject", point]
     return table1_main(forwarded)
 
 
@@ -236,6 +243,9 @@ def cmd_fuzz(args) -> int:
         out_dir=args.out,
         max_cycles=args.max_cycles,
         minimize=not args.no_minimize,
+        corpus_dir=args.corpus,
+        use_corpus=not args.no_corpus,
+        update_corpus=args.update_corpus,
     )
     return 0 if report.ok else 1
 
@@ -298,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage wall time, allocation rounds, spill counts,"
         " and peephole hits after the run",
     )
+    run.add_argument(
+        "--schedule",
+        action="store_true",
+        help="list-schedule the allocated code as its own pipeline stage"
+        " (validated against an independently rebuilt dependence DAG)",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="GRA vs RAP cycle comparison")
@@ -338,6 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write per-cell stage metrics as JSON",
     )
+    table1.add_argument(
+        "--inject",
+        action="append",
+        metavar="POINT",
+        help="arm a fault-injection probe for the whole sweep (repeatable);"
+        " the fallback ladder keeps the table complete",
+    )
     table1.set_defaults(func=cmd_table1)
 
     fuzz = sub.add_parser(
@@ -356,6 +379,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-minimize",
         action="store_true",
         help="skip delta minimization of failing programs",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default="tests/corpus",
+        metavar="DIR",
+        help="corpus directory replayed ahead of the random seed range"
+        " (default: tests/corpus)",
+    )
+    fuzz.add_argument(
+        "--no-corpus",
+        action="store_true",
+        help="skip the corpus replay phase",
+    )
+    fuzz.add_argument(
+        "--update-corpus",
+        action="store_true",
+        help="persist any seed that covers a feature the corpus lacks",
     )
     fuzz.set_defaults(func=cmd_fuzz)
 

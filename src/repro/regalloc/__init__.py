@@ -1,14 +1,17 @@
-"""Register allocators: the GRA baseline and the RAP hierarchical allocator."""
+"""Register allocators: the GRA baseline, the RAP hierarchical allocator,
+and the linear-scan / spill-everywhere fallback rungs."""
 
 from .chaitin import AllocationError, AllocationResult, allocate_gra
 from .coloring import color_graph
 from .interference import IGNode, InterferenceGraph
+from .linearscan import allocate_linearscan
 from .rap import allocate_rap
 from .spillall import allocate_spillall
 
 __all__ = [
     "allocate_gra",
     "allocate_rap",
+    "allocate_linearscan",
     "allocate_spillall",
     "AllocationResult",
     "AllocationError",

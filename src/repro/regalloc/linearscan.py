@@ -1,0 +1,172 @@
+"""Linear-scan register allocation — the ladder rung between GRA and
+spill-everywhere.
+
+Poletto & Sarkar's linear scan colors *live intervals* (the smallest
+linear range covering every position where a register is live or
+referenced) instead of an interference graph.  Intervals over-approximate
+Chaitin interference — two registers that interfere always have
+overlapping intervals — so a conflict-free interval assignment passes the
+pipeline's independent coloring recheck, while costing one liveness pass
+and a sort per round instead of a graph build.
+
+In the fallback chain (``rap -> gra -> linearscan -> spillall``) this is
+the *reduced-precision* rung: if the hierarchical allocator and the
+Chaitin baseline both fail (or are knocked out by fault injection), the
+harness lands here and still gets code with real cross-instruction
+register lifetimes — measurably better than spill-everywhere's
+correct-but-awful bottom rung — before sinking to the allocator of last
+resort.  Under pressure the scan spills the interval that ends furthest
+away (Poletto's heuristic) and re-runs, reusing the same
+:func:`~repro.regalloc.spill.spill_linear` rewriter as GRA so the
+spill-slot discipline checker applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg.graph import CFG
+from ..cfg.liveness import compute_liveness
+from ..ir.iloc import Instr, Reg, preg, vreg
+from ..pdg.graph import PDGFunction
+from ..pdg.linearize import linearize
+from .chaitin import MAX_ROUNDS, AllocationError, AllocationResult
+from .spill import spill_linear
+
+
+def _intervals(code: List[Instr]) -> Dict[Reg, Tuple[int, int]]:
+    """Live interval of every virtual register, as closed position
+    ranges.  A position is covered if the register is live immediately
+    before it or the instruction there references it; the latter keeps a
+    dead definition's position inside its own interval, which (together
+    with liveness extending to the position *after* a definition) makes
+    closed-interval overlap a superset of Chaitin interference."""
+    live = compute_liveness(CFG(code))
+    spans: Dict[Reg, Tuple[int, int]] = {}
+
+    def cover(reg: Reg, position: int) -> None:
+        if not reg.is_virtual:
+            return
+        lo, hi = spans.get(reg, (position, position))
+        spans[reg] = (min(lo, position), max(hi, position))
+
+    for position, instr in enumerate(code):
+        for reg in instr.regs():
+            cover(reg, position)
+        for reg in live.live_at[position]:
+            cover(reg, position)
+    return spans
+
+
+def allocate_linearscan(
+    func: PDGFunction,
+    k: int,
+    max_rounds: Optional[int] = None,
+    **_ignored,
+) -> AllocationResult:
+    """Allocate one function by linear scan over live intervals.
+
+    ``func`` is read, not mutated (like GRA, it operates on a cloned
+    linearization).  Spills and retries until every interval gets one of
+    the ``k`` registers.
+    """
+    if k < 3:
+        raise ValueError("a load/store architecture needs at least 3 registers")
+    code = [instr.clone() for instr in linearize(func).instrs]
+    rounds_cap = max_rounds or MAX_ROUNDS
+
+    next_index = (
+        max(
+            (reg.index for instr in code for reg in instr.regs() if reg.is_virtual),
+            default=-1,
+        )
+        + 1
+    )
+
+    def new_vreg() -> Reg:
+        nonlocal next_index
+        reg = vreg(next_index)
+        next_index += 1
+        return reg
+
+    temps: Set[Reg] = set()
+    spilled: List[Reg] = []
+    assignment: Dict[Reg, int] = {}
+
+    for rounds in range(1, rounds_cap + 1):
+        spans = _intervals(code)
+        order = sorted(spans.items(), key=lambda item: (item[1][0], item[0].index))
+        assignment = {}
+        free = set(range(k))
+        #: currently allocated intervals as (end, reg); kept sorted
+        active: List[Tuple[int, Reg]] = []
+        victims: Set[Reg] = set()
+
+        for reg, (start, end) in order:
+            while active and active[0][0] < start:
+                _, expired = active.pop(0)
+                free.add(assignment[expired])
+            if free:
+                color = min(free)
+                free.remove(color)
+                assignment[reg] = color
+                active.append((end, reg))
+                active.sort()
+                continue
+            # Pressure: spill the furthest-ending spillable interval
+            # among the active ones and the current one.  Spill-code
+            # temporaries have point-like intervals and must never spill
+            # again (Chaitin's infinite-cost rule).
+            candidates = [
+                (e, r) for e, r in active + [(end, reg)] if r not in temps
+            ]
+            if not candidates:
+                raise AllocationError(
+                    f"{func.name}: register pressure irreducible at "
+                    f"position {start} with k={k}"
+                )
+            _, victim = max(candidates)
+            victims.add(victim)
+            if victim is not reg:
+                active.remove((spans[victim][1], victim))
+                free.add(assignment.pop(victim))
+                color = min(free)
+                free.remove(color)
+                assignment[reg] = color
+                active.append((end, reg))
+                active.sort()
+
+        if not victims:
+            break
+        ordered_victims = sorted(victims, key=lambda r: r.index)
+        spilled.extend(ordered_victims)
+        code, new_temps = spill_linear(
+            code,
+            ordered_victims,
+            new_vreg,
+            lambda reg: f"{func.name}.ls.{reg}",
+        )
+        temps |= new_temps
+    else:
+        raise AllocationError(
+            f"{func.name}: linear scan did not converge in {rounds_cap} rounds"
+        )
+
+    virtual_code = [instr.clone() for instr in code]
+    mapping = {reg: preg(color) for reg, color in assignment.items()}
+    out: List[Instr] = []
+    for instr in code:
+        instr.rewrite_regs(mapping)
+        if instr.is_copy and instr.dst == instr.srcs[0]:
+            continue  # same-register copy, exactly like GRA
+        out.append(instr)
+
+    return AllocationResult(
+        name=func.name,
+        code=out,
+        k=k,
+        rounds=rounds,
+        spilled=spilled,
+        assignment=assignment,
+        virtual_code=virtual_code,
+    )

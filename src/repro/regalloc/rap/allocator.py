@@ -261,6 +261,17 @@ class RAPResult(AllocationResult):
     rematerialized: List[Tuple[Reg, object]] = field(default_factory=list)
     #: FunctionAnalysis (linearize + CFG + liveness) builds this run.
     analysis_builds: int = 0
+    #: Snapshot of the linearized body after the physical rewrite but
+    #: before spill-code motion (cloned instructions), plus each loop
+    #: region's span within it — the raw material the independent motion
+    #: validator recomputes availability over.  ``None`` when motion was
+    #: disabled or had nothing to consider.
+    pre_motion_code: Optional[List[Instr]] = None
+    #: loop region name -> (start, end) span in ``pre_motion_code``.
+    loop_spans: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Snapshot of the linear body handed to the Figure-6 peephole
+    #: (cloned), for the symbolic before/after equivalence recheck.
+    pre_peephole_code: Optional[List[Instr]] = None
 
     def telemetry(self) -> Dict[str, int]:
         counters = super().telemetry()
@@ -326,10 +337,23 @@ def allocate_rap(
 
     # ---- phase 2: spill-code motion out of loops ----------------------------------
     motion_report = MotionReport()
+    pre_motion_code: Optional[List[Instr]] = None
+    loop_spans: Dict[str, Tuple[int, int]] = {}
     if enable_motion:
+        if any(info.slot_instrs for info in loop_infos):
+            # The motion validator replays every hoist against the
+            # pre-motion view; snapshot it (cloned — motion mutates the
+            # PDG in place) together with each loop region's span.
+            pre_motion = linearize(func)
+            pre_motion_code = [instr.clone() for instr in pre_motion.instrs]
+            loop_spans = {
+                region.name: span
+                for region, span in pre_motion.region_span.items()
+                if region.is_loop
+            }
         slot_of_origin = dict(ctx.slots)
         motion_report = move_spill_code(
-            func, loop_infos, assignment, dict(ctx.origin), slot_of_origin
+            func, loop_infos, assignment, dict(ctx.origin), slot_of_origin, k
         )
 
     # ---- phase 3: local load/store elimination --------------------------------------
@@ -340,13 +364,20 @@ def allocate_rap(
         if not (instr.op is Op.I2I and instr.srcs[0] == instr.dst)
     ]
     peephole_report = PeepholeReport()
+    pre_peephole_code: Optional[List[Instr]] = None
     if enable_peephole:
         if global_peephole:
+            # The whole-CFG pass moves facts across block boundaries, so
+            # the per-window peephole validator does not apply; no
+            # snapshot means the validate stage skips it.
             from .global_opt import eliminate_redundant_mem_ops_global
 
             code, peephole_report = eliminate_redundant_mem_ops_global(code)
         else:
-            code, peephole_report = eliminate_redundant_mem_ops(code)
+            pre_peephole_code = [instr.clone() for instr in code]
+            code, peephole_report = eliminate_redundant_mem_ops(
+                code, function=func.name
+            )
 
     spilled = sorted({ctx.origin_of(reg) for _, regs in ctx.spill_log for reg in regs})
     return RAPResult(
@@ -362,4 +393,7 @@ def allocate_rap(
         peephole=peephole_report,
         rematerialized=list(ctx.remat_log),
         analysis_builds=ctx.analysis_builds,
+        pre_motion_code=pre_motion_code,
+        loop_spans=loop_spans,
+        pre_peephole_code=pre_peephole_code,
     )

@@ -36,6 +36,22 @@ from typing import Dict, List, Optional, Set, Tuple
 from ...ir.iloc import Instr, Op, Reg, Symbol, ldm, preg, stm
 from ...pdg.graph import PDGFunction
 from ...pdg.nodes import Predicate, Region
+from ...resilience import faults
+
+
+@dataclass(frozen=True)
+class HoistCert:
+    """What one hoist claims: loop ``loop_name`` carried ``slot`` in
+    physical register ``color`` for the whole loop, and ``had_store``
+    says whether a trailing store was required (the loop wrote the slot).
+    The independent motion validator recomputes every claim from the
+    pre-motion snapshot instead of trusting this record; the certificate
+    only tells it *which* hoists to recheck."""
+
+    loop_name: str
+    slot: Symbol
+    color: int
+    had_store: bool
 
 
 @dataclass
@@ -54,6 +70,8 @@ class MotionReport:
     """What the motion phase did (used by tests and the ablation bench)."""
 
     hoisted_slots: List[Tuple[str, Symbol]] = field(default_factory=list)
+    #: one certificate per hoist, for the independent motion validator.
+    hoists: List[HoistCert] = field(default_factory=list)
     deleted_instrs: int = 0
     inserted_loads: int = 0
     inserted_stores: int = 0
@@ -83,6 +101,7 @@ def move_spill_code(
     assignment: Dict[Reg, int],
     origin_of: Dict[Reg, Reg],
     slot_of_origin: Dict[Reg, Symbol],
+    k: Optional[int] = None,
 ) -> MotionReport:
     """Hoist movable spill code out of loops (runs after the physical
     rewrite, using the pre-rewrite metadata in ``infos``)."""
@@ -132,19 +151,33 @@ def move_spill_code(
 
             parent, index = _locate(func, info.loop)
             register = preg(color)
+            load_color = color
+            if faults.active() is not None and k is not None:
+                load_color = faults.maybe_wrong_preg(
+                    "rap.motion.wrong-reg", func.name, color, k
+                )
             if had_store:
-                spill_node = Region(kind="spill", note=f"post-{info.loop.name}")
-                spill_node.items.append(stm(slot, register))
-                parent.items.insert(index + 1, spill_node)
-                report.inserted_stores += 1
+                drop_store = faults.active() is not None and faults.should_fire(
+                    "rap.motion.drop-store", func.name
+                )
+                if not drop_store:
+                    spill_node = Region(
+                        kind="spill", note=f"post-{info.loop.name}"
+                    )
+                    spill_node.items.append(stm(slot, register))
+                    parent.items.insert(index + 1, spill_node)
+                    report.inserted_stores += 1
             # The first interior access was a load, so the value is live
             # into the loop: one preload replaces the per-iteration loads
             # (and makes the trailing store zero-trip safe).
             spill_node = Region(kind="spill", note=f"pre-{info.loop.name}")
-            spill_node.items.append(ldm(slot, register))
+            spill_node.items.append(ldm(slot, preg(load_color)))
             parent.items.insert(index, spill_node)
             report.inserted_loads += 1
             report.hoisted_slots.append((info.loop.name, slot))
+            report.hoists.append(
+                HoistCert(info.loop.name, slot, color, had_store)
+            )
     if report.deleted_instrs or report.hoisted_slots:
         func.bump_version()
     return report

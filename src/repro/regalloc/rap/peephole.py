@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ...ir.iloc import Instr, Op, Reg, Symbol, copy as copy_instr
+from ...resilience import faults
 
 
 @dataclass
@@ -45,6 +46,7 @@ class PeepholeReport:
 
 def eliminate_redundant_mem_ops(
     code: List[Instr],
+    function: str = "?",
 ) -> Tuple[List[Instr], PeepholeReport]:
     """Apply Figure 6 within each basic block of linear ``code``."""
     report = PeepholeReport()
@@ -96,6 +98,16 @@ def eliminate_redundant_mem_ops(
                 del holder[addr]
 
         for defined in instr.defs:
+            if (
+                faults.active() is not None
+                and any(holder.get(a) == defined for a in holder)
+                and faults.should_fire("rap.peephole.stale-holder", function)
+            ):
+                # Injected stale-availability bug: the holder map keeps
+                # claiming `defined` mirrors its address after this
+                # redefinition, so a later load of that address is
+                # wrongly deleted or forwarded.
+                continue
             kill_register(defined)
         out.append(instr)
     return out, report

@@ -5,10 +5,14 @@ allocator is wrong?".  Four layers, each usable on its own:
 
 * :mod:`.pipeline` — the compiler as named, verified stages with
   structured :class:`~repro.resilience.errors.StageError` diagnostics;
-* :mod:`.fallback` — the rap → gra → spillall retry ladder used by the
-  benchmark harness so a sweep degrades instead of dying;
-* :mod:`.faults` — deterministic probe points inside the allocators that
-  let tests *prove* the verification and fallback nets catch corruption;
+* :mod:`.validators` — independent semantic checkers that re-prove the
+  transforming phases (spill-code motion, Figure-6 peephole, list
+  scheduling) sound from scratch after every run;
+* :mod:`.fallback` — the rap → gra → linearscan → spillall retry ladder
+  used by the benchmark harness so a sweep degrades instead of dying;
+* :mod:`.faults` — deterministic probe points inside the allocators,
+  the scheduler, and the rewrite phases that let tests *prove* the
+  verification and fallback nets catch corruption;
 * :mod:`.telemetry` — per-stage wall time and allocation counters
   (rounds, spills, peephole hits), surfaced by the ``--profile`` and
   ``--metrics-out`` CLI flags;
@@ -16,7 +20,14 @@ allocator is wrong?".  Four layers, each usable on its own:
   delta-minimized repro bundles written to ``artifacts/``.
 """
 
-from .errors import MiscompileError, StageContext, StageError
+from .errors import (
+    MiscompileError,
+    MotionValidationError,
+    PeepholeValidationError,
+    ScheduleValidationError,
+    StageContext,
+    StageError,
+)
 from .fallback import FALLBACK_CHAIN, FallbackEvent, chain_for
 from .faults import PROBE_POINTS, FaultInjected, FaultPlan, FaultSpec, injected
 from .pipeline import STAGES, PassPipeline, PipelineConfig
@@ -42,10 +53,13 @@ __all__ = [
     "FaultSpec",
     "MetricsCollector",
     "MiscompileError",
+    "MotionValidationError",
     "PROBE_POINTS",
     "PassPipeline",
+    "PeepholeValidationError",
     "PipelineConfig",
     "ReplayResult",
+    "ScheduleValidationError",
     "STAGES",
     "StageContext",
     "StageError",

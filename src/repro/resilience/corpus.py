@@ -1,0 +1,180 @@
+"""Fuzz corpus management: keep the seeds that earn their keep.
+
+Random fuzzing rediscovers interesting programs from scratch every run;
+most generator seeds exercise nothing beyond the happy path.  This module
+maintains a small committed corpus under ``tests/corpus/`` of Mini-C
+programs chosen because they drive the pipeline through its risky
+machinery — GRA spilling, RAP spilling, spill-code motion (and therefore
+the motion validator), and the Figure-6 peephole (and therefore the
+peephole validator).  ``python -m repro fuzz`` replays the corpus ahead
+of the random seed range, so every fuzz run — local or CI — starts with
+known-interesting inputs instead of hoping the RNG finds them again.
+
+The corpus is greedy-minimal: a seed is persisted only when it covers a
+feature no existing entry covers.  ``MANIFEST.json`` records, per entry,
+the generator seed, size, and feature set, so coverage is inspectable
+without running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from .pipeline import PassPipeline, PipelineConfig
+
+#: Default committed corpus location, relative to the repository root.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "corpus")
+
+MANIFEST = "MANIFEST.json"
+
+#: The feature axes the corpus tries to cover.  Motion and peephole
+#: features double as validator coverage: every replayed program with
+#: them runs the corresponding independent validator on real output.
+FEATURES = ("gra.spill", "rap.spill", "rap.motion", "rap.peephole")
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted program and why it is in the corpus."""
+
+    seed: int
+    size: str
+    features: List[str]
+    file: str
+
+    def path(self, directory: str) -> str:
+        return os.path.join(directory, self.file)
+
+
+@dataclass
+class Corpus:
+    """The committed corpus: entries plus the features they cover."""
+
+    directory: str
+    entries: List[CorpusEntry] = field(default_factory=list)
+
+    def covered(self) -> Set[str]:
+        return {f for entry in self.entries for f in entry.features}
+
+    def sources(self) -> List[str]:
+        out = []
+        for entry in self.entries:
+            with open(entry.path(self.directory)) as handle:
+                out.append(handle.read())
+        return out
+
+
+def program_features(
+    source: str, config: Optional[PipelineConfig] = None, k: int = 3
+) -> Set[str]:
+    """Which risky paths does this program drive at register count ``k``?
+
+    Runs GRA and RAP allocation (no execution) and reads the telemetry:
+    spill lists, hoist certificates, peephole rewrite counts.  A program
+    that fails to compile or allocate has no features — the corpus keeps
+    *interesting* programs, not broken ones (those belong in triage
+    bundles).
+    """
+    from .errors import StageError
+
+    features: Set[str] = set()
+    try:
+        pipe = PassPipeline(config)
+        prog = pipe.compile(source)
+        module = prog.fresh_module()
+        for func in module.functions.values():
+            result = pipe.allocate(func, "gra", k)
+            if result.spilled:
+                features.add("gra.spill")
+        module = prog.fresh_module()
+        for func in module.functions.values():
+            result = pipe.allocate(func, "rap", k)
+            if result.spilled:
+                features.add("rap.spill")
+            if getattr(result.motion, "hoists", []):
+                features.add("rap.motion")
+            if result.peephole.total:
+                features.add("rap.peephole")
+    except StageError:
+        return set()
+    return features
+
+
+def load_corpus(directory: str = DEFAULT_CORPUS_DIR) -> Corpus:
+    """Load the manifest; an absent corpus is simply empty."""
+    manifest = os.path.join(directory, MANIFEST)
+    corpus = Corpus(directory)
+    if not os.path.exists(manifest):
+        return corpus
+    with open(manifest) as handle:
+        data = json.load(handle)
+    for item in data.get("entries", []):
+        entry = CorpusEntry(**item)
+        if os.path.exists(entry.path(directory)):
+            corpus.entries.append(entry)
+    return corpus
+
+
+def save_corpus(corpus: Corpus) -> None:
+    os.makedirs(corpus.directory, exist_ok=True)
+    data = {
+        "entries": [asdict(entry) for entry in corpus.entries],
+        "features": sorted(corpus.covered()),
+    }
+    with open(os.path.join(corpus.directory, MANIFEST), "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def consider(
+    corpus: Corpus,
+    seed: int,
+    size: str,
+    source: str,
+    features: Optional[Set[str]] = None,
+    config: Optional[PipelineConfig] = None,
+) -> Optional[CorpusEntry]:
+    """Add ``source`` to the corpus iff it covers a new feature.
+
+    Returns the new entry, or ``None`` when the corpus already covers
+    everything this program exercises.  The caller persists with
+    :func:`save_corpus` (so a sweep batches one manifest write).
+    """
+    if features is None:
+        features = program_features(source, config)
+    fresh = features - corpus.covered()
+    if not fresh:
+        return None
+    entry = CorpusEntry(
+        seed=seed,
+        size=size,
+        features=sorted(features),
+        file=f"seed{seed}.mc",
+    )
+    os.makedirs(corpus.directory, exist_ok=True)
+    with open(entry.path(corpus.directory), "w") as handle:
+        handle.write(source)
+    corpus.entries.append(entry)
+    return entry
+
+
+def seed_corpus(
+    directory: str = DEFAULT_CORPUS_DIR,
+    seeds: Sequence[int] = range(25),
+    size: str = "small",
+    config: Optional[PipelineConfig] = None,
+) -> Corpus:
+    """Build (or extend) a corpus by scanning generator seeds greedily."""
+    from ..testing.generator import random_source
+
+    corpus = load_corpus(directory)
+    for seed in seeds:
+        if corpus.covered() >= set(FEATURES):
+            break
+        source = random_source(seed, size)
+        consider(corpus, seed, size, source, config=config)
+    save_corpus(corpus)
+    return corpus

@@ -110,7 +110,7 @@ class StageError(Exception):
         its rendered ``Type: message`` text.
         """
         payload: Dict[str, Any] = {
-            "kind": "miscompile" if isinstance(self, MiscompileError) else "stage",
+            "kind": _kind_of(self),
             "message": self.message,
             "context": self.context.as_dict(),
             "cause": None
@@ -140,7 +140,8 @@ class StageError(Exception):
             )
             error.cause = cause
             return error
-        return StageError(payload["message"], context, cause)
+        cls = _VALIDATION_KINDS.get(payload["kind"], StageError)
+        return cls(payload["message"], context, cause)
 
 
 class MiscompileError(StageError):
@@ -167,6 +168,51 @@ class MiscompileError(StageError):
         lines.append(f"  expected: {_clip(self.expected, self.divergence_index)}")
         lines.append(f"  actual:   {_clip(self.actual, self.divergence_index)}")
         return "\n".join(lines)
+
+
+class MotionValidationError(StageError):
+    """The spill-code motion phase emitted an unsound hoist: a hoisted
+    load/store is not anticipated on all the paths it now covers, the
+    carried register does not mirror its slot throughout the loop, or a
+    required trailing store is missing.  Raised by the independent motion
+    validator (:mod:`repro.resilience.validators`), which recomputes
+    availability from scratch rather than trusting the phase's own
+    analysis; ``context.extra`` pins the loop region and slot."""
+
+
+class ScheduleValidationError(StageError):
+    """The list scheduler emitted an order that is not a topological order
+    of the block's dependence DAG (or dropped/duplicated instructions, or
+    regressed the schedule length).  Raised by the independent scheduler
+    validator, which re-derives the must-precede pairs from the *original*
+    order and checks the scheduled order against them; ``context.extra``
+    pins the block and the violated pair."""
+
+
+class PeepholeValidationError(StageError):
+    """A Figure-6 peephole rewrite changed the observable semantics of a
+    basic block: the symbolic before/after execution disagrees on the
+    final register file, the symbolic memory, or the observable event
+    trace.  Raised by the independent peephole validator; ``context.extra``
+    pins the block window and the first disagreement."""
+
+
+#: freeze()/thaw() dispatch for the validator error classes.  Miscompiles
+#: carry extra payload and keep their special-cased branch above.
+_VALIDATION_KINDS: Dict[str, type] = {
+    "motion-validation": MotionValidationError,
+    "schedule-validation": ScheduleValidationError,
+    "peephole-validation": PeepholeValidationError,
+}
+
+
+def _kind_of(error: "StageError") -> str:
+    if isinstance(error, MiscompileError):
+        return "miscompile"
+    for kind, cls in _VALIDATION_KINDS.items():
+        if isinstance(error, cls):
+            return kind
+    return "stage"
 
 
 def _clip(stream: List[Any], index: int, width: int = 3) -> str:

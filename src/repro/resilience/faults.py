@@ -36,6 +36,28 @@ Probe points
     Raise :class:`FaultInjected` at a region boundary (on entry to the
     per-region allocation loop).  Models an outright allocator crash;
     contained by the fallback chain, no validation needed.
+``rap.motion.drop-store``
+    Suppress the trailing store a spill-code hoist must insert after a
+    loop that wrote the slot.  Models a lost-update motion bug; the loop's
+    final value never reaches memory.  Caught by the motion validator
+    (the recomputed hoist requires the post-loop store).
+``rap.motion.wrong-reg``
+    Hoist the pre-loop preload into the wrong physical register (the
+    carried color plus one, mod k).  Models a color-bookkeeping motion
+    bug; the loop body reads a register the preload never wrote.  Caught
+    by the motion validator (the preload must target the single register
+    carrying the slot's traffic).
+``rap.peephole.stale-holder``
+    Skip one holder-map invalidation when a register is redefined inside
+    the Figure-6 peephole.  Models a stale-availability bug; a later load
+    of the address is deleted even though the register no longer mirrors
+    memory.  Caught by the peephole validator (symbolic before/after
+    execution of the block disagrees).
+``sched.reorder-dependent``
+    Swap the first adjacent dependent pair in a scheduled block's emitted
+    order.  Models a dropped DAG edge in the scheduler; the emitted order
+    is no longer a topological order of the block's dependences.  Caught
+    by the scheduler validator.
 """
 
 from __future__ import annotations
@@ -61,6 +83,18 @@ PROBE_POINTS: Dict[str, str] = {
         "corrupt the slot name of one RAP spill event's loads"
     ),
     "rap.region.raise": "raise at a region boundary inside RAP",
+    "rap.motion.drop-store": (
+        "drop the trailing store of one spill-code hoist (lost update)"
+    ),
+    "rap.motion.wrong-reg": (
+        "preload one spill-code hoist into the wrong physical register"
+    ),
+    "rap.peephole.stale-holder": (
+        "skip one holder invalidation in the Figure-6 peephole"
+    ),
+    "sched.reorder-dependent": (
+        "swap the first adjacent dependent pair of a scheduled block"
+    ),
 }
 
 #: Suffix appended to a corrupted spill-slot name.  Kept printable so the
@@ -215,3 +249,71 @@ def maybe_corrupt_slot(point: str, function: str, name: str) -> str:
     if plan is not None and plan.should_fire(point, function):
         return name + CORRUPT_SUFFIX
     return name
+
+
+def should_fire(point: str, function: str) -> bool:
+    """Bare armed-probe query for sites that apply the corruption
+    themselves (e.g. skipping an action rather than performing one)."""
+    plan = _PLAN
+    return plan is not None and plan.should_fire(point, function)
+
+
+def maybe_wrong_preg(point: str, function: str, color: int, k: int) -> int:
+    """Return a *different* valid physical register index if armed."""
+    plan = _PLAN
+    if plan is not None and plan.should_fire(point, function):
+        return (color + 1) % k
+    return color
+
+
+def maybe_swap_dependent(point: str, function: str, order: list) -> None:
+    """Swap the first adjacent *dependent* pair of ``order`` in place.
+
+    Dependence here is the cheap sufficient test — register overlap
+    (flow/anti/output) or a conflicting memory/observable pair — so the
+    swap provably violates the block's dependence DAG.  A block with no
+    adjacent dependent pair leaves the shot unconsumed, like
+    :func:`maybe_drop_edge`.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    target = None
+    for i in range(len(order) - 1):
+        if _instrs_dependent(order[i], order[i + 1]):
+            target = i
+            break
+    if target is None:
+        return
+    if not plan.should_fire(point, function):
+        return
+    order[target], order[target + 1] = order[target + 1], order[target]
+
+
+def _instrs_dependent(a, b) -> bool:
+    """Sufficient (not exhaustive) dependence test between two adjacent
+    instructions — register overlap, same-symbol memory traffic, heap
+    store conflicts, or observable order."""
+    from ..ir.iloc import Op
+
+    a_defs, b_defs = set(a.defs), set(b.defs)
+    a_uses, b_uses = set(a.uses), set(b.uses)
+    if a_defs & (b_uses | b_defs) or a_uses & b_defs:
+        return True
+    mem = (Op.LOAD, Op.STORE, Op.LDM, Op.STM)
+    if a.op in mem and b.op in mem:
+        if Op.STORE in (a.op, b.op) and {a.op, b.op} <= {Op.LOAD, Op.STORE}:
+            return True
+        if (
+            a.op in (Op.LDM, Op.STM)
+            and b.op in (Op.LDM, Op.STM)
+            and a.addr is not None
+            and b.addr is not None
+            and a.addr.name == b.addr.name
+            and Op.STM in (a.op, b.op)
+        ):
+            return True
+    ordered = (Op.PRINT, Op.PARAM, Op.CALL, Op.RET, Op.ALLOCA)
+    if a.op in ordered and b.op in ordered:
+        return True
+    return False

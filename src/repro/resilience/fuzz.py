@@ -1,24 +1,36 @@
 """The differential fuzz driver (``python -m repro fuzz``).
 
-Runs the house generator's random Mini-C programs through the full
-resilient pipeline — reference execution vs every (allocator, k) scenario
-— and, instead of dying on the first divergence, triages it: the failing
-program is delta-minimized and written to ``artifacts/`` as a repro
-bundle, then the sweep continues.  The exit status reports whether any
-scenario failed, which is exactly what CI wants: a red build *with* the
-witness attached.
+Runs Mini-C programs through the full resilient pipeline — reference
+execution vs every (allocator, k) scenario — and, instead of dying on the
+first divergence, triages it: the failing program is delta-minimized and
+written to ``artifacts/`` as a repro bundle, then the sweep continues.
+The exit status reports whether any scenario failed, which is exactly
+what CI wants: a red build *with* the witness attached.
+
+Two refinements over naive seed-sweeping:
+
+* **Corpus replay** — programs persisted under ``tests/corpus/`` (seeds
+  known to drive spilling, spill-code motion, and the peephole — see
+  :mod:`.corpus`) run *before* the random seed range, so every fuzz run
+  starts with known-interesting inputs.  ``update_corpus=True`` makes the
+  run persist any new seed that covers a feature the corpus lacks.
+* **Signature dedup** — failures are keyed by (kind, stage, function);
+  repeat hits of a known signature skip re-minimization and merge into
+  the existing bundle's hit count instead of writing fifty copies of the
+  same bug.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, TextIO
+from typing import Dict, List, Optional, Sequence, TextIO
 
 from ..testing.generator import random_source
+from . import corpus as corpus_mod
 from .faults import FaultSpec
 from .pipeline import PipelineConfig
-from .triage import Failure, make_bundle, probe_failure, write_bundle
+from .triage import Failure, make_bundle, merge_hit, probe_failure, write_bundle
 
 DEFAULT_K_VALUES = (3, 5)
 DEFAULT_ALLOCATORS = ("gra", "rap")
@@ -28,11 +40,14 @@ DEFAULT_ALLOCATORS = ("gra", "rap")
 class FuzzFailure:
     """One failing (seed, allocator, k) scenario and its bundle."""
 
-    seed: int
+    seed: Optional[int]
     allocator: str
     k: int
     failure: Failure
     bundle_path: Optional[str] = None
+    #: a previously-seen signature: merged into an existing bundle
+    #: instead of minimized into a fresh one.
+    duplicate: bool = False
 
 
 @dataclass
@@ -40,12 +55,16 @@ class FuzzReport:
     """Summary of one fuzz run."""
 
     seeds: List[int] = field(default_factory=list)
+    corpus_entries: int = 0
     scenarios: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def distinct_signatures(self) -> int:
+        return len({f.failure.signature() for f in self.failures})
 
 
 def run_fuzz(
@@ -60,20 +79,25 @@ def run_fuzz(
     minimize: bool = True,
     stream: Optional[TextIO] = None,
     inject: Optional[Sequence[FaultSpec]] = None,
+    corpus_dir: Optional[str] = corpus_mod.DEFAULT_CORPUS_DIR,
+    use_corpus: bool = True,
+    update_corpus: bool = False,
 ) -> FuzzReport:
-    """Fuzz ``seeds`` consecutive generator seeds starting at ``start``.
+    """Fuzz the corpus (if any), then ``seeds`` consecutive generator
+    seeds starting at ``start``.
 
-    Every failure is triaged into a bundle under ``out_dir``.  One bundle
-    per distinct (kind, allocator, k, seed); the sweep never aborts.
+    Every failure is triaged into a bundle under ``out_dir``; duplicate
+    signatures merge into their existing bundle.  The sweep never aborts.
     ``inject`` arms fault probes for every scenario (fresh plan per
     probe) — the way to exercise the triage machinery on a healthy
     compiler.
     """
     stream = stream or sys.stdout
     report = FuzzReport()
-    for seed in range(start, start + seeds):
-        report.seeds.append(seed)
-        source = random_source(seed, size)
+    #: signature -> bundle path, for merge-instead-of-minimize.
+    seen: Dict[str, Optional[str]] = {}
+
+    def run_one(source: str, seed: Optional[int], label: str) -> None:
         for allocator in allocators:
             for k in k_values:
                 report.scenarios += 1
@@ -88,11 +112,23 @@ def run_fuzz(
                 )
                 if failure is None:
                     continue
+                signature = failure.signature()
                 print(
-                    f"FAIL seed={seed} {allocator} k={k}: "
-                    f"{failure.kind} at {failure.stage}",
+                    f"FAIL {label} {allocator} k={k}: "
+                    f"{failure.kind} at {failure.stage} [{signature}]",
                     file=stream,
                 )
+                if signature in seen:
+                    path = seen[signature]
+                    if path is not None:
+                        merge_hit(path, seed)
+                    print(f"  duplicate of: {path}", file=stream)
+                    report.failures.append(
+                        FuzzFailure(
+                            seed, allocator, k, failure, path, duplicate=True
+                        )
+                    )
+                    continue
                 bundle = make_bundle(
                     source,
                     failure,
@@ -105,13 +141,50 @@ def run_fuzz(
                     inject=inject,
                 )
                 path = write_bundle(bundle, out_dir)
+                seen[signature] = path
                 print(f"  bundle: {path}", file=stream)
                 report.failures.append(
                     FuzzFailure(seed, allocator, k, failure, path)
                 )
-    verdict = "ok" if report.ok else f"{len(report.failures)} FAILURES"
+
+    corpus = None
+    if use_corpus and corpus_dir is not None:
+        corpus = corpus_mod.load_corpus(corpus_dir)
+        for entry in corpus.entries:
+            report.corpus_entries += 1
+            with open(entry.path(corpus.directory)) as handle:
+                source = handle.read()
+            run_one(source, entry.seed, f"corpus:{entry.file}")
+
+    corpus_grew = False
+    for seed in range(start, start + seeds):
+        report.seeds.append(seed)
+        source = random_source(seed, size)
+        run_one(source, seed, f"seed={seed}")
+        if update_corpus and corpus is not None:
+            added = corpus_mod.consider(corpus, seed, size, source, config=config)
+            if added is not None:
+                corpus_grew = True
+                print(
+                    f"corpus: persisted seed {seed} "
+                    f"(features {', '.join(added.features)})",
+                    file=stream,
+                )
+    if corpus_grew:
+        corpus_mod.save_corpus(corpus)
+
+    distinct = report.distinct_signatures()
+    verdict = (
+        "ok"
+        if report.ok
+        else f"{len(report.failures)} FAILURES ({distinct} distinct)"
+    )
+    corpus_part = (
+        f"{report.corpus_entries} corpus + " if report.corpus_entries else ""
+    )
     print(
-        f"fuzz: {len(report.seeds)} seeds x {len(allocators)} allocators x "
+        f"fuzz: {corpus_part}{len(report.seeds)} seeds x "
+        f"{len(list(allocators))} allocators x "
         f"{len(list(k_values))} k-values = {report.scenarios} scenarios: "
         f"{verdict}",
         file=stream,

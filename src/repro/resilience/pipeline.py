@@ -2,7 +2,7 @@
 
 :class:`PassPipeline` executes the compiler as *named stages* —
 
-    parse -> sema -> pdg-build -> allocate -> validate -> execute
+    parse -> sema -> pdg-build -> allocate -> validate [-> schedule] -> execute
 
 — each wrapped so that any failure surfaces as a structured
 :class:`~repro.resilience.errors.StageError` identifying the stage, the
@@ -10,9 +10,14 @@ function, the allocator, and the register count, instead of a bare
 traceback from somewhere inside the allocator.  The validate stage runs
 every structural verifier the repository has (iloc well-formedness,
 physical-register bounds, PDG tree shape, spill-slot discipline, and an
-independent recheck of the coloring against a rebuilt interference graph),
-so corruption is caught *at the stage that produced it*, not three stages
-later as a wrong answer.
+independent recheck of the coloring against a rebuilt interference graph,
+plus the transformation validators of
+:mod:`repro.resilience.validators`, which re-prove RAP's spill-code
+motion and Figure-6 peephole sound from scratch), so corruption is caught
+*at the stage that produced it*, not three stages later as a wrong
+answer.  The optional schedule stage list-schedules the allocated code
+and proves the emitted order is a topological order of an independently
+re-derived dependence DAG before accepting it.
 
 The harness composes this with the allocator fallback chain
 (:mod:`repro.resilience.fallback`); the fuzzer composes it with crash
@@ -38,16 +43,31 @@ from ..pdg.validate import check_pdg
 from .errors import MiscompileError, StageContext, StageError
 from .telemetry import MetricsCollector
 
-#: Stage names, in pipeline order.
-STAGES = ("parse", "sema", "pdg-build", "allocate", "validate", "execute")
+#: Stage names, in pipeline order.  The schedule stage is optional
+#: (``PipelineConfig.schedule``); when off, it simply never runs.
+STAGES = (
+    "parse",
+    "sema",
+    "pdg-build",
+    "allocate",
+    "validate",
+    "schedule",
+    "execute",
+)
 
 
 def _allocator_registry() -> Dict[str, Callable[..., Any]]:
-    from ..regalloc import allocate_gra, allocate_rap, allocate_spillall
+    from ..regalloc import (
+        allocate_gra,
+        allocate_linearscan,
+        allocate_rap,
+        allocate_spillall,
+    )
 
     return {
         "gra": allocate_gra,
         "rap": allocate_rap,
+        "linearscan": allocate_linearscan,
         "spillall": allocate_spillall,
     }
 
@@ -69,6 +89,16 @@ class PipelineConfig:
     verify: bool = True
     verify_spill_discipline: bool = True
     verify_assignment: bool = True
+    #: independent transformation validators (see
+    #: :mod:`repro.resilience.validators`): recheck RAP's spill-code
+    #: motion and Figure-6 peephole from scratch after every allocation.
+    verify_motion: bool = True
+    verify_peephole: bool = True
+    #: run the list scheduler as its own pipeline stage after validate,
+    #: and (when ``verify_schedule``) prove the emitted order is a
+    #: topological order of an independently re-derived dependence DAG.
+    schedule: bool = False
+    verify_schedule: bool = True
     #: ``False`` re-raises front-end errors unwrapped (the legacy
     #: :func:`repro.compiler.compile_source` contract: callers get
     #: :class:`~repro.frontend.errors.FrontendError` with a location).
@@ -190,7 +220,33 @@ class PassPipeline:
                 allocator=allocator,
                 k=k,
             )
+        if self.config.schedule:
+            self._run_stage(
+                "schedule",
+                lambda: self._schedule(func, allocator, k, result),
+                function=func.name,
+                allocator=allocator,
+                k=k,
+            )
         return result
+
+    def _schedule(self, func: PDGFunction, allocator: str, k: int, result):
+        """List-schedule the allocated code, then prove the reordering
+        sound against an independently re-derived dependence relation."""
+        from ..sched.list_scheduler import schedule_code
+        from .validators import validate_schedule
+
+        scheduled, report = schedule_code(result.code, function=func.name)
+        if self.config.verify_schedule:
+            validate_schedule(
+                result.code,
+                scheduled,
+                self.context(
+                    "schedule", function=func.name, allocator=allocator, k=k
+                ),
+            )
+        result.code = scheduled
+        return report
 
     def validate(self, func: PDGFunction, allocator: str, k: int, result) -> None:
         """Every structural invariant the allocated code must satisfy."""
@@ -212,6 +268,21 @@ class PassPipeline:
             virtual_code = getattr(result, "virtual_code", None)
             if virtual_code is not None:
                 check_assignment(virtual_code, result.assignment)
+        if allocator == "rap":
+            # Independent transformation validators: recheck the motion
+            # and peephole phases from the snapshots RAP captured, rather
+            # than trusting their own analyses.
+            from .validators import validate_motion, validate_peephole
+
+            context = self.context(
+                "validate", function=func.name, allocator=allocator, k=k
+            )
+            if self.config.verify_motion:
+                validate_motion(func, result, context)
+            if self.config.verify_peephole:
+                pre = getattr(result, "pre_peephole_code", None)
+                if pre is not None:
+                    validate_peephole(pre, result.code, context)
 
     def execute(
         self,

@@ -30,6 +30,7 @@ STAGE_ORDER = (
     "pdg-build",
     "allocate",
     "validate",
+    "schedule",
     "decode",
     "execute",
     "compare",

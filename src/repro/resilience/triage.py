@@ -20,6 +20,7 @@ like.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from contextlib import nullcontext
@@ -58,6 +59,24 @@ class Failure:
         """Same failure *signature*: kind and stage (the minimizer must
         not wander off to a different bug while shrinking)."""
         return self.kind == other.kind and self.stage == other.stage
+
+    def signature(self) -> str:
+        return failure_signature(self.kind, self.stage, self.function)
+
+
+def failure_signature(
+    kind: str, stage: str, function: Optional[str]
+) -> str:
+    """Stable dedup key for one *bug*, not one witness.
+
+    A fuzz run that hits the same broken phase from fifty seeds produces
+    fifty (seed, program) pairs but one (kind, stage, function) triple;
+    hashing that triple collapses them into one bundle with a hit count.
+    The generator seed is deliberately excluded — it identifies the
+    witness, not the bug.
+    """
+    text = f"{kind}|{stage}|{function or ''}"
+    return hashlib.sha1(text.encode()).hexdigest()[:8]
 
 
 def probe_failure(
@@ -203,10 +222,18 @@ class TriageBundle:
     actual: List = field(default_factory=list)
     config: Dict[str, Any] = field(default_factory=dict)
     injected: List[Dict[str, Any]] = field(default_factory=list)
+    #: failing function (from the stage context), part of the dedup key.
+    function: Optional[str] = None
+    #: how many scenarios hit this signature, and the seeds that did —
+    #: maintained by :func:`write_bundle`'s merge-on-write.
+    hits: int = 1
+    seeds: List[int] = field(default_factory=list)
+
+    def signature(self) -> str:
+        return failure_signature(self.kind, self.stage, self.function)
 
     def bundle_id(self) -> str:
-        seed_part = "manual" if self.seed is None else f"seed{self.seed}"
-        return f"{self.kind}-{self.allocator}-k{self.k}-{seed_part}"
+        return f"{self.kind}-{self.allocator}-k{self.k}-{self.signature()}"
 
     def replay_command(self, directory: str) -> str:
         return f"python -m repro replay {directory}"
@@ -250,12 +277,30 @@ def make_bundle(
         actual=failure.actual,
         config=asdict(config or PipelineConfig()),
         injected=[asdict(spec) for spec in inject],
+        function=failure.function,
+        seeds=[] if seed is None else [seed],
     )
 
 
 def write_bundle(bundle: TriageBundle, out_dir: str = ARTIFACTS_DIR) -> str:
-    """Write the bundle directory; returns its path."""
+    """Write the bundle directory; returns its path.
+
+    Merge-on-write dedup: when a bundle with the same id (same failure
+    signature, allocator, and k) already exists, the existing witness is
+    kept — the first minimized repro is as good as the fiftieth — and
+    only the hit count and seed list grow.
+    """
     directory = os.path.join(out_dir, bundle.bundle_id())
+    existing = None
+    if os.path.exists(os.path.join(directory, "bundle.json")):
+        try:
+            existing = load_bundle(directory)
+        except Exception:
+            existing = None  # corrupt remnant: overwrite it
+    if existing is not None and existing.signature() == bundle.signature():
+        existing.hits += bundle.hits
+        existing.seeds = sorted(set(existing.seeds) | set(bundle.seeds))
+        bundle = existing
     os.makedirs(directory, exist_ok=True)
 
     with open(os.path.join(directory, "repro.mc"), "w") as handle:
@@ -274,10 +319,13 @@ def write_bundle(bundle: TriageBundle, out_dir: str = ARTIFACTS_DIR) -> str:
     readme = [
         f"# Repro bundle: {bundle.bundle_id()}",
         "",
-        f"* kind: **{bundle.kind}** at stage `{bundle.stage}`",
+        f"* kind: **{bundle.kind}** at stage `{bundle.stage}`"
+        + (f" in `{bundle.function}`" if bundle.function else ""),
         f"* allocator: `{bundle.allocator}`, k={bundle.k}"
         + (f", generator seed {bundle.seed}" if bundle.seed is not None else ""),
         f"* error: {bundle.error}",
+        f"* signature: `{bundle.signature()}`, hit {bundle.hits} time(s)"
+        + (f" by seeds {bundle.seeds}" if bundle.seeds else ""),
     ]
     if bundle.divergence_index is not None:
         readme.append(
@@ -298,6 +346,23 @@ def write_bundle(bundle: TriageBundle, out_dir: str = ARTIFACTS_DIR) -> str:
     with open(os.path.join(directory, "README.md"), "w") as handle:
         handle.write("\n".join(readme))
     return directory
+
+
+def merge_hit(directory: str, seed: Optional[int] = None) -> None:
+    """Record one more hit of an existing bundle's signature without
+    re-minimizing (the fuzzer's fast path for duplicate failures)."""
+    bundle = load_bundle(directory)
+    bundle.hits += 1
+    if seed is not None:
+        bundle.seeds = sorted(set(bundle.seeds) | {seed})
+    # Rewrite metadata only; write_bundle's merge path would double-count.
+    meta = asdict(bundle)
+    meta.pop("source")
+    meta.pop("minimized")
+    meta["replay"] = bundle.replay_command(directory)
+    with open(os.path.join(directory, "bundle.json"), "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def load_bundle(directory: str) -> TriageBundle:

@@ -1,0 +1,641 @@
+"""Independent semantic validators for the transforming phases.
+
+PR 1's validate stage rechecks *allocation* decisions (coloring against a
+rebuilt interference graph, spill-slot discipline).  The transformations
+that come after allocation — spill-code motion out of loops, the Figure-6
+peephole, and the list scheduler — previously trusted their own analyses:
+a bug there miscompiled silently until the interpreter diverged.  This
+module closes that gap with one independent checker per phase, each
+recomputing the transformation's safety argument from scratch:
+
+``validate_motion``
+    Replays every hoist certificate against the *pre-motion* snapshot:
+    recomputes which register carries the slot, proves the hoisted
+    preload is anticipated (the loop's first interior access is a load),
+    runs a from-scratch forward must-analysis showing the carried
+    register mirrors the slot on **all paths** through the loop
+    (including the back edge), and checks the post-motion PDG has the
+    preload, the trailing store exactly when the loop wrote the slot,
+    and no leftover interior traffic.
+
+``validate_schedule``
+    Re-derives the must-precede relation of every basic block from the
+    *original* instruction order — register flow/anti/output overlap,
+    conflicting memory accesses, observable-operation order, terminator
+    last — with pairwise rules written independently of
+    :mod:`repro.sched.dag`, then checks the scheduled order is a
+    topological order of that relation, permutes each block exactly, and
+    never regresses the simulated schedule length.
+
+``validate_peephole``
+    Symbolically executes each basic-block window before and after the
+    Figure-6 rewrites and proves the final register file, symbolic
+    memory, heap state, and observable event trace are equal.
+
+All three raise typed :class:`~repro.resilience.errors.StageError`
+subclasses carrying the stage context plus the precise region/block/pc
+where the proof failed, so a caught corruption is debuggable — and
+transportable through the ``--jobs N`` process pool — without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.iloc import Instr, Op, Reg, Symbol
+from .errors import (
+    MotionValidationError,
+    PeepholeValidationError,
+    ScheduleValidationError,
+    StageContext,
+)
+
+#: Instructions whose relative order is observable machine state (kept in
+#: sync with the interpreter's semantics, not imported from the scheduler
+#: — the validator must not share the code it checks).
+_OBSERVABLE_OPS = (Op.PRINT, Op.PARAM, Op.CALL, Op.RET, Op.ALLOCA)
+
+
+def _extend(context: StageContext, **extra: Any) -> StageContext:
+    merged = dict(context.extra)
+    merged.update(extra)
+    return replace(context, extra=merged)
+
+
+# ---------------------------------------------------------------------------
+# Motion validation
+# ---------------------------------------------------------------------------
+
+
+def validate_motion(func, result, context: StageContext) -> None:
+    """Recheck every spill-code hoist of one RAP run from scratch.
+
+    ``func`` is the post-motion PDG function and ``result`` the
+    :class:`~repro.regalloc.rap.allocator.RAPResult` carrying the hoist
+    certificates plus the pre-motion snapshot.  Raises
+    :class:`MotionValidationError` on the first unsound hoist.
+    """
+    hoists = getattr(result.motion, "hoists", [])
+    if not hoists:
+        return
+    snapshot = result.pre_motion_code
+    if snapshot is None:
+        raise MotionValidationError(
+            "motion reported hoists but captured no pre-motion snapshot",
+            _extend(context, phase="motion"),
+        )
+    regions = {region.name: region for region in func.walk_regions()}
+    for cert in hoists:
+        ctx = _extend(
+            context,
+            phase="motion",
+            loop=cert.loop_name,
+            slot=str(cert.slot),
+        )
+        span = result.loop_spans.get(cert.loop_name)
+        if span is None:
+            raise MotionValidationError(
+                f"hoisted loop {cert.loop_name} has no recorded span",
+                ctx,
+            )
+        _check_one_hoist(func, regions, cert, snapshot, span, ctx)
+
+
+def _check_one_hoist(
+    func,
+    regions: Dict[str, Any],
+    cert,
+    snapshot: List[Instr],
+    span: Tuple[int, int],
+    ctx: StageContext,
+) -> None:
+    start, end = span
+    body = snapshot[start:end]
+    slot = cert.slot
+
+    interior = [
+        (i, instr)
+        for i, instr in enumerate(body)
+        if instr.op in (Op.LDM, Op.STM) and instr.addr == slot
+    ]
+    if not interior:
+        raise MotionValidationError(
+            f"hoist of {slot} out of {cert.loop_name} deleted no interior "
+            f"access (nothing to hoist)",
+            ctx,
+        )
+
+    # One physical register must carry all of the slot's interior traffic.
+    carriers = {
+        instr.dst if instr.op is Op.LDM else instr.srcs[0]
+        for _, instr in interior
+    }
+    if len(carriers) != 1:
+        raise MotionValidationError(
+            f"interior accesses of {slot} in {cert.loop_name} use several "
+            f"registers {sorted(map(str, carriers))}; a hoist needs one",
+            ctx,
+        )
+    carrier = carriers.pop()
+    if not carrier.is_physical:
+        raise MotionValidationError(
+            f"interior accesses of {slot} use non-physical {carrier}", ctx
+        )
+
+    # Anticipation: the loop's first interior access must be the load the
+    # preload replaces — hoisting around a store-first loop would need a
+    # preload no store dominates.
+    if interior[0][1].op is not Op.LDM:
+        raise MotionValidationError(
+            f"first interior access of {slot} in {cert.loop_name} is a "
+            f"store; the hoisted preload is not anticipated",
+            ctx,
+        )
+    had_store = any(instr.op is Op.STM for _, instr in interior)
+
+    # From-scratch must-analysis over the pre-motion loop body: with the
+    # preload establishing "carrier == slot" at loop entry, the fact must
+    # hold at every interior load (so deleting it is a no-op) and at every
+    # non-return loop exit (so the trailing store writes the final value).
+    violations = _carrier_mirrors_slot(body, slot, carrier)
+    for kind, position in violations:
+        instr = body[position] if position < len(body) else None
+        if kind == "load":
+            raise MotionValidationError(
+                f"{carrier} does not mirror {slot} on every path reaching "
+                f"the deleted load at {cert.loop_name}+{position} "
+                f"({instr})",
+                _extend(ctx, pc=start + position),
+            )
+        if kind == "exit" and had_store:
+            raise MotionValidationError(
+                f"{carrier} does not mirror {slot} on the loop exit at "
+                f"{cert.loop_name}+{position}; the trailing store would "
+                f"write a stale value",
+                _extend(ctx, pc=start + position),
+            )
+
+    # Post-motion structure: the PDG must carry the preload (into the
+    # carrier register), the trailing store exactly when the loop wrote
+    # the slot, and no leftover interior traffic.
+    loop = regions.get(cert.loop_name)
+    if loop is None:
+        raise MotionValidationError(
+            f"hoisted loop {cert.loop_name} vanished from the PDG", ctx
+        )
+    for instr in loop.walk_instrs():
+        if instr.op in (Op.LDM, Op.STM) and instr.addr == slot:
+            raise MotionValidationError(
+                f"interior access of {slot} survives inside "
+                f"{cert.loop_name} after its hoist ({instr})",
+                ctx,
+            )
+    parents = func.parent_map()
+    if loop not in parents:
+        raise MotionValidationError(
+            f"hoisted loop {cert.loop_name} has no parent region", ctx
+        )
+    parent, _ = parents[loop]
+    preload = _spill_node_access(parent, f"pre-{cert.loop_name}", Op.LDM, slot)
+    if preload is None:
+        raise MotionValidationError(
+            f"no pre-loop spill node loads {slot} before {cert.loop_name}",
+            ctx,
+        )
+    if preload.dst != carrier:
+        raise MotionValidationError(
+            f"preload of {slot} targets {preload.dst}, but the loop "
+            f"carries the slot in {carrier}",
+            ctx,
+        )
+    trailing = _spill_node_access(parent, f"post-{cert.loop_name}", Op.STM, slot)
+    if had_store and trailing is None:
+        raise MotionValidationError(
+            f"loop {cert.loop_name} wrote {slot} but no trailing store "
+            f"follows it; the final value is lost",
+            ctx,
+        )
+    if not had_store and trailing is not None:
+        raise MotionValidationError(
+            f"loop {cert.loop_name} never wrote {slot} yet a trailing "
+            f"store follows it",
+            ctx,
+        )
+    if trailing is not None and trailing.srcs[0] != carrier:
+        raise MotionValidationError(
+            f"trailing store of {slot} reads {trailing.srcs[0]}, but the "
+            f"loop carries the slot in {carrier}",
+            ctx,
+        )
+
+
+def _spill_node_access(
+    parent, note: str, op: Op, slot: Symbol
+) -> Optional[Instr]:
+    """The ``op`` access of ``slot`` inside a spill node with ``note``
+    among ``parent``'s items, or ``None``."""
+    from ..pdg.nodes import Region
+
+    for item in parent.items:
+        if not isinstance(item, Region) or item.kind != "spill":
+            continue
+        if item.note != note:
+            continue
+        for instr in item.walk_instrs():
+            if instr.op is op and instr.addr == slot:
+                return instr
+    return None
+
+
+def _carrier_mirrors_slot(
+    body: Sequence[Instr], slot: Symbol, carrier: Reg
+) -> List[Tuple[str, int]]:
+    """Forward must-analysis of the fact "``carrier`` holds ``slot``'s
+    current value" over the loop body's own control flow.
+
+    The body is a self-contained span of the pre-motion linearization
+    (loop header label first, exit label last, back edge included as a
+    branch to an interior label).  Entry is seeded TRUE — the hoisted
+    preload establishes the fact — and the meet over paths is AND, so a
+    single path that breaks the mirror kills it.  Returns violations:
+    ``("load", i)`` for interior loads of the slot the fact does not
+    reach, ``("exit", i)`` for non-return exits where it does not hold.
+    """
+    n = len(body)
+    labels = {
+        instr.label: i for i, instr in enumerate(body) if instr.op is Op.LABEL
+    }
+
+    def successors(i: int) -> List[int]:
+        """Successor positions; ``n`` stands for the loop exit."""
+        instr = body[i]
+        if instr.op is Op.CBR:
+            out = []
+            for target in (instr.label, instr.label_false):
+                out.append(labels.get(target, n))
+            return out
+        if instr.op is Op.JMP:
+            return [labels.get(instr.label, n)]
+        if instr.op is Op.RET:
+            return []  # function exit: the trailing store never runs
+        return [i + 1] if i + 1 < n else [n]
+
+    def transfer(i: int, fact: bool) -> bool:
+        instr = body[i]
+        if instr.op is Op.LDM and instr.addr == slot and instr.dst == carrier:
+            return True
+        if instr.op is Op.STM and instr.addr == slot:
+            return instr.srcs[0] == carrier
+        if carrier in instr.defs:
+            return False
+        return fact
+
+    # Optimistic initialization, entry forced TRUE, iterate to fixpoint.
+    fact_in = [True] * (n + 1)
+    entry_fact = True
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n):
+            preds_fact = entry_fact if i == 0 else True
+            incoming = [preds_fact] if i == 0 else []
+            for j in range(n):
+                if i in successors(j):
+                    incoming.append(transfer(j, fact_in[j]))
+            new = all(incoming) if incoming else (i == 0)
+            if new != fact_in[i]:
+                fact_in[i] = new
+                changed = True
+
+    violations: List[Tuple[str, int]] = []
+    for i, instr in enumerate(body):
+        if instr.op is Op.LDM and instr.addr == slot and not fact_in[i]:
+            violations.append(("load", i))
+    for i in range(n):
+        if n in successors(i) and not transfer(i, fact_in[i]):
+            violations.append(("exit", i))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Schedule validation
+# ---------------------------------------------------------------------------
+
+
+def validate_schedule(
+    original: Sequence[Instr],
+    scheduled: Sequence[Instr],
+    context: StageContext,
+    model=None,
+) -> None:
+    """Prove ``scheduled`` is a sound reordering of ``original``.
+
+    Blocks must be permuted in place (same positions, labels pinned,
+    terminator last), every block's scheduled order must be a topological
+    order of the must-precede relation re-derived from the original
+    order, and the simulated in-order completion time must not regress.
+    Raises :class:`ScheduleValidationError` on the first violation.
+    """
+    from ..cfg.graph import CFG
+    from ..sched.latency import LatencyModel
+    from ..sched.list_scheduler import simulate_block
+
+    model = model or LatencyModel()
+    original = list(original)
+    scheduled = list(scheduled)
+    ctx = _extend(context, phase="schedule")
+    if len(original) != len(scheduled):
+        raise ScheduleValidationError(
+            f"scheduler changed the instruction count "
+            f"({len(original)} -> {len(scheduled)})",
+            ctx,
+        )
+
+    cfg = CFG(original)
+    for block in cfg.blocks:
+        before = original[block.start:block.end]
+        after = scheduled[block.start:block.end]
+        bctx = _extend(ctx, block=block.index, pc=block.start)
+        before_ids = sorted(id(instr) for instr in before)
+        after_ids = sorted(id(instr) for instr in after)
+        if before_ids != after_ids:
+            raise ScheduleValidationError(
+                f"block {block.index} is not a permutation of its "
+                f"original instructions (moved across a block boundary, "
+                f"dropped, or duplicated)",
+                bctx,
+            )
+        position = {id(instr): i for i, instr in enumerate(after)}
+        for i, a in enumerate(before):
+            if a.op is Op.LABEL and position[id(a)] != i:
+                raise ScheduleValidationError(
+                    f"label {a.label} moved inside block {block.index}",
+                    bctx,
+                )
+        if before and before[-1].is_branch:
+            if after[-1] is not before[-1]:
+                raise ScheduleValidationError(
+                    f"terminator {before[-1]} is no longer last in block "
+                    f"{block.index}",
+                    bctx,
+                )
+        for i in range(len(before)):
+            for j in range(i + 1, len(before)):
+                if not _must_precede(before[i], before[j]):
+                    continue
+                if position[id(before[i])] > position[id(before[j])]:
+                    raise ScheduleValidationError(
+                        f"scheduled order of block {block.index} violates "
+                        f"the dependence '{before[i]}' -> '{before[j]}'",
+                        _extend(bctx, earlier=str(before[i]), later=str(before[j])),
+                    )
+        body_before = [x for x in before if x.op is not Op.LABEL]
+        body_after = [x for x in after if x.op is not Op.LABEL]
+        length_before = simulate_block(body_before, model)
+        length_after = simulate_block(body_after, model)
+        if length_after > length_before:
+            raise ScheduleValidationError(
+                f"block {block.index} schedule regressed "
+                f"({length_before} -> {length_after} cycles)",
+                bctx,
+            )
+
+
+def _must_precede(a: Instr, b: Instr) -> bool:
+    """Must ``a`` stay before ``b``?  ``a`` precedes ``b`` in original
+    program order.  Pairwise re-derivation of the dependence rules —
+    deliberately *not* shared with :class:`repro.sched.dag.BlockDag`."""
+    a_defs, b_defs = set(a.defs), set(b.defs)
+    if a_defs & set(b.uses) or set(a.uses) & b_defs or a_defs & b_defs:
+        return True
+    heap = (Op.LOAD, Op.STORE)
+    if a.op in heap and b.op in heap and Op.STORE in (a.op, b.op):
+        return True
+    if (a.op is Op.CALL and b.op in heap) or (a.op in heap and b.op is Op.CALL):
+        return True
+    direct = (Op.LDM, Op.STM)
+    if a.op in direct and b.op in direct:
+        if (
+            a.addr is not None
+            and b.addr is not None
+            and a.addr.name == b.addr.name
+            and Op.STM in (a.op, b.op)
+        ):
+            return True
+    for first, second in ((a, b), (b, a)):
+        if (
+            first.op is Op.CALL
+            and second.op in direct
+            and second.addr is not None
+            and second.addr.space == "global"
+        ):
+            return True
+    if a.op in _OBSERVABLE_OPS and b.op in _OBSERVABLE_OPS:
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Peephole validation
+# ---------------------------------------------------------------------------
+
+
+def validate_peephole(
+    before: Sequence[Instr],
+    after: Sequence[Instr],
+    context: StageContext,
+) -> None:
+    """Prove the Figure-6 rewrites preserved every basic block's
+    semantics by symbolic execution.
+
+    Both code lists are split at the shared boundary instructions (labels
+    and branches, which the peephole passes through untouched); each
+    before/after window pair is executed symbolically from an identical
+    fresh state, and the final register file, symbolic memory, heap
+    state, and observable event trace must be equal.  Raises
+    :class:`PeepholeValidationError` on the first disagreement.
+    """
+    ctx = _extend(context, phase="peephole")
+    bounds_before, windows_before = _split_windows(before)
+    bounds_after, windows_after = _split_windows(after)
+    # The before snapshot is a clone, so boundaries compare structurally,
+    # not by identity.
+    keys_before = [_boundary_key(x) for x in bounds_before]
+    keys_after = [_boundary_key(x) for x in bounds_after]
+    if keys_before != keys_after:
+        raise PeepholeValidationError(
+            "peephole changed the block structure (a label or branch was "
+            "added, dropped, or reordered)",
+            ctx,
+        )
+    for index, (win_before, win_after) in enumerate(
+        zip(windows_before, windows_after)
+    ):
+        state_before = _sym_exec(win_before)
+        state_after = _sym_exec(win_after)
+        mismatch = _first_mismatch(state_before, state_after)
+        if mismatch is not None:
+            what, detail = mismatch
+            raise PeepholeValidationError(
+                f"window {index} is not equivalent after the peephole: "
+                f"{what} differs ({detail})",
+                _extend(ctx, window=index, component=what),
+            )
+
+
+def _boundary_key(instr: Instr) -> Tuple[Any, ...]:
+    """Structural identity of a window boundary (label or branch)."""
+    return (
+        instr.op,
+        tuple(instr.srcs),
+        instr.dst,
+        instr.addr,
+        instr.label,
+        instr.label_false,
+        getattr(instr, "imm", None),
+        getattr(instr, "callee", None),
+    )
+
+
+def _split_windows(
+    code: Sequence[Instr],
+) -> Tuple[List[Instr], List[List[Instr]]]:
+    """Split at labels/branches; returns (boundaries, windows).  There is
+    always one more window than boundaries (possibly empty windows)."""
+    boundaries: List[Instr] = []
+    windows: List[List[Instr]] = [[]]
+    for instr in code:
+        if instr.op is Op.LABEL or instr.is_branch:
+            boundaries.append(instr)
+            windows.append([])
+        else:
+            windows[-1].append(instr)
+    return boundaries, windows
+
+
+class _SymState:
+    """Final symbolic state of one window execution."""
+
+    def __init__(self) -> None:
+        self.regs: Dict[Reg, Any] = {}
+        self.mem: Dict[Symbol, Any] = {}
+        self.heap: Any = ("heap0",)
+        self.global_epoch: Any = ("g0",)
+        self.trace: List[Any] = []
+
+
+def _sym_exec(window: Sequence[Instr]) -> _SymState:
+    """Execute one straight-line window over symbolic values.
+
+    Values are hash-consed expression tuples, so two executions that
+    compute the same thing produce structurally equal values — no
+    nondeterministic fresh-value counters."""
+    state = _SymState()
+
+    def reg(r: Reg) -> Any:
+        return state.regs.get(r, ("init", r))
+
+    def mem_read(addr: Symbol) -> Any:
+        if addr in state.mem:
+            return state.mem[addr]
+        if addr.space == "global":
+            return ("gmem", addr.name, state.global_epoch)
+        return ("mem0", addr.name)
+
+    for instr in window:
+        op = instr.op
+        if op is Op.LOADI:
+            state.regs[instr.dst] = ("const", instr.imm)
+        elif op is Op.I2I:
+            state.regs[instr.dst] = reg(instr.srcs[0])
+        elif op is Op.LDM:
+            state.regs[instr.dst] = mem_read(instr.addr)
+        elif op is Op.STM:
+            state.mem[instr.addr] = reg(instr.srcs[0])
+        elif op is Op.LOADA:
+            state.regs[instr.dst] = ("base", instr.addr.name, instr.addr.space)
+        elif op is Op.LOAD:
+            state.regs[instr.dst] = ("heapload", state.heap, reg(instr.srcs[0]))
+        elif op is Op.STORE:
+            state.heap = (
+                "heapstore",
+                state.heap,
+                reg(instr.srcs[1]),
+                reg(instr.srcs[0]),
+            )
+        elif op is Op.PRINT:
+            state.trace.append(("print", reg(instr.srcs[0])))
+        elif op is Op.PARAM:
+            state.trace.append(("param", reg(instr.srcs[0])))
+        elif op is Op.ALLOCA:
+            token = ("alloca", len(state.trace), instr.imm)
+            state.trace.append(token)
+            state.regs[instr.dst] = token
+        elif op is Op.CALL:
+            index = len(state.trace)
+            state.trace.append(
+                (
+                    "call",
+                    instr.callee,
+                    tuple(reg(r) for r in instr.srcs),
+                    state.heap,
+                    state.global_epoch,
+                )
+            )
+            # A callee may write the heap and any global scalar, but can
+            # never touch this activation's spill slots.
+            state.heap = ("postcall-heap", index)
+            state.global_epoch = ("postcall", index)
+            for addr in [a for a in state.mem if a.space == "global"]:
+                del state.mem[addr]
+            if instr.dst is not None:
+                state.regs[instr.dst] = ("callret", index)
+        elif op is Op.NOP:
+            pass
+        else:
+            # Arithmetic / comparison / logic: a pure function of the
+            # source values.
+            state.regs[instr.dst] = (
+                op.value,
+                tuple(reg(r) for r in instr.srcs),
+            )
+
+    # Normalize away entries equal to their defaults, so "wrote back the
+    # value that was already there" compares equal to "never wrote".
+    for r in [r for r, v in state.regs.items() if v == ("init", r)]:
+        del state.regs[r]
+    for addr in list(state.mem):
+        default = (
+            ("gmem", addr.name, state.global_epoch)
+            if addr.space == "global"
+            else ("mem0", addr.name)
+        )
+        if state.mem[addr] == default:
+            del state.mem[addr]
+    return state
+
+
+def _first_mismatch(
+    a: _SymState, b: _SymState
+) -> Optional[Tuple[str, str]]:
+    if a.trace != b.trace:
+        for i, (x, y) in enumerate(zip(a.trace, b.trace)):
+            if x != y:
+                return "observable trace", f"event {i}: {x} vs {y}"
+        return "observable trace", f"lengths {len(a.trace)} vs {len(b.trace)}"
+    if a.heap != b.heap:
+        return "heap state", f"{a.heap} vs {b.heap}"
+    if a.regs != b.regs:
+        for r in sorted(set(a.regs) | set(b.regs)):
+            va = a.regs.get(r, ("init", r))
+            vb = b.regs.get(r, ("init", r))
+            if va != vb:
+                return "register file", f"{r}: {va} vs {vb}"
+    if a.mem != b.mem:
+        for addr in sorted(set(a.mem) | set(b.mem)):
+            va, vb = a.mem.get(addr), b.mem.get(addr)
+            if va != vb:
+                return "memory", f"{addr}: {va} vs {vb}"
+    return None

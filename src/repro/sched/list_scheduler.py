@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 
 from ..cfg.graph import CFG
 from ..ir.iloc import Instr, Op
+from ..resilience import faults
 from .dag import BlockDag
 from .latency import DEFAULT_LATENCIES, LatencyModel
 
@@ -41,12 +42,14 @@ class ScheduleReport:
 
 
 def schedule_block(
-    code: Sequence[Instr], model: LatencyModel
+    code: Sequence[Instr], model: LatencyModel, function: str = "?"
 ) -> Tuple[List[Instr], int, int]:
     """Schedule one straight-line block.
 
     Returns ``(new_order, length_before, length_after)`` where the lengths
     are in-order single-issue completion times under ``model``.
+    ``function`` names the enclosing function for fault-injection probes
+    and diagnostics.
     """
     body = list(code)
     if len(body) <= 1:
@@ -92,7 +95,10 @@ def schedule_block(
     after = simulate_block(order, model)
     if after > before:
         # The heuristic is not optimal; never accept a regression.
-        return body, before, before
+        order, after = list(body), before
+    if faults.active() is not None:
+        # Injected scheduler bug: emit an order violating one DAG edge.
+        faults.maybe_swap_dependent("sched.reorder-dependent", function, order)
     return order, before, after
 
 
@@ -133,7 +139,7 @@ def simulate_block(
 
 
 def schedule_code(
-    code: Sequence[Instr], model: LatencyModel = None
+    code: Sequence[Instr], model: LatencyModel = None, function: str = "?"
 ) -> Tuple[List[Instr], ScheduleReport]:
     """Schedule every basic block of a linear function body."""
     model = model or LatencyModel()
@@ -147,7 +153,7 @@ def schedule_code(
         head: List[Instr] = []
         while body and body[0].op is Op.LABEL:
             head.append(body.pop(0))
-        scheduled, before, after = schedule_block(body, model)
+        scheduled, before, after = schedule_block(body, model, function)
         report.blocks += 1
         report.length_before += before
         report.length_after += after

@@ -79,6 +79,29 @@ def test_armed_fault_degrades_only_its_cells():
     assert _render(parallel) == _render(serial)
 
 
+def test_gra_knockout_completes_on_linearscan():
+    # With GRA knocked out by injection, every gra cell completes on the
+    # linear-scan rung (which has its own spill path, untouched by the
+    # probe) — not on spill-everywhere — the footer names the rung, and
+    # the degraded table is still byte-identical across serial/--jobs.
+    spec = faults.FaultSpec("gra.spill.corrupt-slot", times=None)
+    with faults.injected(spec):
+        serial = build_table1(Harness(_programs()), k_values=K_VALUES)
+    with faults.injected(spec):
+        parallel = build_table1(
+            Harness(_programs()), k_values=K_VALUES, jobs=2
+        )
+    for routine in serial.routine_order:
+        for k in K_VALUES:
+            cell = serial.cells[routine][k]
+            assert cell.used["gra"] == "linearscan"
+            assert cell.used["rap"] == "rap"
+    text = _render(serial)
+    assert "completed on gra->linearscan" in text
+    assert "spillall" not in text
+    assert _render(parallel) == text
+
+
 def test_ladder_escaping_error_rethaws_in_parent():
     spec = faults.FaultSpec("rap.region.raise", function="hanoi", times=None)
     with faults.injected(spec):

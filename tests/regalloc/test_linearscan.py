@@ -1,0 +1,113 @@
+"""Linear-scan allocation: the ladder rung between GRA and spillall."""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.suite import program
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.ir.spillcheck import check_spill_discipline
+from repro.ir.validate import check_allocated, check_assignment, check_wellformed
+from repro.regalloc import allocate_linearscan
+
+PROGRAMS = {
+    "arith": "void main() { int a; int b; a = 6; b = 7; print(a * b); }",
+    "loop": """
+        void main() { int i; int s; s = 0;
+            for (i = 0; i < 10; i = i + 1) { s = s + i; }
+            print(s); }
+        """,
+    "calls": """
+        int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        void main() { print(fib(12)); }
+        """,
+    "pressure": """
+        int f(int a, int b, int c, int d) {
+            int e; int g; int h;
+            e = a * b; g = c * d; h = a * d;
+            return e + g + h + a + b + c + d;
+        }
+        void main() { print(f(2, 3, 5, 7)); }
+        """,
+    "floats": "void main() { float x; x = 1.5; print(x * 4.0); }",
+}
+
+
+def run_linearscan(source, k):
+    prog = compile_source(source)
+    expected = run_program(prog.reference_image()).output
+    module = prog.fresh_module()
+    functions = {}
+    results = {}
+    for name, func in module.functions.items():
+        result = allocate_linearscan(func, k)
+        check_wellformed(result.code)
+        check_allocated(result.code, k)
+        check_assignment(result.virtual_code, result.assignment)
+        check_spill_discipline(result.code, initialized=param_slots(func))
+        functions[name] = FunctionImage(name, result.code, param_slots(func))
+        results[name] = result
+    image = ProgramImage(list(module.globals.values()), functions)
+    return run_program(image).output, expected, results
+
+
+class TestLinearScan:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_correct_at_minimum_k(self, name):
+        actual, expected, _ = run_linearscan(PROGRAMS[name], 3)
+        assert actual == expected
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_correct_at_larger_k(self, name):
+        actual, expected, _ = run_linearscan(PROGRAMS[name], 8)
+        assert actual == expected
+
+    def test_spills_under_pressure_only(self):
+        _, _, tight = run_linearscan(PROGRAMS["pressure"], 3)
+        assert tight["f"].spilled
+        _, _, roomy = run_linearscan(PROGRAMS["pressure"], 16)
+        assert not roomy["f"].spilled
+
+    def test_k_below_three_rejected(self):
+        prog = compile_source(PROGRAMS["arith"])
+        func = next(iter(prog.fresh_module().functions.values()))
+        with pytest.raises(ValueError):
+            allocate_linearscan(func, 2)
+
+    def test_source_function_not_mutated(self):
+        prog = compile_source(PROGRAMS["loop"])
+        func = prog.fresh_module().functions["main"]
+        allocate_linearscan(func, 3)
+        assert any(
+            reg.is_virtual
+            for instr in func.walk_instrs()
+            for reg in instr.regs()
+        )
+
+    def test_ignores_foreign_kwargs(self):
+        prog = compile_source(PROGRAMS["arith"])
+        func = prog.fresh_module().functions["main"]
+        allocate_linearscan(func, 3, enable_motion=False, pre_coalesce=True)
+
+
+class TestLadderPosition:
+    """The whole point of the rung: measurably better than spill-everywhere,
+    without claiming GRA's precision."""
+
+    def test_cycles_between_gra_and_spillall(self):
+        bench = program("sieve")
+        harness = Harness([bench])
+        cycles = {}
+        for allocator in ("gra", "linearscan", "spillall"):
+            run = harness.run(bench, allocator, 3)
+            assert not run.fallbacks_taken
+            assert run.stats.output == harness.reference_output(bench)
+            cycles[allocator] = run.stats.total.cycles
+        assert cycles["gra"] < cycles["linearscan"] < cycles["spillall"]
+
+    def test_more_registers_never_hurt(self):
+        bench = program("sieve")
+        harness = Harness([bench])
+        tight = harness.run(bench, "linearscan", 3).stats.total.cycles
+        roomy = harness.run(bench, "linearscan", 8).stats.total.cycles
+        assert roomy <= tight

@@ -13,8 +13,9 @@ BENCH = program("sieve")
 
 class TestChain:
     def test_orders(self):
-        assert chain_for("rap") == ["rap", "gra", "spillall"]
-        assert chain_for("gra") == ["gra", "spillall"]
+        assert chain_for("rap") == ["rap", "gra", "linearscan", "spillall"]
+        assert chain_for("gra") == ["gra", "linearscan", "spillall"]
+        assert chain_for("linearscan") == ["linearscan", "spillall"]
         assert chain_for("spillall") == ["spillall"]
 
     def test_unknown_allocator(self):
@@ -37,14 +38,15 @@ class TestHarnessLadder:
         assert run.fallbacks_taken == []
 
     def test_two_rung_descent(self):
-        # rap crashes AND gra's spill slots corrupt: only spillall is left.
+        # rap crashes AND gra's spill slots corrupt: linearscan (which
+        # has its own spill path) is the next intact rung.
         with faults.injected(
             FaultSpec("rap.region.raise", times=None),
             FaultSpec("gra.spill.corrupt-slot", times=None),
         ):
             harness = Harness([BENCH])
             run = harness.run(BENCH, "rap", 3)
-        assert run.allocator_used == "spillall"
+        assert run.allocator_used == "linearscan"
         assert [e.allocator for e in run.fallbacks_taken] == ["rap", "gra"]
         assert run.stats.output == harness.reference_output(BENCH)
 

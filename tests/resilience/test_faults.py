@@ -11,25 +11,30 @@ from repro.interp.machine import FunctionImage, ProgramImage
 from repro.resilience import faults
 from repro.resilience.errors import StageError
 from repro.resilience.faults import FaultInjected, FaultPlan, FaultSpec
-from repro.resilience.pipeline import PassPipeline
+from repro.resilience.pipeline import PassPipeline, PipelineConfig
 
 BENCH = program("sieve")
 
-#: probe point -> (allocator, k, stage expected to catch the corruption).
-#: The k values are chosen so each probe actually corrupts something on
-#: this benchmark (e.g. at k=3 the dropped GRA edge happens not to change
-#: the coloring).
+#: probe point -> (allocator, k, stage expected to catch the corruption,
+#: FaultSpec kwargs).  The k values are chosen so each probe actually
+#: corrupts something on this benchmark (e.g. at k=3 the dropped GRA edge
+#: happens not to change the coloring; the motion probe needs the k=4
+#: hoist).  The stale-holder probe uses ``times=None`` because a single
+#: skipped kill is only harmful when a later load of the same address
+#: shares the window.
 SCENARIOS = {
-    "gra.interference.drop-edge": ("gra", 5, "validate"),
-    "gra.spill.corrupt-slot": ("gra", 3, "validate"),
-    "rap.region.drop-edge": ("rap", 3, "validate"),
-    "rap.spill.corrupt-slot": ("rap", 3, "validate"),
-    "rap.region.raise": ("rap", 3, "allocate"),
+    "gra.interference.drop-edge": ("gra", 5, "validate", {}),
+    "gra.spill.corrupt-slot": ("gra", 3, "validate", {}),
+    "rap.region.drop-edge": ("rap", 3, "validate", {}),
+    "rap.spill.corrupt-slot": ("rap", 3, "validate", {}),
+    "rap.region.raise": ("rap", 3, "allocate", {}),
+    "rap.motion.wrong-reg": ("rap", 4, "validate", {}),
+    "rap.peephole.stale-holder": ("rap", 3, "validate", {"times": None}),
 }
 
 
-def allocate_all(allocator, k):
-    pipe = PassPipeline()
+def allocate_all(allocator, k, config=None):
+    pipe = PassPipeline(config)
     prog = pipe.compile(BENCH.source())
     module = prog.fresh_module()
     functions = {}
@@ -72,8 +77,8 @@ class TestCorruptionCaught:
 
     @pytest.mark.parametrize("point", sorted(SCENARIOS))
     def test_probe_caught_at_stage(self, point):
-        allocator, k, stage = SCENARIOS[point]
-        with faults.injected(FaultSpec(point)) as plan:
+        allocator, k, stage, spec_kwargs = SCENARIOS[point]
+        with faults.injected(FaultSpec(point, **spec_kwargs)) as plan:
             with pytest.raises(StageError) as info:
                 allocate_all(allocator, k)
             assert plan.fired, f"probe {point} never fired"
@@ -93,7 +98,7 @@ class TestFallbackContainment:
 
     @pytest.mark.parametrize("point", sorted(SCENARIOS))
     def test_harness_contains_probe(self, point):
-        allocator, k, stage = SCENARIOS[point]
+        allocator, k, stage, _ = SCENARIOS[point]
         # times=None: the probe fires on every attempt of the *same*
         # allocator, so the fallback rung is reached because the next
         # allocator has no such probe, not because the fault expired.
@@ -114,3 +119,22 @@ class TestFallbackContainment:
             harness = Harness([BENCH], fallback=False)
             with pytest.raises(StageError):
                 harness.run(BENCH, "rap", 3)
+
+
+class TestSchedulerProbe:
+    """The scheduler probe corrupts the optional *schedule* stage, which
+    is allocator-independent — it is caught by the schedule validator,
+    not contained by the allocator ladder (every rung would reschedule
+    and re-trip the same probe)."""
+
+    def test_swap_caught_at_schedule_stage(self):
+        config = PipelineConfig(schedule=True)
+        with faults.injected(FaultSpec("sched.reorder-dependent")) as plan:
+            with pytest.raises(StageError) as info:
+                allocate_all("gra", 3, config=config)
+            assert plan.fired, "scheduler probe never fired"
+        assert info.value.stage == "schedule"
+
+    def test_schedule_stage_healthy_without_plan(self):
+        # With no plan armed the schedule stage runs and verifies clean.
+        allocate_all("gra", 3, config=PipelineConfig(schedule=True))

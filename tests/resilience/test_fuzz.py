@@ -13,7 +13,7 @@ class TestRunFuzz:
         stream = io.StringIO()
         report = run_fuzz(
             seeds=3, size="small", k_values=(3,), allocators=("gra",),
-            out_dir=str(tmp_path), stream=stream,
+            out_dir=str(tmp_path), stream=stream, use_corpus=False,
         )
         assert report.ok
         assert report.scenarios == 3
@@ -24,7 +24,7 @@ class TestRunFuzz:
         stream = io.StringIO()
         report = run_fuzz(
             seeds=2, size="small", k_values=(3,), allocators=("gra",),
-            out_dir=str(tmp_path), stream=stream,
+            out_dir=str(tmp_path), stream=stream, use_corpus=False,
             config=PipelineConfig(verify_spill_discipline=False),
             inject=[FaultSpec("gra.spill.corrupt-slot", times=None)],
             minimize=False,

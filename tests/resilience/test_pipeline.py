@@ -31,10 +31,13 @@ def allocate_image(pipe, prog, allocator, k):
 class TestStages:
     def test_stage_names(self):
         assert STAGES == (
-            "parse", "sema", "pdg-build", "allocate", "validate", "execute"
+            "parse", "sema", "pdg-build", "allocate", "validate",
+            "schedule", "execute",
         )
 
-    @pytest.mark.parametrize("allocator", ["gra", "rap", "spillall"])
+    @pytest.mark.parametrize(
+        "allocator", ["gra", "rap", "linearscan", "spillall"]
+    )
     def test_full_pipeline_healthy(self, allocator):
         pipe = PassPipeline()
         prog = pipe.compile(GOOD)

@@ -115,8 +115,11 @@ class TestBundles:
         return write_bundle(bundle, str(tmp_path))
 
     def test_bundle_layout(self, tmp_path):
+        from repro.resilience.triage import failure_signature
+
         path = self.make(tmp_path)
-        assert os.path.basename(path) == "miscompile-gra-k3-seed7"
+        signature = failure_signature("miscompile", "compare", None)
+        assert os.path.basename(path) == f"miscompile-gra-k3-{signature}"
         for name in ("repro.mc", "original.mc", "bundle.json", "README.md"):
             assert os.path.exists(os.path.join(path, name)), name
         with open(os.path.join(path, "bundle.json")) as handle:
