@@ -22,6 +22,9 @@ Usage (``python -m repro ...``):
     python -m repro fuzz --update-corpus           # grow tests/corpus/
     python -m repro replay artifacts/<bundle>      # re-run a triage bundle
     python -m repro faults                         # list fault probe points
+    python -m repro serve --port 9363              # compile-as-a-service daemon
+    python -m repro request prog.mc --deadline-ms 200 --port 9363
+    python -m repro loadgen --requests 40 --port 9363  # latency/hit-rate report
 
 The driver is a thin layer over the library; everything it prints can be
 obtained programmatically (see README).  Failures surface as structured
@@ -116,8 +119,11 @@ def cmd_run(args) -> int:
     with faults.injected(*specs) if specs else nullcontext():
         prog = _load(args.file, args.granularity, pipeline=pipeline)
         if args.allocator == "none":
-            image = prog.reference_image()
-            label = "reference"
+            # The schedule flag must reach the reference path too: the
+            # image cache is keyed on it, so a scheduled run can never be
+            # served the unscheduled (differently ordered) image.
+            image = prog.reference_image(schedule=args.schedule)
+            label = "reference (scheduled)" if args.schedule else "reference"
         else:
             image = _allocate_image(
                 prog, args.allocator, args.k, args.coalesce, pipeline=pipeline
@@ -226,6 +232,8 @@ def cmd_table1(args) -> int:
         forwarded += ["--profile"]
     if args.metrics_out:
         forwarded += ["--metrics-out", args.metrics_out]
+    if args.schedule:
+        forwarded += ["--schedule"]
     for point in args.inject or []:
         forwarded += ["--inject", point]
     return table1_main(forwarded)
@@ -248,6 +256,28 @@ def cmd_fuzz(args) -> int:
         update_corpus=args.update_corpus,
     )
     return 0 if report.ok else 1
+
+
+def _service_command(name: str, rest: Sequence[str]) -> int:
+    """Dispatch ``serve``/``request``/``loadgen`` to the owning module.
+
+    These parsers live next to their implementations
+    (:mod:`repro.service`); the driver hands the remaining argv through
+    untouched.  Dispatch happens *before* the main argparse pass because
+    ``nargs=argparse.REMAINDER`` cannot capture a leading optional like
+    ``--port`` (bpo-17050) — the subcommands here start with optionals.
+    """
+    if name == "serve":
+        from .service.server import serve
+
+        return serve(rest)
+    if name == "request":
+        from .service.client import request_main
+
+        return request_main(rest)
+    from .service.loadgen import loadgen_main
+
+    return loadgen_main(rest)
 
 
 def cmd_replay(args) -> int:
@@ -361,6 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a fault-injection probe for the whole sweep (repeatable);"
         " the fallback ladder keeps the table complete",
     )
+    table1.add_argument(
+        "--schedule",
+        action="store_true",
+        help="list-schedule the RAP column and print the schedule-on/off"
+        " static-cycle delta footer",
+    )
     table1.set_defaults(func=cmd_table1)
 
     fuzz = sub.add_parser(
@@ -399,6 +435,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.set_defaults(func=cmd_fuzz)
 
+    # Help-listing stubs: the service commands are dispatched before the
+    # argparse pass (see _service_command) with their own full parsers.
+    for name, text in (
+        ("serve", "run the compile-as-a-service daemon"),
+        ("request", "send one compile request to a daemon"),
+        ("loadgen", "closed-loop load generator for the daemon"),
+    ):
+        sub.add_parser(name, help=text, add_help=False)
+
     replay = sub.add_parser("replay", help="re-run a triage bundle")
     replay.add_argument("bundle", help="bundle directory (see artifacts/)")
     replay.set_defaults(func=cmd_replay)
@@ -409,8 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
     try:
+        if argv and argv[0] in ("serve", "request", "loadgen"):
+            return _service_command(argv[0], argv[1:])
+        args = build_parser().parse_args(argv)
         return args.func(args)
     except BrokenPipeError:  # e.g. piped into `head`
         try:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 from .interp.machine import FunctionImage, ProgramImage
 from .ir.builder import arg_slot_name
@@ -47,25 +47,41 @@ class CompiledProgram:
     """A compiled module plus convenience constructors for executables."""
 
     module: Module
-    _reference: ProgramImage = field(default=None, init=False, repr=False)
+    _reference: Dict[bool, ProgramImage] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
-    def reference_image(self) -> ProgramImage:
+    def reference_image(self, schedule: bool = False) -> ProgramImage:
         """Unallocated code (virtual registers, infinite register file).
 
-        Cached: images are immutable during execution (machines keep all
-        mutable state in frames and their own memory), so one image — and
-        therefore one pre-decoded form per function — is shared by every
-        machine run against this program (e.g. all k-cells of a sweep).
+        ``schedule=True`` list-schedules each function body (the same
+        block-local scheduler the pipeline's optional schedule stage
+        runs), so the reference can be measured with and without the
+        phase-ordering experiment.
+
+        Cached *per schedule setting*: images are immutable during
+        execution (machines keep all mutable state in frames and their
+        own memory), so one image — and therefore one pre-decoded form
+        per function — is shared by every machine run against this
+        program (e.g. all k-cells of a sweep).  The two variants are
+        distinct images with distinct decode caches; a scheduled request
+        can never be served the unscheduled instruction order or vice
+        versa.
         """
-        if self._reference is None:
+        key = bool(schedule)
+        if key not in self._reference:
             functions = {}
             for name, func in self.module.functions.items():
                 code = [instr.clone() for instr in linearize(func).instrs]
+                if key:
+                    from .sched.list_scheduler import schedule_code
+
+                    code, _ = schedule_code(code, function=name)
                 functions[name] = FunctionImage(name, code, param_slots(func))
-            self._reference = ProgramImage(
+            self._reference[key] = ProgramImage(
                 list(self.module.globals.values()), functions
             )
-        return self._reference
+        return self._reference[key]
 
     def fresh_module(self) -> Module:
         """A deep copy of the module, safe for a destructive allocator."""

@@ -33,7 +33,45 @@ MANIFEST = "MANIFEST.json"
 #: The feature axes the corpus tries to cover.  Motion and peephole
 #: features double as validator coverage: every replayed program with
 #: them runs the corresponding independent validator on real output.
-FEATURES = ("gra.spill", "rap.spill", "rap.motion", "rap.peephole")
+#:
+#: ``linearscan.spill`` keeps a seed that makes the ladder's third rung
+#: spill (so fuzz runs exercise its interval machinery, not just its
+#: happy path).  The ``error.*`` axes keep seeds that can *trigger* each
+#: transformation validator's error path: under the matching armed fault
+#: probe the program provably raises MotionValidationError /
+#: ScheduleValidationError / PeepholeValidationError — which is the only
+#: way corpus minimization can preserve witnesses for those code paths
+#: (a seed with hoists but no write-back, say, covers ``rap.motion`` yet
+#: can never reach the drop-store error branch).
+FEATURES = (
+    "gra.spill",
+    "rap.spill",
+    "rap.motion",
+    "rap.peephole",
+    "linearscan.spill",
+    "error.motion",
+    "error.schedule",
+    "error.peephole",
+)
+
+#: feature -> (probe point, error class name, schedule stage on?) for the
+#: validator-error axes: the probe is armed, RAP allocation re-run, and
+#: the feature granted iff the named error class is raised.
+ERROR_AXES = (
+    ("error.motion", "rap.motion.drop-store", "MotionValidationError", False),
+    (
+        "error.schedule",
+        "sched.reorder-dependent",
+        "ScheduleValidationError",
+        True,
+    ),
+    (
+        "error.peephole",
+        "rap.peephole.stale-holder",
+        "PeepholeValidationError",
+        False,
+    ),
+)
 
 
 @dataclass
@@ -72,11 +110,13 @@ def program_features(
 ) -> Set[str]:
     """Which risky paths does this program drive at register count ``k``?
 
-    Runs GRA and RAP allocation (no execution) and reads the telemetry:
-    spill lists, hoist certificates, peephole rewrite counts.  A program
-    that fails to compile or allocate has no features — the corpus keeps
-    *interesting* programs, not broken ones (those belong in triage
-    bundles).
+    Runs GRA, RAP, and linear-scan allocation (no execution) and reads
+    the telemetry: spill lists, hoist certificates, peephole rewrite
+    counts.  The validator-error axes re-run RAP under each armed fault
+    probe and record whether the matching ``*ValidationError`` fires.  A
+    program that fails to compile or allocate has no features — the
+    corpus keeps *interesting* programs, not broken ones (those belong
+    in triage bundles).
     """
     from .errors import StageError
 
@@ -91,6 +131,11 @@ def program_features(
                 features.add("gra.spill")
         module = prog.fresh_module()
         for func in module.functions.values():
+            result = pipe.allocate(func, "linearscan", k)
+            if result.spilled:
+                features.add("linearscan.spill")
+        module = prog.fresh_module()
+        for func in module.functions.values():
             result = pipe.allocate(func, "rap", k)
             if result.spilled:
                 features.add("rap.spill")
@@ -100,7 +145,58 @@ def program_features(
                 features.add("rap.peephole")
     except StageError:
         return set()
+    features |= _error_path_features(pipe, prog, k)
     return features
+
+
+def _error_path_features(pipe: PassPipeline, prog, k: int) -> Set[str]:
+    """The ``error.*`` axes: can this program trigger each transformation
+    validator's error path?
+
+    Arms the matching corruption probe (``times=None`` so every
+    opportunity fires), re-runs RAP allocation, and grants the feature
+    iff the validator's own error class escapes.  Any other failure —
+    including a probe that found nothing to corrupt — yields nothing;
+    the probes are restored to their prior plan on exit, so feature
+    scanning composes with an outer fuzz run's own injection.
+    """
+    from . import errors, faults
+    from .errors import StageError
+
+    found: Set[str] = set()
+    for feature, point, error_name, schedule in ERROR_AXES:
+        if schedule and not _scheduler_moves_something(pipe, prog, k):
+            # The swap probe fires in any block with a dependent adjacent
+            # pair — near-universal.  Requiring a non-trivially scheduled
+            # program keeps the axis discriminating: the corpus wants a
+            # seed whose *real* schedule the validator defends, not any
+            # straight-line print.
+            continue
+        error_cls = getattr(errors, error_name)
+        with faults.injected(faults.FaultSpec(point, times=None)):
+            try:
+                module = prog.fresh_module()
+                for func in module.functions.values():
+                    pipe.allocate(func, "rap", k, schedule=schedule)
+            except error_cls:
+                found.add(feature)
+            except StageError:
+                pass
+    return found
+
+
+def _scheduler_moves_something(pipe: PassPipeline, prog, k: int) -> bool:
+    """True when the list scheduler reorders at least one instruction of
+    the RAP-allocated program (measured on a clean, un-probed run)."""
+    from .telemetry import MetricsCollector
+
+    collector = MetricsCollector()
+    probe = PassPipeline(pipe.config, metrics=collector)
+    module = prog.fresh_module()
+    for func in module.functions.values():
+        probe.allocate(func, "rap", k, schedule=True)
+    schedule = collector.stages.get("schedule")
+    return schedule is not None and schedule.sched_moved > 0
 
 
 def load_corpus(directory: str = DEFAULT_CORPUS_DIR) -> Corpus:
@@ -152,7 +248,9 @@ def consider(
         seed=seed,
         size=size,
         features=sorted(features),
-        file=f"seed{seed}.mc",
+        # Size-qualified name for non-small entries, so one generator
+        # seed can contribute at several sizes without a collision.
+        file=f"seed{seed}.mc" if size == "small" else f"seed{seed}.{size}.mc",
     )
     os.makedirs(corpus.directory, exist_ok=True)
     with open(entry.path(corpus.directory), "w") as handle:
@@ -164,17 +262,27 @@ def consider(
 def seed_corpus(
     directory: str = DEFAULT_CORPUS_DIR,
     seeds: Sequence[int] = range(25),
-    size: str = "small",
+    sizes: Sequence[str] = ("small", "medium"),
     config: Optional[PipelineConfig] = None,
 ) -> Corpus:
-    """Build (or extend) a corpus by scanning generator seeds greedily."""
+    """Build (or extend) a corpus by scanning generator seeds greedily.
+
+    Scans ``sizes`` in order (small first, so the corpus stays minimal in
+    bytes), walking ``seeds`` within each size, and stops as soon as
+    every :data:`FEATURES` axis is covered.  Some axes — notably
+    ``error.motion``, which needs a loop-carried spill value *written
+    back* after the loop — simply never occur in small generated
+    programs, which is why the scan escalates size instead of walking
+    the seed range forever.
+    """
     from ..testing.generator import random_source
 
     corpus = load_corpus(directory)
-    for seed in seeds:
-        if corpus.covered() >= set(FEATURES):
-            break
-        source = random_source(seed, size)
-        consider(corpus, seed, size, source, config=config)
+    for size in sizes:
+        for seed in seeds:
+            if corpus.covered() >= set(FEATURES):
+                break
+            source = random_source(seed, size)
+            consider(corpus, seed, size, source, config=config)
     save_corpus(corpus)
     return corpus

@@ -196,7 +196,20 @@ class PassPipeline:
         **alloc_kwargs: Any,
     ):
         """allocate -> validate for one function; returns the
-        ``AllocationResult`` (``func`` is mutated by RAP, as always)."""
+        ``AllocationResult`` (``func`` is mutated by RAP, as always).
+
+        ``schedule=True``/``False`` in ``alloc_kwargs`` overrides
+        ``config.schedule`` for this call only — the channel the
+        benchmark harness uses to schedule the RAP column of a sweep
+        without scheduling the GRA baseline (the same pipeline serves
+        both columns, and per-allocator kwargs already ride through the
+        serial and ``--jobs`` paths identically)."""
+        schedule_override = alloc_kwargs.pop("schedule", None)
+        do_schedule = (
+            self.config.schedule
+            if schedule_override is None
+            else bool(schedule_override)
+        )
         registry = _allocator_registry()
         if allocator not in registry:
             raise ValueError(f"unknown allocator {allocator!r}")
@@ -220,7 +233,7 @@ class PassPipeline:
                 allocator=allocator,
                 k=k,
             )
-        if self.config.schedule:
+        if do_schedule:
             self._run_stage(
                 "schedule",
                 lambda: self._schedule(func, allocator, k, result),
@@ -246,6 +259,8 @@ class PassPipeline:
                 ),
             )
         result.code = scheduled
+        if self.metrics is not None:
+            self.metrics.record_schedule(report)
         return report
 
     def validate(self, func: PDGFunction, allocator: str, k: int, result) -> None:

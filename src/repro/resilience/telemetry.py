@@ -57,6 +57,15 @@ class StageMetrics:
     spills: int = 0
     peephole_hits: int = 0
     analysis_builds: int = 0
+    #: schedule-stage quality numbers (zero everywhere else): blocks
+    #: scheduled, instructions moved, and the summed static block length
+    #: (in-order single-issue completion cycles under the latency model)
+    #: before and after list scheduling.  The before/after delta is the
+    #: ``table1 --schedule`` footer's payload.
+    sched_blocks: int = 0
+    sched_moved: int = 0
+    sched_length_before: int = 0
+    sched_length_after: int = 0
 
     def merge(self, other: "StageMetrics") -> None:
         self.wall_time += other.wall_time
@@ -65,9 +74,13 @@ class StageMetrics:
         self.spills += other.spills
         self.peephole_hits += other.peephole_hits
         self.analysis_builds += other.analysis_builds
+        self.sched_blocks += other.sched_blocks
+        self.sched_moved += other.sched_moved
+        self.sched_length_before += other.sched_length_before
+        self.sched_length_after += other.sched_length_after
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "wall_time_s": round(self.wall_time, 6),
             "calls": self.calls,
             "rounds": self.rounds,
@@ -75,6 +88,12 @@ class StageMetrics:
             "peephole_hits": self.peephole_hits,
             "analysis_builds": self.analysis_builds,
         }
+        if self.sched_blocks:
+            out["sched_blocks"] = self.sched_blocks
+            out["sched_moved"] = self.sched_moved
+            out["sched_length_before"] = self.sched_length_before
+            out["sched_length_after"] = self.sched_length_after
+        return out
 
 
 class MetricsCollector:
@@ -103,6 +122,16 @@ class MetricsCollector:
         metrics.spills += counters.get("spills", 0)
         metrics.peephole_hits += counters.get("peephole_hits", 0)
         metrics.analysis_builds += counters.get("analysis_builds", 0)
+
+    def record_schedule(self, report) -> None:
+        """Fold one function's
+        :class:`~repro.sched.list_scheduler.ScheduleReport` into the
+        schedule stage's quality counters."""
+        metrics = self.stage("schedule")
+        metrics.sched_blocks += report.blocks
+        metrics.sched_moved += report.moved_instructions
+        metrics.sched_length_before += report.length_before
+        metrics.sched_length_after += report.length_after
 
     def merge(self, stages: Mapping[str, StageMetrics]) -> None:
         for name, metrics in stages.items():

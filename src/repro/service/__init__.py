@@ -1,0 +1,40 @@
+"""Compile-as-a-service: a long-lived compile-and-execute daemon.
+
+The rest of the repository is batch-shaped: every ``python -m repro run``
+pays the interpreter start-up, parse, semantic analysis, PDG build, and
+allocation from scratch.  This package keeps one warm process around
+instead:
+
+* :mod:`repro.service.cache` — a content-addressed artifact store.
+  Results are keyed on ``sha256(source ‖ allocator ‖ k ‖ schedule ‖
+  pipeline-config)``, held under an LRU byte budget, and optionally
+  persisted to disk, so a repeat request skips parse -> sema ->
+  pdg-build -> allocate entirely.
+* :mod:`repro.service.server` — a threaded JSON-over-TCP server (stdlib
+  only) whose workers reuse the resilient
+  :class:`~repro.resilience.pipeline.PassPipeline` and the allocator
+  fallback ladder.  Admission control is a bounded earliest-deadline-
+  first queue; a request's deadline also selects how ambitious an
+  allocator rung to start from (tight deadlines go straight to linear
+  scan, generous ones run full RAP).
+* :mod:`repro.service.client` — the client library behind
+  ``python -m repro request``.
+* :mod:`repro.service.loadgen` — a closed-loop load generator reporting
+  latency percentiles, throughput, and cache hit rate.
+
+See docs/SERVICE.md for the protocol and the operational semantics
+(cache keys, deadline policy, drain behaviour).
+"""
+
+from .cache import ArtifactCache, cache_key
+from .client import ServiceClient, ServiceError
+from .server import CompileService, serve
+
+__all__ = [
+    "ArtifactCache",
+    "cache_key",
+    "CompileService",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+]

@@ -1,0 +1,236 @@
+"""Content-addressed artifact cache for the compile service.
+
+A cache *key* is the sha256 of everything that determines an allocation
+result: the source text, the allocator name, the register count, the
+schedule flag, the pipeline configuration, and the wire-format version
+(:data:`repro.interp.serialize.FORMAT_VERSION`).  Two requests with
+equal keys are guaranteed the same artifact bytes, so the server can
+answer the second one without running a single compiler stage — and,
+because the programs here take no runtime input, the cached execution
+output is equally reusable.
+
+The store itself is a thread-safe LRU over a byte budget: entries are
+charged ``len(blob) + len(canonical meta json)``, the least recently
+*used* entry is evicted first, and hit/miss/eviction counters are
+maintained for the server's ``stats`` endpoint and the load generator's
+report.  With ``persist_dir`` set, every entry is also written to disk
+as one JSON file per key; a restarted server finds them there on a
+memory miss (eviction never deletes the disk copy — memory is the hot
+tier, disk the warm one).  Persisted payloads from an older wire format
+are ignored: a version bump simply makes the disk tier cold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+from ..interp.serialize import FORMAT_VERSION
+from ..resilience.pipeline import PipelineConfig
+
+#: Default in-memory budget: generous for this repository's programs
+#: (a serialized bench image is a few tens of KB).
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+def config_fingerprint(config: Optional[PipelineConfig]) -> Dict[str, Any]:
+    """The pipeline-config portion of a cache key, as plain data.
+
+    Every :class:`PipelineConfig` field participates: flipping any
+    verification switch, the granularity, or the cycle budget must
+    produce a different key (a cached artifact proven under different
+    obligations is a different artifact).
+    """
+    return asdict(config or PipelineConfig())
+
+
+def cache_key(
+    source: str,
+    allocator: str,
+    k: int,
+    schedule: bool = False,
+    config: Optional[PipelineConfig] = None,
+) -> str:
+    """``sha256(source ‖ allocator ‖ k ‖ schedule ‖ pipeline-config)``."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "source": source,
+        "allocator": allocator,
+        "k": k,
+        "schedule": bool(schedule),
+        "config": config_fingerprint(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One immutable cached artifact.
+
+    ``blob`` is the canonical :func:`repro.interp.serialize.dumps_image`
+    byte form of the allocated program image; ``meta`` carries everything
+    else the server needs to answer without recompiling (allocator used,
+    fallback events, execution output and counters, per-stage telemetry,
+    the blob's own sha256).  Frozen on purpose: entries are shared across
+    server worker threads, so nothing may mutate them after insertion.
+    """
+
+    key: str
+    blob: bytes
+    meta: Dict[str, Any]
+
+    @property
+    def size(self) -> int:
+        return len(self.blob) + len(
+            json.dumps(self.meta, sort_keys=True, separators=(",", ":"))
+        )
+
+
+class ArtifactCache:
+    """Thread-safe content-addressed LRU store with optional disk tier."""
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        persist_dir: Optional[str] = None,
+    ):
+        self.max_bytes = max_bytes
+        self.persist_dir = persist_dir
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        if persist_dir:
+            os.makedirs(persist_dir, exist_ok=True)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """The entry for ``key``, or None (a miss).
+
+        A memory hit refreshes LRU recency.  On a memory miss the disk
+        tier (when configured) is consulted; a disk hit is promoted back
+        into memory — possibly evicting colder entries — and counted as
+        both a hit and a ``disk_hit``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            entry = self._load_persisted(key)
+            if entry is not None:
+                self._insert(entry)
+                self.hits += 1
+                self.disk_hits += 1
+                return entry
+            self.misses += 1
+            return None
+
+    # -- insertion ------------------------------------------------------------
+
+    def put(self, key: str, blob: bytes, meta: Dict[str, Any]) -> CacheEntry:
+        """Store an artifact; returns the (frozen) entry.
+
+        Re-putting an existing key replaces the entry (last write wins —
+        identical by construction, since the key covers every input).
+        An entry larger than the whole budget is persisted to disk but
+        not held in memory.
+        """
+        entry = CacheEntry(key, bytes(blob), dict(meta))
+        with self._lock:
+            self._persist(entry)
+            if entry.size > self.max_bytes:
+                old = self._entries.pop(key, None)
+                if old is not None:
+                    self._bytes -= old.size
+                return entry
+            self._insert(entry)
+        return entry
+
+    def _insert(self, entry: CacheEntry) -> None:
+        old = self._entries.pop(entry.key, None)
+        if old is not None:
+            self._bytes -= old.size
+        self._entries[entry.key] = entry
+        self._bytes += entry.size
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.size
+            self.evictions += 1
+        # A single entry over budget was rejected by put(); anything that
+        # survives to this point fits.
+        if self._bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.size
+            self.evictions += 1
+
+    # -- the disk tier --------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        assert self.persist_dir is not None
+        return os.path.join(self.persist_dir, f"{key}.json")
+
+    def _persist(self, entry: CacheEntry) -> None:
+        if not self.persist_dir:
+            return
+        document = {"meta": entry.meta, "image": entry.blob.decode("utf-8")}
+        path = self._path(entry.key)
+        tmp = f"{path}.tmp.{threading.get_ident()}"
+        with open(tmp, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(tmp, path)  # atomic: readers see old or new, never torn
+
+    def _load_persisted(self, key: str) -> Optional[CacheEntry]:
+        if not self.persist_dir:
+            return None
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+            blob = document["image"].encode("utf-8")
+            if json.loads(document["image"]).get("version") != FORMAT_VERSION:
+                return None  # older wire format: cold, not corrupt
+            return CacheEntry(key, blob, document["meta"])
+        except (OSError, ValueError, KeyError):
+            return None  # unreadable file == cache miss, never a crash
+
+    # -- accounting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "evictions": self.evictions,
+                "hit_rate": (
+                    self.hits / (self.hits + self.misses)
+                    if (self.hits + self.misses)
+                    else 0.0
+                ),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._bytes

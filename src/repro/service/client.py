@@ -1,0 +1,205 @@
+"""Client library for the compile service, and ``python -m repro request``.
+
+:class:`ServiceClient` holds one TCP connection and speaks the JSON-lines
+protocol of :mod:`repro.service.server`.  Failed requests raise
+:class:`ServiceError`; when the failure was a pipeline stage, the thawed
+:class:`~repro.resilience.errors.StageError` (correct subclass included)
+rides on ``ServiceError.stage_error``, so callers can inspect the remote
+stage/allocator/k context exactly as if the pipeline had run in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+from typing import Any, Dict, Optional
+
+from ..resilience.errors import StageError
+
+_PIPELINE_KINDS = {
+    "stage",
+    "miscompile",
+    "motion-validation",
+    "schedule-validation",
+    "peephole-validation",
+}
+
+
+class ServiceError(Exception):
+    """A request the server answered with ``ok: false``.
+
+    ``kind`` is the frozen payload's kind (``admission`` / ``deadline`` /
+    ``request`` for service-level failures, or a pipeline kind);
+    ``stage_error`` is the thawed exception for pipeline kinds, None
+    otherwise; ``payload`` is the raw error object.
+    """
+
+    def __init__(self, payload: Dict[str, Any]):
+        self.payload = payload
+        self.kind = payload.get("kind", "unknown")
+        self.stage_error: Optional[StageError] = None
+        if self.kind in _PIPELINE_KINDS:
+            try:
+                self.stage_error = StageError.thaw(payload)
+            except (KeyError, TypeError):
+                pass
+        super().__init__(
+            str(self.stage_error)
+            if self.stage_error is not None
+            else f"[{self.kind}] {payload.get('message', '')}"
+        )
+
+
+class ServiceClient:
+    """One connection to the daemon; usable as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 9363,
+                 timeout: float = 600.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- raw protocol ---------------------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the raw response object."""
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`request`, but raises :class:`ServiceError` on
+        ``ok: false`` responses."""
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error") or {})
+        return response
+
+    # -- operations -----------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.checked({"op": "stats"})
+
+    def compile(
+        self,
+        source: str,
+        allocator: str = "rap",
+        k: int = 5,
+        schedule: bool = False,
+        execute: bool = True,
+        entry: str = "main",
+        deadline_ms: Optional[float] = None,
+        max_cycles: Optional[int] = None,
+        filename: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "op": "compile",
+            "source": source,
+            "allocator": allocator,
+            "k": k,
+            "schedule": schedule,
+            "execute": execute,
+            "entry": entry,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if max_cycles is not None:
+            payload["max_cycles"] = max_cycles
+        if filename is not None:
+            payload["filename"] = filename
+        return self.checked(payload)
+
+
+def request_main(argv: Optional[Any] = None) -> int:
+    """``python -m repro request FILE``: one compile against a daemon."""
+    parser = argparse.ArgumentParser(
+        prog="repro request", description="send one compile request"
+    )
+    parser.add_argument("file", help="Mini-C source file")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9363)
+    parser.add_argument(
+        "--allocator",
+        choices=("gra", "rap", "linearscan", "spillall"),
+        default="rap",
+    )
+    parser.add_argument("-k", type=int, default=5)
+    parser.add_argument("--schedule", action="store_true")
+    parser.add_argument("--no-execute", action="store_true")
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument("--entry", default="main")
+    parser.add_argument(
+        "--json", action="store_true", help="print the raw response object"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.file) as handle:
+        source = handle.read()
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            response = client.compile(
+                source,
+                allocator=args.allocator,
+                k=args.k,
+                schedule=args.schedule,
+                execute=not args.no_execute,
+                entry=args.entry,
+                deadline_ms=args.deadline_ms,
+                filename=args.file,
+            )
+    except ServiceError as err:
+        if err.stage_error is not None:
+            print(err.stage_error.render(), file=sys.stderr)
+        else:
+            print(f"error: {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"error: cannot reach service: {err}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        json.dump(response, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    for value in response.get("output", []):
+        print(value)
+    summary = (
+        f"{response['allocator_used']} k={response['k']}"
+        f" cache={response['cache']}"
+        f" wall={response['wall_ms']:.1f}ms"
+        f" image={response['image_sha256'][:12]}"
+    )
+    if "cycles" in response:
+        summary += f" cycles={response['cycles']}"
+    print(summary, file=sys.stderr)
+    if response.get("fallbacks"):
+        for event in response["fallbacks"]:
+            print(
+                f"fallback: {event['allocator']} failed at "
+                f"{event['stage']}: {event['reason']}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(request_main())

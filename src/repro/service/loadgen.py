@@ -1,0 +1,284 @@
+"""Closed-loop load generator for the compile service.
+
+``python -m repro loadgen`` drives a running daemon with N concurrent
+workers, each holding one connection and issuing the next request the
+moment the previous one completes (closed-loop: offered load adapts to
+service capacity, so the queue is exercised without being flooded).  The
+request mix cycles through bench-suite programs plus the committed fuzz
+corpus (``tests/corpus/``) — the same inputs the rest of the repository
+measures and replays.
+
+The report gives client-observed latency percentiles (p50/p95/p99),
+throughput, error counts, and the cache hit rate *as seen by this run's
+responses*, plus a determinism check: every response for the same cache
+key must carry the same image sha256 and execution output; any
+disagreement is counted as a mismatch (and fails the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .client import ServiceClient, ServiceError
+
+#: Small, fast bench programs — the default mix base.
+DEFAULT_PROGRAMS = ("sieve", "hanoi")
+
+
+def default_mix(
+    programs: Sequence[str] = DEFAULT_PROGRAMS,
+    corpus: bool = True,
+) -> List[Tuple[str, str]]:
+    """(name, source) pairs: bench suite programs plus the fuzz corpus."""
+    from ..bench.suite import program
+
+    mix: List[Tuple[str, str]] = [
+        (name, program(name).source()) for name in programs
+    ]
+    if corpus:
+        from ..resilience.corpus import DEFAULT_CORPUS_DIR, load_corpus
+
+        loaded = load_corpus(DEFAULT_CORPUS_DIR)
+        for entry in loaded.entries:
+            with open(entry.path(loaded.directory)) as handle:
+                mix.append((f"corpus:{entry.file}", handle.read()))
+    return mix
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank - 1))]
+
+
+@dataclass
+class LoadgenReport:
+    """One load-generation run, summarized."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    hits: int = 0
+    misses: int = 0
+    mismatches: int = 0
+    wall_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+    error_kinds: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        answered = self.hits + self.misses
+        return self.hits / answered if answered else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.wall_s if self.wall_s else 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        values = sorted(self.latencies_ms)
+        return {
+            "p50_ms": percentile(values, 50.0),
+            "p95_ms": percentile(values, 95.0),
+            "p99_ms": percentile(values, 99.0),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "hits": self.hits,
+            "misses": self.misses,
+            "mismatches": self.mismatches,
+            "hit_rate": round(self.hit_rate, 4),
+            "wall_s": round(self.wall_s, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "error_kinds": dict(self.error_kinds),
+        }
+        out.update(
+            {name: round(value, 3) for name, value in self.percentiles().items()}
+        )
+        return out
+
+    def render(self, stream=None) -> None:
+        stream = stream or sys.stdout
+        pct = self.percentiles()
+        print(
+            f"[loadgen] {self.ok}/{self.requests} ok, "
+            f"{self.errors} errors, "
+            f"{self.throughput_rps:.1f} req/s over {self.wall_s:.2f}s",
+            file=stream,
+        )
+        print(
+            f"[loadgen] latency p50={pct['p50_ms']:.1f}ms "
+            f"p95={pct['p95_ms']:.1f}ms p99={pct['p99_ms']:.1f}ms",
+            file=stream,
+        )
+        print(
+            f"[loadgen] cache: {self.hits} hits / {self.misses} misses "
+            f"({100.0 * self.hit_rate:.1f}% hit rate), "
+            f"{self.mismatches} determinism mismatches",
+            file=stream,
+        )
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 9363,
+    requests: int = 40,
+    workers: int = 4,
+    mix: Optional[List[Tuple[str, str]]] = None,
+    allocator: str = "rap",
+    k: int = 5,
+    schedule: bool = False,
+    deadline_ms: Optional[float] = None,
+    stream=None,
+) -> LoadgenReport:
+    """Drive the daemon with a closed loop of ``workers`` clients.
+
+    Request ``i`` uses ``mix[i % len(mix)]``, so repeated runs offer an
+    identical, fully repeatable request stream — the property the warm
+    throughput comparison in CI relies on.
+    """
+    mix = mix if mix is not None else default_mix()
+    if not mix:
+        raise ValueError("empty request mix")
+    report = LoadgenReport(requests=requests)
+    lock = threading.Lock()
+    next_index = [0]
+    #: cache key -> (image sha, output) seen first; responses must agree.
+    observed: Dict[str, Tuple[str, str]] = {}
+
+    def worker() -> None:
+        try:
+            client = ServiceClient(host, port)
+        except OSError:
+            with lock:
+                report.errors += 1
+                report.error_kinds["connect"] = (
+                    report.error_kinds.get("connect", 0) + 1
+                )
+            return
+        with client:
+            while True:
+                with lock:
+                    index = next_index[0]
+                    if index >= requests:
+                        return
+                    next_index[0] = index + 1
+                name, source = mix[index % len(mix)]
+                started = time.perf_counter()
+                try:
+                    response = client.compile(
+                        source,
+                        allocator=allocator,
+                        k=k,
+                        schedule=schedule,
+                        deadline_ms=deadline_ms,
+                        filename=name,
+                    )
+                except ServiceError as err:
+                    with lock:
+                        report.errors += 1
+                        report.error_kinds[err.kind] = (
+                            report.error_kinds.get(err.kind, 0) + 1
+                        )
+                    continue
+                except (OSError, ConnectionError):
+                    with lock:
+                        report.errors += 1
+                        report.error_kinds["transport"] = (
+                            report.error_kinds.get("transport", 0) + 1
+                        )
+                    return
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                fingerprint = (
+                    response.get("image_sha256", ""),
+                    json.dumps(response.get("output", []), sort_keys=True),
+                )
+                with lock:
+                    report.ok += 1
+                    report.latencies_ms.append(elapsed_ms)
+                    if response.get("cache") == "hit":
+                        report.hits += 1
+                    else:
+                        report.misses += 1
+                    seen = observed.setdefault(response["key"], fingerprint)
+                    if seen != fingerprint:
+                        report.mismatches += 1
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(max(1, workers))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_s = time.perf_counter() - started
+    if stream is not None:
+        report.render(stream)
+    return report
+
+
+def loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen", description="closed-loop service load generator"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9363)
+    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--programs", nargs="*", default=list(DEFAULT_PROGRAMS),
+        help="bench-suite programs in the mix",
+    )
+    parser.add_argument(
+        "--no-corpus", action="store_true",
+        help="leave the fuzz corpus out of the mix",
+    )
+    parser.add_argument(
+        "--allocator",
+        choices=("gra", "rap", "linearscan", "spillall"),
+        default="rap",
+    )
+    parser.add_argument("-k", type=int, default=5)
+    parser.add_argument("--schedule", action="store_true")
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_loadgen(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        workers=args.workers,
+        mix=default_mix(args.programs, corpus=not args.no_corpus),
+        allocator=args.allocator,
+        k=args.k,
+        schedule=args.schedule,
+        deadline_ms=args.deadline_ms,
+        stream=sys.stdout,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report.errors == 0 and report.mismatches == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(loadgen_main())

@@ -1,0 +1,614 @@
+"""The compile-and-execute daemon.
+
+Wire protocol: JSON lines over TCP.  A client sends one JSON object per
+line and receives one JSON object per line, over a connection it may
+hold open for many requests.  Operations:
+
+``{"op": "compile", "source": ..., "allocator": "rap", "k": 5, ...}``
+    Compile, allocate (walking the fallback ladder), optionally execute,
+    and return the artifact summary.  Optional fields: ``schedule``
+    (run the validated list-scheduler stage), ``execute`` (default
+    true), ``entry`` (default ``"main"``), ``max_cycles``,
+    ``deadline_ms`` (admission + rung policy, below).
+``{"op": "stats"}``
+    Cache counters plus the server-lifetime per-stage telemetry
+    aggregate (:class:`~repro.resilience.telemetry.MetricsCollector`).
+``{"op": "ping"}``
+    Liveness.
+
+Responses carry ``"ok"``; failures put a *frozen*
+:class:`~repro.resilience.errors.StageError` payload under ``"error"``
+(:meth:`StageError.freeze`), which :mod:`repro.service.client` thaws
+back into the proper exception subclass — a remote
+``MotionValidationError`` is catchable as one.  Non-pipeline failures
+(admission rejection, expired deadlines, malformed requests) use the
+same payload shape with synthetic kinds ``admission`` / ``deadline`` /
+``request``.
+
+Admission and deadlines
+-----------------------
+
+Requests enter a bounded earliest-deadline-first queue.  A full queue
+rejects immediately (``admission`` error) — the closed-loop clients
+back off; the queue never grows without bound.  Each worker pops the
+job whose absolute deadline is earliest (deadline-less jobs sort last,
+FIFO among themselves), so under saturation a tight-deadline request
+overtakes queued generous ones instead of starving behind them.  A job
+whose deadline has already passed when a worker picks it up is answered
+with a ``deadline`` error without running any compiler stage.
+
+The deadline also picks the *starting rung* of the allocator ladder
+(:data:`DEFAULT_RUNG_POLICY`): a tight deadline goes straight to linear
+scan, a moderate one starts at GRA, a generous or absent one runs full
+RAP.  The policy only ever downgrades — a request for ``gra`` with a
+generous deadline still starts at GRA — and the response records the
+rung chosen and why (``rung_reason``).
+
+Shutdown
+--------
+
+``drain()`` (wired to SIGTERM/SIGINT by :func:`serve`) stops admitting,
+lets the queue empty and in-flight work finish, then stops the workers
+and the listener.  In-flight clients get their responses; late arrivals
+get an ``admission`` error mentioning the drain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import heapq
+import json
+import signal
+import socketserver
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..compiler import param_slots
+from ..interp.machine import FunctionImage, ProgramImage
+from ..interp.serialize import dumps_image
+from ..resilience.errors import StageError
+from ..resilience.fallback import FallbackEvent, chain_for
+from ..resilience.pipeline import PassPipeline, PipelineConfig
+from ..resilience.telemetry import MetricsCollector
+from .cache import ArtifactCache, cache_key
+
+#: (deadline ceiling in ms, starting rung).  Scanned in order; the first
+#: ceiling the deadline fits under wins.  No deadline, or one above every
+#: ceiling, starts at the requested allocator (full RAP by default).
+DEFAULT_RUNG_POLICY: Tuple[Tuple[float, str], ...] = (
+    (250.0, "linearscan"),
+    (1000.0, "gra"),
+)
+
+#: Ladder position, for "never upgrade past the request" comparisons.
+_LADDER_ORDER = {"rap": 0, "gra": 1, "linearscan": 2, "spillall": 3}
+
+#: How long a handler waits for its job beyond the job's own deadline —
+#: covers the worker's bookkeeping after the deadline check.
+_GRACE_S = 60.0
+
+_DEFAULT_WAIT_S = 300.0
+
+
+def rung_for_deadline(
+    requested: str,
+    deadline_ms: Optional[float],
+    policy: Sequence[Tuple[float, str]] = DEFAULT_RUNG_POLICY,
+) -> Tuple[str, str]:
+    """The ladder rung to start from, and a human-readable reason.
+
+    Only ever moves *down* the ladder from ``requested``: a request for
+    ``linearscan`` is never upgraded to GRA by a generous deadline.
+    """
+    if deadline_ms is None:
+        return requested, "no deadline: requested allocator"
+    for ceiling, rung in policy:
+        if deadline_ms <= ceiling:
+            if _LADDER_ORDER[rung] > _LADDER_ORDER[requested]:
+                return (
+                    rung,
+                    f"deadline {deadline_ms:.0f}ms <= {ceiling:.0f}ms: "
+                    f"start at {rung}",
+                )
+            return requested, (
+                f"deadline {deadline_ms:.0f}ms <= {ceiling:.0f}ms but "
+                f"{requested} is already that cheap"
+            )
+    return requested, f"deadline {deadline_ms:.0f}ms: generous, full {requested}"
+
+
+def _error_payload(kind: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """A frozen-StageError-shaped payload for non-pipeline failures, so
+    clients handle every error through one code path."""
+    return {
+        "kind": kind,
+        "message": message,
+        "context": {"stage": kind, "extra": extra} if extra else {"stage": kind},
+        "cause": None,
+    }
+
+
+@dataclass(order=True)
+class _Job:
+    """One queued request.  Orders by (deadline, sequence): earliest
+    deadline first, FIFO among equal/absent deadlines."""
+
+    deadline_at: float  # monotonic seconds; +inf when no deadline
+    seq: int
+    request: Dict[str, Any] = field(compare=False)
+    done: threading.Event = field(compare=False, default_factory=threading.Event)
+    response: Optional[Dict[str, Any]] = field(compare=False, default=None)
+
+    def finish(self, response: Dict[str, Any]) -> None:
+        self.response = response
+        self.done.set()
+
+
+class DeadlineQueue:
+    """A bounded blocking priority queue ordered by absolute deadline."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self._heap: List[_Job] = []
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._seq = 0
+
+    def offer(self, job: _Job) -> bool:
+        """Admit the job, or refuse immediately when full."""
+        with self._lock:
+            if len(self._heap) >= self.limit:
+                return False
+            job.seq = self._seq = self._seq + 1
+            heapq.heappush(self._heap, job)
+            self._nonempty.notify()
+            return True
+
+    def take(self, timeout: Optional[float] = None) -> Optional[_Job]:
+        """The earliest-deadline job, blocking up to ``timeout``."""
+        with self._nonempty:
+            if not self._heap:
+                self._nonempty.wait(timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+
+class CompileService:
+    """The daemon's engine, socket-free (the TCP layer is below).
+
+    ``workers`` threads pull from the deadline queue; each owns a
+    :class:`PassPipeline` (pipelines keep no cross-request state beyond
+    the config, but the per-worker instance keeps the metrics swap
+    race-free).  ``worker_delay_s`` injects a fixed per-job stall — a
+    chaos/load-testing knob used by the saturation tests and soak runs,
+    zero in production.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+        workers: int = 2,
+        queue_limit: int = 32,
+        rung_policy: Sequence[Tuple[float, str]] = DEFAULT_RUNG_POLICY,
+        worker_delay_s: float = 0.0,
+    ):
+        self.config = config or PipelineConfig()
+        # `cache or ...` would discard a provided cache: an *empty*
+        # ArtifactCache is falsy (it has __len__).
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.queue = DeadlineQueue(queue_limit)
+        self.rung_policy = tuple(rung_policy)
+        self.worker_delay_s = worker_delay_s
+        self.metrics = MetricsCollector()
+        self._metrics_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._started = False
+        self._requests = 0
+        self._rejected = 0
+        self._expired = 0
+        self._workers = workers
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"compile-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Stop admitting, finish queued and in-flight work, stop workers."""
+        self._draining.set()
+        deadline = time.monotonic() + timeout
+        while len(self.queue) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()) + 1.0)
+        self._threads = []
+        self._started = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # -- request entry points -------------------------------------------------
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Admission + synchronous wait: the handler-thread entry point.
+
+        ``stats`` and ``ping`` answer inline (they must work even when
+        the queue is saturated — that is when you need them); compile
+        requests go through the deadline queue.
+        """
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return self._stats_response()
+        if op != "compile":
+            return {
+                "ok": False,
+                "error": _error_payload("request", f"unknown op {op!r}"),
+            }
+        if self._draining.is_set():
+            self._rejected += 1
+            return {
+                "ok": False,
+                "error": _error_payload(
+                    "admission", "server is draining", draining=True
+                ),
+            }
+        deadline_ms = request.get("deadline_ms")
+        deadline_at = (
+            float("inf")
+            if deadline_ms is None
+            else time.monotonic() + float(deadline_ms) / 1000.0
+        )
+        job = _Job(deadline_at=deadline_at, seq=0, request=request)
+        self._requests += 1
+        if not self.queue.offer(job):
+            self._rejected += 1
+            return {
+                "ok": False,
+                "error": _error_payload(
+                    "admission",
+                    f"queue full ({self.queue.limit} waiting)",
+                    queue_limit=self.queue.limit,
+                ),
+            }
+        wait_s = (
+            _DEFAULT_WAIT_S
+            if deadline_ms is None
+            else float(deadline_ms) / 1000.0 + _GRACE_S
+        )
+        if not job.done.wait(wait_s):
+            return {
+                "ok": False,
+                "error": _error_payload(
+                    "deadline", "request timed out waiting for a worker"
+                ),
+            }
+        assert job.response is not None
+        return job.response
+
+    # -- workers --------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        pipeline = PassPipeline(self.config)
+        while not self._stop.is_set():
+            job = self.queue.take(timeout=0.05)
+            if job is None:
+                continue
+            if self.worker_delay_s:
+                time.sleep(self.worker_delay_s)
+            if job.deadline_at < time.monotonic():
+                self._expired += 1
+                job.finish(
+                    {
+                        "ok": False,
+                        "error": _error_payload(
+                            "deadline", "deadline expired while queued"
+                        ),
+                    }
+                )
+                continue
+            try:
+                job.finish(self._process(pipeline, job.request))
+            except Exception as err:  # the worker must never die
+                job.finish(
+                    {
+                        "ok": False,
+                        "error": _error_payload(
+                            "request", f"{type(err).__name__}: {err}"
+                        ),
+                    }
+                )
+
+    def _process(
+        self, pipeline: PassPipeline, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        started = time.perf_counter()
+        source = request.get("source")
+        if not isinstance(source, str) or not source:
+            return {
+                "ok": False,
+                "error": _error_payload("request", "missing source"),
+            }
+        allocator = request.get("allocator", "rap")
+        if allocator not in _LADDER_ORDER:
+            return {
+                "ok": False,
+                "error": _error_payload(
+                    "request", f"unknown allocator {allocator!r}"
+                ),
+            }
+        k = int(request.get("k", 5))
+        schedule = bool(request.get("schedule", False))
+        execute = bool(request.get("execute", True))
+        deadline_ms = request.get("deadline_ms")
+        rung, rung_reason = rung_for_deadline(
+            allocator, deadline_ms, self.rung_policy
+        )
+
+        key = cache_key(source, rung, k, schedule, self.config)
+        collector = MetricsCollector()
+        entry = self.cache.get(key)
+        if entry is not None:
+            response = dict(entry.meta)
+            response.update(
+                {
+                    "ok": True,
+                    "key": key,
+                    "cache": "hit",
+                    "rung_start": rung,
+                    "rung_reason": rung_reason,
+                    "stages_run": [],
+                    "wall_ms": (time.perf_counter() - started) * 1000.0,
+                }
+            )
+            return response
+
+        pipeline.metrics = collector
+        try:
+            response = self._compile_cold(
+                pipeline, source, rung, k, schedule, execute, request
+            )
+        except StageError as err:
+            return {
+                "ok": False,
+                "key": key,
+                "cache": "miss",
+                "rung_start": rung,
+                "rung_reason": rung_reason,
+                "stages_run": sorted(collector.stages),
+                "error": err.freeze(),
+                "wall_ms": (time.perf_counter() - started) * 1000.0,
+            }
+        finally:
+            pipeline.metrics = None
+            with self._metrics_lock:
+                self.metrics.merge(collector.stages)
+
+        meta = dict(response)
+        meta["telemetry"] = collector.as_dict()
+        blob = response.pop("_blob")
+        meta.pop("_blob")
+        self.cache.put(key, blob, meta)
+        response = meta
+        response.update(
+            {
+                "ok": True,
+                "key": key,
+                "cache": "miss",
+                "rung_start": rung,
+                "rung_reason": rung_reason,
+                "stages_run": sorted(collector.stages),
+                "wall_ms": (time.perf_counter() - started) * 1000.0,
+            }
+        )
+        return response
+
+    def _compile_cold(
+        self,
+        pipeline: PassPipeline,
+        source: str,
+        rung: str,
+        k: int,
+        schedule: bool,
+        execute: bool,
+        request: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Full parse -> ... -> allocate (ladder walk) [-> execute]."""
+        prog = pipeline.compile(source, filename=request.get("filename", "<request>"))
+        attempts = chain_for(rung)
+        fallbacks: List[FallbackEvent] = []
+        image: Optional[ProgramImage] = None
+        used = rung
+        for position, attempt in enumerate(attempts):
+            module = prog.fresh_module()
+            functions: Dict[str, FunctionImage] = {}
+            try:
+                for name, func in module.functions.items():
+                    result = pipeline.allocate(
+                        func, attempt, k, schedule=schedule
+                    )
+                    functions[name] = FunctionImage(
+                        name, result.code, param_slots(func)
+                    )
+            except StageError as err:
+                if position == len(attempts) - 1:
+                    raise
+                fallbacks.append(
+                    FallbackEvent(attempt, err.stage, err.message)
+                )
+                continue
+            image = ProgramImage(list(module.globals.values()), functions)
+            used = attempt
+            break
+        assert image is not None  # last rung re-raises instead of falling out
+
+        blob = dumps_image(image)
+        response: Dict[str, Any] = {
+            "_blob": blob,
+            "allocator_requested": request.get("allocator", "rap"),
+            "allocator_used": used,
+            "k": k,
+            "schedule": schedule,
+            "fallbacks": [event.as_dict() for event in fallbacks],
+            "image_sha256": _sha256_hex(blob),
+            "image_bytes": len(blob),
+        }
+        if execute:
+            stats = pipeline.execute(
+                image,
+                entry=request.get("entry", "main"),
+                max_cycles=request.get("max_cycles"),
+                allocator=used,
+                k=k,
+            )
+            response["output"] = stats.output
+            response["cycles"] = stats.total.cycles
+        return response
+
+    # -- stats ----------------------------------------------------------------
+
+    def _stats_response(self) -> Dict[str, Any]:
+        with self._metrics_lock:
+            stages = self.metrics.as_dict()
+        return {
+            "ok": True,
+            "op": "stats",
+            "cache": self.cache.stats(),
+            "stages": stages,
+            "requests": self._requests,
+            "rejected": self._rejected,
+            "expired": self._expired,
+            "queue_depth": len(self.queue),
+            "workers": self._workers,
+            "draining": self.draining,
+        }
+
+
+def _sha256_hex(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------------
+# The TCP layer
+# ----------------------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # one connection, many JSON lines
+        service: CompileService = self.server.service  # type: ignore[attr-defined]
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+            except ValueError as err:
+                response = {
+                    "ok": False,
+                    "error": _error_payload("request", f"bad json: {err}"),
+                }
+            else:
+                response = service.submit(request)
+            try:
+                self.wfile.write(
+                    json.dumps(response, sort_keys=True).encode("utf-8") + b"\n"
+                )
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class CompileServer(socketserver.ThreadingTCPServer):
+    """TCP front of a :class:`CompileService`.  One handler thread per
+    connection; handlers block in ``service.submit`` while the worker
+    pool does the work, so slow compiles never block the accept loop."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: CompileService):
+        super().__init__(address, _Handler)
+        self.service = service
+        service.start()
+
+    def drain_and_shutdown(self, timeout: float = 30.0) -> None:
+        self.service.drain(timeout)
+        self.shutdown()
+
+
+def serve(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro serve``: run the daemon until SIGTERM/SIGINT."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description="compile-as-a-service daemon"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9363)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-limit", type=int, default=32)
+    parser.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="N",
+        help="in-memory artifact budget (default: 64 MiB)",
+    )
+    parser.add_argument(
+        "--persist-dir", default=None, metavar="DIR",
+        help="also persist artifacts to DIR (survives restarts)",
+    )
+    args = parser.parse_args(argv)
+
+    cache_kwargs: Dict[str, Any] = {}
+    if args.cache_bytes is not None:
+        cache_kwargs["max_bytes"] = args.cache_bytes
+    if args.persist_dir is not None:
+        cache_kwargs["persist_dir"] = args.persist_dir
+    service = CompileService(
+        cache=ArtifactCache(**cache_kwargs),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+    )
+    server = CompileServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    print(f"repro service listening on {host}:{port} "
+          f"({args.workers} workers, queue {args.queue_limit})", flush=True)
+
+    def _drain(signum, frame):  # pragma: no cover - signal path
+        print("draining...", flush=True)
+        threading.Thread(
+            target=server.drain_and_shutdown, daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+    print("drained; bye", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve())

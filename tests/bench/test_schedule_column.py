@@ -1,0 +1,77 @@
+"""`table1 --schedule`: the list scheduler on the measurement path.
+
+The RAP column runs the validated schedule stage; the footer reports the
+static (latency-model) length delta.  Executed cycle counts must be
+schedule-invariant — the scheduler emits a verified permutation of each
+block and the interpreter charges one cycle per instruction — so the
+table body is byte-identical with scheduling on or off.
+"""
+
+import io
+
+from repro.bench.harness import Harness, build_table1
+from repro.bench.suite import program
+from repro.bench.table1 import main as table1_main
+from repro.bench.table1 import render_schedule_footer, render_table1
+from repro.resilience.telemetry import aggregate
+
+
+def _table_text(schedule: bool) -> str:
+    harness = Harness([program("sieve")])
+    table = build_table1(
+        harness,
+        k_values=(3,),
+        rap_kwargs={"schedule": True} if schedule else None,
+    )
+    stream = io.StringIO()
+    render_table1(table, stream)
+    return stream.getvalue()
+
+
+class TestScheduleColumn:
+    def test_table_body_is_schedule_invariant(self):
+        assert _table_text(schedule=False) == _table_text(schedule=True)
+
+    def test_schedule_metrics_flow_into_runs(self):
+        harness = Harness([program("sieve")])
+        runs = []
+        build_table1(
+            harness,
+            k_values=(3,),
+            rap_kwargs={"schedule": True},
+            runs_out=runs,
+        )
+        total = aggregate(run.metrics for run in runs).stages["schedule"]
+        assert total.calls >= 1  # stage actually ran (and was timed)
+        assert total.sched_blocks > 0
+        assert total.sched_length_after <= total.sched_length_before
+        # Only the RAP column schedules; GRA runs must not carry the stage.
+        for run in runs:
+            if run.allocator == "gra" and not run.fallbacks_taken:
+                assert "schedule" not in run.metrics
+
+    def test_footer_reports_static_delta(self):
+        harness = Harness([program("sieve")])
+        runs = []
+        build_table1(
+            harness, k_values=(3,), rap_kwargs={"schedule": True},
+            runs_out=runs,
+        )
+        stream = io.StringIO()
+        render_schedule_footer(runs, stream)
+        text = stream.getvalue()
+        assert "[schedule] RAP column list-scheduled" in text
+        assert "model cycles" in text and "blocks" in text
+
+    def test_footer_without_scheduling_says_so(self):
+        harness = Harness([program("sieve")])
+        runs = []
+        build_table1(harness, k_values=(3,), runs_out=runs)
+        stream = io.StringIO()
+        render_schedule_footer(runs, stream)
+        assert "no blocks were scheduled" in stream.getvalue()
+
+    def test_cli_flag_end_to_end(self, capsys):
+        assert table1_main(["--k", "3", "--programs", "sieve", "--schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "[schedule] RAP column list-scheduled" in out

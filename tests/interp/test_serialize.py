@@ -1,0 +1,103 @@
+"""Round-trip fidelity of the program-image wire form (`interp/serialize.py`).
+
+The service's artifact cache persists allocated images through this
+format, so the contract is exact: a deserialized image must print
+byte-identically and execute observably identically to the original.
+"""
+
+import pytest
+
+from repro.bench.suite import program
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, ProgramImage, run_program
+from repro.interp.serialize import (
+    dumps_image,
+    image_from_payload,
+    image_to_payload,
+    instr_from_dict,
+    instr_to_dict,
+    loads_image,
+    reg_from_str,
+    reg_to_str,
+)
+from repro.ir.iloc import Reg
+from repro.ir.printer import format_code
+from repro.resilience.pipeline import PassPipeline, PipelineConfig
+
+
+def _allocated_image(source: str, allocator: str, k: int) -> ProgramImage:
+    pipe = PassPipeline(PipelineConfig())
+    prog = pipe.compile(source)
+    module = prog.fresh_module()
+    functions = {}
+    for name, func in module.functions.items():
+        result = pipe.allocate(func, allocator, k)
+        functions[name] = FunctionImage(name, result.code, param_slots(func))
+    return ProgramImage(list(module.globals.values()), functions)
+
+
+def _listings(image: ProgramImage) -> dict:
+    return {
+        name: format_code(fi.code) for name, fi in image.functions.items()
+    }
+
+
+class TestRegRoundtrip:
+    @pytest.mark.parametrize("text", ["%v0", "%v137", "r0", "r7"])
+    def test_roundtrip(self, text):
+        assert reg_to_str(reg_from_str(text)) == text
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(ValueError):
+            reg_from_str("x3")
+
+
+class TestImageRoundtrip:
+    @pytest.mark.parametrize("allocator", ["none", "gra", "rap", "linearscan"])
+    def test_sieve_roundtrip_is_byte_identical(self, allocator):
+        source = program("sieve").source()
+        if allocator == "none":
+            image = compile_source(source).reference_image()
+        else:
+            image = _allocated_image(source, allocator, 4)
+        restored = image_from_payload(image_to_payload(image))
+        assert _listings(restored) == _listings(image)
+        assert [g.name for g in restored.globals] == [
+            g.name for g in image.globals
+        ]
+        fresh = run_program(image, max_cycles=5_000_000)
+        redone = run_program(restored, max_cycles=5_000_000)
+        assert redone.output == fresh.output
+        assert redone.total.cycles == fresh.total.cycles
+        assert redone.total.loads == fresh.total.loads
+        assert redone.total.stores == fresh.total.stores
+
+    @pytest.mark.parametrize("name", ["hanoi", "queens", "matmul"])
+    def test_suite_programs_roundtrip(self, name):
+        image = _allocated_image(program(name).source(), "rap", 5)
+        restored = image_from_payload(image_to_payload(image))
+        assert _listings(restored) == _listings(image)
+
+    def test_bytes_are_canonical_and_stable(self):
+        image = _allocated_image(program("sieve").source(), "gra", 3)
+        blob = dumps_image(image)
+        again = dumps_image(loads_image(blob))
+        assert blob == again
+
+    def test_version_mismatch_is_a_cold_miss(self):
+        image = compile_source("void main() { print(1); }").reference_image()
+        payload = image_to_payload(image)
+        payload["version"] = 999
+        import json
+
+        assert loads_image(json.dumps(payload).encode()) is None
+        with pytest.raises(ValueError):
+            image_from_payload(payload)
+
+    def test_instr_dict_drops_defaults(self):
+        image = compile_source("void main() { print(1); }").reference_image()
+        code = image.functions["main"].code
+        for instr in code:
+            data = instr_to_dict(instr)
+            assert "comment" not in data or data["comment"]
+            assert str(instr_from_dict(data)) == str(instr)

@@ -43,12 +43,38 @@ class TestProgramFeatures:
     def test_spilly_program_spills(self):
         features = program_features(SPILLY)
         assert "gra.spill" in features
+        # The same register pressure makes the interval scan spill too.
+        assert "linearscan.spill" in features
 
     def test_trivial_program_has_no_features(self):
         assert program_features(TRIVIAL) == set()
 
     def test_broken_program_has_no_features(self):
         assert program_features("void main() { int ; }") == set()
+
+    def test_error_axes_require_the_matching_machinery(self):
+        # SPILLY peepholes (so the stale-holder probe has a rewrite to
+        # corrupt) but hoists nothing (no loops), so the motion error
+        # path is unreachable no matter what is armed.
+        features = program_features(SPILLY)
+        assert "error.peephole" in features
+        assert "error.motion" not in features
+
+    def test_committed_medium_entry_reaches_motion_error_path(self):
+        corpus = load_corpus(DEFAULT_CORPUS_DIR)
+        by_feature = {
+            feature: [e.file for e in corpus.entries if feature in e.features]
+            for feature in FEATURES
+        }
+        # Each validator-error path and the linearscan rung have at
+        # least one committed witness seed.
+        for axis in (
+            "linearscan.spill",
+            "error.motion",
+            "error.schedule",
+            "error.peephole",
+        ):
+            assert by_feature[axis], axis
 
 
 class TestCorpusGrowth:
@@ -85,11 +111,21 @@ class TestCorpusGrowth:
         assert load_corpus(str(tmp_path)).entries == []
 
     def test_seed_corpus_scans_greedily(self, tmp_path):
-        corpus = seed_corpus(str(tmp_path), seeds=range(25), size="small")
+        # Small seeds alone cannot cover error.motion (no loop-carried
+        # write-back in small generated programs); the scan escalates to
+        # medium and completes there.
+        corpus = seed_corpus(
+            str(tmp_path), seeds=range(35), sizes=("small", "medium")
+        )
         assert corpus.entries
         assert corpus.covered() == set(FEATURES)
         manifest = json.load(open(os.path.join(str(tmp_path), "MANIFEST.json")))
         assert manifest["features"] == sorted(FEATURES)
+        # Greedy minimality: every entry contributed something new.
+        seen = set()
+        for entry in corpus.entries:
+            assert set(entry.features) - seen
+            seen |= set(entry.features)
 
 
 class TestCommittedCorpus:

@@ -1,0 +1,185 @@
+"""The content-addressed artifact cache: keys, LRU accounting, disk tier,
+and the 8-thread concurrency hammer."""
+
+import json
+import os
+import threading
+
+from repro.interp.serialize import FORMAT_VERSION
+from repro.resilience.pipeline import PipelineConfig
+from repro.service.cache import ArtifactCache, CacheEntry, cache_key
+
+SOURCE = "void main() { print(1); }"
+
+
+def _blob(tag: str, size: int = 64) -> bytes:
+    """A fake canonical payload of a controlled size."""
+    body = {"version": FORMAT_VERSION, "tag": tag}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return (text + " " * max(0, size - len(text))).encode()
+
+
+class TestCacheKey:
+    def test_every_input_perturbs_the_key(self):
+        base = cache_key(SOURCE, "rap", 5)
+        assert cache_key(SOURCE, "rap", 5) == base  # deterministic
+        assert cache_key(SOURCE + " ", "rap", 5) != base
+        assert cache_key(SOURCE, "gra", 5) != base
+        assert cache_key(SOURCE, "rap", 7) != base
+        assert cache_key(SOURCE, "rap", 5, schedule=True) != base
+
+    def test_pipeline_config_participates(self):
+        base = cache_key(SOURCE, "rap", 5)
+        loose = cache_key(
+            SOURCE, "rap", 5, config=PipelineConfig(verify_motion=False)
+        )
+        merged = cache_key(
+            SOURCE, "rap", 5, config=PipelineConfig(granularity="merged")
+        )
+        assert len({base, loose, merged}) == 3
+        # The default config and an explicit default config agree.
+        assert cache_key(SOURCE, "rap", 5, config=PipelineConfig()) == base
+
+
+class TestLRUAccounting:
+    def test_hit_miss_counters(self):
+        cache = ArtifactCache(max_bytes=10_000)
+        assert cache.get("absent") is None
+        entry = cache.put("a", _blob("a"), {"n": 1})
+        assert isinstance(entry, CacheEntry)
+        got = cache.get("a")
+        assert got is not None and got.blob == _blob("a")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["bytes"] == entry.size
+
+    def test_eviction_is_least_recently_used(self):
+        entry_size = CacheEntry("x", _blob("x", 100), {}).size
+        cache = ArtifactCache(max_bytes=3 * entry_size)
+        for tag in ("a", "b", "c"):
+            cache.put(tag, _blob(tag, 100), {})
+        cache.get("a")  # refresh a: b is now the coldest
+        cache.put("d", _blob("d", 100), {})
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.get("d") is not None
+        assert cache.evictions == 1
+        assert cache.total_bytes <= cache.max_bytes
+
+    def test_replacing_a_key_does_not_leak_bytes(self):
+        cache = ArtifactCache(max_bytes=10_000)
+        cache.put("a", _blob("a", 100), {})
+        cache.put("a", _blob("a", 200), {})
+        assert cache.stats()["entries"] == 1
+        assert cache.total_bytes == CacheEntry("a", _blob("a", 200), {}).size
+
+    def test_oversized_entry_not_held_in_memory(self):
+        cache = ArtifactCache(max_bytes=50)
+        cache.put("big", _blob("big", 500), {})
+        assert len(cache) == 0
+        assert cache.total_bytes == 0
+
+
+class TestDiskTier:
+    def test_persist_and_reload_across_instances(self, tmp_path):
+        first = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path))
+        first.put("k1", _blob("k1"), {"output": [3]})
+        second = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path))
+        entry = second.get("k1")
+        assert entry is not None
+        assert entry.blob == _blob("k1")
+        assert entry.meta == {"output": [3]}
+        stats = second.stats()
+        assert stats["hits"] == 1 and stats["disk_hits"] == 1
+        # Promoted into memory: the next get is a pure memory hit.
+        assert second.get("k1") is not None
+        assert second.stats()["disk_hits"] == 1
+
+    def test_memory_eviction_keeps_the_disk_copy(self, tmp_path):
+        entry_size = CacheEntry("x", _blob("x", 100), {}).size
+        cache = ArtifactCache(
+            max_bytes=2 * entry_size, persist_dir=str(tmp_path)
+        )
+        for tag in ("a", "b", "c"):
+            cache.put(tag, _blob(tag, 100), {})
+        assert cache.evictions >= 1
+        assert cache.get("a") is not None  # back from disk
+        assert cache.disk_hits == 1
+
+    def test_older_format_version_is_cold(self, tmp_path):
+        cache = ArtifactCache(persist_dir=str(tmp_path))
+        stale = json.dumps({"version": FORMAT_VERSION - 1, "tag": "old"})
+        with open(os.path.join(str(tmp_path), "k2.json"), "w") as handle:
+            json.dump({"meta": {}, "image": stale}, handle)
+        assert cache.get("k2") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ArtifactCache(persist_dir=str(tmp_path))
+        with open(os.path.join(str(tmp_path), "k3.json"), "w") as handle:
+            handle.write("{nope")
+        assert cache.get("k3") is None
+
+
+class TestConcurrency:
+    """Satellite: hammer the cache from 8 threads; no torn reads, exact
+    LRU byte accounting, deterministic responses."""
+
+    THREADS = 8
+    ROUNDS = 60
+
+    def test_eight_thread_hammer(self):
+        entry_size = CacheEntry("t0.r0", _blob("t0.r0", 200), {"t": 0}).size
+        # Budget for ~half the distinct keys, so eviction runs hot
+        # concurrently with lookups and insertions.
+        cache = ArtifactCache(max_bytes=(self.THREADS * self.ROUNDS // 2) * entry_size)
+        errors = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(tid: int) -> None:
+            try:
+                barrier.wait()
+                for round_ in range(self.ROUNDS):
+                    key = f"t{tid}.r{round_}"
+                    blob = _blob(key, 200)
+                    cache.put(key, blob, {"t": tid})
+                    # Read back own key plus a neighbour's stream.
+                    for probe in (key, f"t{(tid + 1) % self.THREADS}.r{round_}"):
+                        entry = cache.get(probe)
+                        if entry is not None:
+                            if entry.blob != _blob(probe, 200):
+                                errors.append(f"torn read on {probe}")
+                            if entry.meta["t"] != int(probe[1:].split(".")[0]):
+                                errors.append(f"wrong meta on {probe}")
+            except Exception as err:  # pragma: no cover - only on failure
+                errors.append(repr(err))
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        stats = cache.stats()
+        # Counter conservation: every get was exactly a hit or a miss.
+        gets = 2 * self.THREADS * self.ROUNDS
+        assert stats["hits"] + stats["misses"] == gets
+        assert stats["hits"] > 0 and stats["misses"] > 0
+        # Byte accounting is exact: the tracked total equals the sum of
+        # the live entries' sizes, and respects the budget.
+        live = sum(
+            cache._entries[key].size for key in list(cache._entries)
+        )
+        assert cache.total_bytes == live
+        assert cache.total_bytes <= cache.max_bytes
+        assert stats["evictions"] > 0
+        # Deterministic responses: a surviving key still returns its
+        # exact original bytes.
+        for key in list(cache._entries):
+            assert cache.get(key).blob == _blob(key, 200)

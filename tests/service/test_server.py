@@ -1,0 +1,400 @@
+"""The compile daemon: cache semantics, deadline policy, admission
+control, error transport, drain, and the TCP layer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.interp.machine import run_program
+from repro.interp.serialize import loads_image
+from repro.resilience.errors import (
+    MotionValidationError,
+    StageError,
+)
+from repro.service.cache import ArtifactCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import (
+    DEFAULT_RUNG_POLICY,
+    CompileServer,
+    CompileService,
+    DeadlineQueue,
+    _Job,
+    rung_for_deadline,
+)
+
+SIEVE_LIKE = """
+void main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 25; i = i + 1) { s = s + i * i; }
+    print(s);
+}
+"""
+
+TRIVIAL = "void main() { print(7); }"
+
+
+def compile_request(source=SIEVE_LIKE, **overrides):
+    request = {
+        "op": "compile",
+        "source": source,
+        "allocator": "rap",
+        "k": 5,
+    }
+    request.update(overrides)
+    return request
+
+
+@pytest.fixture
+def service():
+    svc = CompileService(workers=2)
+    svc.start()
+    yield svc
+    svc.drain(timeout=5.0)
+
+
+class TestRungPolicy:
+    def test_default_policy_table(self):
+        assert rung_for_deadline("rap", None)[0] == "rap"
+        assert rung_for_deadline("rap", 100)[0] == "linearscan"
+        assert rung_for_deadline("rap", 250)[0] == "linearscan"
+        assert rung_for_deadline("rap", 600)[0] == "gra"
+        assert rung_for_deadline("rap", 5000)[0] == "rap"
+
+    def test_policy_never_upgrades(self):
+        # A generous deadline must not promote a cheap request to RAP.
+        assert rung_for_deadline("linearscan", 5000)[0] == "linearscan"
+        assert rung_for_deadline("gra", 600)[0] == "gra"
+        assert rung_for_deadline("spillall", 100)[0] == "spillall"
+
+    def test_reason_is_explanatory(self):
+        _, reason = rung_for_deadline("rap", 100)
+        assert "100" in reason and "linearscan" in reason
+
+
+class TestDeadlineQueue:
+    def test_earliest_deadline_first(self):
+        queue = DeadlineQueue(limit=8)
+        late = _Job(deadline_at=100.0, seq=0, request={"id": "late"})
+        never = _Job(deadline_at=float("inf"), seq=0, request={"id": "never"})
+        soon = _Job(deadline_at=5.0, seq=0, request={"id": "soon"})
+        for job in (late, never, soon):
+            assert queue.offer(job)
+        order = [queue.take().request["id"] for _ in range(3)]
+        assert order == ["soon", "late", "never"]
+
+    def test_fifo_among_deadline_less(self):
+        queue = DeadlineQueue(limit=8)
+        for name in ("a", "b", "c"):
+            queue.offer(_Job(float("inf"), 0, {"id": name}))
+        assert [queue.take().request["id"] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_bounded(self):
+        queue = DeadlineQueue(limit=2)
+        assert queue.offer(_Job(float("inf"), 0, {}))
+        assert queue.offer(_Job(float("inf"), 0, {}))
+        assert not queue.offer(_Job(float("inf"), 0, {}))
+
+
+class TestColdAndWarm:
+    def test_warm_request_skips_every_compiler_stage(self, service):
+        cold = service.submit(compile_request())
+        assert cold["ok"] and cold["cache"] == "miss"
+        assert "parse" in cold["stages_run"]
+        assert "allocate" in cold["stages_run"]
+        warm = service.submit(compile_request())
+        assert warm["ok"] and warm["cache"] == "hit"
+        # The acceptance criterion: byte-identical artifact, zero
+        # compiler stages executed (telemetry stage counters are the
+        # proof — nothing was recorded for the warm request).
+        assert warm["stages_run"] == []
+        assert warm["image_sha256"] == cold["image_sha256"]
+        assert warm["output"] == cold["output"]
+        assert warm["cycles"] == cold["cycles"]
+        stats = service.cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_server_lifetime_metrics_freeze_when_warm(self, service):
+        service.submit(compile_request())
+        allocate_calls = service.metrics.stages["allocate"].calls
+        for _ in range(3):
+            service.submit(compile_request())
+        assert service.metrics.stages["allocate"].calls == allocate_calls
+
+    def test_cached_blob_is_a_runnable_image(self, service):
+        response = service.submit(compile_request())
+        entry = service.cache.get(response["key"])
+        image = loads_image(entry.blob)
+        stats = run_program(image)
+        assert stats.output == response["output"]
+        assert stats.total.cycles == response["cycles"]
+
+    def test_different_k_is_a_different_artifact(self, service):
+        a = service.submit(compile_request(k=3))
+        b = service.submit(compile_request(k=9))
+        assert a["key"] != b["key"]
+        assert a["output"] == b["output"]  # same program semantics
+
+    def test_schedule_flag_is_part_of_the_key(self, service):
+        plain = service.submit(compile_request())
+        scheduled = service.submit(compile_request(schedule=True))
+        assert plain["key"] != scheduled["key"]
+        assert scheduled["cache"] == "miss"
+        assert plain["output"] == scheduled["output"]
+
+    def test_provided_empty_cache_is_not_discarded(self, tmp_path):
+        # Regression: an empty ArtifactCache is falsy (__len__ == 0), so
+        # `cache or ArtifactCache()` silently replaced it and dropped the
+        # persist_dir configuration on the floor.
+        cache = ArtifactCache(persist_dir=str(tmp_path))
+        service = CompileService(cache=cache, workers=1)
+        assert service.cache is cache
+
+    def test_restarted_server_is_warm_from_disk(self, tmp_path):
+        first = CompileService(
+            cache=ArtifactCache(persist_dir=str(tmp_path)), workers=1
+        )
+        first.start()
+        try:
+            cold = first.submit(compile_request())
+            assert cold["cache"] == "miss"
+        finally:
+            first.drain(timeout=5.0)
+
+        second = CompileService(
+            cache=ArtifactCache(persist_dir=str(tmp_path)), workers=1
+        )
+        second.start()
+        try:
+            warm = second.submit(compile_request())
+            assert warm["cache"] == "hit"
+            assert warm["stages_run"] == []
+            assert warm["image_sha256"] == cold["image_sha256"]
+            assert warm["output"] == cold["output"]
+            assert second.cache.disk_hits == 1
+        finally:
+            second.drain(timeout=5.0)
+
+    def test_deadline_rung_reported(self, service):
+        tight = service.submit(compile_request(deadline_ms=100))
+        assert tight["ok"]
+        assert tight["rung_start"] == "linearscan"
+        assert tight["allocator_used"] == "linearscan"
+        generous = service.submit(compile_request(deadline_ms=60_000))
+        assert generous["rung_start"] == "rap"
+
+
+class TestErrorTransport:
+    def test_parse_error_travels_frozen(self, service):
+        response = service.submit(compile_request(source="void main() { int ; }"))
+        assert not response["ok"]
+        error = StageError.thaw(response["error"])
+        assert error.stage == "parse"
+
+    def test_malformed_requests_are_soft_errors(self, service):
+        assert not service.submit({"op": "nope"})["ok"]
+        assert not service.submit(compile_request(source=""))["ok"]
+        response = service.submit(compile_request(allocator="wat"))
+        assert not response["ok"]
+        assert "wat" in response["error"]["message"]
+
+    def test_validation_error_kind_thaws_to_subclass(self):
+        # Client-side: a frozen validator error rebuilds as the proper
+        # exception subclass, so remote failures are catchable precisely.
+        payload = {
+            "kind": "motion-validation",
+            "message": "hoisted store dropped",
+            "context": {"stage": "validate", "allocator": "rap", "k": 3},
+            "cause": None,
+        }
+        err = ServiceError(payload)
+        assert isinstance(err.stage_error, MotionValidationError)
+        assert err.stage_error.context.allocator == "rap"
+
+    def test_admission_and_deadline_errors_have_no_stage_error(self):
+        err = ServiceError({"kind": "admission", "message": "queue full"})
+        assert err.stage_error is None
+        assert "queue full" in str(err)
+
+
+def _submit_async(service, request, results, name):
+    def run():
+        response = service.submit(request)
+        results.append((name, response))
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_immediately(self):
+        service = CompileService(
+            workers=1, queue_limit=2, worker_delay_s=0.25
+        )
+        service.start()
+        try:
+            results = []
+            threads = [
+                _submit_async(
+                    service, compile_request(TRIVIAL, k=3 + i), results, f"j{i}"
+                )
+                for i in range(3)
+            ]
+            time.sleep(0.1)  # one in flight, two queued: saturated
+            started = time.perf_counter()
+            rejected = service.submit(compile_request(TRIVIAL, k=9))
+            elapsed = time.perf_counter() - started
+            assert not rejected["ok"]
+            assert rejected["error"]["kind"] == "admission"
+            assert elapsed < 0.2  # immediate, not queued behind the stall
+            for thread in threads:
+                thread.join(timeout=10)
+            assert all(response["ok"] for _, response in results)
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_saturated_queue_serves_tight_deadlines_first(self):
+        # The pinned EDF property: with one worker busy and generous
+        # requests queued, a late-arriving tight-deadline request is
+        # served next (on the cheap rung), and nothing starves.
+        service = CompileService(
+            workers=1,
+            queue_limit=16,
+            worker_delay_s=0.12,
+            # Rescaled policy so the "tight" class is still generous
+            # enough to actually finish behind a 120ms stall.
+            rung_policy=((5_000.0, "linearscan"), (20_000.0, "gra")),
+        )
+        service.start()
+        try:
+            results = []
+            threads = [
+                _submit_async(
+                    service,
+                    compile_request(TRIVIAL, k=3 + i, deadline_ms=90_000),
+                    results,
+                    f"generous{i}",
+                )
+                for i in range(4)
+            ]
+            time.sleep(0.06)  # generous0 in flight, 1-3 queued
+            threads.append(
+                _submit_async(
+                    service,
+                    compile_request(TRIVIAL, k=8, deadline_ms=4_000),
+                    results,
+                    "tight",
+                )
+            )
+            for thread in threads:
+                thread.join(timeout=30)
+            by_name = dict(results)
+            assert len(by_name) == 5
+            assert all(response["ok"] for response in by_name.values())
+            completion = [name for name, _ in results]
+            # The tight request jumped every queued generous one.
+            assert completion.index("tight") <= 1
+            assert by_name["tight"]["allocator_used"] == "linearscan"
+            assert by_name["tight"]["rung_start"] == "linearscan"
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_deadline_expired_in_queue_is_not_compiled(self):
+        service = CompileService(workers=1, queue_limit=8, worker_delay_s=0.2)
+        service.start()
+        try:
+            results = []
+            blocker = _submit_async(
+                service, compile_request(TRIVIAL, k=3), results, "blocker"
+            )
+            time.sleep(0.05)  # blocker in flight for ~200ms more
+            doomed = service.submit(compile_request(TRIVIAL, k=9, deadline_ms=40))
+            assert not doomed["ok"]
+            assert doomed["error"]["kind"] == "deadline"
+            blocker.join(timeout=10)
+            assert results[0][1]["ok"]
+            # The doomed request never touched the compiler.
+            assert service._expired == 1
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestDrain:
+    def test_drain_finishes_queued_work_then_rejects(self):
+        service = CompileService(workers=1, queue_limit=8, worker_delay_s=0.05)
+        service.start()
+        results = []
+        threads = [
+            _submit_async(
+                service, compile_request(TRIVIAL, k=3 + i), results, f"j{i}"
+            )
+            for i in range(3)
+        ]
+        time.sleep(0.02)
+        service.drain(timeout=10.0)
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(results) == 3
+        assert all(response["ok"] for _, response in results)
+        late = service.submit(compile_request(TRIVIAL))
+        assert not late["ok"]
+        assert late["error"]["kind"] == "admission"
+        assert "drain" in late["error"]["message"]
+
+
+class TestStats:
+    def test_stats_surface_cache_and_stage_aggregates(self, service):
+        service.submit(compile_request())
+        service.submit(compile_request())
+        stats = service.submit({"op": "stats"})
+        assert stats["ok"]
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["stages"]["allocate"]["calls"] >= 1
+        assert stats["stages"]["parse"]["calls"] == 1
+        assert stats["requests"] == 2
+        assert stats["workers"] == 2
+        assert stats["draining"] is False
+
+
+class TestTCPLayer:
+    @pytest.fixture
+    def server(self):
+        service = CompileService(workers=2, cache=ArtifactCache())
+        server = CompileServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.drain_and_shutdown(timeout=5.0)
+        server.server_close()
+
+    def _client(self, server):
+        host, port = server.server_address[:2]
+        return ServiceClient(host, port)
+
+    def test_many_requests_on_one_connection(self, server):
+        with self._client(server) as client:
+            assert client.ping()
+            cold = client.compile(SIEVE_LIKE, allocator="rap", k=5)
+            warm = client.compile(SIEVE_LIKE, allocator="rap", k=5)
+            assert cold["cache"] == "miss" and warm["cache"] == "hit"
+            assert warm["image_sha256"] == cold["image_sha256"]
+            assert warm["output"] == cold["output"]
+            stats = client.stats()
+            assert stats["cache"]["hits"] == 1
+
+    def test_pipeline_error_raises_service_error(self, server):
+        with self._client(server) as client:
+            with pytest.raises(ServiceError) as info:
+                client.compile("void main() { int ; }")
+            assert info.value.stage_error is not None
+            assert info.value.stage_error.stage == "parse"
+
+    def test_two_clients_share_the_cache(self, server):
+        with self._client(server) as one:
+            one.compile(TRIVIAL, k=4)
+        with self._client(server) as two:
+            response = two.compile(TRIVIAL, k=4)
+        assert response["cache"] == "hit"
