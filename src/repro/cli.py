@@ -23,8 +23,10 @@ Usage (``python -m repro ...``):
     python -m repro replay artifacts/<bundle>      # re-run a triage bundle
     python -m repro faults                         # list fault probe points
     python -m repro serve --port 9363              # compile-as-a-service daemon
-    python -m repro request prog.mc --deadline-ms 200 --port 9363
+    python -m repro serve --worker-mode process --job-timeout 30  # supervised
+    python -m repro request prog.mc --deadline-ms 200 --retries 3
     python -m repro loadgen --requests 40 --port 9363  # latency/hit-rate report
+    python -m repro loadgen --chaos --retries 3    # chaos harness (serve --chaos)
 
 The driver is a thin layer over the library; everything it prints can be
 obtained programmatically (see README).  Failures surface as structured

@@ -10,31 +10,44 @@ instead:
   pipeline-config)``, held under an LRU byte budget, and optionally
   persisted to disk, so a repeat request skips parse -> sema ->
   pdg-build -> allocate entirely.
-* :mod:`repro.service.server` — a threaded JSON-over-TCP server (stdlib
-  only) whose workers reuse the resilient
+* :mod:`repro.service.server` — a JSON-over-TCP server (stdlib only)
+  whose workers reuse the resilient
   :class:`~repro.resilience.pipeline.PassPipeline` and the allocator
   fallback ladder.  Admission control is a bounded earliest-deadline-
   first queue; a request's deadline also selects how ambitious an
   allocator rung to start from (tight deadlines go straight to linear
   scan, generous ones run full RAP).
+* :mod:`repro.service.workers` — the supervised **process** worker tier
+  (the ``serve`` default): crash-isolated child processes under a
+  per-job watchdog, exponential respawn backoff, a restart-storm
+  circuit breaker (``degraded`` health + rung demotion), and
+  poison-pill quarantine of compile keys that kill workers.
 * :mod:`repro.service.client` — the client library behind
-  ``python -m repro request``.
+  ``python -m repro request``, with typed protocol errors and
+  opt-in retry (exponential backoff + jitter) of transient failures.
 * :mod:`repro.service.loadgen` — a closed-loop load generator reporting
-  latency percentiles, throughput, and cache hit rate.
+  latency percentiles, throughput, and cache hit rate, plus a
+  ``--chaos`` mode that injects worker crashes, hangs, and malformed
+  requests mid-run and asserts every request is answered exactly once.
 
 See docs/SERVICE.md for the protocol and the operational semantics
-(cache keys, deadline policy, drain behaviour).
+(cache keys, deadline policy, supervision, drain behaviour) and
+docs/ROBUSTNESS.md for the failure-mode matrix.
 """
 
-from .cache import ArtifactCache, cache_key
-from .client import ServiceClient, ServiceError
+from .cache import ArtifactCache, cache_key, source_fingerprint
+from .client import ServiceClient, ServiceError, connect_with_retry
 from .server import CompileService, serve
+from .workers import Supervision
 
 __all__ = [
     "ArtifactCache",
     "cache_key",
+    "source_fingerprint",
     "CompileService",
     "ServiceClient",
     "ServiceError",
+    "connect_with_retry",
+    "Supervision",
     "serve",
 ]

@@ -2,12 +2,20 @@
 
 A cache *key* is the sha256 of everything that determines an allocation
 result: the source text, the allocator name, the register count, the
-schedule flag, the pipeline configuration, and the wire-format version
-(:data:`repro.interp.serialize.FORMAT_VERSION`).  Two requests with
-equal keys are guaranteed the same artifact bytes, so the server can
-answer the second one without running a single compiler stage — and,
-because the programs here take no runtime input, the cached execution
-output is equally reusable.
+schedule flag, the pipeline configuration, the wire-format version
+(:data:`repro.interp.serialize.FORMAT_VERSION`), and a fingerprint of
+the compiler's *own source code* (:func:`source_fingerprint`).  Two
+requests with equal keys are guaranteed the same artifact bytes, so the
+server can answer the second one without running a single compiler
+stage — and, because the programs here take no runtime input, the
+cached execution output is equally reusable.
+
+The code fingerprint closes the stale-artifact hole for long-lived
+deployments: the disk tier survives restarts, so without it a change
+inside an allocator would silently reuse artifacts produced by the old
+code.  Any edit to a ``.py`` file under ``src/repro`` changes every
+key, which simply makes the persisted tier cold — the same degradation
+semantics as a ``FORMAT_VERSION`` bump.
 
 The store itself is a thread-safe LRU over a byte budget: entries are
 charged ``len(blob) + len(canonical meta json)``, the least recently
@@ -37,6 +45,40 @@ from ..resilience.pipeline import PipelineConfig
 #: (a serialized bench image is a few tens of KB).
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
 
+#: Memoized :func:`source_fingerprint` for the installed package tree.
+_SOURCE_FINGERPRINT: Optional[str] = None
+
+
+def source_fingerprint(root: Optional[str] = None) -> str:
+    """A sha256 digest of the compiler's own source code.
+
+    Hashes every ``.py`` file under ``root`` (default: the installed
+    ``repro`` package directory) as ``relpath ‖ NUL ‖ bytes ‖ NUL`` in
+    sorted path order, so the digest is stable across filesystems and
+    walk orders but changes when any file's content, name, or location
+    does.  The default-root digest is computed once per process — the
+    code cannot change under a running server.
+    """
+    global _SOURCE_FINGERPRINT
+    if root is None and _SOURCE_FINGERPRINT is not None:
+        return _SOURCE_FINGERPRINT
+    base = root or os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    hasher = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(f for f in filenames if f.endswith(".py")):
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, base)
+            hasher.update(rel.encode("utf-8"))
+            hasher.update(b"\0")
+            with open(path, "rb") as handle:
+                hasher.update(handle.read())
+            hasher.update(b"\0")
+    digest = hasher.hexdigest()
+    if root is None:
+        _SOURCE_FINGERPRINT = digest
+    return digest
+
 
 def config_fingerprint(config: Optional[PipelineConfig]) -> Dict[str, Any]:
     """The pipeline-config portion of a cache key, as plain data.
@@ -55,8 +97,15 @@ def cache_key(
     k: int,
     schedule: bool = False,
     config: Optional[PipelineConfig] = None,
+    code_fingerprint: Optional[str] = None,
 ) -> str:
-    """``sha256(source ‖ allocator ‖ k ‖ schedule ‖ pipeline-config)``."""
+    """``sha256(source ‖ allocator ‖ k ‖ schedule ‖ pipeline-config ‖
+    code-fingerprint)``.
+
+    ``code_fingerprint`` defaults to :func:`source_fingerprint` of the
+    running package; tests pass an explicit value to simulate a code
+    version bump without editing files.
+    """
     payload = {
         "format": FORMAT_VERSION,
         "source": source,
@@ -64,6 +113,7 @@ def cache_key(
         "k": k,
         "schedule": bool(schedule),
         "config": config_fingerprint(config),
+        "code": code_fingerprint or source_fingerprint(),
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -219,6 +269,7 @@ class ArtifactCache:
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
+                "code_fingerprint": source_fingerprint(),
                 "hit_rate": (
                     self.hits / (self.hits + self.misses)
                     if (self.hits + self.misses)

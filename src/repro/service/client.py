@@ -6,14 +6,39 @@ protocol of :mod:`repro.service.server`.  Failed requests raise
 :class:`~repro.resilience.errors.StageError` (correct subclass included)
 rides on ``ServiceError.stage_error``, so callers can inspect the remote
 stage/allocator/k context exactly as if the pipeline had run in-process.
+
+Protocol-level failures are typed too — nothing below the JSON layer
+escapes raw:
+
+* ``transport`` — the connection died (reset, refused, closed mid-read);
+* ``timeout`` — the socket timed out waiting for the response;
+* ``protocol`` — the server answered, but not with parseable JSON.
+
+Retry semantics
+---------------
+
+``ServiceClient(retries=N, backoff=B)`` retries *safe* failures up to N
+times with exponential backoff and jitter (delay ~ ``B * 2**attempt``,
+jittered).  Safe means the request can be replayed without changing the
+outcome — true for every compile because artifacts are content-addressed
+and compiles are idempotent: replaying a request that actually succeeded
+server-side just hits the cache.  Retried failures are connection
+establishment, ``transport``/``timeout`` protocol failures (with an
+automatic reconnect), and the server-side kinds in
+:data:`RETRYABLE_KINDS` (``admission`` — the queue was momentarily full;
+``worker-crash`` — the worker died, possibly through no fault of the
+request).  ``worker-timeout`` and ``poison-pill`` are deliberately *not*
+retried: the server has evidence the request itself is pathological.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import socket
 import sys
+import time
 from typing import Any, Dict, Optional
 
 from ..resilience.errors import StageError
@@ -26,14 +51,25 @@ _PIPELINE_KINDS = {
     "peephole-validation",
 }
 
+#: Server-answered error kinds that are safe to retry: transient
+#: conditions where replaying an idempotent compile can succeed.
+RETRYABLE_KINDS = frozenset({"admission", "worker-crash"})
+
+#: Client-synthesized kinds for failures below the response layer.
+_CONNECTION_KINDS = frozenset({"transport", "timeout"})
+
 
 class ServiceError(Exception):
-    """A request the server answered with ``ok: false``.
+    """A failed request, server-answered or protocol-level.
 
-    ``kind`` is the frozen payload's kind (``admission`` / ``deadline`` /
-    ``request`` for service-level failures, or a pipeline kind);
-    ``stage_error`` is the thawed exception for pipeline kinds, None
-    otherwise; ``payload`` is the raw error object.
+    ``kind`` is the frozen payload's kind — ``admission`` / ``deadline``
+    / ``request`` / ``worker-crash`` / ``worker-timeout`` /
+    ``poison-pill`` for service-level failures, a pipeline kind for
+    stage failures, or the client-synthesized ``transport`` /
+    ``timeout`` / ``protocol`` when the failure happened below the
+    response layer.  ``stage_error`` is the thawed exception for
+    pipeline kinds, None otherwise; ``payload`` is the raw error
+    object.
     """
 
     def __init__(self, payload: Dict[str, Any]):
@@ -51,20 +87,68 @@ class ServiceError(Exception):
             else f"[{self.kind}] {payload.get('message', '')}"
         )
 
+    @property
+    def retryable(self) -> bool:
+        """True when replaying the (idempotent) request may succeed."""
+        return self.kind in RETRYABLE_KINDS or self.kind in _CONNECTION_KINDS
+
+
+def _protocol_error(kind: str, message: str) -> ServiceError:
+    return ServiceError(
+        {
+            "kind": kind,
+            "message": message,
+            "context": {"stage": kind},
+            "cause": None,
+        }
+    )
+
 
 class ServiceClient:
-    """One connection to the daemon; usable as a context manager."""
+    """One connection to the daemon; usable as a context manager.
+
+    ``retries``/``backoff`` arm the retry loop in :meth:`checked` (and
+    everything built on it) — see the module docstring for which
+    failures are replayed.  ``retries=0`` (the default) keeps the
+    historical fail-fast behavior.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 9363,
-                 timeout: float = 600.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+                 timeout: float = 600.0, retries: int = 0,
+                 backoff: float = 0.05):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         self._file = self._sock.makefile("rwb")
 
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+
     def close(self) -> None:
+        if self._file is None:
+            return
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            self._file = None
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -75,21 +159,67 @@ class ServiceClient:
     # -- raw protocol ---------------------------------------------------------
 
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request object, return the raw response object."""
-        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return json.loads(line.decode("utf-8"))
+        """Send one request object, return the raw response object.
 
-    def checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Like :meth:`request`, but raises :class:`ServiceError` on
-        ``ok: false`` responses."""
+        Never raises a raw socket/JSON error: failures below the
+        response layer surface as :class:`ServiceError` with the typed
+        kinds ``transport`` (connection died), ``timeout`` (socket
+        timeout), or ``protocol`` (unparseable response line).
+        """
+        if self._file is None:
+            raise _protocol_error("transport", "client is closed")
+        try:
+            self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except socket.timeout as err:
+            raise _protocol_error(
+                "timeout", f"no response within {self._timeout:g}s"
+            ) from err
+        except (ConnectionError, OSError) as err:
+            raise _protocol_error(
+                "transport", f"connection failed: {err}"
+            ) from err
+        if not line:
+            raise _protocol_error(
+                "transport", "server closed the connection"
+            )
+        try:
+            return json.loads(line.decode("utf-8"))
+        except ValueError as err:
+            raise _protocol_error(
+                "protocol", f"unparseable response line: {err}"
+            ) from err
+
+    def _checked_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         response = self.request(payload)
         if not response.get("ok"):
             raise ServiceError(response.get("error") or {})
         return response
+
+    def checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`request`, but raises :class:`ServiceError` on
+        ``ok: false`` responses — retrying retryable failures up to
+        ``self.retries`` times with exponential backoff + jitter."""
+        attempt = 0
+        while True:
+            try:
+                return self._checked_once(payload)
+            except ServiceError as err:
+                if not err.retryable or attempt >= self.retries:
+                    raise
+                if err.kind in _CONNECTION_KINDS:
+                    try:
+                        self._reconnect()
+                    except OSError as reconnect_err:
+                        if attempt + 1 >= self.retries:
+                            raise _protocol_error(
+                                "transport",
+                                f"reconnect failed: {reconnect_err}",
+                            ) from reconnect_err
+                delay = self.backoff * (2 ** attempt)
+                time.sleep(delay * (0.5 + random.random()))  # full-ish jitter
+                attempt += 1
 
     # -- operations -----------------------------------------------------------
 
@@ -110,6 +240,7 @@ class ServiceClient:
         deadline_ms: Optional[float] = None,
         max_cycles: Optional[int] = None,
         filename: Optional[str] = None,
+        chaos: Optional[str] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "op": "compile",
@@ -126,7 +257,35 @@ class ServiceClient:
             payload["max_cycles"] = max_cycles
         if filename is not None:
             payload["filename"] = filename
+        if chaos is not None:
+            payload["chaos"] = chaos
         return self.checked(payload)
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    timeout: float = 600.0,
+    retries: int = 0,
+    backoff: float = 0.05,
+) -> ServiceClient:
+    """Build a :class:`ServiceClient`, retrying connection establishment
+    itself — for clients racing a daemon that is still binding its port
+    (the chaos harness, CI smoke jobs)."""
+    attempt = 0
+    while True:
+        try:
+            return ServiceClient(
+                host, port, timeout=timeout, retries=retries, backoff=backoff
+            )
+        except OSError as err:
+            if attempt >= retries:
+                raise _protocol_error(
+                    "transport", f"cannot connect to {host}:{port}: {err}"
+                ) from err
+            delay = backoff * (2 ** attempt)
+            time.sleep(delay * (0.5 + random.random()))
+            attempt += 1
 
 
 def request_main(argv: Optional[Any] = None) -> int:
@@ -148,6 +307,15 @@ def request_main(argv: Optional[Any] = None) -> int:
     parser.add_argument("--deadline-ms", type=float, default=None)
     parser.add_argument("--entry", default="main")
     parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry transient failures (admission, worker-crash, "
+             "transport) this many times",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.05,
+        help="base retry delay in seconds (doubles per attempt, jittered)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print the raw response object"
     )
     args = parser.parse_args(argv)
@@ -155,7 +323,9 @@ def request_main(argv: Optional[Any] = None) -> int:
     with open(args.file) as handle:
         source = handle.read()
     try:
-        with ServiceClient(args.host, args.port) as client:
+        with connect_with_retry(
+            args.host, args.port, retries=args.retries, backoff=args.backoff
+        ) as client:
             response = client.compile(
                 source,
                 allocator=args.allocator,

@@ -11,8 +11,11 @@ hold open for many requests.  Operations:
     true), ``entry`` (default ``"main"``), ``max_cycles``,
     ``deadline_ms`` (admission + rung policy, below).
 ``{"op": "stats"}``
-    Cache counters plus the server-lifetime per-stage telemetry
-    aggregate (:class:`~repro.resilience.telemetry.MetricsCollector`).
+    Cache counters, the server-lifetime per-stage telemetry aggregate
+    (:class:`~repro.resilience.telemetry.MetricsCollector`), the
+    service health state (``healthy`` / ``degraded`` / ``draining``),
+    and — under process workers — the supervisor's per-worker
+    restart/kill/crash accounting.
 ``{"op": "ping"}``
     Liveness.
 
@@ -21,9 +24,28 @@ Responses carry ``"ok"``; failures put a *frozen*
 (:meth:`StageError.freeze`), which :mod:`repro.service.client` thaws
 back into the proper exception subclass — a remote
 ``MotionValidationError`` is catchable as one.  Non-pipeline failures
-(admission rejection, expired deadlines, malformed requests) use the
-same payload shape with synthetic kinds ``admission`` / ``deadline`` /
-``request``.
+(admission rejection, expired deadlines, malformed requests, worker
+deaths) use the same payload shape with synthetic kinds ``admission`` /
+``deadline`` / ``request`` / ``worker-crash`` / ``worker-timeout`` /
+``poison-pill`` (see docs/ROBUSTNESS.md for the full failure-mode
+matrix).
+
+Worker tiers
+------------
+
+``worker_mode="thread"`` runs compiles on daemon threads inside the
+server process — cheap, but a hung compile wedges its queue slot for
+good and shares the GIL with every other request.
+``worker_mode="process"`` (the ``serve`` default) runs each worker as a
+supervised child **process** (:mod:`repro.service.workers`): a per-job
+wall-clock watchdog SIGKILLs a hung worker and answers the job with a
+typed ``worker-timeout`` error, a crashed worker (nonzero exit, killed
+by the OS) answers its job with ``worker-crash`` and is respawned under
+exponential backoff, and a restart storm flips the service ``degraded``
+— quarantining the offending compile key as a poison pill and demoting
+new work to cheaper ladder rungs — instead of crash-looping.  Both
+modes sit behind the same admission queue and artifact cache, and both
+answer every admitted request exactly once.
 
 Admission and deadlines
 -----------------------
@@ -135,13 +157,44 @@ def _error_payload(kind: str, message: str, **extra: Any) -> Dict[str, Any]:
 @dataclass(order=True)
 class _Job:
     """One queued request.  Orders by (deadline, sequence): earliest
-    deadline first, FIFO among equal/absent deadlines."""
+    deadline first, FIFO among equal/absent deadlines.
+
+    The claim/cancel protocol closes the orphaned-job leak: a submitter
+    whose wait times out *cancels* the job, and a worker must *claim* a
+    job before compiling it.  Exactly one side wins — a cancelled job is
+    skipped by workers without running any compiler stage (counted as
+    ``orphaned_skipped``), and a claimed job is always answered, even if
+    the submitter has already given up (the answer is discarded, which
+    is harmless; the worker was already committed).
+    """
 
     deadline_at: float  # monotonic seconds; +inf when no deadline
     seq: int
     request: Dict[str, Any] = field(compare=False)
     done: threading.Event = field(compare=False, default_factory=threading.Event)
     response: Optional[Dict[str, Any]] = field(compare=False, default=None)
+    _state_lock: threading.Lock = field(
+        compare=False, default_factory=threading.Lock, repr=False
+    )
+    _claimed: bool = field(compare=False, default=False)
+    _cancelled: bool = field(compare=False, default=False)
+
+    def claim(self) -> bool:
+        """Worker side: take ownership.  False if already cancelled."""
+        with self._state_lock:
+            if self._cancelled:
+                return False
+            self._claimed = True
+            return True
+
+    def cancel(self) -> bool:
+        """Submitter side: tombstone an unclaimed job.  False if a
+        worker already claimed it (an answer is coming)."""
+        with self._state_lock:
+            if self._claimed:
+                return False
+            self._cancelled = True
+            return True
 
     def finish(self, response: Dict[str, Any]) -> None:
         self.response = response
@@ -182,15 +235,124 @@ class DeadlineQueue:
             return len(self._heap)
 
 
+@dataclass(frozen=True)
+class PreparedJob:
+    """A validated compile request, planned and ready for a worker.
+
+    Everything a worker (thread or child process) needs to run the cold
+    path, plus the parent-side bookkeeping (cache key, rung decision,
+    admission timestamp) used to assemble the response.  Frozen and
+    plain-data so it ships over a process pipe unchanged.
+    """
+
+    key: str
+    rung: str
+    rung_reason: str
+    source: str
+    k: int
+    schedule: bool
+    execute: bool
+    entry: str
+    max_cycles: Optional[int]
+    filename: str
+    allocator_requested: str
+    chaos: Optional[str]
+    started: float
+
+    def spec(self) -> Dict[str, Any]:
+        """The picklable job body sent to a worker process."""
+        return {
+            "source": self.source,
+            "rung": self.rung,
+            "k": self.k,
+            "schedule": self.schedule,
+            "execute": self.execute,
+            "entry": self.entry,
+            "max_cycles": self.max_cycles,
+            "filename": self.filename,
+            "allocator_requested": self.allocator_requested,
+            "chaos": self.chaos,
+        }
+
+
+def compile_cold(
+    pipeline: PassPipeline, spec: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Full parse -> ... -> allocate (ladder walk) [-> execute].
+
+    Shared by both worker tiers: thread workers call it in-process,
+    process workers call it inside the child
+    (:mod:`repro.service.workers`).  Returns the response body with the
+    serialized image under ``"_blob"``; raises :class:`StageError` when
+    every ladder rung below the starting one fails.
+    """
+    prog = pipeline.compile(
+        spec["source"], filename=spec.get("filename") or "<request>"
+    )
+    attempts = chain_for(spec["rung"])
+    fallbacks: List[FallbackEvent] = []
+    image: Optional[ProgramImage] = None
+    used = spec["rung"]
+    k = spec["k"]
+    for position, attempt in enumerate(attempts):
+        module = prog.fresh_module()
+        functions: Dict[str, FunctionImage] = {}
+        try:
+            for name, func in module.functions.items():
+                result = pipeline.allocate(
+                    func, attempt, k, schedule=spec["schedule"]
+                )
+                functions[name] = FunctionImage(
+                    name, result.code, param_slots(func)
+                )
+        except StageError as err:
+            if position == len(attempts) - 1:
+                raise
+            fallbacks.append(FallbackEvent(attempt, err.stage, err.message))
+            continue
+        image = ProgramImage(list(module.globals.values()), functions)
+        used = attempt
+        break
+    assert image is not None  # last rung re-raises instead of falling out
+
+    blob = dumps_image(image)
+    response: Dict[str, Any] = {
+        "_blob": blob,
+        "allocator_requested": spec["allocator_requested"],
+        "allocator_used": used,
+        "k": k,
+        "schedule": spec["schedule"],
+        "fallbacks": [event.as_dict() for event in fallbacks],
+        "image_sha256": _sha256_hex(blob),
+        "image_bytes": len(blob),
+    }
+    if spec["execute"]:
+        stats = pipeline.execute(
+            image,
+            entry=spec["entry"],
+            max_cycles=spec["max_cycles"],
+            allocator=used,
+            k=k,
+        )
+        response["output"] = stats.output
+        response["cycles"] = stats.total.cycles
+    return response
+
+
 class CompileService:
     """The daemon's engine, socket-free (the TCP layer is below).
 
-    ``workers`` threads pull from the deadline queue; each owns a
-    :class:`PassPipeline` (pipelines keep no cross-request state beyond
-    the config, but the per-worker instance keeps the metrics swap
-    race-free).  ``worker_delay_s`` injects a fixed per-job stall — a
-    chaos/load-testing knob used by the saturation tests and soak runs,
-    zero in production.
+    ``workers`` threads (``worker_mode="thread"``) or supervised child
+    processes (``worker_mode="process"``) pull from the deadline queue;
+    each owns a :class:`PassPipeline` (pipelines keep no cross-request
+    state beyond the config, but the per-worker instance keeps the
+    metrics swap race-free).  ``worker_delay_s`` injects a fixed per-job
+    stall — a chaos/load-testing knob used by the saturation tests and
+    soak runs, zero in production.  ``supervision`` tunes the process
+    tier's watchdog/backoff/circuit-breaker parameters
+    (:class:`repro.service.workers.Supervision`); ``chaos_enabled``
+    makes worker processes honor the ``chaos`` request field
+    (deliberate crash/hang probes — never enable outside a chaos run).
     """
 
     def __init__(
@@ -201,7 +363,12 @@ class CompileService:
         queue_limit: int = 32,
         rung_policy: Sequence[Tuple[float, str]] = DEFAULT_RUNG_POLICY,
         worker_delay_s: float = 0.0,
+        worker_mode: str = "thread",
+        supervision: Optional["Supervision"] = None,
+        chaos_enabled: bool = False,
     ):
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(f"unknown worker_mode {worker_mode!r}")
         self.config = config or PipelineConfig()
         # `cache or ...` would discard a provided cache: an *empty*
         # ArtifactCache is falsy (it has __len__).
@@ -209,16 +376,32 @@ class CompileService:
         self.queue = DeadlineQueue(queue_limit)
         self.rung_policy = tuple(rung_policy)
         self.worker_delay_s = worker_delay_s
+        self.worker_mode = worker_mode
+        self.chaos_enabled = chaos_enabled
+        if supervision is None:
+            from .workers import Supervision
+
+            supervision = Supervision()
+        self.supervision = supervision
         self.metrics = MetricsCollector()
         self._metrics_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
+        self._supervisor = None
         self._stop = threading.Event()
         self._draining = threading.Event()
         self._started = False
         self._requests = 0
         self._rejected = 0
         self._expired = 0
+        self._answered = 0
+        self._cancelled = 0
+        self._orphaned_skipped = 0
         self._workers = workers
+        #: poison-pill bookkeeping: compile keys that killed or hung a
+        #: worker, and the quarantine once a key strikes out.
+        self._strikes: Dict[str, int] = {}
+        self._quarantined: Dict[str, str] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -226,6 +409,17 @@ class CompileService:
         if self._started:
             return
         self._started = True
+        if self.worker_mode == "process":
+            from .workers import ProcessWorkerSupervisor
+
+            self._supervisor = ProcessWorkerSupervisor(
+                self,
+                workers=self._workers,
+                supervision=self.supervision,
+                chaos_enabled=self.chaos_enabled,
+            )
+            self._supervisor.start()
+            return
         for index in range(self._workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"compile-worker-{index}",
@@ -235,12 +429,21 @@ class CompileService:
             self._threads.append(thread)
 
     def drain(self, timeout: float = 30.0) -> None:
-        """Stop admitting, finish queued and in-flight work, stop workers."""
+        """Stop admitting, finish queued and in-flight work, stop workers.
+
+        Under process workers this also reaps every child: in-flight
+        compiles run to completion (or their watchdog), queued jobs are
+        answered, then each worker process is shut down and joined — no
+        zombies survive a drain.
+        """
         self._draining.set()
         deadline = time.monotonic() + timeout
         while len(self.queue) and time.monotonic() < deadline:
             time.sleep(0.01)
         self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.stop(deadline)
+            self._supervisor = None
         for thread in self._threads:
             thread.join(max(0.0, deadline - time.monotonic()) + 1.0)
         self._threads = []
@@ -249,6 +452,42 @@ class CompileService:
     @property
     def draining(self) -> bool:
         return self._draining.is_set()
+
+    @property
+    def health(self) -> str:
+        """``healthy`` / ``degraded`` / ``draining``.
+
+        ``degraded`` is the process tier's restart-storm circuit
+        breaker: too many worker deaths inside the storm window.  It
+        clears itself once the window passes without a new death — the
+        "backoff recovery" the chaos harness asserts.
+        """
+        if self._draining.is_set():
+            return "draining"
+        if self._supervisor is not None and self._supervisor.degraded:
+            return "degraded"
+        return "healthy"
+
+    # -- poison-pill quarantine -----------------------------------------------
+
+    def note_strike(self, key: str, reason: str) -> None:
+        """Record that compiling ``key`` killed or hung a worker.  At
+        ``supervision.poison_threshold`` strikes the key is quarantined:
+        further requests for it are answered with a ``poison-pill``
+        error without ever reaching a worker again."""
+        with self._counter_lock:
+            strikes = self._strikes.get(key, 0) + 1
+            self._strikes[key] = strikes
+            if (
+                strikes >= self.supervision.poison_threshold
+                and key not in self._quarantined
+            ):
+                self._quarantined[key] = reason
+
+    def count(self, counter: str, delta: int = 1) -> None:
+        """Thread-safe bump of one of the accounting counters."""
+        with self._counter_lock:
+            setattr(self, f"_{counter}", getattr(self, f"_{counter}") + delta)
 
     # -- request entry points -------------------------------------------------
 
@@ -270,7 +509,7 @@ class CompileService:
                 "error": _error_payload("request", f"unknown op {op!r}"),
             }
         if self._draining.is_set():
-            self._rejected += 1
+            self.count("rejected")
             return {
                 "ok": False,
                 "error": _error_payload(
@@ -284,9 +523,9 @@ class CompileService:
             else time.monotonic() + float(deadline_ms) / 1000.0
         )
         job = _Job(deadline_at=deadline_at, seq=0, request=request)
-        self._requests += 1
+        self.count("requests")
         if not self.queue.offer(job):
-            self._rejected += 1
+            self.count("rejected")
             return {
                 "ok": False,
                 "error": _error_payload(
@@ -301,13 +540,26 @@ class CompileService:
             else float(deadline_ms) / 1000.0 + _GRACE_S
         )
         if not job.done.wait(wait_s):
+            if job.cancel():
+                # Tombstoned before any worker touched it: workers will
+                # skip it without compiling (the orphaned-job fix).
+                self.count("cancelled")
+                return {
+                    "ok": False,
+                    "error": _error_payload(
+                        "deadline", "request timed out waiting for a worker"
+                    ),
+                }
+            # A worker claimed the job in the race window; its answer is
+            # already on the way — give it the grace period.
+            job.done.wait(_GRACE_S)
+        if job.response is None:
             return {
                 "ok": False,
                 "error": _error_payload(
                     "deadline", "request timed out waiting for a worker"
                 ),
             }
-        assert job.response is not None
         return job.response
 
     # -- workers --------------------------------------------------------------
@@ -318,10 +570,15 @@ class CompileService:
             job = self.queue.take(timeout=0.05)
             if job is None:
                 continue
+            if not job.claim():
+                # Tombstoned by a timed-out submitter: skip without
+                # running a single compiler stage.
+                self.count("orphaned_skipped")
+                continue
             if self.worker_delay_s:
                 time.sleep(self.worker_delay_s)
             if job.deadline_at < time.monotonic():
-                self._expired += 1
+                self.count("expired")
                 job.finish(
                     {
                         "ok": False,
@@ -330,6 +587,7 @@ class CompileService:
                         ),
                     }
                 )
+                self.count("answered")
                 continue
             try:
                 job.finish(self._process(pipeline, job.request))
@@ -342,25 +600,40 @@ class CompileService:
                         ),
                     }
                 )
+            self.count("answered")
 
-    def _process(
-        self, pipeline: PassPipeline, request: Dict[str, Any]
-    ) -> Dict[str, Any]:
+    # -- request planning (shared by both worker tiers) ------------------------
+
+    def prepare(
+        self, request: Dict[str, Any], demote: bool = False
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[PreparedJob]]:
+        """Validate and plan one compile request.
+
+        Returns ``(response, None)`` when the request can be answered
+        without a worker — malformed, quarantined as a poison pill, or a
+        cache hit — and ``(None, prepared)`` when the cold path must
+        run.  ``demote`` is the degraded-health policy: start no higher
+        than the linear-scan rung so a struggling service sheds load
+        onto cheap compiles instead of queueing expensive ones.
+        """
         started = time.perf_counter()
         source = request.get("source")
         if not isinstance(source, str) or not source:
-            return {
-                "ok": False,
-                "error": _error_payload("request", "missing source"),
-            }
+            return (
+                {"ok": False, "error": _error_payload("request", "missing source")},
+                None,
+            )
         allocator = request.get("allocator", "rap")
         if allocator not in _LADDER_ORDER:
-            return {
-                "ok": False,
-                "error": _error_payload(
-                    "request", f"unknown allocator {allocator!r}"
-                ),
-            }
+            return (
+                {
+                    "ok": False,
+                    "error": _error_payload(
+                        "request", f"unknown allocator {allocator!r}"
+                    ),
+                },
+                None,
+            )
         k = int(request.get("k", 5))
         schedule = bool(request.get("schedule", False))
         execute = bool(request.get("execute", True))
@@ -368,9 +641,26 @@ class CompileService:
         rung, rung_reason = rung_for_deadline(
             allocator, deadline_ms, self.rung_policy
         )
+        if demote and _LADDER_ORDER[rung] < _LADDER_ORDER["linearscan"]:
+            rung = "linearscan"
+            rung_reason += " [degraded: demoted to linearscan]"
 
         key = cache_key(source, rung, k, schedule, self.config)
-        collector = MetricsCollector()
+        quarantine_reason = self._quarantined.get(key)
+        if quarantine_reason is not None:
+            return (
+                {
+                    "ok": False,
+                    "key": key,
+                    "error": _error_payload(
+                        "poison-pill",
+                        f"compile key quarantined: {quarantine_reason}",
+                        key=key,
+                        strikes=self._strikes.get(key, 0),
+                    ),
+                },
+                None,
+            )
         entry = self.cache.get(key)
         if entry is not None:
             response = dict(entry.meta)
@@ -385,116 +675,110 @@ class CompileService:
                     "wall_ms": (time.perf_counter() - started) * 1000.0,
                 }
             )
-            return response
+            return response, None
+        chaos = request.get("chaos")
+        return None, PreparedJob(
+            key=key,
+            rung=rung,
+            rung_reason=rung_reason,
+            source=source,
+            k=k,
+            schedule=schedule,
+            execute=execute,
+            entry=request.get("entry", "main"),
+            max_cycles=request.get("max_cycles"),
+            filename=request.get("filename", "<request>"),
+            allocator_requested=allocator,
+            chaos=chaos if isinstance(chaos, str) else None,
+            started=started,
+        )
 
-        pipeline.metrics = collector
-        try:
-            response = self._compile_cold(
-                pipeline, source, rung, k, schedule, execute, request
-            )
-        except StageError as err:
-            return {
-                "ok": False,
-                "key": key,
-                "cache": "miss",
-                "rung_start": rung,
-                "rung_reason": rung_reason,
-                "stages_run": sorted(collector.stages),
-                "error": err.freeze(),
-                "wall_ms": (time.perf_counter() - started) * 1000.0,
-            }
-        finally:
-            pipeline.metrics = None
-            with self._metrics_lock:
-                self.metrics.merge(collector.stages)
-
-        meta = dict(response)
-        meta["telemetry"] = collector.as_dict()
-        blob = response.pop("_blob")
-        meta.pop("_blob")
-        self.cache.put(key, blob, meta)
-        response = meta
+    def assemble_cold_response(
+        self,
+        prepared: PreparedJob,
+        body: Dict[str, Any],
+        stages: Dict[str, Any],
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Cache the artifact from a completed cold compile and build the
+        response.  ``body`` is :func:`compile_cold` output (blob under
+        ``"_blob"``); ``stages`` the stage names that ran."""
+        meta = dict(body)
+        blob = meta.pop("_blob")
+        if telemetry is not None:
+            meta["telemetry"] = telemetry
+        self.cache.put(prepared.key, blob, meta)
+        response = dict(meta)
         response.update(
             {
                 "ok": True,
-                "key": key,
+                "key": prepared.key,
                 "cache": "miss",
-                "rung_start": rung,
-                "rung_reason": rung_reason,
-                "stages_run": sorted(collector.stages),
-                "wall_ms": (time.perf_counter() - started) * 1000.0,
+                "rung_start": prepared.rung,
+                "rung_reason": prepared.rung_reason,
+                "stages_run": sorted(stages),
+                "wall_ms": (time.perf_counter() - prepared.started) * 1000.0,
             }
         )
         return response
 
-    def _compile_cold(
+    def assemble_error_response(
         self,
-        pipeline: PassPipeline,
-        source: str,
-        rung: str,
-        k: int,
-        schedule: bool,
-        execute: bool,
-        request: Dict[str, Any],
+        prepared: PreparedJob,
+        frozen: Dict[str, Any],
+        stages: Sequence[str] = (),
     ) -> Dict[str, Any]:
-        """Full parse -> ... -> allocate (ladder walk) [-> execute]."""
-        prog = pipeline.compile(source, filename=request.get("filename", "<request>"))
-        attempts = chain_for(rung)
-        fallbacks: List[FallbackEvent] = []
-        image: Optional[ProgramImage] = None
-        used = rung
-        for position, attempt in enumerate(attempts):
-            module = prog.fresh_module()
-            functions: Dict[str, FunctionImage] = {}
-            try:
-                for name, func in module.functions.items():
-                    result = pipeline.allocate(
-                        func, attempt, k, schedule=schedule
-                    )
-                    functions[name] = FunctionImage(
-                        name, result.code, param_slots(func)
-                    )
-            except StageError as err:
-                if position == len(attempts) - 1:
-                    raise
-                fallbacks.append(
-                    FallbackEvent(attempt, err.stage, err.message)
-                )
-                continue
-            image = ProgramImage(list(module.globals.values()), functions)
-            used = attempt
-            break
-        assert image is not None  # last rung re-raises instead of falling out
-
-        blob = dumps_image(image)
-        response: Dict[str, Any] = {
-            "_blob": blob,
-            "allocator_requested": request.get("allocator", "rap"),
-            "allocator_used": used,
-            "k": k,
-            "schedule": schedule,
-            "fallbacks": [event.as_dict() for event in fallbacks],
-            "image_sha256": _sha256_hex(blob),
-            "image_bytes": len(blob),
+        """An ``ok: false`` response for a cold path that failed — a
+        pipeline :class:`StageError` or a typed worker failure."""
+        return {
+            "ok": False,
+            "key": prepared.key,
+            "cache": "miss",
+            "rung_start": prepared.rung,
+            "rung_reason": prepared.rung_reason,
+            "stages_run": sorted(stages),
+            "error": frozen,
+            "wall_ms": (time.perf_counter() - prepared.started) * 1000.0,
         }
-        if execute:
-            stats = pipeline.execute(
-                image,
-                entry=request.get("entry", "main"),
-                max_cycles=request.get("max_cycles"),
-                allocator=used,
-                k=k,
+
+    def merge_stage_metrics(self, stages: Dict[str, Any]) -> None:
+        """Fold one job's stage metrics into the server-lifetime
+        aggregate (called by both worker tiers)."""
+        with self._metrics_lock:
+            self.metrics.merge(stages)
+
+    def _process(
+        self, pipeline: PassPipeline, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Thread-tier request body: plan, then cold-compile in-process."""
+        response, prepared = self.prepare(request)
+        if response is not None:
+            return response
+        assert prepared is not None
+        collector = MetricsCollector()
+        pipeline.metrics = collector
+        try:
+            body = compile_cold(pipeline, prepared.spec())
+        except StageError as err:
+            return self.assemble_error_response(
+                prepared, err.freeze(), sorted(collector.stages)
             )
-            response["output"] = stats.output
-            response["cycles"] = stats.total.cycles
-        return response
+        finally:
+            pipeline.metrics = None
+            self.merge_stage_metrics(collector.stages)
+        return self.assemble_cold_response(
+            prepared, body, collector.stages, telemetry=collector.as_dict()
+        )
 
     # -- stats ----------------------------------------------------------------
 
     def _stats_response(self) -> Dict[str, Any]:
         with self._metrics_lock:
             stages = self.metrics.as_dict()
-        return {
+        with self._counter_lock:
+            strikes = dict(self._strikes)
+            quarantined = sorted(self._quarantined)
+        response = {
             "ok": True,
             "op": "stats",
             "cache": self.cache.stats(),
@@ -502,10 +786,20 @@ class CompileService:
             "requests": self._requests,
             "rejected": self._rejected,
             "expired": self._expired,
+            "answered": self._answered,
+            "cancelled": self._cancelled,
+            "orphaned_skipped": self._orphaned_skipped,
             "queue_depth": len(self.queue),
             "workers": self._workers,
+            "worker_mode": self.worker_mode,
+            "health": self.health,
             "draining": self.draining,
+            "poison_strikes": strikes,
+            "quarantined": quarantined,
         }
+        if self._supervisor is not None:
+            response["supervisor"] = self._supervisor.stats()
+        return response
 
 
 def _sha256_hex(blob: bytes) -> str:
@@ -567,8 +861,31 @@ def serve(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=9363)
-    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count (default: one per core for --worker-mode "
+             "process, 2 for threads)",
+    )
     parser.add_argument("--queue-limit", type=int, default=32)
+    parser.add_argument(
+        "--worker-mode", choices=("thread", "process"), default="process",
+        help="process (default): crash-isolated supervised children; "
+             "thread: in-process daemon threads",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job watchdog: a compile running longer is SIGKILLed "
+             "and answered worker-timeout (default: 120)",
+    )
+    parser.add_argument(
+        "--storm-window", type=float, default=None, metavar="SECONDS",
+        help="restart-storm circuit-breaker window (default: 30)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="honor per-request chaos crash/hang probes (chaos "
+             "harness and CI only — never in production)",
+    )
     parser.add_argument(
         "--cache-bytes", type=int, default=None, metavar="N",
         help="in-memory artifact budget (default: 64 MiB)",
@@ -584,15 +901,40 @@ def serve(argv: Optional[Sequence[str]] = None) -> int:
         cache_kwargs["max_bytes"] = args.cache_bytes
     if args.persist_dir is not None:
         cache_kwargs["persist_dir"] = args.persist_dir
+    workers = args.workers
+    if workers is None:
+        if args.worker_mode == "process":
+            from ..bench.parallel import default_jobs
+
+            workers = default_jobs()
+        else:
+            workers = 2
+    from .workers import Supervision
+
+    supervision = Supervision(
+        **{
+            name: value
+            for name, value in (
+                ("job_timeout_s", args.job_timeout),
+                ("storm_window_s", args.storm_window),
+            )
+            if value is not None
+        }
+    )
     service = CompileService(
         cache=ArtifactCache(**cache_kwargs),
-        workers=args.workers,
+        workers=workers,
         queue_limit=args.queue_limit,
+        worker_mode=args.worker_mode,
+        supervision=supervision,
+        chaos_enabled=args.chaos,
     )
     server = CompileServer((args.host, args.port), service)
     host, port = server.server_address[:2]
     print(f"repro service listening on {host}:{port} "
-          f"({args.workers} workers, queue {args.queue_limit})", flush=True)
+          f"({workers} {args.worker_mode} workers, "
+          f"queue {args.queue_limit}"
+          f"{', CHAOS ENABLED' if args.chaos else ''})", flush=True)
 
     def _drain(signum, frame):  # pragma: no cover - signal path
         print("draining...", flush=True)

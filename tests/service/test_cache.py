@@ -7,7 +7,12 @@ import threading
 
 from repro.interp.serialize import FORMAT_VERSION
 from repro.resilience.pipeline import PipelineConfig
-from repro.service.cache import ArtifactCache, CacheEntry, cache_key
+from repro.service.cache import (
+    ArtifactCache,
+    CacheEntry,
+    cache_key,
+    source_fingerprint,
+)
 
 SOURCE = "void main() { print(1); }"
 
@@ -39,6 +44,72 @@ class TestCacheKey:
         assert len({base, loose, merged}) == 3
         # The default config and an explicit default config agree.
         assert cache_key(SOURCE, "rap", 5, config=PipelineConfig()) == base
+
+    def test_code_fingerprint_participates(self):
+        # The compiler's own source is part of the key: a simulated
+        # version bump (different fingerprint) changes every key.
+        base = cache_key(SOURCE, "rap", 5)
+        bumped = cache_key(SOURCE, "rap", 5, code_fingerprint="deadbeef")
+        assert bumped != base
+        # Deterministic for a fixed fingerprint.
+        assert cache_key(SOURCE, "rap", 5, code_fingerprint="deadbeef") == bumped
+
+
+class TestSourceFingerprint:
+    def test_stable_and_sensitive(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        (pkg / "sub").mkdir()
+        (pkg / "sub" / "b.py").write_text("y = 2\n")
+        first = source_fingerprint(str(pkg))
+        assert first == source_fingerprint(str(pkg))  # deterministic
+        (pkg / "a.py").write_text("x = 3\n")
+        assert source_fingerprint(str(pkg)) != first  # content-sensitive
+        (pkg / "a.py").write_text("x = 1\n")
+        assert source_fingerprint(str(pkg)) == first  # restored == original
+
+    def test_rename_changes_the_digest(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        first = source_fingerprint(str(pkg))
+        os.rename(pkg / "a.py", pkg / "b.py")
+        assert source_fingerprint(str(pkg)) != first
+
+    def test_non_python_and_pycache_ignored(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        first = source_fingerprint(str(pkg))
+        (pkg / "notes.txt").write_text("irrelevant")
+        (pkg / "__pycache__").mkdir()
+        (pkg / "__pycache__" / "a.cpython-311.pyc").write_bytes(b"\0\1")
+        assert source_fingerprint(str(pkg)) == first
+
+    def test_default_root_is_memoized(self):
+        assert source_fingerprint() == source_fingerprint()
+        assert len(source_fingerprint()) == 64  # sha256 hex
+
+    def test_version_bump_misses_the_disk_tier(self, tmp_path):
+        # The ROADMAP carried item, pinned: artifacts persisted by one
+        # code version must not be served by another.  A bumped
+        # fingerprint derives a different key, so the restarted "new
+        # code" server finds the disk tier cold.
+        cache = ArtifactCache(persist_dir=str(tmp_path))
+        old_key = cache_key(SOURCE, "rap", 5, code_fingerprint="version-1")
+        cache.put(old_key, _blob("v1"), {"n": 1})
+
+        restarted = ArtifactCache(persist_dir=str(tmp_path))
+        new_key = cache_key(SOURCE, "rap", 5, code_fingerprint="version-2")
+        assert new_key != old_key
+        assert restarted.get(new_key) is None  # cold: recompile
+        # Same version still warm across the restart.
+        same = restarted.get(
+            cache_key(SOURCE, "rap", 5, code_fingerprint="version-1")
+        )
+        assert same is not None and same.blob == _blob("v1")
+        assert restarted.disk_hits == 1
 
 
 class TestLRUAccounting:

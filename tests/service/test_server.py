@@ -321,6 +321,73 @@ class TestAdmissionControl:
             service.drain(timeout=5.0)
 
 
+class TestOrphanedJobs:
+    """Regression: a submitter whose wait times out used to leave the
+    job live in the queue, and a worker later compiled it for nobody.
+    The claim/cancel protocol tombstones it instead."""
+
+    def test_claim_and_cancel_are_mutually_exclusive(self):
+        job = _Job(float("inf"), 0, {})
+        assert job.cancel()  # submitter gave up first
+        assert not job.claim()  # worker must skip it
+        other = _Job(float("inf"), 0, {})
+        assert other.claim()  # worker got there first
+        assert not other.cancel()  # submitter must keep waiting
+
+    def test_cancelled_job_is_skipped_without_compiling(self):
+        service = CompileService(workers=1)
+        job = _Job(float("inf"), 0, compile_request(TRIVIAL))
+        assert service.queue.offer(job)
+        assert job.cancel()
+        service.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while service._orphaned_skipped == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert service._orphaned_skipped == 1
+            # Never claimed, never answered, never compiled.
+            assert job.response is None
+            assert "parse" not in service.metrics.stages
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_timed_out_submit_tombstones_the_job(self, monkeypatch):
+        from repro.service import server as server_mod
+
+        # Shrink the grace period so the submit-side wait (deadline +
+        # grace) elapses while the single worker is still stalled on a
+        # blocker job.
+        monkeypatch.setattr(server_mod, "_GRACE_S", 0.01)
+        service = CompileService(workers=1, worker_delay_s=0.4)
+        service.start()
+        try:
+            results = []
+            blocker = _submit_async(
+                service, compile_request(TRIVIAL, k=3), results, "blocker"
+            )
+            time.sleep(0.05)  # blocker claimed and stalled in its delay
+            doomed = service.submit(compile_request(TRIVIAL, k=9, deadline_ms=50))
+            assert not doomed["ok"]
+            assert doomed["error"]["kind"] == "deadline"
+            assert service._cancelled == 1
+            blocker.join(timeout=10)
+            assert results[0][1]["ok"]
+            # The worker skipped the tombstone instead of compiling it.
+            deadline = time.monotonic() + 5.0
+            while service._orphaned_skipped == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert service._orphaned_skipped == 1
+            stats = service.submit({"op": "stats"})
+            # Conservation: every admitted request is accounted exactly
+            # once across answered/cancelled.
+            assert (
+                stats["requests"]
+                == stats["answered"] + stats["cancelled"] + stats["rejected"]
+            )
+        finally:
+            service.drain(timeout=5.0)
+
+
 class TestDrain:
     def test_drain_finishes_queued_work_then_rejects(self):
         service = CompileService(workers=1, queue_limit=8, worker_delay_s=0.05)

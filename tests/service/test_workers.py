@@ -1,0 +1,297 @@
+"""The supervised process worker tier: crash isolation, the per-job
+watchdog, respawn backoff, the restart-storm circuit breaker, poison-pill
+quarantine, and zombie-free drain."""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.resilience.errors import StageError
+from repro.service.server import CompileService
+from repro.service.workers import Supervision
+
+TRIVIAL = "void main() { print(7); }"
+
+SIEVE_LIKE = """
+void main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 25; i = i + 1) { s = s + i * i; }
+    print(s);
+}
+"""
+
+
+def compile_request(source=TRIVIAL, **overrides):
+    request = {"op": "compile", "source": source, "allocator": "rap", "k": 5}
+    request.update(overrides)
+    return request
+
+
+def make_service(**overrides):
+    kwargs = dict(
+        workers=1,
+        worker_mode="process",
+        chaos_enabled=True,
+        supervision=Supervision(
+            job_timeout_s=2.0,
+            backoff_base_s=0.01,
+            backoff_cap_s=0.1,
+            storm_threshold=3,
+            storm_window_s=1.0,
+            poison_threshold=2,
+        ),
+    )
+    kwargs.update(overrides)
+    service = CompileService(**kwargs)
+    service.start()
+    return service
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestProcessColdAndWarm:
+    def test_cold_compile_crosses_the_process_boundary(self):
+        service = make_service()
+        try:
+            cold = service.submit(compile_request(SIEVE_LIKE))
+            assert cold["ok"] and cold["cache"] == "miss"
+            assert "parse" in cold["stages_run"]
+            assert cold["output"]  # executed in the child, shipped back
+            # Stage telemetry merged parent-side from the child's run.
+            assert service.metrics.stages["allocate"].calls >= 1
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_warm_hit_is_answered_parent_side(self):
+        service = make_service()
+        try:
+            cold = service.submit(compile_request(SIEVE_LIKE))
+            jobs_before = service._supervisor.stats()["workers"][0]["jobs_done"]
+            warm = service.submit(compile_request(SIEVE_LIKE))
+            assert warm["cache"] == "hit"
+            assert warm["stages_run"] == []
+            assert warm["image_sha256"] == cold["image_sha256"]
+            # The hit never reached the child process.
+            jobs_after = service._supervisor.stats()["workers"][0]["jobs_done"]
+            assert jobs_after == jobs_before
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_thread_and_process_tiers_agree_byte_for_byte(self):
+        proc = make_service()
+        threaded = CompileService(workers=1, worker_mode="thread")
+        threaded.start()
+        try:
+            a = proc.submit(compile_request(SIEVE_LIKE, k=6))
+            b = threaded.submit(compile_request(SIEVE_LIKE, k=6))
+            assert a["ok"] and b["ok"]
+            assert a["image_sha256"] == b["image_sha256"]
+            assert a["output"] == b["output"]
+            assert a["key"] == b["key"]
+        finally:
+            proc.drain(timeout=5.0)
+            threaded.drain(timeout=5.0)
+
+    def test_stage_error_thaws_across_the_pipe(self):
+        service = make_service()
+        try:
+            response = service.submit(
+                compile_request("void main() { int ; }")
+            )
+            assert not response["ok"]
+            error = StageError.thaw(response["error"])
+            assert error.stage == "parse"
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_malformed_requests_answered_without_a_worker(self):
+        service = make_service()
+        try:
+            assert not service.submit({"op": "nope"})["ok"]
+            response = service.submit(compile_request(allocator="wat"))
+            assert not response["ok"]
+            assert "wat" in response["error"]["message"]
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestCrashIsolation:
+    def test_crash_is_answered_typed_and_worker_respawns(self):
+        service = make_service()
+        try:
+            crashed = service.submit(
+                compile_request(TRIVIAL + "// crash", chaos="crash")
+            )
+            assert not crashed["ok"]
+            assert crashed["error"]["kind"] == "worker-crash"
+            assert "exit" in crashed["error"]["message"]
+            # The daemon survived and the respawned child still compiles.
+            after = service.submit(compile_request(SIEVE_LIKE))
+            assert after["ok"]
+            sup = service._supervisor.stats()
+            assert sup["crashes"] == 1
+            assert sup["restarts"] >= 1
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_chaos_directive_ignored_when_not_enabled(self):
+        service = make_service(chaos_enabled=False)
+        try:
+            response = service.submit(
+                compile_request(TRIVIAL, chaos="crash")
+            )
+            assert response["ok"]  # compiled normally; probe inert
+            assert service._supervisor.stats()["crashes"] == 0
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_hang_is_killed_by_the_watchdog_within_budget(self):
+        service = make_service()
+        try:
+            started = time.monotonic()
+            hung = service.submit(
+                compile_request(TRIVIAL + "// hang", chaos="hang")
+            )
+            elapsed = time.monotonic() - started
+            assert not hung["ok"]
+            assert hung["error"]["kind"] == "worker-timeout"
+            # Watchdog (2s) + kill/respawn slack — nowhere near the
+            # client's socket timeout.
+            assert elapsed < 2.0 + 3.0
+            assert service._supervisor.stats()["watchdog_fires"] == 1
+            # Service still alive afterwards.
+            assert service.submit(compile_request(SIEVE_LIKE))["ok"]
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestPoisonPill:
+    def test_striking_key_is_quarantined(self):
+        service = make_service()
+        try:
+            probe = compile_request(TRIVIAL + "// poison", chaos="crash")
+            for _ in range(2):  # poison_threshold strikes
+                response = service.submit(probe)
+                assert response["error"]["kind"] == "worker-crash"
+            crashes_before = service._supervisor.stats()["crashes"]
+            quarantined = service.submit(probe)
+            assert quarantined["error"]["kind"] == "poison-pill"
+            assert "quarantined" in quarantined["error"]["message"]
+            # Answered pre-dispatch: no worker died for it.
+            assert service._supervisor.stats()["crashes"] == crashes_before
+            stats = service.submit({"op": "stats"})
+            assert len(stats["quarantined"]) == 1
+            # Other keys are unaffected.
+            assert service.submit(compile_request(SIEVE_LIKE))["ok"]
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestRestartStorm:
+    def test_storm_degrades_demotes_and_recovers(self):
+        service = make_service(
+            supervision=Supervision(
+                job_timeout_s=2.0,
+                backoff_base_s=0.01,
+                backoff_cap_s=0.05,
+                storm_threshold=2,
+                storm_window_s=1.5,
+                poison_threshold=10,  # keep quarantine out of this test
+            )
+        )
+        try:
+            # Two distinct crashing keys inside the window trip the
+            # breaker without quarantining either key.
+            for tag in ("a", "b"):
+                service.submit(
+                    compile_request(TRIVIAL + f"// storm {tag}", chaos="crash")
+                )
+            assert service.health == "degraded"
+            # New work is demoted to the cheap rung while degraded.
+            demoted = service.submit(compile_request(SIEVE_LIKE))
+            assert demoted["ok"]
+            assert demoted["rung_start"] == "linearscan"
+            assert "degraded" in demoted["rung_reason"]
+            # The window passes quietly: health self-recovers.
+            assert wait_until(lambda: service.health == "healthy", timeout=3.0)
+            full = service.submit(compile_request(SIEVE_LIKE))
+            assert full["ok"] and full["rung_start"] == "rap"
+            # Demotion changed the key: no stale collision between the
+            # degraded and full-rung artifacts.
+            assert demoted["key"] != full["key"]
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestProcessDrain:
+    def test_drain_answers_in_flight_and_reaps_children(self):
+        service = make_service(workers=2)
+        supervisor = service._supervisor
+        try:
+            results = []
+
+            def submit(request, name):
+                def run():
+                    results.append((name, service.submit(request)))
+
+                thread = threading.Thread(target=run, daemon=True)
+                thread.start()
+                return thread
+
+            threads = [
+                submit(compile_request(SIEVE_LIKE, k=3 + i), f"j{i}")
+                for i in range(4)
+            ]
+            time.sleep(0.05)  # some in flight, some queued
+            service.drain(timeout=10.0)
+            for thread in threads:
+                thread.join(timeout=10)
+            assert len(results) == 4
+            assert all(response["ok"] for _, response in results)
+        finally:
+            if service._started:
+                service.drain(timeout=5.0)
+        # Every child reaped: no zombies survive a drain.
+        assert supervisor.reaped()
+        assert not any(
+            proc.name.startswith("compile-worker-proc")
+            for proc in multiprocessing.active_children()
+        )
+
+    def test_drain_mid_chaos_still_reaps(self):
+        service = make_service()
+        supervisor = service._supervisor
+        try:
+            # Leave a crashed-and-respawned child running, then drain.
+            service.submit(compile_request(TRIVIAL + "// pre", chaos="crash"))
+            assert service.submit(compile_request(SIEVE_LIKE))["ok"]
+        finally:
+            service.drain(timeout=10.0)
+        assert supervisor.reaped()
+
+    def test_accounting_conserves_every_admitted_request(self):
+        service = make_service()
+        try:
+            service.submit(compile_request(SIEVE_LIKE))
+            service.submit(compile_request(SIEVE_LIKE))  # warm
+            service.submit(compile_request(TRIVIAL + "// c", chaos="crash"))
+            service.submit(compile_request("void main() { int ; }"))
+            stats = service.submit({"op": "stats"})
+            assert (
+                stats["requests"]
+                == stats["answered"] + stats["cancelled"] + stats["rejected"]
+            )
+            assert stats["worker_mode"] == "process"
+            assert "supervisor" in stats
+        finally:
+            service.drain(timeout=5.0)
