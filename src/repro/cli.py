@@ -25,8 +25,10 @@ Usage (``python -m repro ...``):
     python -m repro serve --port 9363              # compile-as-a-service daemon
     python -m repro serve --worker-mode process --job-timeout 30  # supervised
     python -m repro request prog.mc --deadline-ms 200 --retries 3
+    python -m repro router --backend 127.0.0.1:9363 --backend 127.0.0.1:9364
     python -m repro loadgen --requests 40 --port 9363  # latency/hit-rate report
     python -m repro loadgen --chaos --retries 3    # chaos harness (serve --chaos)
+    python -m repro loadgen --saturate --port 9362 --out BENCH_router_baseline.json
 
 The driver is a thin layer over the library; everything it prints can be
 obtained programmatically (see README).  Failures surface as structured
@@ -261,7 +263,8 @@ def cmd_fuzz(args) -> int:
 
 
 def _service_command(name: str, rest: Sequence[str]) -> int:
-    """Dispatch ``serve``/``request``/``loadgen`` to the owning module.
+    """Dispatch ``serve``/``router``/``request``/``loadgen`` to the
+    owning module.
 
     These parsers live next to their implementations
     (:mod:`repro.service`); the driver hands the remaining argv through
@@ -273,6 +276,10 @@ def _service_command(name: str, rest: Sequence[str]) -> int:
         from .service.server import serve
 
         return serve(rest)
+    if name == "router":
+        from .service.router import router_main
+
+        return router_main(rest)
     if name == "request":
         from .service.client import request_main
 
@@ -441,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     # argparse pass (see _service_command) with their own full parsers.
     for name, text in (
         ("serve", "run the compile-as-a-service daemon"),
+        ("router", "consistent-hash front end over N serve daemons"),
         ("request", "send one compile request to a daemon"),
         ("loadgen", "closed-loop load generator for the daemon"),
     ):
@@ -458,7 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
-        if argv and argv[0] in ("serve", "request", "loadgen"):
+        if argv and argv[0] in ("serve", "router", "request", "loadgen"):
             return _service_command(argv[0], argv[1:])
         args = build_parser().parse_args(argv)
         return args.func(args)

@@ -3,13 +3,15 @@
 The rest of the repository is batch-shaped: every ``python -m repro run``
 pays the interpreter start-up, parse, semantic analysis, PDG build, and
 allocation from scratch.  This package keeps one warm process around
-instead:
+instead — and, with the router, N of them behind one address:
 
 * :mod:`repro.service.cache` — a content-addressed artifact store.
   Results are keyed on ``sha256(source ‖ allocator ‖ k ‖ schedule ‖
-  pipeline-config)``, held under an LRU byte budget, and optionally
-  persisted to disk, so a repeat request skips parse -> sema ->
-  pdg-build -> allocate entirely.
+  pipeline-config ‖ code-fingerprint)``, held across per-shard-locked
+  LRU shards under a byte budget, and optionally persisted to disk, so
+  a repeat request skips parse -> sema -> pdg-build -> allocate
+  entirely.  Misses are classified by the key component that changed
+  (source vs config vs code churn) for the ``stats`` op.
 * :mod:`repro.service.server` — a JSON-over-TCP server (stdlib only)
   whose workers reuse the resilient
   :class:`~repro.resilience.pipeline.PassPipeline` and the allocator
@@ -22,32 +24,46 @@ instead:
   per-job watchdog, exponential respawn backoff, a restart-storm
   circuit breaker (``degraded`` health + rung demotion), and
   poison-pill quarantine of compile keys that kill workers.
+* :mod:`repro.service.router` — the consistent-hash front end
+  (``python -m repro router``): sha256 ring with virtual nodes over N
+  backend daemons, background health probes, transport-failover to the
+  ring successor, and deployment-wide ``stats`` aggregation.
 * :mod:`repro.service.client` — the client library behind
   ``python -m repro request``, with typed protocol errors and
   opt-in retry (exponential backoff + jitter) of transient failures.
 * :mod:`repro.service.loadgen` — a closed-loop load generator reporting
-  latency percentiles, throughput, and cache hit rate, plus a
-  ``--chaos`` mode that injects worker crashes, hangs, and malformed
-  requests mid-run and asserts every request is answered exactly once.
+  latency percentiles, throughput, and cache hit rate; a ``--chaos``
+  mode that injects worker crashes, hangs, and malformed requests
+  mid-run and asserts every request is answered exactly once; and a
+  ``--saturate`` mode that steps concurrency to find the knee of the
+  latency/throughput curve.
+* :mod:`repro.service.defaults` — the single source of truth for every
+  service-facing default (ports, budgets, deadlines, supervision).
 
 See docs/SERVICE.md for the protocol and the operational semantics
-(cache keys, deadline policy, supervision, drain behaviour) and
+(cache keys, deadline policy, supervision, drain behaviour),
+docs/OPERATIONS.md for deployment topologies and runbooks, and
 docs/ROBUSTNESS.md for the failure-mode matrix.
 """
 
-from .cache import ArtifactCache, cache_key, source_fingerprint
+from .cache import ArtifactCache, cache_key, key_components, source_fingerprint
 from .client import ServiceClient, ServiceError, connect_with_retry
+from .router import HashRing, RouterService, router_main
 from .server import CompileService, serve
 from .workers import Supervision
 
 __all__ = [
     "ArtifactCache",
     "cache_key",
+    "key_components",
     "source_fingerprint",
     "CompileService",
     "ServiceClient",
     "ServiceError",
     "connect_with_retry",
+    "HashRing",
+    "RouterService",
+    "router_main",
     "Supervision",
     "serve",
 ]

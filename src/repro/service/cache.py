@@ -1,4 +1,4 @@
-"""Content-addressed artifact cache for the compile service.
+"""Content-addressed, shard-locked artifact cache for the compile service.
 
 A cache *key* is the sha256 of everything that determines an allocation
 result: the source text, the allocator name, the register count, the
@@ -17,15 +17,57 @@ code.  Any edit to a ``.py`` file under ``src/repro`` changes every
 key, which simply makes the persisted tier cold — the same degradation
 semantics as a ``FORMAT_VERSION`` bump.
 
-The store itself is a thread-safe LRU over a byte budget: entries are
+Sharding
+--------
+
+The store is split into :data:`~repro.service.defaults.CACHE_SHARDS`
+independent shards routed by key prefix (the leading hex digits of the
+sha256 key), each with its **own lock, LRU order, byte budget, and
+counters**.  A single lock used to serialize the whole warm path:
+every parent-side cache hit — the thing the service exists to make
+fast — queued behind every other hit *and* behind disk-tier writes
+happening under the same lock.  With per-shard locks, hits on
+different shards never contend, and a cold ``put`` writing its disk
+file blocks only the 1/N of the keyspace that hashes beside it.  The
+byte budget divides evenly across shards, so eviction pressure is
+local: each shard runs its own LRU over ``max_bytes / shards``.
+
+Each shard is a thread-safe LRU over its byte budget: entries are
 charged ``len(blob) + len(canonical meta json)``, the least recently
 *used* entry is evicted first, and hit/miss/eviction counters are
-maintained for the server's ``stats`` endpoint and the load generator's
-report.  With ``persist_dir`` set, every entry is also written to disk
-as one JSON file per key; a restarted server finds them there on a
-memory miss (eviction never deletes the disk copy — memory is the hot
-tier, disk the warm one).  Persisted payloads from an older wire format
-are ignored: a version bump simply makes the disk tier cold.
+maintained per shard and aggregated for the server's ``stats`` endpoint
+and the load generator's report.  With ``persist_dir`` set, every entry
+is also written to disk as one JSON file per key; a restarted server
+finds them there on a memory miss (eviction never deletes the disk copy
+— memory is the hot tier, disk the warm one).  Persisted payloads from
+an older wire format are ignored: a version bump simply makes the disk
+tier cold.
+
+Miss observability
+------------------
+
+A miss rate alone cannot tell an operator *why* the cache is cold: a
+fresh deploy (code-fingerprint churn), a config flip (pipeline-config
+churn), and a genuinely new workload (source churn) all look identical.
+When callers pass the key's *components* (:func:`key_components`) along
+with the key, every miss is classified against what this cache has seen
+before:
+
+* ``code`` — the same (source, allocator, k, schedule, config) was
+  cached under a **different code fingerprint**: a deploy made the
+  tier cold, recompiles will warm it back;
+* ``config`` — the same request was cached under a **different
+  pipeline config**: someone flipped a verification switch or the
+  granularity;
+* ``source`` — this (source, parameters) combination has never been
+  seen: workload churn, the miss is honest;
+* ``unclassified`` — the caller did not supply components.
+
+The breakdown is reported by :meth:`ArtifactCache.stats` under
+``miss_kinds`` and surfaced by the server's ``stats`` op — see
+docs/OPERATIONS.md for how to read it.  Classification state is
+per-process (a restarted daemon starts with an empty history), which is
+exactly the horizon an operator watching a live daemon cares about.
 """
 
 from __future__ import annotations
@@ -36,14 +78,18 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..interp.serialize import FORMAT_VERSION
 from ..resilience.pipeline import PipelineConfig
+from . import defaults
 
 #: Default in-memory budget: generous for this repository's programs
 #: (a serialized bench image is a few tens of KB).
-DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+DEFAULT_MAX_BYTES = defaults.CACHE_BYTES
+
+#: Default shard count (single-sourced in repro.service.defaults).
+DEFAULT_SHARDS = defaults.CACHE_SHARDS
 
 #: Memoized :func:`source_fingerprint` for the installed package tree.
 _SOURCE_FINGERPRINT: Optional[str] = None
@@ -91,6 +137,42 @@ def config_fingerprint(config: Optional[PipelineConfig]) -> Dict[str, Any]:
     return asdict(config or PipelineConfig())
 
 
+def _digest(payload: Any) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def key_components(
+    source: str,
+    allocator: str,
+    k: int,
+    schedule: bool = False,
+    config: Optional[PipelineConfig] = None,
+    code_fingerprint: Optional[str] = None,
+) -> Dict[str, str]:
+    """The cache key's inputs, each digested separately.
+
+    Passed alongside the key to :meth:`ArtifactCache.get` so a miss can
+    be attributed to the component that actually changed (source vs
+    config vs code churn) instead of counting as an opaque miss.
+    ``params`` folds together the request shape that is neither source
+    nor config: allocator, k, schedule, and the wire-format version.
+    """
+    return {
+        "source": _digest(source),
+        "params": _digest(
+            {
+                "format": FORMAT_VERSION,
+                "allocator": allocator,
+                "k": k,
+                "schedule": bool(schedule),
+            }
+        ),
+        "config": _digest(config_fingerprint(config)),
+        "code": code_fingerprint or source_fingerprint(),
+    }
+
+
 def cache_key(
     source: str,
     allocator: str,
@@ -115,8 +197,7 @@ def cache_key(
         "config": config_fingerprint(config),
         "code": code_fingerprint or source_fingerprint(),
     }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return _digest(payload)
 
 
 @dataclass(frozen=True)
@@ -142,14 +223,13 @@ class CacheEntry:
         )
 
 
-class ArtifactCache:
-    """Thread-safe content-addressed LRU store with optional disk tier."""
+class _Shard:
+    """One lock domain: an LRU memory tier over a private byte budget
+    plus the shard's slice of the shared disk directory.  Keys never
+    move between shards (routing is a pure function of the key), so no
+    cross-shard coordination exists anywhere."""
 
-    def __init__(
-        self,
-        max_bytes: int = DEFAULT_MAX_BYTES,
-        persist_dir: Optional[str] = None,
-    ):
+    def __init__(self, max_bytes: int, persist_dir: Optional[str]):
         self.max_bytes = max_bytes
         self.persist_dir = persist_dir
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
@@ -159,19 +239,10 @@ class ArtifactCache:
         self.misses = 0
         self.evictions = 0
         self.disk_hits = 0
-        if persist_dir:
-            os.makedirs(persist_dir, exist_ok=True)
 
     # -- lookup ---------------------------------------------------------------
 
     def get(self, key: str) -> Optional[CacheEntry]:
-        """The entry for ``key``, or None (a miss).
-
-        A memory hit refreshes LRU recency.  On a memory miss the disk
-        tier (when configured) is consulted; a disk hit is promoted back
-        into memory — possibly evicting colder entries — and counted as
-        both a hit and a ``disk_hit``.
-        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -190,13 +261,6 @@ class ArtifactCache:
     # -- insertion ------------------------------------------------------------
 
     def put(self, key: str, blob: bytes, meta: Dict[str, Any]) -> CacheEntry:
-        """Store an artifact; returns the (frozen) entry.
-
-        Re-putting an existing key replaces the entry (last write wins —
-        identical by construction, since the key covers every input).
-        An entry larger than the whole budget is persisted to disk but
-        not held in memory.
-        """
         entry = CacheEntry(key, bytes(blob), dict(meta))
         with self._lock:
             self._persist(entry)
@@ -259,7 +323,7 @@ class ArtifactCache:
 
     # -- accounting -----------------------------------------------------------
 
-    def stats(self) -> Dict[str, Any]:
+    def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -269,13 +333,11 @@ class ArtifactCache:
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
-                "code_fingerprint": source_fingerprint(),
-                "hit_rate": (
-                    self.hits / (self.hits + self.misses)
-                    if (self.hits + self.misses)
-                    else 0.0
-                ),
             }
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
 
     def __len__(self) -> int:
         with self._lock:
@@ -285,3 +347,183 @@ class ArtifactCache:
     def total_bytes(self) -> int:
         with self._lock:
             return self._bytes
+
+
+class ArtifactCache:
+    """Thread-safe content-addressed store: ``shards`` independent LRU
+    shards (per-shard locks and byte budgets) over an optional shared
+    disk tier, with per-component miss classification.
+
+    ``max_bytes`` is the *total* memory budget, divided evenly across
+    shards; ``shards=1`` recovers the historical single-lock behavior
+    (one global LRU order), which some accounting tests rely on.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        persist_dir: Optional[str] = None,
+        shards: int = DEFAULT_SHARDS,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.max_bytes = max_bytes
+        self.persist_dir = persist_dir
+        self.shards = shards
+        if persist_dir:
+            os.makedirs(persist_dir, exist_ok=True)
+        per_shard = max(1, max_bytes // shards)
+        self._shards = [_Shard(per_shard, persist_dir) for _ in range(shards)]
+        # Miss-classification history: tiny dict lookups under a
+        # dedicated lock — never held across disk IO or shard work.
+        self._ident_lock = threading.Lock()
+        self._code_by_ident: Dict[str, str] = {}
+        self._config_by_ident: Dict[str, str] = {}
+        self._miss_kinds = {
+            "source": 0,
+            "config": 0,
+            "code": 0,
+            "unclassified": 0,
+        }
+
+    # -- shard routing --------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        """The shard index for ``key``: its leading hex digits modulo
+        the shard count.  Non-hex keys (tests, ad-hoc callers) fall
+        back to hashing the whole key — still a pure function."""
+        try:
+            value = int(key[:8], 16)
+        except ValueError:
+            value = int.from_bytes(
+                hashlib.sha256(key.encode("utf-8")).digest()[:4], "big"
+            )
+        return value % self.shards
+
+    def _shard(self, key: str) -> _Shard:
+        return self._shards[self.shard_of(key)]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(
+        self, key: str, components: Optional[Dict[str, str]] = None
+    ) -> Optional[CacheEntry]:
+        """The entry for ``key``, or None (a miss).
+
+        A memory hit refreshes the shard's LRU recency.  On a memory
+        miss the disk tier (when configured) is consulted; a disk hit
+        is promoted back into memory — possibly evicting colder entries
+        of the same shard — and counted as both a hit and a
+        ``disk_hit``.  ``components`` (from :func:`key_components`)
+        lets a miss be classified by the input that changed.
+        """
+        entry = self._shard(key).get(key)
+        if entry is None:
+            kind = self._classify_miss(components)
+            with self._ident_lock:
+                self._miss_kinds[kind] += 1
+        return entry
+
+    # -- insertion ------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        blob: bytes,
+        meta: Dict[str, Any],
+        components: Optional[Dict[str, str]] = None,
+    ) -> CacheEntry:
+        """Store an artifact; returns the (frozen) entry.
+
+        Re-putting an existing key replaces the entry (last write wins —
+        identical by construction, since the key covers every input).
+        An entry larger than its shard's budget is persisted to disk but
+        not held in memory.  ``components`` feed the miss-classification
+        history so later misses can be attributed.
+        """
+        if components is not None:
+            self._record_components(components)
+        return self._shard(key).put(key, blob, meta)
+
+    # -- miss classification --------------------------------------------------
+
+    @staticmethod
+    def _idents(components: Dict[str, str]) -> Any:
+        base = components["source"] + "\0" + components["params"]
+        return (
+            base + "\0" + components["config"],  # identity sans code
+            base + "\0" + components["code"],  # identity sans config
+        )
+
+    def _record_components(self, components: Dict[str, str]) -> None:
+        ident_sans_code, ident_sans_config = self._idents(components)
+        with self._ident_lock:
+            self._code_by_ident[ident_sans_code] = components["code"]
+            self._config_by_ident[ident_sans_config] = components["config"]
+
+    def _classify_miss(self, components: Optional[Dict[str, str]]) -> str:
+        if components is None:
+            return "unclassified"
+        ident_sans_code, ident_sans_config = self._idents(components)
+        with self._ident_lock:
+            known_code = self._code_by_ident.get(ident_sans_code)
+            if known_code is not None and known_code != components["code"]:
+                return "code"
+            known_config = self._config_by_ident.get(ident_sans_config)
+            if (
+                known_config is not None
+                and known_config != components["config"]
+            ):
+                return "config"
+        return "source"
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(shard.evictions for shard in self._shards)
+
+    @property
+    def disk_hits(self) -> int:
+        return sum(shard.disk_hits for shard in self._shards)
+
+    def miss_kinds(self) -> Dict[str, int]:
+        with self._ident_lock:
+            return dict(self._miss_kinds)
+
+    def keys(self) -> List[str]:
+        """Every key currently held in memory, across all shards."""
+        return [key for shard in self._shards for key in shard.keys()]
+
+    def stats(self) -> Dict[str, Any]:
+        snapshots = [shard.snapshot() for shard in self._shards]
+        totals = {
+            field: sum(snap[field] for snap in snapshots)
+            for field in ("entries", "bytes", "hits", "misses", "disk_hits",
+                          "evictions")
+        }
+        hits, misses = totals["hits"], totals["misses"]
+        return {
+            **totals,
+            "max_bytes": self.max_bytes,
+            "shard_count": self.shards,
+            "shards": snapshots,
+            "miss_kinds": self.miss_kinds(),
+            "code_fingerprint": source_fingerprint(),
+            "hit_rate": hits / (hits + misses) if (hits + misses) else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(shard.total_bytes for shard in self._shards)

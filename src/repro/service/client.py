@@ -42,6 +42,7 @@ import time
 from typing import Any, Dict, Optional
 
 from ..resilience.errors import StageError
+from . import defaults
 
 _PIPELINE_KINDS = {
     "stage",
@@ -53,7 +54,9 @@ _PIPELINE_KINDS = {
 
 #: Server-answered error kinds that are safe to retry: transient
 #: conditions where replaying an idempotent compile can succeed.
-RETRYABLE_KINDS = frozenset({"admission", "worker-crash"})
+#: ``no-backend`` is the router's "every ring node was down" answer —
+#: retried because backends respawn/recover underneath a live router.
+RETRYABLE_KINDS = frozenset({"admission", "worker-crash", "no-backend"})
 
 #: Client-synthesized kinds for failures below the response layer.
 _CONNECTION_KINDS = frozenset({"transport", "timeout"})
@@ -113,9 +116,10 @@ class ServiceClient:
     historical fail-fast behavior.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 9363,
-                 timeout: float = 600.0, retries: int = 0,
-                 backoff: float = 0.05):
+    def __init__(self, host: str = defaults.HOST, port: int = defaults.PORT,
+                 timeout: float = defaults.CLIENT_TIMEOUT_S,
+                 retries: int = defaults.CLIENT_RETRIES,
+                 backoff: float = defaults.CLIENT_BACKOFF_S):
         self._host = host
         self._port = port
         self._timeout = timeout
@@ -232,8 +236,8 @@ class ServiceClient:
     def compile(
         self,
         source: str,
-        allocator: str = "rap",
-        k: int = 5,
+        allocator: str = defaults.ALLOCATOR,
+        k: int = defaults.K,
         schedule: bool = False,
         execute: bool = True,
         entry: str = "main",
@@ -265,9 +269,9 @@ class ServiceClient:
 def connect_with_retry(
     host: str,
     port: int,
-    timeout: float = 600.0,
-    retries: int = 0,
-    backoff: float = 0.05,
+    timeout: float = defaults.CLIENT_TIMEOUT_S,
+    retries: int = defaults.CLIENT_RETRIES,
+    backoff: float = defaults.CLIENT_BACKOFF_S,
 ) -> ServiceClient:
     """Build a :class:`ServiceClient`, retrying connection establishment
     itself — for clients racing a daemon that is still binding its port
@@ -288,37 +292,44 @@ def connect_with_retry(
             attempt += 1
 
 
-def request_main(argv: Optional[Any] = None) -> int:
-    """``python -m repro request FILE``: one compile against a daemon."""
+def build_request_parser() -> argparse.ArgumentParser:
+    """The ``repro request`` argument parser (defaults single-sourced in
+    :mod:`repro.service.defaults`; see :func:`..server.build_serve_parser`
+    for why this is a factory)."""
     parser = argparse.ArgumentParser(
         prog="repro request", description="send one compile request"
     )
     parser.add_argument("file", help="Mini-C source file")
-    parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=9363)
+    parser.add_argument("--host", default=defaults.HOST)
+    parser.add_argument("--port", type=int, default=defaults.PORT)
     parser.add_argument(
         "--allocator",
         choices=("gra", "rap", "linearscan", "spillall"),
-        default="rap",
+        default=defaults.ALLOCATOR,
     )
-    parser.add_argument("-k", type=int, default=5)
+    parser.add_argument("-k", type=int, default=defaults.K)
     parser.add_argument("--schedule", action="store_true")
     parser.add_argument("--no-execute", action="store_true")
     parser.add_argument("--deadline-ms", type=float, default=None)
     parser.add_argument("--entry", default="main")
     parser.add_argument(
-        "--retries", type=int, default=0,
+        "--retries", type=int, default=defaults.CLIENT_RETRIES,
         help="retry transient failures (admission, worker-crash, "
-             "transport) this many times",
+             "no-backend, transport) this many times",
     )
     parser.add_argument(
-        "--backoff", type=float, default=0.05,
+        "--backoff", type=float, default=defaults.CLIENT_BACKOFF_S,
         help="base retry delay in seconds (doubles per attempt, jittered)",
     )
     parser.add_argument(
         "--json", action="store_true", help="print the raw response object"
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def request_main(argv: Optional[Any] = None) -> int:
+    """``python -m repro request FILE``: one compile against a daemon."""
+    args = build_request_parser().parse_args(argv)
 
     with open(args.file) as handle:
         source = handle.read()

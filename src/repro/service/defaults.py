@@ -1,0 +1,105 @@
+"""Single source of truth for every service-facing default.
+
+Before this module existed, the same defaults were written out three
+times — in the argparse help strings, in the dataclass/function
+signatures that actually implement them, and in the docs — and the
+copies drifted (the ``serve --help`` watchdog default said one thing
+while :class:`~repro.service.workers.Supervision` said another).  Now
+each default has exactly one definition here; the parsers, the
+implementation defaults, and the docs-check test all read it from this
+module, and ``tests/service/test_defaults.py`` fails the build if a
+signature or a ``--help`` string stops agreeing with it.
+
+Nothing here is configuration — these are *defaults*.  Every one of
+them is overridable per daemon (CLI flags), per client
+(:class:`~repro.service.client.ServiceClient` arguments), or per
+request (protocol fields).
+"""
+
+from __future__ import annotations
+
+# -- addresses ---------------------------------------------------------------
+
+#: Daemons bind, and clients connect, loopback-only unless told otherwise.
+HOST = "127.0.0.1"
+#: The backend compile daemon (``python -m repro serve``).
+PORT = 9363
+#: The consistent-hash front end (``python -m repro router``) — one below
+#: the backend port so a router + backend pair fits the default layout.
+ROUTER_PORT = 9362
+
+# -- the compile daemon ------------------------------------------------------
+
+#: Bounded earliest-deadline-first admission queue depth.
+QUEUE_LIMIT = 32
+#: ``thread`` or ``process``; process is the crash-isolated supervised tier.
+WORKER_MODE = "process"
+#: Worker count for ``--worker-mode thread`` (process mode defaults to
+#: one worker per scheduler-visible core instead).
+THREAD_WORKERS = 2
+#: In-memory artifact budget (bytes): 64 MiB.
+CACHE_BYTES = 64 * 1024 * 1024
+#: Lock shards inside :class:`~repro.service.cache.ArtifactCache`.
+CACHE_SHARDS = 8
+
+# -- supervision (the process worker tier) -----------------------------------
+
+#: Per-job wall-clock watchdog before a hung child is SIGKILLed.
+JOB_TIMEOUT_S = 120.0
+#: First respawn delay after a worker death; doubles per consecutive
+#: death of the same slot, capped.
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
+#: Worker deaths across the pool within the window that flip the
+#: service ``degraded``.
+STORM_THRESHOLD = 3
+STORM_WINDOW_S = 30.0
+#: Crashes/hangs attributed to one compile key before quarantine.
+POISON_THRESHOLD = 2
+
+# -- deadlines ---------------------------------------------------------------
+
+#: ``deadline_ms`` at or below this starts at the linear-scan rung.
+DEADLINE_LINEARSCAN_MS = 250.0
+#: ``deadline_ms`` at or below this (above the linearscan ceiling)
+#: starts at GRA.
+DEADLINE_GRA_MS = 1000.0
+#: How long a handler waits for a deadline-less job before cancelling.
+WAIT_S = 300.0
+#: Extra wait beyond a job's own deadline, covering worker bookkeeping.
+GRACE_S = 60.0
+
+# -- clients -----------------------------------------------------------------
+
+#: Socket timeout for one request/response round trip.
+CLIENT_TIMEOUT_S = 600.0
+#: Retries of transient failures (0 = historical fail-fast behavior).
+CLIENT_RETRIES = 0
+#: Base retry delay; doubles per attempt, jittered.
+CLIENT_BACKOFF_S = 0.05
+
+# -- requests ----------------------------------------------------------------
+
+#: Compile defaults when the request omits them.
+ALLOCATOR = "rap"
+K = 5
+
+# -- the router --------------------------------------------------------------
+
+#: Virtual nodes per backend on the consistent-hash ring.
+ROUTER_VNODES = 64
+#: Seconds between background liveness probes of each backend.
+ROUTER_PROBE_INTERVAL_S = 2.0
+#: Consecutive failed probes (or forwarding failures) before a backend
+#: is marked unhealthy and skipped by the ring.
+ROUTER_PROBE_FAILURES = 2
+
+# -- the saturation harness --------------------------------------------------
+
+#: Closed-loop concurrency steps swept by ``loadgen --saturate``.
+SATURATE_STEPS = (1, 2, 4, 8)
+#: Requests issued at each concurrency step.
+SATURATE_REQUESTS_PER_STEP = 32
+#: A step is "at the knee" once it reaches this fraction of the best
+#: observed throughput; the knee is the smallest such concurrency.
+SATURATE_KNEE_FRACTION = 0.9

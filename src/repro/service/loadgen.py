@@ -55,6 +55,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from . import defaults
 from .client import ServiceClient, ServiceError, connect_with_retry
 
 #: Small, fast bench programs — the default mix base.
@@ -288,13 +289,13 @@ def _run_chaos_probes(
 
 
 def run_loadgen(
-    host: str = "127.0.0.1",
-    port: int = 9363,
+    host: str = defaults.HOST,
+    port: int = defaults.PORT,
     requests: int = 40,
     workers: int = 4,
     mix: Optional[List[Tuple[str, str]]] = None,
-    allocator: str = "rap",
-    k: int = 5,
+    allocator: str = defaults.ALLOCATOR,
+    k: int = defaults.K,
     schedule: bool = False,
     deadline_ms: Optional[float] = None,
     retries: int = 0,
@@ -418,12 +419,117 @@ def run_loadgen(
     return report
 
 
-def loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
+def run_saturation(
+    host: str = defaults.HOST,
+    port: int = defaults.PORT,
+    steps: Sequence[int] = defaults.SATURATE_STEPS,
+    requests_per_step: int = defaults.SATURATE_REQUESTS_PER_STEP,
+    mix: Optional[List[Tuple[str, str]]] = None,
+    allocator: str = defaults.ALLOCATOR,
+    k: int = defaults.K,
+    schedule: bool = False,
+    deadline_ms: Optional[float] = None,
+    retries: int = 0,
+    warmup: bool = True,
+    knee_fraction: float = defaults.SATURATE_KNEE_FRACTION,
+    stream=None,
+) -> Dict[str, Any]:
+    """Step closed-loop concurrency to find the knee of the
+    latency/throughput curve.
+
+    Runs the same repeatable request stream at each concurrency in
+    ``steps`` and reports throughput + latency percentiles per step.
+    Closed-loop saturation looks like throughput flattening while
+    latency keeps climbing (each new client only adds queueing); the
+    *knee* is the smallest concurrency already delivering
+    ``knee_fraction`` of the best observed throughput — past it, extra
+    concurrency buys latency, not work.  An optional warmup pass
+    populates the artifact cache first, so the sweep measures the
+    steady (warm) state rather than cold-compile cost; cold behavior is
+    visible in each step's ``hit_rate``.
+    """
+    if not steps:
+        raise ValueError("need at least one concurrency step")
+    mix = mix if mix is not None else default_mix()
+    common: Dict[str, Any] = {
+        "host": host, "port": port, "mix": mix, "allocator": allocator,
+        "k": k, "schedule": schedule, "deadline_ms": deadline_ms,
+        "retries": retries,
+    }
+    if warmup:
+        if stream is not None:
+            print(f"[saturate] warmup: {len(mix)} requests", file=stream)
+        run_loadgen(requests=len(mix), workers=2, **common)
+    results: List[Dict[str, Any]] = []
+    for concurrency in steps:
+        report = run_loadgen(
+            requests=requests_per_step, workers=concurrency, **common
+        )
+        pct = report.percentiles()
+        step = {
+            "concurrency": concurrency,
+            "requests": report.requests,
+            "ok": report.ok,
+            "errors": report.errors,
+            "unanswered": report.unanswered,
+            "throughput_rps": round(report.throughput_rps, 2),
+            "hit_rate": round(report.hit_rate, 4),
+            **{name: round(value, 3) for name, value in pct.items()},
+        }
+        results.append(step)
+        if stream is not None:
+            print(
+                f"[saturate] c={concurrency}: "
+                f"{step['throughput_rps']:.1f} req/s, "
+                f"p50={step['p50_ms']:.1f}ms p95={step['p95_ms']:.1f}ms, "
+                f"{step['errors']} errors",
+                file=stream,
+            )
+    max_throughput = max(step["throughput_rps"] for step in results)
+    knee = next(
+        (
+            step["concurrency"]
+            for step in results
+            if step["throughput_rps"] >= knee_fraction * max_throughput
+        ),
+        results[-1]["concurrency"],
+    )
+    # A router target reports its backend count; a plain daemon counts 1.
+    backends = 1
+    try:
+        with ServiceClient(host, port, timeout=30.0) as client:
+            stats = client.stats()
+            if "router" in stats:
+                backends = len(stats.get("backends", ())) or 1
+    except (ServiceError, OSError):
+        pass
+    summary = {
+        "target": f"{host}:{port}",
+        "backends": backends,
+        "mix_size": len(mix),
+        "requests_per_step": requests_per_step,
+        "knee_fraction": knee_fraction,
+        "steps": results,
+        "max_throughput_rps": max_throughput,
+        "knee_concurrency": knee,
+    }
+    if stream is not None:
+        print(
+            f"[saturate] knee at c={knee} "
+            f"(max {max_throughput:.1f} req/s across {backends} backend(s))",
+            file=stream,
+        )
+    return summary
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    """The ``repro loadgen`` argument parser (defaults single-sourced in
+    :mod:`repro.service.defaults`)."""
     parser = argparse.ArgumentParser(
         prog="repro loadgen", description="closed-loop service load generator"
     )
-    parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=9363)
+    parser.add_argument("--host", default=defaults.HOST)
+    parser.add_argument("--port", type=int, default=defaults.PORT)
     parser.add_argument("--requests", type=int, default=40)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument(
@@ -437,15 +543,15 @@ def loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--allocator",
         choices=("gra", "rap", "linearscan", "spillall"),
-        default="rap",
+        default=defaults.ALLOCATOR,
     )
-    parser.add_argument("-k", type=int, default=5)
+    parser.add_argument("-k", type=int, default=defaults.K)
     parser.add_argument("--schedule", action="store_true")
     parser.add_argument("--deadline-ms", type=float, default=None)
     parser.add_argument(
-        "--retries", type=int, default=0,
+        "--retries", type=int, default=defaults.CLIENT_RETRIES,
         help="client retries for transient failures (admission, "
-             "worker-crash, transport)",
+             "worker-crash, no-backend, transport)",
     )
     parser.add_argument(
         "--chaos", action="store_true",
@@ -456,10 +562,55 @@ def loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--chaos-hangs", type=int, default=1)
     parser.add_argument("--chaos-malformed", type=int, default=2)
     parser.add_argument(
+        "--saturate", action="store_true",
+        help="step closed-loop concurrency to find the knee of the "
+             "latency/throughput curve instead of one fixed run",
+    )
+    parser.add_argument(
+        "--saturate-steps", type=int, nargs="*",
+        default=list(defaults.SATURATE_STEPS), metavar="N",
+        help="concurrency steps for --saturate "
+             f"(default: {' '.join(str(s) for s in defaults.SATURATE_STEPS)})",
+    )
+    parser.add_argument(
+        "--requests-per-step", type=int,
+        default=defaults.SATURATE_REQUESTS_PER_STEP,
+        help="requests per concurrency step under --saturate "
+             f"(default: {defaults.SATURATE_REQUESTS_PER_STEP})",
+    )
+    parser.add_argument(
         "--out", metavar="FILE", default=None,
         help="write the report as JSON",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_loadgen_parser().parse_args(argv)
+
+    if args.saturate:
+        summary = run_saturation(
+            host=args.host,
+            port=args.port,
+            steps=args.saturate_steps,
+            requests_per_step=args.requests_per_step,
+            mix=default_mix(args.programs, corpus=not args.no_corpus),
+            allocator=args.allocator,
+            k=args.k,
+            schedule=args.schedule,
+            deadline_ms=args.deadline_ms,
+            retries=args.retries,
+            stream=sys.stdout,
+        )
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        clean = all(
+            step["errors"] == 0 and step["unanswered"] == 0
+            for step in summary["steps"]
+        )
+        return 0 if clean else 1
 
     report = run_loadgen(
         host=args.host,

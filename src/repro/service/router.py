@@ -1,0 +1,545 @@
+"""The consistent-hash front end: ``python -m repro router``.
+
+One router process sits in front of N backend ``serve`` daemons and
+speaks the same JSON-lines protocol on both sides, so every existing
+client — :class:`~repro.service.client.ServiceClient`, ``repro
+request``, ``repro loadgen`` — points at the router unchanged.
+
+Routing
+-------
+
+Each compile request is hashed to a position on a sha256 ring
+(:class:`HashRing`): every backend owns
+:data:`~repro.service.defaults.ROUTER_VNODES` *virtual nodes* —
+positions derived from ``sha256("host:port#i")`` — and a request lands
+on the first virtual node at or after its own hash, wrapping at the
+top.  Virtual nodes smooth the load split (a single node per backend
+would partition the ring into a few large, uneven arcs), and
+consistent hashing keeps the map stable under membership change:
+removing a backend reassigns *only the arcs it owned*, so the other
+backends' artifact caches stay warm — the property that makes compile
+keys shardable across daemons at all.
+
+The routing hash covers ``(source, allocator, k, schedule)`` — the
+request identity, not the full artifact key.  The backend derives the
+artifact key itself (folding in deadline-driven rung demotion, pipeline
+config, and its code fingerprint); the router only needs *affinity*:
+the same request always reaches the same backend, so repeats hit that
+backend's cache.
+
+Failover
+--------
+
+A forwarding failure whose kind is connection-shaped (``transport`` /
+``timeout``, or a failed connect) moves the request to the next
+*distinct* backend along the ring — warm affinity is lost for that
+request, but it is answered.  Server-*answered* errors (``admission``,
+a pipeline failure, ``poison-pill``…) are passed through verbatim: the
+backend spoke, and the router does not second-guess typed answers.
+Forwarding to a possibly-dead backend can re-send a compile that
+actually ran — safe for the same reason client retries are: compiles
+are idempotent and artifacts content-addressed.  When every backend has
+been tried the client gets a typed ``no-backend`` error (retryable:
+backends respawn underneath a live router).
+
+A background prober pings every backend each
+:data:`~repro.service.defaults.ROUTER_PROBE_INTERVAL_S`;
+:data:`~repro.service.defaults.ROUTER_PROBE_FAILURES` *consecutive*
+failures — probes and forwarding failures both count — mark a backend
+unhealthy, and unhealthy backends are skipped during routing (tried
+last-resort only when no healthy backend remains).  One successful
+probe restores health: a restarted backend starts taking its arcs back
+within a probe interval, cold but correct.
+
+Responses gain two router fields: ``backend`` (which daemon answered)
+and ``router_failovers`` (ring hops this request took, 0 on the happy
+path).  The ``stats`` op answers with router-level accounting plus each
+backend's own live ``stats`` response and an aggregated cache summary —
+one screen for the whole deployment (docs/OPERATIONS.md shows how to
+read it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import hashlib
+import json
+import signal
+import socketserver
+import sys
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from . import defaults
+from .client import ServiceClient, ServiceError
+from .server import _error_payload
+
+#: Forwarding failures that mean "the backend did not answer" — only
+#: these trigger failover; everything else is a real answer.
+_FAILOVER_KINDS = frozenset({"transport", "timeout"})
+
+
+def affinity_key(request: Dict[str, Any]) -> str:
+    """The ring-position digest for one compile request: sha256 over the
+    request identity (source, allocator, k, schedule).  Deliberately
+    narrower than the artifact key — see the module docstring."""
+    payload = {
+        "source": request.get("source", ""),
+        "allocator": request.get("allocator", defaults.ALLOCATOR),
+        "k": request.get("k", defaults.K),
+        "schedule": bool(request.get("schedule", False)),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes with virtual nodes.
+
+    Positions are the leading 64 bits of ``sha256(f"{node}#{i}")``.
+    Lookup is a binary search over the sorted positions —
+    O(log(nodes x vnodes)) per request, no locks (the ring is immutable
+    after construction; membership *health* is tracked outside it).
+    """
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = defaults.ROUTER_VNODES):
+        if not nodes:
+            raise ValueError("ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.nodes = tuple(nodes)
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for index in range(vnodes):
+                digest = hashlib.sha256(f"{node}#{index}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), node))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [node for _, node in points]
+
+    @staticmethod
+    def _position(key: str) -> int:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def primary(self, key: str) -> str:
+        """The node owning ``key``'s arc."""
+        return next(self.successors(key))
+
+    def successors(self, key: str) -> Iterator[str]:
+        """Every node, in ring order from ``key``'s position, each
+        yielded once — the failover sequence."""
+        start = bisect.bisect_left(self._positions, self._position(key))
+        seen = set()
+        count = len(self._owners)
+        for step in range(count):
+            owner = self._owners[(start + step) % count]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+                if len(seen) == len(self.nodes):
+                    return
+
+
+class Backend:
+    """One backend daemon: address, health, and routing counters."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.name = f"{host}:{port}"
+        self._lock = threading.Lock()
+        self._healthy = True
+        self._consecutive_failures = 0
+        self.routed = 0  # requests this backend answered
+        self.failed = 0  # forwarding attempts it did not answer
+
+    @property
+    def healthy(self) -> bool:
+        with self._lock:
+            return self._healthy
+
+    def note_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._healthy = True
+
+    def note_failure(self, threshold: int, forwarding: bool = False) -> None:
+        with self._lock:
+            if forwarding:
+                self.failed += 1
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= threshold:
+                self._healthy = False
+
+    def note_routed(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._healthy = True
+            self.routed += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "healthy": self._healthy,
+                "consecutive_failures": self._consecutive_failures,
+                "routed": self.routed,
+                "failed": self.failed,
+            }
+
+
+def _parse_backend(spec: str) -> Tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"backend must be HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+class RouterService:
+    """The routing engine, socket-free (mirrors
+    :class:`~repro.service.server.CompileService` below the TCP layer).
+
+    Handler threads call :meth:`handle`; each keeps its own per-backend
+    :class:`ServiceClient` in thread-local storage, so forwarding never
+    serializes on a shared connection and a poisoned connection hurts
+    only the thread that owns it.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[Tuple[str, int]],
+        vnodes: int = defaults.ROUTER_VNODES,
+        probe_interval_s: float = defaults.ROUTER_PROBE_INTERVAL_S,
+        probe_failures: int = defaults.ROUTER_PROBE_FAILURES,
+        timeout: float = defaults.CLIENT_TIMEOUT_S,
+    ):
+        if not backends:
+            raise ValueError("router needs at least one backend")
+        self.backends = {
+            f"{host}:{port}": Backend(host, port) for host, port in backends
+        }
+        if len(self.backends) != len(backends):
+            raise ValueError("duplicate backend address")
+        self.ring = HashRing(sorted(self.backends), vnodes=vnodes)
+        self.probe_interval_s = probe_interval_s
+        self.probe_failures = probe_failures
+        self.timeout = timeout
+        self._local = threading.local()
+        self._counter_lock = threading.Lock()
+        self._requests = 0
+        self._forwarded = 0
+        self._failovers = 0
+        self._no_backend = 0
+        self._stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+        self._started = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._prober is not None:
+            return
+        self._prober = threading.Thread(
+            target=self._probe_loop, name="router-prober", daemon=True
+        )
+        self._prober.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._prober is not None:
+            self._prober.join(self.probe_interval_s + 1.0)
+            self._prober = None
+
+    # -- health probing -------------------------------------------------------
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval_s):
+            for backend in self.backends.values():
+                self.probe(backend)
+
+    def probe(self, backend: Backend) -> bool:
+        """One liveness ping, on a short-lived connection so a wedged
+        backend cannot pin the prober's socket."""
+        try:
+            with ServiceClient(
+                backend.host, backend.port, timeout=self.probe_interval_s
+            ) as client:
+                alive = client.ping()
+        except (ServiceError, OSError):
+            alive = False
+        if alive:
+            backend.note_success()
+        else:
+            backend.note_failure(self.probe_failures)
+        return alive
+
+    # -- forwarding -----------------------------------------------------------
+
+    def _client(self, backend: Backend) -> ServiceClient:
+        clients = getattr(self._local, "clients", None)
+        if clients is None:
+            clients = self._local.clients = {}
+        client = clients.get(backend.name)
+        if client is None:
+            client = ServiceClient(
+                backend.host, backend.port, timeout=self.timeout
+            )
+            clients[backend.name] = client
+        return client
+
+    def _drop_client(self, backend: Backend) -> None:
+        clients = getattr(self._local, "clients", None)
+        if clients is not None:
+            client = clients.pop(backend.name, None)
+            if client is not None:
+                client.close()
+
+    def _count(self, counter: str, delta: int = 1) -> None:
+        with self._counter_lock:
+            setattr(self, f"_{counter}", getattr(self, f"_{counter}") + delta)
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one request object to its answer — always returns,
+        never raises (the exactly-one-typed-answer contract)."""
+        self._count("requests")
+        op = request.get("op")
+        if op == "ping":
+            healthy = sum(1 for b in self.backends.values() if b.healthy)
+            return {
+                "ok": True,
+                "op": "ping",
+                "router": True,
+                "backends_healthy": healthy,
+                "backends_total": len(self.backends),
+            }
+        if op == "stats":
+            return self._stats_response()
+        if op != "compile":
+            return {
+                "ok": False,
+                "error": _error_payload("request", f"unknown op {op!r}"),
+            }
+        return self._forward(request)
+
+    def _forward(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        order = [
+            self.backends[name]
+            for name in self.ring.successors(affinity_key(request))
+        ]
+        # Healthy backends first, in ring order; unhealthy ones only as
+        # a last resort (the probe may simply not have noticed a
+        # recovery yet).
+        attempts = [b for b in order if b.healthy] or order
+        failovers = 0
+        for backend in attempts:
+            try:
+                response = self._client(backend).request(request)
+            except ServiceError as err:
+                if err.kind not in _FAILOVER_KINDS:
+                    # protocol: the backend answered garbage — surface
+                    # it; replaying elsewhere hides a real bug.
+                    return {"ok": False, "error": err.payload}
+                self._drop_client(backend)
+                backend.note_failure(self.probe_failures, forwarding=True)
+                failovers += 1
+                self._count("failovers")
+                continue
+            except OSError:
+                # connect failed before a ServiceClient existed
+                backend.note_failure(self.probe_failures, forwarding=True)
+                failovers += 1
+                self._count("failovers")
+                continue
+            backend.note_routed()
+            self._count("forwarded")
+            if isinstance(response, dict):
+                response.setdefault("backend", backend.name)
+                response["router_failovers"] = failovers
+            return response
+        self._count("no_backend")
+        return {
+            "ok": False,
+            "router_failovers": failovers,
+            "error": _error_payload(
+                "no-backend",
+                f"all {len(self.backends)} backends unreachable",
+                backends=sorted(self.backends),
+            ),
+        }
+
+    # -- stats ----------------------------------------------------------------
+
+    def _stats_response(self) -> Dict[str, Any]:
+        backends: List[Dict[str, Any]] = []
+        cache_totals = {
+            "entries": 0, "bytes": 0, "hits": 0, "misses": 0,
+            "disk_hits": 0, "evictions": 0,
+        }
+        miss_kinds: Dict[str, int] = {}
+        for name in sorted(self.backends):
+            backend = self.backends[name]
+            snap = backend.snapshot()
+            try:
+                live = self._client(backend).request({"op": "stats"})
+            except (ServiceError, OSError):
+                self._drop_client(backend)
+                live = None
+            if live is not None and live.get("ok"):
+                snap["stats"] = live
+                cache = live.get("cache", {})
+                for field in cache_totals:
+                    cache_totals[field] += cache.get(field, 0)
+                for kind, count in cache.get("miss_kinds", {}).items():
+                    miss_kinds[kind] = miss_kinds.get(kind, 0) + count
+            backends.append(snap)
+        with self._counter_lock:
+            router = {
+                "requests": self._requests,
+                "forwarded": self._forwarded,
+                "failovers": self._failovers,
+                "no_backend": self._no_backend,
+                "vnodes": self.ring.vnodes,
+                "uptime_s": time.monotonic() - self._started,
+            }
+        lookups = cache_totals["hits"] + cache_totals["misses"]
+        return {
+            "ok": True,
+            "op": "stats",
+            "router": router,
+            "backends": backends,
+            "cache": {
+                **cache_totals,
+                "miss_kinds": miss_kinds,
+                "hit_rate": cache_totals["hits"] / lookups if lookups else 0.0,
+            },
+        }
+
+
+# ----------------------------------------------------------------------------
+# The TCP layer
+# ----------------------------------------------------------------------------
+
+
+class _RouterHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # one connection, many JSON lines
+        router: RouterService = self.server.router  # type: ignore[attr-defined]
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+            except ValueError as err:
+                response = {
+                    "ok": False,
+                    "error": _error_payload("request", f"bad json: {err}"),
+                }
+            else:
+                response = router.handle(request)
+            try:
+                self.wfile.write(
+                    json.dumps(response, sort_keys=True).encode("utf-8") + b"\n"
+                )
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class RouterServer(socketserver.ThreadingTCPServer):
+    """TCP front of a :class:`RouterService` — same threading shape as
+    :class:`~repro.service.server.CompileServer`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], router: RouterService):
+        super().__init__(address, _RouterHandler)
+        self.router = router
+        router.start()
+
+    def drain_and_shutdown(self) -> None:
+        self.router.stop()
+        self.shutdown()
+
+
+def build_router_parser() -> argparse.ArgumentParser:
+    """The ``repro router`` argument parser (defaults single-sourced in
+    :mod:`repro.service.defaults`)."""
+    parser = argparse.ArgumentParser(
+        prog="repro router",
+        description="consistent-hash front end over N serve daemons",
+    )
+    parser.add_argument("--host", default=defaults.HOST)
+    parser.add_argument("--port", type=int, default=defaults.ROUTER_PORT)
+    parser.add_argument(
+        "--backend", action="append", required=True, metavar="HOST:PORT",
+        help="a backend serve daemon; repeat for each backend",
+    )
+    parser.add_argument(
+        "--vnodes", type=int, default=defaults.ROUTER_VNODES,
+        help="virtual nodes per backend on the hash ring "
+             f"(default: {defaults.ROUTER_VNODES})",
+    )
+    parser.add_argument(
+        "--probe-interval", type=float, default=defaults.ROUTER_PROBE_INTERVAL_S,
+        metavar="SECONDS",
+        help="seconds between backend liveness probes "
+             f"(default: {defaults.ROUTER_PROBE_INTERVAL_S:g})",
+    )
+    parser.add_argument(
+        "--probe-failures", type=int, default=defaults.ROUTER_PROBE_FAILURES,
+        help="consecutive failures before a backend is marked unhealthy "
+             f"(default: {defaults.ROUTER_PROBE_FAILURES})",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=defaults.CLIENT_TIMEOUT_S,
+        metavar="SECONDS",
+        help="per-request forwarding timeout "
+             f"(default: {defaults.CLIENT_TIMEOUT_S:g})",
+    )
+    return parser
+
+
+def router_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro router``: run the front end until SIGTERM/SIGINT."""
+    args = build_router_parser().parse_args(argv)
+    try:
+        backends = [_parse_backend(spec) for spec in args.backend]
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    router = RouterService(
+        backends,
+        vnodes=args.vnodes,
+        probe_interval_s=args.probe_interval,
+        probe_failures=args.probe_failures,
+        timeout=args.timeout,
+    )
+    server = RouterServer((args.host, args.port), router)
+    host, port = server.server_address[:2]
+    print(
+        f"repro router listening on {host}:{port} "
+        f"({len(backends)} backends, {args.vnodes} vnodes each)",
+        flush=True,
+    )
+
+    def _drain(signum, frame):  # pragma: no cover - signal path
+        print("draining...", flush=True)
+        threading.Thread(target=server.drain_and_shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+    print("drained; bye", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(router_main())

@@ -96,24 +96,26 @@ from ..resilience.errors import StageError
 from ..resilience.fallback import FallbackEvent, chain_for
 from ..resilience.pipeline import PassPipeline, PipelineConfig
 from ..resilience.telemetry import MetricsCollector
-from .cache import ArtifactCache, cache_key
+from . import defaults
+from .cache import ArtifactCache, cache_key, key_components
 
 #: (deadline ceiling in ms, starting rung).  Scanned in order; the first
 #: ceiling the deadline fits under wins.  No deadline, or one above every
 #: ceiling, starts at the requested allocator (full RAP by default).
 DEFAULT_RUNG_POLICY: Tuple[Tuple[float, str], ...] = (
-    (250.0, "linearscan"),
-    (1000.0, "gra"),
+    (defaults.DEADLINE_LINEARSCAN_MS, "linearscan"),
+    (defaults.DEADLINE_GRA_MS, "gra"),
 )
 
 #: Ladder position, for "never upgrade past the request" comparisons.
 _LADDER_ORDER = {"rap": 0, "gra": 1, "linearscan": 2, "spillall": 3}
 
 #: How long a handler waits for its job beyond the job's own deadline —
-#: covers the worker's bookkeeping after the deadline check.
-_GRACE_S = 60.0
+#: covers the worker's bookkeeping after the deadline check.  A module
+#: global (not a bare defaults read) so tests can monkeypatch it.
+_GRACE_S = defaults.GRACE_S
 
-_DEFAULT_WAIT_S = 300.0
+_DEFAULT_WAIT_S = defaults.WAIT_S
 
 
 def rung_for_deadline(
@@ -246,6 +248,7 @@ class PreparedJob:
     """
 
     key: str
+    components: Dict[str, str]
     rung: str
     rung_reason: str
     source: str
@@ -359,8 +362,8 @@ class CompileService:
         self,
         config: Optional[PipelineConfig] = None,
         cache: Optional[ArtifactCache] = None,
-        workers: int = 2,
-        queue_limit: int = 32,
+        workers: int = defaults.THREAD_WORKERS,
+        queue_limit: int = defaults.QUEUE_LIMIT,
         rung_policy: Sequence[Tuple[float, str]] = DEFAULT_RUNG_POLICY,
         worker_delay_s: float = 0.0,
         worker_mode: str = "thread",
@@ -402,6 +405,18 @@ class CompileService:
         #: worker, and the quarantine once a key strikes out.
         self._strikes: Dict[str, int] = {}
         self._quarantined: Dict[str, str] = {}
+        #: parent fds worker children must close at birth (the TCP
+        #: listener, registered by serve()) — see workers.py on why an
+        #: inherited listener copy is a real failure mode, not hygiene.
+        self._child_close_fds: set = set()
+
+    def close_fds_in_workers(self, *fds: int) -> None:
+        """Register parent fds (e.g. the server's listening socket) that
+        every process-tier worker child must close at birth.  No-op
+        under thread workers."""
+        self._child_close_fds.update(int(fd) for fd in fds)
+        if self._supervisor is not None:
+            self._supervisor.close_fds_in_children(*fds)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -418,6 +433,7 @@ class CompileService:
                 supervision=self.supervision,
                 chaos_enabled=self.chaos_enabled,
             )
+            self._supervisor.close_fds_in_children(*self._child_close_fds)
             self._supervisor.start()
             return
         for index in range(self._workers):
@@ -623,7 +639,7 @@ class CompileService:
                 {"ok": False, "error": _error_payload("request", "missing source")},
                 None,
             )
-        allocator = request.get("allocator", "rap")
+        allocator = request.get("allocator", defaults.ALLOCATOR)
         if allocator not in _LADDER_ORDER:
             return (
                 {
@@ -634,7 +650,7 @@ class CompileService:
                 },
                 None,
             )
-        k = int(request.get("k", 5))
+        k = int(request.get("k", defaults.K))
         schedule = bool(request.get("schedule", False))
         execute = bool(request.get("execute", True))
         deadline_ms = request.get("deadline_ms")
@@ -646,6 +662,7 @@ class CompileService:
             rung_reason += " [degraded: demoted to linearscan]"
 
         key = cache_key(source, rung, k, schedule, self.config)
+        components = key_components(source, rung, k, schedule, self.config)
         quarantine_reason = self._quarantined.get(key)
         if quarantine_reason is not None:
             return (
@@ -661,7 +678,7 @@ class CompileService:
                 },
                 None,
             )
-        entry = self.cache.get(key)
+        entry = self.cache.get(key, components=components)
         if entry is not None:
             response = dict(entry.meta)
             response.update(
@@ -679,6 +696,7 @@ class CompileService:
         chaos = request.get("chaos")
         return None, PreparedJob(
             key=key,
+            components=components,
             rung=rung,
             rung_reason=rung_reason,
             source=source,
@@ -707,7 +725,9 @@ class CompileService:
         blob = meta.pop("_blob")
         if telemetry is not None:
             meta["telemetry"] = telemetry
-        self.cache.put(prepared.key, blob, meta)
+        self.cache.put(
+            prepared.key, blob, meta, components=prepared.components
+        )
         response = dict(meta)
         response.update(
             {
@@ -854,32 +874,43 @@ class CompileServer(socketserver.ThreadingTCPServer):
         self.shutdown()
 
 
-def serve(argv: Optional[Sequence[str]] = None) -> int:
-    """``python -m repro serve``: run the daemon until SIGTERM/SIGINT."""
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` argument parser.
+
+    A factory (not module state) so the defaults-audit and docs-check
+    tests can introspect flags and defaults; every default interpolates
+    :mod:`repro.service.defaults` so ``--help`` cannot drift from the
+    implementation.
+    """
     parser = argparse.ArgumentParser(
         prog="repro serve", description="compile-as-a-service daemon"
     )
-    parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=9363)
+    parser.add_argument("--host", default=defaults.HOST)
+    parser.add_argument("--port", type=int, default=defaults.PORT)
     parser.add_argument(
         "--workers", type=int, default=None,
         help="worker count (default: one per core for --worker-mode "
-             "process, 2 for threads)",
+             f"process, {defaults.THREAD_WORKERS} for threads)",
     )
-    parser.add_argument("--queue-limit", type=int, default=32)
     parser.add_argument(
-        "--worker-mode", choices=("thread", "process"), default="process",
-        help="process (default): crash-isolated supervised children; "
-             "thread: in-process daemon threads",
+        "--queue-limit", type=int, default=defaults.QUEUE_LIMIT
+    )
+    parser.add_argument(
+        "--worker-mode", choices=("thread", "process"),
+        default=defaults.WORKER_MODE,
+        help=f"{defaults.WORKER_MODE} (default): crash-isolated "
+             "supervised children; thread: in-process daemon threads",
     )
     parser.add_argument(
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         help="per-job watchdog: a compile running longer is SIGKILLed "
-             "and answered worker-timeout (default: 120)",
+             f"and answered worker-timeout (default: "
+             f"{defaults.JOB_TIMEOUT_S:.0f})",
     )
     parser.add_argument(
         "--storm-window", type=float, default=None, metavar="SECONDS",
-        help="restart-storm circuit-breaker window (default: 30)",
+        help="restart-storm circuit-breaker window (default: "
+             f"{defaults.STORM_WINDOW_S:.0f})",
     )
     parser.add_argument(
         "--chaos", action="store_true",
@@ -888,17 +919,30 @@ def serve(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--cache-bytes", type=int, default=None, metavar="N",
-        help="in-memory artifact budget (default: 64 MiB)",
+        help="in-memory artifact budget (default: "
+             f"{defaults.CACHE_BYTES // (1024 * 1024)} MiB)",
+    )
+    parser.add_argument(
+        "--cache-shards", type=int, default=None, metavar="N",
+        help="artifact-cache lock shards (default: "
+             f"{defaults.CACHE_SHARDS})",
     )
     parser.add_argument(
         "--persist-dir", default=None, metavar="DIR",
         help="also persist artifacts to DIR (survives restarts)",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def serve(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro serve``: run the daemon until SIGTERM/SIGINT."""
+    args = build_serve_parser().parse_args(argv)
 
     cache_kwargs: Dict[str, Any] = {}
     if args.cache_bytes is not None:
         cache_kwargs["max_bytes"] = args.cache_bytes
+    if args.cache_shards is not None:
+        cache_kwargs["shards"] = args.cache_shards
     if args.persist_dir is not None:
         cache_kwargs["persist_dir"] = args.persist_dir
     workers = args.workers
@@ -908,7 +952,7 @@ def serve(argv: Optional[Sequence[str]] = None) -> int:
 
             workers = default_jobs()
         else:
-            workers = 2
+            workers = defaults.THREAD_WORKERS
     from .workers import Supervision
 
     supervision = Supervision(
@@ -930,6 +974,7 @@ def serve(argv: Optional[Sequence[str]] = None) -> int:
         chaos_enabled=args.chaos,
     )
     server = CompileServer((args.host, args.port), service)
+    service.close_fds_in_workers(server.fileno())
     host, port = server.server_address[:2]
     print(f"repro service listening on {host}:{port} "
           f"({workers} {args.worker_mode} workers, "

@@ -66,6 +66,7 @@ from typing import Any, Deque, Dict, List, Optional, TYPE_CHECKING
 from ..resilience.errors import StageError
 from ..resilience.pipeline import PassPipeline, PipelineConfig
 from ..resilience.telemetry import MetricsCollector
+from . import defaults
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
     from .server import CompileService, PreparedJob
@@ -87,18 +88,18 @@ class Supervision:
 
     #: Wall-clock budget for one job inside a child before the watchdog
     #: SIGKILLs it and answers ``worker-timeout``.
-    job_timeout_s: float = 120.0
+    job_timeout_s: float = defaults.JOB_TIMEOUT_S
     #: First respawn delay after a death; doubles per consecutive death
     #: of the same slot, capped at ``backoff_cap_s``.
-    backoff_base_s: float = 0.05
-    backoff_cap_s: float = 2.0
+    backoff_base_s: float = defaults.BACKOFF_BASE_S
+    backoff_cap_s: float = defaults.BACKOFF_CAP_S
     #: ``storm_threshold`` deaths across the pool within
     #: ``storm_window_s`` seconds flip the service ``degraded``.
-    storm_threshold: int = 3
-    storm_window_s: float = 30.0
+    storm_threshold: int = defaults.STORM_THRESHOLD
+    storm_window_s: float = defaults.STORM_WINDOW_S
     #: Watchdog kills / crashes attributed to one compile key before it
     #: is quarantined as a poison pill.
-    poison_threshold: int = 2
+    poison_threshold: int = defaults.POISON_THRESHOLD
 
 
 # ----------------------------------------------------------------------------
@@ -107,7 +108,7 @@ class Supervision:
 
 
 def _worker_child_main(
-    conn, config: PipelineConfig, chaos_enabled: bool
+    conn, config: PipelineConfig, chaos_enabled: bool, close_fds=()
 ) -> None:
     """Child body: receive job specs, compile cold, send results.
 
@@ -118,6 +119,20 @@ def _worker_child_main(
     payloads — exactly what the thread tier produces, so responses are
     mode-independent.
     """
+    # Fork copies every parent fd into the child: our own pipe's
+    # *parent* end, sibling slots' pipe ends, and the server's listening
+    # socket.  Holding them is not harmless hygiene debt — a child that
+    # keeps its own parent-end open can never see EOF when the daemon is
+    # killed, so it blocks in recv() forever, and its inherited listener
+    # copy keeps the dead daemon's port accepting connections nobody
+    # will ever serve (clients hang instead of getting ECONNREFUSED).
+    # The spawner passes the current set; close them before anything
+    # else.
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
     # The parent's SIGTERM/SIGINT handlers (the serve() drain path) are
     # inherited across fork; a signal aimed at the process group must
     # not make children run the parent's drain logic.
@@ -211,7 +226,12 @@ class _WorkerSlot:
         parent_conn, child_conn = self.supervisor.ctx.Pipe(duplex=True)
         process = self.supervisor.ctx.Process(
             target=_worker_child_main,
-            args=(child_conn, service.config, service.chaos_enabled),
+            args=(
+                child_conn,
+                service.config,
+                service.chaos_enabled,
+                self.supervisor.child_close_fds(parent_conn),
+            ),
             name=f"compile-worker-proc-{self.index}",
             daemon=True,
         )
@@ -461,6 +481,30 @@ class ProcessWorkerSupervisor:
         self._failures: Deque[float] = deque()
         self._failure_kinds: Dict[str, int] = {}
         self._failure_lock = threading.Lock()
+        self._external_child_fds: set = set()
+
+    # -- child fd hygiene ----------------------------------------------------
+
+    def close_fds_in_children(self, *fds: int) -> None:
+        """Register parent fds (e.g. the server's listening socket) that
+        every future child must close at birth.  Children forked before
+        a registration keep their copies — register before traffic."""
+        self._external_child_fds.update(int(fd) for fd in fds)
+
+    def child_close_fds(self, own_parent_conn) -> List[int]:
+        """The fd list a child being spawned right now must close: the
+        registered external fds, its own pipe's parent end, and every
+        sibling slot's live parent end.  A racing sibling close is
+        benign — the child closes only its inherited *copies*."""
+        fds = set(self._external_child_fds)
+        for conn in [own_parent_conn] + [slot.conn for slot in self._slots]:
+            if conn is None:
+                continue
+            try:
+                fds.add(conn.fileno())
+            except (OSError, ValueError):
+                pass
+        return sorted(fds)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -1,5 +1,5 @@
 """The content-addressed artifact cache: keys, LRU accounting, disk tier,
-and the 8-thread concurrency hammer."""
+shard routing, miss-kind classification, and the 8-thread hammer."""
 
 import json
 import os
@@ -11,6 +11,7 @@ from repro.service.cache import (
     ArtifactCache,
     CacheEntry,
     cache_key,
+    key_components,
     source_fingerprint,
 )
 
@@ -53,6 +54,28 @@ class TestCacheKey:
         assert bumped != base
         # Deterministic for a fixed fingerprint.
         assert cache_key(SOURCE, "rap", 5, code_fingerprint="deadbeef") == bumped
+
+    def test_key_components_track_their_inputs(self):
+        base = key_components(SOURCE, "rap", 5)
+        # Source churn moves only the source component.
+        other = key_components(SOURCE + " ", "rap", 5)
+        assert other["source"] != base["source"]
+        assert other["params"] == base["params"]
+        assert other["config"] == base["config"]
+        # Parameter churn moves only params.
+        other = key_components(SOURCE, "gra", 7, schedule=True)
+        assert other["source"] == base["source"]
+        assert other["params"] != base["params"]
+        # Config churn moves only config.
+        other = key_components(
+            SOURCE, "rap", 5, config=PipelineConfig(verify_motion=False)
+        )
+        assert other["config"] != base["config"]
+        assert other["source"] == base["source"]
+        # Code churn moves only code.
+        other = key_components(SOURCE, "rap", 5, code_fingerprint="deadbeef")
+        assert other["code"] != base["code"]
+        assert other["source"] == base["source"]
 
 
 class TestSourceFingerprint:
@@ -126,8 +149,10 @@ class TestLRUAccounting:
         assert stats["bytes"] == entry.size
 
     def test_eviction_is_least_recently_used(self):
+        # shards=1 pins the historical single-LRU-domain semantics this
+        # test is about; multi-shard behavior is covered separately.
         entry_size = CacheEntry("x", _blob("x", 100), {}).size
-        cache = ArtifactCache(max_bytes=3 * entry_size)
+        cache = ArtifactCache(max_bytes=3 * entry_size, shards=1)
         for tag in ("a", "b", "c"):
             cache.put(tag, _blob(tag, 100), {})
         cache.get("a")  # refresh a: b is now the coldest
@@ -147,7 +172,7 @@ class TestLRUAccounting:
         assert cache.total_bytes == CacheEntry("a", _blob("a", 200), {}).size
 
     def test_oversized_entry_not_held_in_memory(self):
-        cache = ArtifactCache(max_bytes=50)
+        cache = ArtifactCache(max_bytes=50, shards=1)
         cache.put("big", _blob("big", 500), {})
         assert len(cache) == 0
         assert cache.total_bytes == 0
@@ -171,7 +196,7 @@ class TestDiskTier:
     def test_memory_eviction_keeps_the_disk_copy(self, tmp_path):
         entry_size = CacheEntry("x", _blob("x", 100), {}).size
         cache = ArtifactCache(
-            max_bytes=2 * entry_size, persist_dir=str(tmp_path)
+            max_bytes=2 * entry_size, persist_dir=str(tmp_path), shards=1
         )
         for tag in ("a", "b", "c"):
             cache.put(tag, _blob(tag, 100), {})
@@ -193,10 +218,121 @@ class TestDiskTier:
             handle.write("{nope")
         assert cache.get("k3") is None
 
+    def test_disk_tier_shared_across_shard_counts(self, tmp_path):
+        # The disk directory is one flat namespace; a cache restarted
+        # with a different shard count still finds every artifact.
+        writer = ArtifactCache(
+            max_bytes=10_000, persist_dir=str(tmp_path), shards=8
+        )
+        keys = [cache_key(f"prog {i}", "rap", 5) for i in range(12)]
+        for i, key in enumerate(keys):
+            writer.put(key, _blob(f"p{i}"), {"i": i})
+        reader = ArtifactCache(
+            max_bytes=10_000, persist_dir=str(tmp_path), shards=3
+        )
+        for i, key in enumerate(keys):
+            entry = reader.get(key)
+            assert entry is not None and entry.blob == _blob(f"p{i}")
+
+
+class TestSharding:
+    def test_routing_is_deterministic_and_in_range(self):
+        cache = ArtifactCache(max_bytes=10_000, shards=8)
+        keys = [cache_key(f"prog {i}", "rap", 5) for i in range(50)]
+        for key in keys:
+            idx = cache.shard_of(key)
+            assert 0 <= idx < 8
+            assert cache.shard_of(key) == idx  # pure function
+        # Real sha256 keys spread over more than one shard.
+        assert len({cache.shard_of(key) for key in keys}) > 1
+
+    def test_non_hex_keys_route_without_error(self):
+        cache = ArtifactCache(max_bytes=10_000, shards=8)
+        for key in ("a", "k1", "t0.r0", "absent", ""):
+            assert 0 <= cache.shard_of(key) < 8
+        cache.put("a", _blob("a"), {})
+        assert cache.get("a") is not None
+
+    def test_budget_divides_across_shards(self):
+        cache = ArtifactCache(max_bytes=8_000, shards=8)
+        assert all(
+            snap["max_bytes"] == 1_000 for snap in cache.stats()["shards"]
+        )
+        assert cache.stats()["shard_count"] == 8
+
+    def test_shards_must_be_positive(self):
+        try:
+            ArtifactCache(shards=0)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - only on failure
+            raise AssertionError("shards=0 accepted")
+
+    def test_keys_spans_all_shards(self):
+        cache = ArtifactCache(max_bytes=1_000_000, shards=4)
+        keys = {cache_key(f"prog {i}", "rap", 5) for i in range(20)}
+        for key in keys:
+            cache.put(key, _blob(key[:8]), {})
+        assert set(cache.keys()) == keys
+        assert len(cache) == len(keys)
+
+
+class TestMissKinds:
+    """Satellite: the stats op attributes misses to the key component
+    that changed — source vs config vs code churn."""
+
+    @staticmethod
+    def _lookup(cache, source, **kwargs):
+        key = cache_key(source, "rap", 5, **kwargs)
+        comps = key_components(source, "rap", 5, **kwargs)
+        entry = cache.get(key, components=comps)
+        if entry is None:
+            cache.put(key, _blob(key[:8]), {}, components=comps)
+        return entry
+
+    def test_source_churn_is_a_source_miss(self):
+        cache = ArtifactCache(max_bytes=10_000)
+        self._lookup(cache, "void main() { print(1); }")
+        self._lookup(cache, "void main() { print(2); }")
+        assert cache.miss_kinds() == {
+            "source": 2, "config": 0, "code": 0, "unclassified": 0,
+        }
+
+    def test_code_churn_is_a_code_miss(self):
+        cache = ArtifactCache(max_bytes=10_000)
+        self._lookup(cache, SOURCE, code_fingerprint="v1")
+        self._lookup(cache, SOURCE, code_fingerprint="v2")  # deploy
+        kinds = cache.miss_kinds()
+        assert kinds["code"] == 1 and kinds["source"] == 1
+        # Warm again under the new fingerprint.
+        assert self._lookup(cache, SOURCE, code_fingerprint="v2") is not None
+
+    def test_config_churn_is_a_config_miss(self):
+        cache = ArtifactCache(max_bytes=10_000)
+        self._lookup(cache, SOURCE, config=PipelineConfig())
+        self._lookup(
+            cache, SOURCE, config=PipelineConfig(verify_motion=False)
+        )
+        kinds = cache.miss_kinds()
+        assert kinds["config"] == 1 and kinds["source"] == 1
+
+    def test_component_free_lookups_are_unclassified(self):
+        cache = ArtifactCache(max_bytes=10_000)
+        assert cache.get("absent") is None
+        assert cache.miss_kinds()["unclassified"] == 1
+
+    def test_hits_do_not_count(self):
+        cache = ArtifactCache(max_bytes=10_000)
+        self._lookup(cache, SOURCE)
+        assert self._lookup(cache, SOURCE) is not None
+        kinds = cache.miss_kinds()
+        assert sum(kinds.values()) == 1
+        assert cache.stats()["miss_kinds"] == kinds
+
 
 class TestConcurrency:
     """Satellite: hammer the cache from 8 threads; no torn reads, exact
-    LRU byte accounting, deterministic responses."""
+    per-shard byte accounting, counter conservation across shards."""
 
     THREADS = 8
     ROUNDS = 60
@@ -205,7 +341,9 @@ class TestConcurrency:
         entry_size = CacheEntry("t0.r0", _blob("t0.r0", 200), {"t": 0}).size
         # Budget for ~half the distinct keys, so eviction runs hot
         # concurrently with lookups and insertions.
-        cache = ArtifactCache(max_bytes=(self.THREADS * self.ROUNDS // 2) * entry_size)
+        cache = ArtifactCache(
+            max_bytes=(self.THREADS * self.ROUNDS // 2) * entry_size
+        )
         errors = []
         barrier = threading.Barrier(self.THREADS)
 
@@ -238,19 +376,28 @@ class TestConcurrency:
 
         assert errors == []
         stats = cache.stats()
-        # Counter conservation: every get was exactly a hit or a miss.
+        # Counter conservation: every get was exactly a hit or a miss,
+        # and the aggregate equals the sum over shards.
         gets = 2 * self.THREADS * self.ROUNDS
         assert stats["hits"] + stats["misses"] == gets
         assert stats["hits"] > 0 and stats["misses"] > 0
+        assert sum(s["hits"] for s in stats["shards"]) == stats["hits"]
+        assert sum(s["misses"] for s in stats["shards"]) == stats["misses"]
+        assert sum(s["bytes"] for s in stats["shards"]) == stats["bytes"]
         # Byte accounting is exact: the tracked total equals the sum of
-        # the live entries' sizes, and respects the budget.
+        # the live entries' sizes (entry size is a pure function of the
+        # key here), and every shard respects its own budget.
         live = sum(
-            cache._entries[key].size for key in list(cache._entries)
+            CacheEntry(key, _blob(key, 200), {"t": 0}).size
+            for key in cache.keys()
         )
         assert cache.total_bytes == live
-        assert cache.total_bytes <= cache.max_bytes
+        for snap in stats["shards"]:
+            assert snap["bytes"] <= snap["max_bytes"]
         assert stats["evictions"] > 0
         # Deterministic responses: a surviving key still returns its
         # exact original bytes.
-        for key in list(cache._entries):
-            assert cache.get(key).blob == _blob(key, 200)
+        for key in cache.keys():
+            entry = cache.get(key)
+            if entry is not None:  # may race with nothing here, but be safe
+                assert entry.blob == _blob(key, 200)

@@ -10,6 +10,7 @@ from repro.service.loadgen import (
     default_mix,
     percentile,
     run_loadgen,
+    run_saturation,
 )
 from repro.service.server import CompileServer, CompileService
 
@@ -121,6 +122,40 @@ class TestClosedLoop:
     def test_empty_mix_rejected(self):
         with pytest.raises(ValueError):
             run_loadgen(mix=[])
+
+
+class TestSaturation:
+    def test_sweep_shape_and_knee(self, server):
+        host, port = _address(server)
+        stream = io.StringIO()
+        summary = run_saturation(
+            host=host,
+            port=port,
+            steps=(1, 2),
+            requests_per_step=4,
+            mix=TINY_MIX,
+            stream=stream,
+        )
+        assert summary["target"] == f"{host}:{port}"
+        assert summary["backends"] == 1  # plain daemon, not a router
+        assert [step["concurrency"] for step in summary["steps"]] == [1, 2]
+        for step in summary["steps"]:
+            assert step["ok"] == 4
+            assert step["errors"] == 0 and step["unanswered"] == 0
+            assert step["throughput_rps"] > 0
+            assert step["hit_rate"] == 1.0  # the warmup pass warmed it
+            for field in ("p50_ms", "p95_ms", "p99_ms"):
+                assert field in step
+        assert summary["knee_concurrency"] in (1, 2)
+        assert summary["max_throughput_rps"] == max(
+            step["throughput_rps"] for step in summary["steps"]
+        )
+        text = stream.getvalue()
+        assert "[saturate] warmup" in text and "knee at c=" in text
+
+    def test_needs_at_least_one_step(self):
+        with pytest.raises(ValueError):
+            run_saturation(steps=())
 
 
 class TestReportMath:

@@ -1,0 +1,377 @@
+"""The consistent-hash router: ring math, forwarding, failover under a
+backend kill, warm-affinity byte identity, and stats aggregation."""
+
+import threading
+
+import pytest
+
+from repro.service.client import RETRYABLE_KINDS, ServiceClient, ServiceError
+from repro.service.loadgen import run_loadgen
+from repro.service.router import (
+    Backend,
+    HashRing,
+    RouterServer,
+    RouterService,
+    affinity_key,
+    _parse_backend,
+)
+from repro.service.server import CompileServer, CompileService
+
+SOURCES = [
+    f"int main() {{ int x; x = {n}; print(x + {n}); return 0; }}\n"
+    for n in range(8)
+]
+
+
+def _start_backend(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("worker_mode", "thread")
+    service = CompileService(**kwargs)
+    server = CompileServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, server.server_address[1]
+
+
+def _stop_backend(server):
+    server.service.drain(timeout=5.0)
+    server.shutdown()
+    server.server_close()
+
+
+def _kill_backend(server):
+    """Hard stop: no drain, sockets torn down — the failover scenario."""
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture
+def pair():
+    """Two live backends and a RouterService over them (no router TCP:
+    handler-level tests call ``router.handle`` directly)."""
+    servers = [_start_backend() for _ in range(2)]
+    backends = [("127.0.0.1", port) for _, port in servers]
+    router = RouterService(backends, probe_interval_s=0.1, probe_failures=2)
+    yield router, [server for server, _ in servers]
+    router.stop()
+    for server, _ in servers:
+        try:
+            _stop_backend(server)
+        except Exception:
+            pass
+
+
+class TestHashRing:
+    NODES = ["10.0.0.1:9363", "10.0.0.2:9363", "10.0.0.3:9363"]
+
+    def test_deterministic(self):
+        ring = HashRing(self.NODES, vnodes=32)
+        again = HashRing(self.NODES, vnodes=32)
+        for i in range(100):
+            assert ring.primary(f"key-{i}") == again.primary(f"key-{i}")
+
+    def test_distribution_covers_every_node(self):
+        ring = HashRing(self.NODES, vnodes=64)
+        owners = {ring.primary(f"key-{i}") for i in range(300)}
+        assert owners == set(self.NODES)
+
+    def test_successors_visit_every_node_once(self):
+        ring = HashRing(self.NODES, vnodes=16)
+        order = list(ring.successors("some-key"))
+        assert sorted(order) == sorted(self.NODES)
+        assert len(set(order)) == len(self.NODES)
+
+    def test_removal_moves_only_the_lost_arcs(self):
+        # The consistent-hashing property: dropping one node must not
+        # reshuffle keys owned by the survivors.
+        full = HashRing(self.NODES, vnodes=64)
+        reduced = HashRing(self.NODES[:-1], vnodes=64)
+        moved = stayed = 0
+        for i in range(400):
+            key = f"key-{i}"
+            before = full.primary(key)
+            after = reduced.primary(key)
+            if before == self.NODES[-1]:
+                assert after in self.NODES[:-1]  # reassigned somewhere live
+            elif before == after:
+                stayed += 1
+            else:
+                moved += 1
+        assert moved == 0 and stayed > 0
+
+    def test_failover_order_matches_ring_successor(self):
+        ring = HashRing(self.NODES, vnodes=16)
+        key = "the-key"
+        order = list(ring.successors(key))
+        assert order[0] == ring.primary(key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(self.NODES, vnodes=0)
+
+    def test_affinity_key_ignores_deadline(self):
+        # Same request at different deadlines must land on the same
+        # backend (the deadline changes the rung, not the affinity).
+        base = {"op": "compile", "source": "x", "allocator": "rap", "k": 5}
+        with_deadline = dict(base, deadline_ms=100.0)
+        assert affinity_key(base) == affinity_key(with_deadline)
+        assert affinity_key(base) != affinity_key(dict(base, source="y"))
+
+    def test_parse_backend(self):
+        assert _parse_backend("127.0.0.1:9363") == ("127.0.0.1", 9363)
+        for bad in ("no-port", "host:", ":1234x", "host:port"):
+            with pytest.raises(ValueError):
+                _parse_backend(bad)
+
+
+class TestRouting:
+    def test_ping_and_unknown_op_answer_locally(self, pair):
+        router, _ = pair
+        pong = router.handle({"op": "ping"})
+        assert pong["ok"] and pong["router"] and pong["backends_total"] == 2
+        bad = router.handle({"op": "nope"})
+        assert not bad["ok"] and bad["error"]["kind"] == "request"
+
+    def test_forwarding_and_warm_affinity(self, pair):
+        router, _ = pair
+        request = {"op": "compile", "source": SOURCES[0], "allocator": "rap",
+                   "k": 5, "filename": "t0"}
+        cold = router.handle(dict(request))
+        assert cold["ok"] and cold["cache"] == "miss"
+        assert cold["router_failovers"] == 0
+        warm = router.handle(dict(request))
+        assert warm["ok"] and warm["cache"] == "hit"
+        # Affinity: the repeat hit the same backend's cache.
+        assert warm["backend"] == cold["backend"]
+        assert warm["image_sha256"] == cold["image_sha256"]
+
+    def test_spread_across_backends(self, pair):
+        router, _ = pair
+        used = set()
+        for i, source in enumerate(SOURCES):
+            response = router.handle(
+                {"op": "compile", "source": source, "allocator": "rap",
+                 "k": 5, "filename": f"t{i}"}
+            )
+            assert response["ok"]
+            used.add(response["backend"])
+        assert len(used) == 2  # 8 distinct keys land on both backends
+
+    def test_server_answered_errors_pass_through(self, pair):
+        router, _ = pair
+        response = router.handle(
+            {"op": "compile", "source": "", "allocator": "rap", "k": 5}
+        )
+        assert not response["ok"]
+        assert response["error"]["kind"] == "request"  # not no-backend
+
+    def test_stats_aggregation(self, pair):
+        router, _ = pair
+        for i, source in enumerate(SOURCES[:4]):
+            router.handle(
+                {"op": "compile", "source": source, "allocator": "rap",
+                 "k": 5, "filename": f"t{i}"}
+            )
+            router.handle(
+                {"op": "compile", "source": source, "allocator": "rap",
+                 "k": 5, "filename": f"t{i}"}
+            )
+        stats = router.handle({"op": "stats"})
+        assert stats["ok"]
+        assert stats["router"]["forwarded"] == 8
+        assert len(stats["backends"]) == 2
+        assert all("stats" in snap for snap in stats["backends"])
+        # The aggregate equals the sum over backend caches.
+        summed = sum(
+            snap["stats"]["cache"]["hits"] for snap in stats["backends"]
+        )
+        assert stats["cache"]["hits"] == summed == 4
+        assert stats["cache"]["misses"] == 4
+        assert "miss_kinds" in stats["cache"]
+        assert stats["cache"]["miss_kinds"].get("source", 0) == 4
+
+
+class TestFailover:
+    def test_backend_kill_fails_over_to_ring_successor(self, pair):
+        router, servers = pair
+        # Find a request whose primary is backend 0, then kill backend 0.
+        victim = list(router.backends)[0]
+        request = None
+        for i, source in enumerate(SOURCES):
+            candidate = {"op": "compile", "source": source,
+                         "allocator": "rap", "k": 5, "filename": f"t{i}"}
+            if router.ring.primary(affinity_key(candidate)) == victim:
+                request = candidate
+                break
+        assert request is not None
+        victim_index = [
+            i for i, server in enumerate(servers)
+            if f"127.0.0.1:{server.server_address[1]}" == victim
+        ][0]
+        _kill_backend(servers[victim_index])
+
+        response = router.handle(dict(request))
+        assert response["ok"], response
+        assert response["router_failovers"] >= 1
+        assert response["backend"] != victim
+        # The failed forward counted against the victim's health ledger.
+        assert router.backends[victim].snapshot()["failed"] >= 1
+
+    def test_all_backends_down_is_typed_no_backend(self):
+        servers = [_start_backend() for _ in range(2)]
+        backends = [("127.0.0.1", port) for _, port in servers]
+        router = RouterService(backends, probe_interval_s=30.0,
+                               probe_failures=1)
+        for server, _ in servers:
+            _kill_backend(server)
+        try:
+            response = router.handle(
+                {"op": "compile", "source": SOURCES[0], "allocator": "rap",
+                 "k": 5}
+            )
+            assert not response["ok"]
+            assert response["error"]["kind"] == "no-backend"
+            assert "no-backend" in RETRYABLE_KINDS  # clients may retry it
+        finally:
+            router.stop()
+
+    def test_probe_marks_dead_backend_unhealthy_then_skips_it(self, pair):
+        router, servers = pair
+        victim = list(router.backends)[0]
+        victim_index = [
+            i for i, server in enumerate(servers)
+            if f"127.0.0.1:{server.server_address[1]}" == victim
+        ][0]
+        _kill_backend(servers[victim_index])
+        backend = router.backends[victim]
+        for _ in range(router.probe_failures):
+            assert router.probe(backend) is False
+        assert backend.healthy is False
+        # Every request now routes straight to the survivor: no failover
+        # hops, all answered.
+        for i, source in enumerate(SOURCES):
+            response = router.handle(
+                {"op": "compile", "source": source, "allocator": "rap",
+                 "k": 5, "filename": f"t{i}"}
+            )
+            assert response["ok"]
+            assert response["backend"] != victim
+            assert response["router_failovers"] == 0
+
+    def test_probe_recovery_restores_health(self):
+        server, port = _start_backend()
+        try:
+            router = RouterService(
+                [("127.0.0.1", port)], probe_interval_s=30.0,
+                probe_failures=1,
+            )
+            backend = router.backends[f"127.0.0.1:{port}"]
+            backend.note_failure(1)  # knocked unhealthy
+            assert backend.healthy is False
+            assert router.probe(backend) is True
+            assert backend.healthy is True
+            router.stop()
+        finally:
+            _stop_backend(server)
+
+
+class TestEndToEndTCP:
+    """The full stack: loadgen -> router TCP -> 2 backend daemons."""
+
+    def _start(self, servers):
+        backends = [
+            ("127.0.0.1", server.server_address[1]) for server in servers
+        ]
+        router = RouterService(backends, probe_interval_s=0.1,
+                               probe_failures=2)
+        router_server = RouterServer(("127.0.0.1", 0), router)
+        thread = threading.Thread(
+            target=router_server.serve_forever, daemon=True
+        )
+        thread.start()
+        return router_server, router_server.server_address[1]
+
+    def test_loadgen_through_router_with_midrun_kill(self):
+        # The acceptance scenario: full mix through the router, one
+        # backend killed mid-run, zero lost requests (every admitted
+        # request gets exactly one typed answer), and warm artifacts
+        # byte-identical to a single-daemon run of the same mix.
+        servers = [_start_backend()[0] for _ in range(2)]
+        router_server, router_port = self._start(servers)
+        mix = [(f"t{i}", source) for i, source in enumerate(SOURCES)]
+        try:
+            cold = run_loadgen(
+                port=router_port, requests=16, workers=2, mix=mix, retries=3
+            )
+            assert cold.unanswered == 0 and cold.errors == 0
+            assert cold.mismatches == 0
+
+            killer = threading.Timer(
+                0.05, lambda: _kill_backend(servers[0])
+            )
+            killer.start()
+            warm = run_loadgen(
+                port=router_port, requests=32, workers=4, mix=mix, retries=3
+            )
+            killer.join()
+            # Zero lost requests under the kill: every request answered,
+            # determinism intact.
+            assert warm.unanswered == 0, warm.error_kinds
+            assert warm.mismatches == 0
+
+            # Surviving-backend artifacts byte-identical to a
+            # single-daemon run of the same mix.
+            solo_server, solo_port = _start_backend()
+            try:
+                solo = run_loadgen(
+                    port=solo_port, requests=16, workers=2, mix=mix
+                )
+                for key, sha in warm.artifacts.items():
+                    assert solo.artifacts.get(key, sha) == sha
+                overlap = set(warm.artifacts) & set(solo.artifacts)
+                assert overlap  # the comparison actually compared keys
+            finally:
+                _stop_backend(solo_server)
+        finally:
+            router_server.router.stop()
+            router_server.shutdown()
+            router_server.server_close()
+            for server in servers[1:]:
+                try:
+                    _stop_backend(server)
+                except Exception:
+                    pass
+
+    def test_service_client_speaks_to_router_unchanged(self):
+        servers = [_start_backend()[0] for _ in range(2)]
+        router_server, router_port = self._start(servers)
+        try:
+            with ServiceClient("127.0.0.1", router_port) as client:
+                assert client.ping() is True
+                response = client.compile(SOURCES[0], filename="t0")
+                assert response["ok"] and "backend" in response
+                stats = client.stats()
+                assert stats["router"]["forwarded"] >= 1
+        finally:
+            router_server.router.stop()
+            router_server.shutdown()
+            router_server.server_close()
+            for server in servers:
+                _stop_backend(server)
+
+
+class TestBackendLedger:
+    def test_counters_and_snapshot(self):
+        backend = Backend("127.0.0.1", 9999)
+        assert backend.healthy
+        backend.note_failure(2, forwarding=True)
+        assert backend.healthy  # one strike, threshold two
+        backend.note_failure(2)
+        assert not backend.healthy
+        backend.note_routed()
+        assert backend.healthy  # success restores
+        snap = backend.snapshot()
+        assert snap["routed"] == 1 and snap["failed"] == 1
+        assert snap["name"] == "127.0.0.1:9999"

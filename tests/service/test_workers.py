@@ -1,8 +1,12 @@
 """The supervised process worker tier: crash isolation, the per-job
 watchdog, respawn backoff, the restart-storm circuit breaker, poison-pill
-quarantine, and zombie-free drain."""
+quarantine, zombie-free drain, and no-orphans-after-SIGKILL."""
 
 import multiprocessing
+import os
+import socket
+import subprocess
+import sys
 import threading
 import time
 
@@ -295,3 +299,114 @@ class TestProcessDrain:
             assert "supervisor" in stats
         finally:
             service.drain(timeout=5.0)
+
+
+@pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="reads /proc"
+)
+class TestDaemonKillOrphans:
+    """SIGKILL of the daemon must not strand worker children.
+
+    Fork copies every parent fd into a child: its own pipe's *parent*
+    end, sibling pipes, and the TCP listener.  Without the fd hygiene in
+    ``_worker_child_main`` a child never sees EOF when the daemon dies
+    (it holds its own parent-end open) and its inherited listener copy
+    keeps the dead daemon's port accepting connections nobody serves —
+    clients and the router then hang on half-open sockets instead of
+    getting ECONNREFUSED and failing over.
+    """
+
+    @staticmethod
+    def _repro_children(pid):
+        """Worker children of *pid* (fork copies the cmdline), ignoring
+        multiprocessing helpers like the resource tracker.  Children are
+        forked from dispatcher *threads*, so every task's children file
+        must be read, not just the main thread's."""
+        pids = set()
+        try:
+            for tid in os.listdir(f"/proc/{pid}/task"):
+                try:
+                    listing = open(f"/proc/{pid}/task/{tid}/children").read()
+                except OSError:
+                    continue
+                pids.update(map(int, listing.split()))
+        except OSError:
+            return set()
+        children = set()
+        for child in pids:
+            try:
+                cmdline = open(f"/proc/{child}/cmdline", "rb").read()
+            except OSError:
+                continue
+            if b"repro" in cmdline:
+                children.add(child)
+        return children
+
+    @staticmethod
+    def _exited(pid):
+        try:
+            state = open(f"/proc/{pid}/stat").read().rsplit(")", 1)[1].split()
+        except OSError:
+            return True  # gone entirely
+        return state[0] == "Z"  # zombie: fds already closed
+
+    def test_sigkill_frees_the_port_and_the_children(self):
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(port),
+                "--worker-mode", "process",
+                "--workers", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            text=True,
+        )
+        try:
+            assert "listening" in daemon.stdout.readline()
+            from repro.service.client import connect_with_retry
+
+            # Two cold compiles force both worker children to fork —
+            # the second child inherits the first child's pipe fds,
+            # which is exactly the leak under test.
+            with connect_with_retry(
+                "127.0.0.1", port, timeout=30.0, retries=8, backoff=0.05
+            ) as client:
+                for k in (4, 5):
+                    assert client.compile(
+                        SIEVE_LIKE, allocator="linearscan", k=k
+                    )["ok"]
+            children = self._repro_children(daemon.pid)
+            assert children, "no worker children forked"
+
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+            deadline = time.monotonic() + 10.0
+            refused, alive = False, children
+            while time.monotonic() < deadline and (alive or not refused):
+                alive = {c for c in children if not self._exited(c)}
+                try:
+                    socket.create_connection(
+                        ("127.0.0.1", port), timeout=0.5
+                    ).close()
+                    refused = False
+                except ConnectionRefusedError:
+                    refused = True
+                except OSError:
+                    pass
+                time.sleep(0.1)
+            assert not alive, f"orphaned worker children: {alive}"
+            assert refused, "dead daemon's port still accepts connections"
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+            daemon.stdout.close()
+            daemon.wait(timeout=10)
