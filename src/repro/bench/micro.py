@@ -1,32 +1,42 @@
 """Interpreter microbenchmark: slow (tree-walking) vs fast (pre-decoded)
-dispatch.
+vs compiled (generated Python) dispatch.
 
 ``python -m repro.bench.micro`` runs every benchmark program's reference
-image through both interpreter paths and reports executed instructions
-per second (Minstr/s) for each, plus the speedup.  Both paths execute
-the *same* :class:`~repro.interp.machine.FunctionImage` objects and must
-produce identical outputs and cycle counts — the harness asserts both,
-so this doubles as a quick whole-suite equivalence smoke test.
+image through all three interpreter tiers and reports executed
+instructions per second (Minstr/s) for each, plus the compiled tier's
+speedup over the other two.  All tiers execute the *same*
+:class:`~repro.interp.machine.FunctionImage` objects and must produce
+identical outputs and cycle counters — the harness asserts both, so
+this doubles as a quick whole-suite equivalence smoke test.
 
-The decoded form is cached on the image, so the fast column includes the
-(one-time) decode cost on its first run; ``--repeat`` amortizes it the
-way a sweep's repeated executions do.
+Decoded and compiled forms are cached on the image, so those columns
+include the (one-time) decode/translation cost on their first run;
+``--repeat`` amortizes it the way a sweep's repeated executions do.
+
+``--json FILE`` additionally writes the per-program and aggregate
+numbers as a JSON document (CI uploads this as an artifact so tier
+throughput can be tracked across commits).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..compiler import compile_source
-from ..interp.machine import Machine
+from ..interp.machine import INTERP_TIERS, Machine
 from .suite import all_programs, program
 
+#: Measurement order: slowest first so the decoded/compiled caches are
+#: populated by the tier that owns them, not by a faster predecessor.
+TIER_ORDER = tuple(INTERP_TIERS)  # ("slow", "fast", "compiled")
 
-def _time_run(image, max_cycles: int, force_slow: bool):
-    machine = Machine(image, max_cycles=max_cycles, force_slow=force_slow)
+
+def _time_run(image, max_cycles: int, tier: str):
+    machine = Machine(image, max_cycles=max_cycles, tier=tier)
     started = time.perf_counter()
     machine.run("main")
     return time.perf_counter() - started, machine.stats
@@ -36,63 +46,108 @@ def run_micro(
     names: Optional[Sequence[str]] = None,
     repeat: int = 1,
     stream=sys.stdout,
-) -> float:
-    """Run the microbenchmark; returns the aggregate fast-path speedup."""
+) -> Dict[str, object]:
+    """Run the microbenchmark; returns the report dict (the ``--json``
+    payload).  ``report["speedup"]["compiled_vs_fast"]`` is the headline
+    execute-stage ratio quoted in docs/BENCHMARKING.md."""
     benches = (
         [program(name) for name in names] if names else all_programs()
     )
     header = (
-        f"{'program':<12} {'Minstr':>8} {'slow(s)':>9} {'fast(s)':>9} "
-        f"{'slow Mi/s':>10} {'fast Mi/s':>10} {'speedup':>8}"
+        f"{'program':<12} {'Minstr':>8} "
+        f"{'slow Mi/s':>10} {'fast Mi/s':>10} {'comp Mi/s':>10} "
+        f"{'c/slow':>7} {'c/fast':>7}"
     )
     print(header, file=stream)
     print("-" * len(header), file=stream)
-    total_slow = total_fast = 0.0
+    totals = {tier: 0.0 for tier in TIER_ORDER}
     total_instrs = 0
+    rows: List[Dict[str, object]] = []
     for bench in benches:
         image = compile_source(
             bench.source(), filename=bench.filename
         ).reference_image()
-        slow = fast = 0.0
-        slow_stats = fast_stats = None
+        seconds = {tier: 0.0 for tier in TIER_ORDER}
+        stats = {}
         for _ in range(repeat):
-            seconds, slow_stats = _time_run(
-                image, bench.max_cycles, force_slow=True
-            )
-            slow += seconds
-            seconds, fast_stats = _time_run(
-                image, bench.max_cycles, force_slow=False
-            )
-            fast += seconds
-        if slow_stats.output != fast_stats.output:
-            raise AssertionError(f"{bench.name}: outputs diverge across paths")
-        if slow_stats.total != fast_stats.total:
-            raise AssertionError(f"{bench.name}: counters diverge across paths")
-        instrs = slow_stats.total.cycles * repeat
-        total_slow += slow
-        total_fast += fast
+            for tier in TIER_ORDER:
+                elapsed, run_stats = _time_run(image, bench.max_cycles, tier)
+                seconds[tier] += elapsed
+                stats[tier] = run_stats
+        for tier in TIER_ORDER[1:]:
+            if stats["slow"].output != stats[tier].output:
+                raise AssertionError(
+                    f"{bench.name}: outputs diverge on the {tier} tier"
+                )
+            if stats["slow"].total != stats[tier].total:
+                raise AssertionError(
+                    f"{bench.name}: counters diverge on the {tier} tier"
+                )
+        instrs = stats["slow"].total.cycles * repeat
         total_instrs += instrs
+        for tier in TIER_ORDER:
+            totals[tier] += seconds[tier]
+        mips = {
+            tier: instrs / seconds[tier] / 1e6 for tier in TIER_ORDER
+        }
+        rows.append(
+            {
+                "program": bench.name,
+                "instructions": instrs,
+                "seconds": dict(seconds),
+                "minstr_per_s": {t: round(v, 2) for t, v in mips.items()},
+                "speedup": {
+                    "compiled_vs_slow": round(
+                        seconds["slow"] / seconds["compiled"], 2
+                    ),
+                    "compiled_vs_fast": round(
+                        seconds["fast"] / seconds["compiled"], 2
+                    ),
+                },
+            }
+        )
         print(
-            f"{bench.name:<12} {instrs / 1e6:>8.2f} {slow:>9.3f} {fast:>9.3f} "
-            f"{instrs / slow / 1e6:>10.2f} {instrs / fast / 1e6:>10.2f} "
-            f"{slow / fast:>7.1f}x",
+            f"{bench.name:<12} {instrs / 1e6:>8.2f} "
+            f"{mips['slow']:>10.2f} {mips['fast']:>10.2f} "
+            f"{mips['compiled']:>10.2f} "
+            f"{seconds['slow'] / seconds['compiled']:>6.1f}x "
+            f"{seconds['fast'] / seconds['compiled']:>6.1f}x",
             file=stream,
         )
-    speedup = total_slow / total_fast
     print("-" * len(header), file=stream)
+    aggregate_mips = {
+        tier: total_instrs / totals[tier] / 1e6 for tier in TIER_ORDER
+    }
     print(
-        f"{'total':<12} {total_instrs / 1e6:>8.2f} {total_slow:>9.3f} "
-        f"{total_fast:>9.3f} {total_instrs / total_slow / 1e6:>10.2f} "
-        f"{total_instrs / total_fast / 1e6:>10.2f} {speedup:>7.1f}x",
+        f"{'total':<12} {total_instrs / 1e6:>8.2f} "
+        f"{aggregate_mips['slow']:>10.2f} {aggregate_mips['fast']:>10.2f} "
+        f"{aggregate_mips['compiled']:>10.2f} "
+        f"{totals['slow'] / totals['compiled']:>6.1f}x "
+        f"{totals['fast'] / totals['compiled']:>6.1f}x",
         file=stream,
     )
-    return speedup
+    return {
+        "repeat": repeat,
+        "programs": rows,
+        "total_instructions": total_instrs,
+        "total_seconds": {t: round(v, 4) for t, v in totals.items()},
+        "minstr_per_s": {t: round(v, 2) for t, v in aggregate_mips.items()},
+        "speedup": {
+            "compiled_vs_slow": round(
+                totals["slow"] / totals["compiled"], 2
+            ),
+            "compiled_vs_fast": round(
+                totals["fast"] / totals["compiled"], 2
+            ),
+            "fast_vs_slow": round(totals["slow"] / totals["fast"], 2),
+        },
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.micro",
-        description="slow-vs-fast interpreter microbenchmark",
+        description="slow/fast/compiled interpreter microbenchmark",
     )
     parser.add_argument(
         "--programs",
@@ -104,10 +159,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeat",
         type=int,
         default=1,
-        help="executions per (program, path) pair (default 1)",
+        help="executions per (program, tier) pair (default 1)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the report as JSON ('-' for stdout)",
     )
     args = parser.parse_args(argv)
-    run_micro(args.programs, repeat=args.repeat)
+    report = run_micro(args.programs, repeat=args.repeat)
+    if args.json == "-":
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
     return 0
 
 

@@ -143,6 +143,11 @@ def cmd_run(args) -> int:
             collector.record_duration("execute", time.perf_counter() - started)
             if machine.decode_seconds:
                 collector.record_duration("decode", machine.decode_seconds)
+            if machine.pycompile_seconds:
+                collector.record_duration("pycompile", machine.pycompile_seconds)
+            collector.record_execute_tier(
+                stats.interp_tier or machine.interp_tier()
+            )
         else:
             stats = run_program(
                 image, entry=args.entry, max_cycles=args.max_cycles

@@ -84,7 +84,14 @@ class CompiledProgram:
         return self._reference[key]
 
     def fresh_module(self) -> Module:
-        """A deep copy of the module, safe for a destructive allocator."""
+        """A deep copy of the module, safe for a destructive allocator.
+
+        ``copy.deepcopy`` on purpose: a pickle round trip rebuilds the
+        graph faster but loses string-object sharing (deepcopy treats
+        ``str`` as atomic), and the de-interned slot names then slow
+        every frame-slot dict lookup downstream by more than the copy
+        saves.
+        """
         return copy.deepcopy(self.module)
 
 

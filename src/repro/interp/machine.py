@@ -30,9 +30,35 @@ from .stats import Counters, ExecStats
 
 Number = Union[int, float]
 
-#: ``REPRO_INTERP=slow`` forces the original instruction-by-instruction
-#: dispatch everywhere (used to prove fast/slow equivalence end to end).
-_FORCE_SLOW_ENV = os.environ.get("REPRO_INTERP", "").strip().lower() == "slow"
+#: The three interpreter tiers, slowest first.  ``REPRO_INTERP`` selects
+#: one globally (read at machine construction, so tests can monkeypatch
+#: it): ``slow`` forces the original instruction-by-instruction dispatch
+#: everywhere (used to prove tier equivalence end to end), ``fast`` the
+#: pre-decoded handler table, and ``compiled`` — the default — the
+#: pycompile tier (decoded images translated to specialized Python).
+INTERP_TIERS = ("slow", "fast", "compiled")
+DEFAULT_TIER = "compiled"
+
+
+def _env_tier() -> Optional[str]:
+    value = os.environ.get("REPRO_INTERP", "").strip().lower()
+    return value if value in INTERP_TIERS else None
+
+
+class _Bailout(Exception):
+    """Private transport for a fault raised after a compiled-tier bail.
+
+    When compiled code bails to the decoded fast path (cycle budget about
+    to trip), the fast path flushes counters and annotates the fault
+    itself; the generated fault handlers of every compiled frame still on
+    the stack must *not* flush again.  Wrapping the fault in an exception
+    type they do not catch makes the pass-through structural;
+    :meth:`Machine._execute` unwraps it at the activation boundary.
+    """
+
+    def __init__(self, fault: MachineFault):
+        super().__init__(fault.message)
+        self.fault = fault
 
 _faults_module = None
 
@@ -67,6 +93,10 @@ class FunctionImage:
     #: lazily decoded fast-path form (None = not decoded yet, False =
     #: decode failed and the slow path is authoritative for this image).
     _decoded: object = field(default=None, init=False, repr=False, compare=False)
+    #: lazily compiled pycompile-tier artifact, cached alongside the
+    #: decode cache with the same tri-state convention (None / False /
+    #: :class:`~repro.interp.pycompile.PyCompiledFunction`).
+    _compiled: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.labels:
@@ -91,6 +121,27 @@ class FunctionImage:
             except Exception:
                 self._decoded = False
         return self._decoded or None
+
+    def compiled_or_none(self):
+        """The cached :class:`~repro.interp.pycompile.PyCompiledFunction`.
+
+        Like :meth:`decoded_or_none`, translation happens once per image
+        and the artifact is shared by every machine.  Returns None when
+        the image cannot be compiled — the decoded fast path (or the
+        slow path) is then authoritative for this image.
+        """
+        if self._compiled is None:
+            decoded = self.decoded_or_none()
+            if decoded is None:
+                self._compiled = False
+            else:
+                try:
+                    from .pycompile import compile_decoded
+
+                    self._compiled = compile_decoded(self, decoded)
+                except Exception:
+                    self._compiled = False
+        return self._compiled or None
 
 
 @dataclass
@@ -152,47 +203,87 @@ class Machine:
         max_cycles: int = 50_000_000,
         tracer: Optional[Tracer] = None,
         force_slow: Optional[bool] = None,
+        tier: Optional[str] = None,
     ):
         self.program = program
         self.max_cycles = max_cycles
         self.memory = Memory(program.globals)
         self.stats = ExecStats()
         self.tracer = tracer
-        #: True disables the decoded fast path (also settable globally
-        #: with ``REPRO_INTERP=slow`` for equivalence sweeps).
-        self.force_slow = _FORCE_SLOW_ENV if force_slow is None else force_slow
+        #: requested interpreter tier.  Resolution order: the explicit
+        #: ``tier`` argument, then ``force_slow`` (the pre-tier opt-out,
+        #: kept for compatibility: True means ``slow``, False pins a
+        #: non-slow tier), then ``REPRO_INTERP``, then the default.
+        #: A tracer or an armed fault plan still demotes execution to
+        #: the slow path at dispatch time (see :meth:`uses_fast_path`).
+        if tier is not None:
+            if tier not in INTERP_TIERS:
+                raise ValueError(
+                    f"unknown interpreter tier {tier!r}; "
+                    f"expected one of {INTERP_TIERS}"
+                )
+            self.tier = tier
+        elif force_slow:
+            self.tier = "slow"
+        else:
+            env = _env_tier()
+            if force_slow is not None and env == "slow":
+                env = None  # explicit force_slow=False overrides the env
+            self.tier = env or DEFAULT_TIER
+        self.force_slow = self.tier == "slow"
         #: seconds spent decoding images on behalf of this machine (zero
         #: when every image was already decoded by an earlier run).
         self.decode_seconds = 0.0
+        #: seconds spent translating images to Python on behalf of this
+        #: machine (zero unless this machine ran a compiled-tier cold
+        #: translation).
+        self.pycompile_seconds = 0.0
         self._arg_queue: List[Number] = []
         #: pc of the instruction currently dispatching, always in
         #: *original-code* coordinates (fast-path faults are mapped back
         #: through the decoded image's pc_map).
         self._fault_pc = 0
+        #: effective tier, re-resolved at every :meth:`run` (fault plans
+        #: arm and disarm between runs, never mid-run) so the per-
+        #: activation dispatch avoids the probe-the-fault-registry call.
+        self._mode = self.interp_tier()
 
     # -- public API -------------------------------------------------------------
 
     def run(self, entry: str = "main", args: Sequence[Number] = ()) -> Number:
         """Execute ``entry`` and return its return value (0 if void)."""
+        self._mode = self.interp_tier()
+        self.stats.interp_tier = self._mode
         return self._call(entry, list(args))
 
     def uses_fast_path(self) -> bool:
-        """True when dispatch will run on decoded images: no tracer
-        attached, fault injection not armed, slow path not forced."""
+        """True when dispatch will run on decoded or compiled images: no
+        tracer attached, fault injection not armed, slow tier not
+        selected.  A tracer and an armed fault plan demote the compiled
+        tier exactly as they demote the fast path — both observation
+        mechanisms are wired into the slow dispatch loop only."""
         return (
-            self.tracer is None
-            and not self.force_slow
+            self.tier != "slow"
+            and self.tracer is None
             and _faults_active() is None
         )
 
+    def interp_tier(self) -> str:
+        """The tier dispatch will actually use for this machine."""
+        return self.tier if self.uses_fast_path() else "slow"
+
     def predecode(self) -> int:
-        """Eagerly decode every function image (normally decode happens on
-        first activation); returns the number of decoded images."""
+        """Eagerly prepare every function image for the active tier
+        (normally decode/translate happens on first activation); returns
+        the number of images made ready."""
         if not self.uses_fast_path():
             return 0
         count = 0
+        compiled_tier = self.tier == "compiled"
         for image in self.program.functions.values():
-            if self._decoded_for(image) is not None:
+            if compiled_tier and self._compiled_for(image) is not None:
+                count += 1
+            elif self._decoded_for(image) is not None:
                 count += 1
         return count
 
@@ -204,6 +295,16 @@ class Machine:
             self.decode_seconds += time.perf_counter() - started
             return decoded
         return decoded or None
+
+    def _compiled_for(self, image: FunctionImage):
+        compiled = image._compiled
+        if compiled is None:
+            self._decoded_for(image)  # attribute decode time separately
+            started = time.perf_counter()
+            compiled = image.compiled_or_none()
+            self.pycompile_seconds += time.perf_counter() - started
+            return compiled
+        return compiled or None
 
     # -- execution ---------------------------------------------------------------
 
@@ -221,8 +322,46 @@ class Machine:
         finally:
             self.memory.release_to(frame.stack_mark)
 
+    def _call_compiled(self, image: FunctionImage, args: List[Number]) -> Number:
+        """Fused activation path used by generated code (hoisted as
+        ``_machine_call``): one Python frame instead of the
+        ``_call`` → ``_execute`` pair, with the tier decision already
+        made by the caller (compiled code only calls this under the
+        compiled mode) and the image already looked up for the arity
+        check.  The generated call site popped exactly ``arity`` queued
+        params, so the arg count needs no re-validation here.  Falls
+        back to :meth:`_call` for callees whose translation failed."""
+        compiled = image._compiled
+        if compiled is None:
+            compiled = self._compiled_for(image)
+        if not compiled:
+            return self._call(image.name, args)
+        frame = _Frame(self.memory.stack_top)
+        frame.slots.update(zip(image.param_slots, args))
+        try:
+            try:
+                return compiled.fn(self, frame)
+            except _Bailout as bailout:
+                # A compiled frame bailed to the fast path and faulted
+                # there, fully flushed and annotated.
+                raise bailout.fault from None
+        finally:
+            self.memory.release_to(frame.stack_mark)
+
     def _execute(self, image: FunctionImage, frame: _Frame) -> Number:
-        if self.uses_fast_path():
+        mode = self._mode
+        if mode != "slow":
+            if mode == "compiled":
+                compiled = image._compiled
+                if compiled is None:
+                    compiled = self._compiled_for(image)
+                if compiled:
+                    try:
+                        return compiled.fn(self, frame)
+                    except _Bailout as bailout:
+                        # A compiled frame bailed to the fast path and
+                        # faulted there, fully flushed and annotated.
+                        raise bailout.fault from None
             decoded = self._decoded_for(image)
             if decoded is not None:
                 return self._dispatch_fast(image, decoded, frame)
@@ -238,7 +377,14 @@ class Machine:
                 function=image.name, pc=self._fault_pc, cycles=total.cycles
             )
 
-    def _dispatch_fast(self, image: FunctionImage, decoded, frame: _Frame) -> Number:
+    def _dispatch_fast(
+        self,
+        image: FunctionImage,
+        decoded,
+        frame: _Frame,
+        pc: int = 0,
+        cycles: int = 0,
+    ) -> Number:
         """Drive the decoded handler table (see :mod:`repro.interp.decode`).
 
         Cycles accumulate in a local and are folded into the shared
@@ -246,6 +392,12 @@ class Machine:
         against ``limit`` is therefore equivalent to the slow path's
         per-instruction ``total.cycles > max_cycles`` check.  ``ret`` and
         ``call`` are handled inline because both need that flush.
+
+        ``pc``/``cycles`` are nonzero only when the compiled tier bails
+        mid-activation (see :func:`repro.interp.pycompile._bail`): the
+        dispatch resumes at the bail point carrying the compiled frame's
+        unflushed cycle count, so the budget fault fires at exactly the
+        instruction and cycle the per-instruction tiers would report.
         """
         from .decode import HANDLERS
 
@@ -257,8 +409,6 @@ class Machine:
         total = self.stats.total
         max_cycles = self.max_cycles
         limit = max_cycles - total.cycles
-        cycles = 0
-        pc = 0
         result = 0
         try:
             while pc < n:

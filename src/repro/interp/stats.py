@@ -47,6 +47,10 @@ class ExecStats:
     #: Stanford routines ``fit``, ``place``, ``trial`` individually.
     per_function: Dict[str, Counters] = field(default_factory=dict)
     output: list = field(default_factory=list)
+    #: which interpreter tier executed the run ("slow"/"fast"/"compiled");
+    #: excluded from equality — the whole point of the tiers is that runs
+    #: on different ones compare equal on every observable counter.
+    interp_tier: "str | None" = field(default=None, compare=False)
 
     def function(self, name: str) -> Counters:
         if name not in self.per_function:

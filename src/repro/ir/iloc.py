@@ -40,9 +40,19 @@ from typing import Dict, List, Optional, Union
 Number = Union[int, float]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, eq=False)
 class Reg:
-    """A register operand: ``kind`` is ``"v"`` (virtual) or ``"p"`` (physical)."""
+    """A register operand: ``kind`` is ``"v"`` (virtual) or ``"p"`` (physical).
+
+    The comparison/hash dunders are hand-written rather than
+    dataclass-generated: registers are the atoms every allocator set,
+    sort, and interference map is made of, and the generated versions
+    allocate a field tuple per operation.  Semantics are unchanged
+    (ordered by ``(kind, index)``, equal on both fields); only the hash
+    *values* differ — a deterministic function of the fields instead of
+    tuple-of-str hashing, which no output may depend on anyway since
+    string hashing is per-process randomized.
+    """
 
     kind: str
     index: int
@@ -50,6 +60,54 @@ class Reg:
     def __post_init__(self) -> None:
         if self.kind not in ("v", "p"):
             raise ValueError(f"bad register kind {self.kind!r}")
+        object.__setattr__(
+            self, "_hash", (self.index << 1) | (self.kind == "v")
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:  # unpickled from a pre-cache-field blob
+            value = (self.index << 1) | (self.kind == "v")
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is Reg:
+            return self.index == other.index and self.kind == other.kind
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if other.__class__ is Reg:
+            if self.kind == other.kind:
+                return self.index < other.index
+            return self.kind < other.kind
+        return NotImplemented
+
+    def __le__(self, other) -> bool:
+        if other.__class__ is Reg:
+            if self.kind == other.kind:
+                return self.index <= other.index
+            return self.kind < other.kind
+        return NotImplemented
+
+    def __gt__(self, other) -> bool:
+        if other.__class__ is Reg:
+            if self.kind == other.kind:
+                return self.index > other.index
+            return self.kind > other.kind
+        return NotImplemented
+
+    def __ge__(self, other) -> bool:
+        if other.__class__ is Reg:
+            if self.kind == other.kind:
+                return self.index >= other.index
+            return self.kind > other.kind
+        return NotImplemented
+
+    def __deepcopy__(self, memo) -> "Reg":
+        # Immutable value object: share it, like deepcopy shares strings.
+        return self
 
     @property
     def is_virtual(self) -> bool:
@@ -88,6 +146,10 @@ class Symbol:
     def __post_init__(self) -> None:
         if self.space not in ("spill", "global"):
             raise ValueError(f"bad symbol space {self.space!r}")
+
+    def __deepcopy__(self, memo) -> "Symbol":
+        # Immutable value object: share it, like deepcopy shares strings.
+        return self
 
     def __str__(self) -> str:
         return f"[{self.name}]"
@@ -241,6 +303,14 @@ class Instr:
             self.label_false,
             self.comment,
         )
+
+    def __deepcopy__(self, memo: dict) -> "Instr":
+        """Every field is immutable or a shared-by-identity value object
+        (:class:`Reg`, :class:`Symbol`, strings, numbers), so a deep copy
+        is exactly :meth:`clone` — no per-field recursion needed.
+        ``copy.deepcopy`` handles the memo around this hook, preserving
+        aliasing between copies of the same instruction."""
+        return self.clone()
 
     # -- display ---------------------------------------------------------------
 

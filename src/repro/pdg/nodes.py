@@ -141,18 +141,36 @@ class Region:
             yield from sub.walk_regions()
 
     def walk_instrs(self) -> Iterator[Instr]:
-        """Every iloc statement in the whole region, in execution order."""
-        for item in self.items:
-            if isinstance(item, Instr):
-                yield item
-            elif isinstance(item, Predicate):
-                yield item.branch
-                if item.true_region is not None:
-                    yield from item.true_region.walk_instrs()
-                if item.false_region is not None:
-                    yield from item.false_region.walk_instrs()
-            else:
-                yield from item.walk_instrs()
+        """Every iloc statement in the whole region, in execution order.
+
+        Iterative (explicit iterator stack) rather than ``yield from``
+        recursion: this is the allocator's innermost traversal, and the
+        recursive form pays one generator resume per nesting level per
+        yielded instruction.
+        """
+        stack = [iter(self.items)]
+        while stack:
+            pushed = False
+            for item in stack[-1]:
+                if isinstance(item, Instr):
+                    yield item
+                elif isinstance(item, Predicate):
+                    yield item.branch
+                    false_region = item.false_region
+                    if false_region is not None:
+                        stack.append(iter(false_region.items))
+                    true_region = item.true_region
+                    if true_region is not None:
+                        stack.append(iter(true_region.items))
+                    if true_region is not None or false_region is not None:
+                        pushed = True
+                        break
+                else:
+                    stack.append(iter(item.items))
+                    pushed = True
+                    break
+            if not pushed:
+                stack.pop()
 
     def referenced_regs(self) -> Set[Reg]:
         """All registers used or defined anywhere in the region."""

@@ -79,22 +79,25 @@ def color_graph(
         node.color = None
 
     # --- simplify: peel the graph onto a stack ------------------------------
+    # Degrees are maintained incrementally: removing a node decrements
+    # each still-active neighbor, plus (for a removed global) every other
+    # active global it was *not* adjacent to — the Figure 5 mutual
+    # constraint.  This keeps the per-probe test O(1) while selecting the
+    # exact nodes a from-scratch recount would.
     removed: Set[IGNode] = set()
     remaining_degree: Dict[IGNode, int] = {}
     for node in nodes:
         remaining_degree[node] = effective_degree(node, global_nodes)
 
-    def recompute(node: IGNode) -> int:
-        degree = sum(1 for neighbor in node.adj if neighbor not in removed)
-        if node in global_nodes:
-            degree += sum(
-                1
-                for other in global_nodes
-                if other is not node
-                and other not in removed
-                and other not in node.adj
-            )
-        return degree
+    def retire(gone: IGNode) -> None:
+        for neighbor in gone.adj:
+            if neighbor not in removed:
+                remaining_degree[neighbor] -= 1
+        if gone in global_nodes:
+            adj = gone.adj
+            for other in global_nodes:
+                if other is not gone and other not in removed and other not in adj:
+                    remaining_degree[other] -= 1
 
     stack: List[IGNode] = []
     pessimistic_spills: List[IGNode] = []
@@ -107,7 +110,7 @@ def color_graph(
     while len(removed) < len(nodes):
         candidate = None
         for node in work:
-            if node not in removed and recompute(node) < k:
+            if node not in removed and remaining_degree[node] < k:
                 candidate = node
                 break
         if candidate is None:
@@ -121,8 +124,10 @@ def color_graph(
             if not optimistic:
                 pessimistic_spills.append(candidate)
                 removed.add(candidate)
+                retire(candidate)
                 continue
         removed.add(candidate)
+        retire(candidate)
         stack.append(candidate)
 
     # --- select: pop and first-fit color -------------------------------------

@@ -316,11 +316,22 @@ class PassPipeline:
             try:
                 machine.run(entry, args)
             finally:
-                # Pre-decode time is a subset of the execute stage's wall
-                # time, surfaced separately so profiles show the split.
-                if self.metrics is not None and machine.decode_seconds:
-                    self.metrics.record_duration(
-                        "decode", machine.decode_seconds
+                # Pre-decode and Python-translation time are subsets of
+                # the execute stage's wall time, surfaced separately so
+                # profiles show the split; the tier census records what
+                # dispatch actually ran on (a tracer or an armed fault
+                # plan demotes a machine to the slow path).
+                if self.metrics is not None:
+                    if machine.decode_seconds:
+                        self.metrics.record_duration(
+                            "decode", machine.decode_seconds
+                        )
+                    if machine.pycompile_seconds:
+                        self.metrics.record_duration(
+                            "pycompile", machine.pycompile_seconds
+                        )
+                    self.metrics.record_execute_tier(
+                        machine.stats.interp_tier or machine.interp_tier()
                     )
             return machine.stats
 

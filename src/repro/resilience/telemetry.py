@@ -32,6 +32,7 @@ STAGE_ORDER = (
     "validate",
     "schedule",
     "decode",
+    "pycompile",
     "execute",
     "compare",
 )
@@ -66,6 +67,11 @@ class StageMetrics:
     sched_moved: int = 0
     sched_length_before: int = 0
     sched_length_after: int = 0
+    #: execute-stage tier census (zero everywhere else): how many runs
+    #: this record aggregates per effective interpreter tier
+    #: (``slow`` / ``fast`` / ``compiled``), e.g. ``{"compiled": 80}``
+    #: for a sweep that stayed on the compiled tier throughout.
+    tiers: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "StageMetrics") -> None:
         self.wall_time += other.wall_time
@@ -78,6 +84,8 @@ class StageMetrics:
         self.sched_moved += other.sched_moved
         self.sched_length_before += other.sched_length_before
         self.sched_length_after += other.sched_length_after
+        for tier, count in other.tiers.items():
+            self.tiers[tier] = self.tiers.get(tier, 0) + count
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -93,6 +101,8 @@ class StageMetrics:
             out["sched_moved"] = self.sched_moved
             out["sched_length_before"] = self.sched_length_before
             out["sched_length_after"] = self.sched_length_after
+        if self.tiers:
+            out["tiers"] = dict(sorted(self.tiers.items()))
         return out
 
 
@@ -122,6 +132,14 @@ class MetricsCollector:
         metrics.spills += counters.get("spills", 0)
         metrics.peephole_hits += counters.get("peephole_hits", 0)
         metrics.analysis_builds += counters.get("analysis_builds", 0)
+
+    def record_execute_tier(self, tier: str) -> None:
+        """Count one execute-stage run against its effective interpreter
+        tier (what :meth:`~repro.interp.machine.Machine.interp_tier`
+        resolved to — a run demoted to ``slow`` by a tracer or an armed
+        fault plan is counted as ``slow``, not as the requested tier)."""
+        metrics = self.stage("execute")
+        metrics.tiers[tier] = metrics.tiers.get(tier, 0) + 1
 
     def record_schedule(self, report) -> None:
         """Fold one function's

@@ -115,6 +115,10 @@ class LoadgenReport:
     error_kinds: Dict[str, int] = field(default_factory=dict)
     #: cache key -> image sha256, for cross-run byte-identity diffs.
     artifacts: Dict[str, str] = field(default_factory=dict, repr=False)
+    #: interpreter-tier census over executing cold responses (cache hits
+    #: replay a stored result and report no tier; empty when ``execute``
+    #: was off for the whole run).
+    interp_tiers: Dict[str, int] = field(default_factory=dict)
     #: chaos-mode probe accounting (empty when chaos was off).
     chaos: Dict[str, Any] = field(default_factory=dict)
 
@@ -150,6 +154,8 @@ class LoadgenReport:
             "error_kinds": dict(self.error_kinds),
             "artifacts": dict(self.artifacts),
         }
+        if self.interp_tiers:
+            out["interp_tiers"] = dict(sorted(self.interp_tiers.items()))
         if self.chaos:
             out["chaos"] = dict(self.chaos)
         out.update(
@@ -177,6 +183,12 @@ class LoadgenReport:
             f"{self.mismatches} determinism mismatches",
             file=stream,
         )
+        if self.interp_tiers:
+            census = ", ".join(
+                f"{tier}={count}"
+                for tier, count in sorted(self.interp_tiers.items())
+            )
+            print(f"[loadgen] interp tiers (cold executes): {census}", file=stream)
         if self.chaos:
             print(
                 f"[loadgen] chaos: {self.chaos['probes']} probes "
@@ -390,6 +402,11 @@ def run_loadgen(
                     report.artifacts[response["key"]] = response.get(
                         "image_sha256", ""
                     )
+                    tier = response.get("interp_tier")
+                    if tier:
+                        report.interp_tiers[tier] = (
+                            report.interp_tiers.get(tier, 0) + 1
+                        )
 
     started = time.perf_counter()
     threads = [

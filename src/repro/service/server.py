@@ -339,6 +339,7 @@ def compile_cold(
         )
         response["output"] = stats.output
         response["cycles"] = stats.total.cycles
+        response["interp_tier"] = stats.interp_tier
     return response
 
 
@@ -795,6 +796,8 @@ class CompileService:
     def _stats_response(self) -> Dict[str, Any]:
         with self._metrics_lock:
             stages = self.metrics.as_dict()
+            execute = self.metrics.stages.get("execute")
+            interp_tiers = dict(sorted(execute.tiers.items())) if execute else {}
         with self._counter_lock:
             strikes = dict(self._strikes)
             quarantined = sorted(self._quarantined)
@@ -803,6 +806,10 @@ class CompileService:
             "op": "stats",
             "cache": self.cache.stats(),
             "stages": stages,
+            # Interpreter-tier census over every executed request this
+            # process has served (also present, per stage record, under
+            # ``stages["execute"]["tiers"]``).
+            "interp_tiers": interp_tiers,
             "requests": self._requests,
             "rejected": self._rejected,
             "expired": self._expired,

@@ -25,8 +25,17 @@ from repro.testing import random_source
 
 
 def execute(image, force_slow, entry="main", run_args=(), max_cycles=5_000_000):
-    """Run one path; returns (stats, fault-or-None)."""
-    machine = Machine(image, max_cycles=max_cycles, force_slow=force_slow)
+    """Run one path; returns (stats, fault-or-None).
+
+    The fast tier is pinned explicitly: with the compiled tier as the
+    machine default, ``force_slow=False`` alone would no longer exercise
+    the decoded handler table this file is about.
+    """
+    machine = Machine(
+        image,
+        max_cycles=max_cycles,
+        tier="slow" if force_slow else "fast",
+    )
     fault = None
     try:
         machine.run(entry, run_args)

@@ -129,3 +129,41 @@ def test_miscompile_freeze_thaw_roundtrip():
     assert thawed.expected == [1, 2, 3]
     assert thawed.actual == [1, 2, 4]
     assert thawed.render() == err.render()
+
+
+def test_execute_tier_census_records_merges_and_renders():
+    a = MetricsCollector()
+    a.record_execute_tier("compiled")
+    a.record_execute_tier("compiled")
+    a.record_execute_tier("slow")
+    b = MetricsCollector()
+    b.record_execute_tier("compiled")
+    total = aggregate([a.stages, b.stages])
+    assert total.stages["execute"].tiers == {"compiled": 3, "slow": 1}
+    assert total.as_dict()["execute"]["tiers"] == {"compiled": 3, "slow": 1}
+    # Stages with no executed runs carry no tiers key.
+    assert "tiers" not in StageMetrics("allocate").as_dict()
+
+
+def test_pipeline_execute_records_tier_and_pycompile_split():
+    collector = MetricsCollector()
+    pipe = PassPipeline(PipelineConfig(), metrics=collector)
+    prog = pipe.compile(PRESSURED)
+    pipe.execute(prog.reference_image())
+    stages = collector.stages
+    # Default tier is the compiled one; its translation time is broken
+    # out of the execute wall time like the decode stage's.
+    assert stages["execute"].tiers == {"compiled": 1}
+    assert "pycompile" in stages
+    assert stages["pycompile"].wall_time > 0.0
+
+
+def test_pipeline_execute_census_counts_demoted_runs():
+    from repro.resilience import faults
+
+    collector = MetricsCollector()
+    pipe = PassPipeline(PipelineConfig(), metrics=collector)
+    prog = pipe.compile(PRESSURED)
+    with faults.injected(faults.FaultSpec("rap.region.raise", "nope")):
+        pipe.execute(prog.reference_image())
+    assert collector.stages["execute"].tiers == {"slow": 1}

@@ -425,6 +425,21 @@ class TestStats:
         assert stats["workers"] == 2
         assert stats["draining"] is False
 
+    def test_stats_surface_interp_tier_census(self, service):
+        response = service.submit(compile_request())
+        assert response["ok"]
+        # Executing cold compiles report which interpreter tier ran.
+        assert response["interp_tier"] == "compiled"
+        stats = service.submit({"op": "stats"})
+        assert stats["interp_tiers"].get("compiled", 0) >= 1
+        assert stats["stages"]["execute"]["tiers"]["compiled"] >= 1
+
+    def test_cache_hit_replays_stored_tier(self, service):
+        cold = service.submit(compile_request())
+        warm = service.submit(compile_request())
+        assert warm["cache"] == "hit"
+        assert warm.get("interp_tier") == cold["interp_tier"]
+
 
 class TestTCPLayer:
     @pytest.fixture
