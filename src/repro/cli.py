@@ -26,6 +26,7 @@ Usage (``python -m repro ...``):
     python -m repro serve --worker-mode process --job-timeout 30  # supervised
     python -m repro request prog.mc --deadline-ms 200 --retries 3
     python -m repro router --backend 127.0.0.1:9363 --backend 127.0.0.1:9364
+    python -m repro router-admin drain 127.0.0.1:9363   # rolling-restart step
     python -m repro loadgen --requests 40 --port 9363  # latency/hit-rate report
     python -m repro loadgen --chaos --retries 3    # chaos harness (serve --chaos)
     python -m repro loadgen --saturate --port 9362 --out BENCH_router_baseline.json
@@ -268,8 +269,8 @@ def cmd_fuzz(args) -> int:
 
 
 def _service_command(name: str, rest: Sequence[str]) -> int:
-    """Dispatch ``serve``/``router``/``request``/``loadgen`` to the
-    owning module.
+    """Dispatch ``serve``/``router``/``request``/``router-admin``/
+    ``loadgen`` to the owning module.
 
     These parsers live next to their implementations
     (:mod:`repro.service`); the driver hands the remaining argv through
@@ -289,6 +290,10 @@ def _service_command(name: str, rest: Sequence[str]) -> int:
         from .service.client import request_main
 
         return request_main(rest)
+    if name == "router-admin":
+        from .service.admin import admin_main
+
+        return admin_main(rest)
     from .service.loadgen import loadgen_main
 
     return loadgen_main(rest)
@@ -455,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("serve", "run the compile-as-a-service daemon"),
         ("router", "consistent-hash front end over N serve daemons"),
         ("request", "send one compile request to a daemon"),
+        ("router-admin", "mutate a live router's backend ring"),
         ("loadgen", "closed-loop load generator for the daemon"),
     ):
         sub.add_parser(name, help=text, add_help=False)
@@ -471,7 +477,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
-        if argv and argv[0] in ("serve", "router", "request", "loadgen"):
+        if argv and argv[0] in (
+            "serve", "router", "request", "router-admin", "loadgen"
+        ):
             return _service_command(argv[0], argv[1:])
         args = build_parser().parse_args(argv)
         return args.func(args)

@@ -61,6 +61,10 @@ before:
   granularity;
 * ``source`` — this (source, parameters) combination has never been
   seen: workload churn, the miss is honest;
+* ``corrupt`` — a disk-tier file for this key existed but failed its
+  checksum (bit flip, truncation, torn write survived by the
+  filesystem): the store healed itself by treating it as a miss, but
+  the operator should know the disk is eating artifacts;
 * ``unclassified`` — the caller did not supply components.
 
 The breakdown is reported by :meth:`ArtifactCache.stats` under
@@ -68,6 +72,21 @@ The breakdown is reported by :meth:`ArtifactCache.stats` under
 docs/OPERATIONS.md for how to read it.  Classification state is
 per-process (a restarted daemon starts with an empty history), which is
 exactly the horizon an operator watching a live daemon cares about.
+
+Disk-tier integrity
+-------------------
+
+Every persisted file carries a sha256 of its payload in the header
+(``{"sha256": ..., "meta": ..., "image": ...}``), folded in at write
+time.  A read recomputes and compares: a mismatch — or a file that no
+longer parses — is a **classified ``corrupt`` miss**, never a crash and
+never an ``unclassified`` one.  A cache constructed over a persist
+directory also runs a **startup scrub**: every ``*.json`` file is
+verified once, corrupt files are deleted (the replication layer above
+re-supplies them; a corrupt file kept on disk would just re-fail every
+read), and the result is reported under ``stats()["scrub"]``.  Files
+written by an older format version fail the scrub as ``stale`` and are
+left in place — stale is cold, not corrupt.
 """
 
 from __future__ import annotations
@@ -78,7 +97,7 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..interp.serialize import FORMAT_VERSION
 from ..resilience.pipeline import PipelineConfig
@@ -140,6 +159,37 @@ def config_fingerprint(config: Optional[PipelineConfig]) -> Dict[str, Any]:
 def _digest(payload: Any) -> str:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _document_digest(meta: Dict[str, Any], image: str) -> str:
+    """The disk-tier integrity checksum: sha256 over the canonical JSON
+    of the payload (meta + image), excluding the checksum field itself."""
+    return _digest({"image": image, "meta": meta})
+
+
+def verify_document(document: Any) -> Optional[str]:
+    """Why a parsed disk-tier document cannot be served, or None if it
+    can: ``"corrupt"`` (shape damage or checksum mismatch — the file
+    does not say what it said when written) vs ``"stale"`` (written by
+    an older format: pre-checksum header, or an older wire version —
+    cold by design, not damaged)."""
+    if not isinstance(document, dict):
+        return "corrupt"
+    meta = document.get("meta")
+    image = document.get("image")
+    recorded = document.get("sha256")
+    if not isinstance(meta, dict) or not isinstance(image, str):
+        return "corrupt"
+    if recorded is None:
+        return "stale"
+    if _document_digest(meta, image) != recorded:
+        return "corrupt"
+    try:
+        if json.loads(image).get("version") != FORMAT_VERSION:
+            return "stale"
+    except (ValueError, AttributeError):
+        return "corrupt"
+    return None
 
 
 def key_components(
@@ -239,23 +289,55 @@ class _Shard:
         self.misses = 0
         self.evictions = 0
         self.disk_hits = 0
+        self.corrupt = 0
 
     # -- lookup ---------------------------------------------------------------
 
-    def get(self, key: str) -> Optional[CacheEntry]:
+    def get(self, key: str) -> Tuple[Optional[CacheEntry], Optional[str]]:
+        """``(entry, miss_cause)``: the entry and None on a hit, or None
+        and why the disk tier could not help (``"absent"`` / ``"stale"``
+        / ``"corrupt"``) on a miss."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return entry
-            entry = self._load_persisted(key)
+                return entry, None
+            entry, cause = self._load_persisted(key)
             if entry is not None:
                 self._insert(entry)
                 self.hits += 1
                 self.disk_hits += 1
-                return entry
+                return entry, None
+            if cause == "corrupt":
+                self.corrupt += 1
             self.misses += 1
+            return None, cause
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Memory-tier lookup with no side effects: no counter bump, no
+        LRU refresh, no disk read.  The replication/drain machinery uses
+        it to enumerate entries without distorting hit accounting."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def fetch(self, key: str) -> Optional[CacheEntry]:
+        """Both tiers, no hit/miss accounting: the ``cache-get`` path.
+        Replication reads are plumbing, not workload — they must not
+        distort the hit-rate operators (and tests) reason about.  A
+        corrupt disk file still counts ``corrupt`` (integrity is worth
+        counting no matter who noticed), and a disk hit still promotes
+        into memory (a replica asked for it; it is hot somewhere)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry
+            entry, cause = self._load_persisted(key)
+            if entry is not None:
+                self._insert(entry)
+                return entry
+            if cause == "corrupt":
+                self.corrupt += 1
             return None
 
     # -- insertion ------------------------------------------------------------
@@ -298,28 +380,39 @@ class _Shard:
     def _persist(self, entry: CacheEntry) -> None:
         if not self.persist_dir:
             return
-        document = {"meta": entry.meta, "image": entry.blob.decode("utf-8")}
+        image = entry.blob.decode("utf-8")
+        document = {
+            "sha256": _document_digest(entry.meta, image),
+            "meta": entry.meta,
+            "image": image,
+        }
         path = self._path(entry.key)
         tmp = f"{path}.tmp.{threading.get_ident()}"
         with open(tmp, "w") as handle:
             json.dump(document, handle, sort_keys=True)
         os.replace(tmp, path)  # atomic: readers see old or new, never torn
 
-    def _load_persisted(self, key: str) -> Optional[CacheEntry]:
+    def _load_persisted(
+        self, key: str
+    ) -> Tuple[Optional[CacheEntry], Optional[str]]:
+        """``(entry, miss_cause)``; causes mirror :func:`verify_document`."""
         if not self.persist_dir:
-            return None
+            return None, "absent"
         path = self._path(key)
         if not os.path.exists(path):
-            return None
+            return None, "absent"
         try:
             with open(path) as handle:
                 document = json.load(handle)
-            blob = document["image"].encode("utf-8")
-            if json.loads(document["image"]).get("version") != FORMAT_VERSION:
-                return None  # older wire format: cold, not corrupt
-            return CacheEntry(key, blob, document["meta"])
-        except (OSError, ValueError, KeyError):
-            return None  # unreadable file == cache miss, never a crash
+        except (OSError, ValueError):
+            # Truncated or bit-flipped beyond parsing: corrupt, and the
+            # store must say so — never a crash, never "unclassified".
+            return None, "corrupt"
+        cause = verify_document(document)
+        if cause is not None:
+            return None, cause
+        blob = document["image"].encode("utf-8")
+        return CacheEntry(key, blob, document["meta"]), None
 
     # -- accounting -----------------------------------------------------------
 
@@ -333,11 +426,19 @@ class _Shard:
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
+                "corrupt": self.corrupt,
             }
 
     def keys(self) -> List[str]:
         with self._lock:
             return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every memory-tier entry (disk files stay).  Counters are
+        kept: a wipe is an event in a cache's life, not a new cache."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -383,8 +484,10 @@ class ArtifactCache:
             "source": 0,
             "config": 0,
             "code": 0,
+            "corrupt": 0,
             "unclassified": 0,
         }
+        self._scrub = self.scrub() if persist_dir else None
 
     # -- shard routing --------------------------------------------------------
 
@@ -415,14 +518,29 @@ class ArtifactCache:
         is promoted back into memory — possibly evicting colder entries
         of the same shard — and counted as both a hit and a
         ``disk_hit``.  ``components`` (from :func:`key_components`)
-        lets a miss be classified by the input that changed.
+        lets a miss be classified by the input that changed; a disk file
+        that failed its checksum classifies as ``corrupt`` regardless.
         """
-        entry = self._shard(key).get(key)
+        entry, cause = self._shard(key).get(key)
         if entry is None:
-            kind = self._classify_miss(components)
+            kind = (
+                "corrupt"
+                if cause == "corrupt"
+                else self._classify_miss(components)
+            )
             with self._ident_lock:
                 self._miss_kinds[kind] += 1
         return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Side-effect-free memory-tier lookup (no counters, no LRU
+        refresh, no disk promotion) — see :meth:`_Shard.peek`."""
+        return self._shard(key).peek(key)
+
+    def fetch(self, key: str) -> Optional[CacheEntry]:
+        """Both tiers, without hit/miss accounting — the replication
+        read path (see :meth:`_Shard.fetch`)."""
+        return self._shard(key).fetch(key)
 
     # -- insertion ------------------------------------------------------------
 
@@ -477,6 +595,54 @@ class ArtifactCache:
                 return "config"
         return "source"
 
+    # -- the startup scrub ----------------------------------------------------
+
+    def scrub(self) -> Dict[str, int]:
+        """Verify every persisted artifact file once, deleting corrupt
+        ones (a corrupt file would re-fail every future read; deleting
+        it lets the replication tier above re-supply the key).  Returns
+        the tally: ``scanned`` / ``ok`` / ``stale`` (older format, left
+        in place — cold, not damaged) / ``corrupt`` (deleted).
+        Automatically run by the constructor when ``persist_dir`` is
+        set; callable again for a live re-scan (the result replaces the
+        ``scrub`` block in :meth:`stats`)."""
+        tally = {"scanned": 0, "ok": 0, "stale": 0, "corrupt": 0}
+        if not self.persist_dir:
+            return tally
+        try:
+            names = sorted(os.listdir(self.persist_dir))
+        except OSError:
+            return tally
+        for name in names:
+            # Artifact files live at ``<sha256-hex>.json``; anything
+            # else in the directory (``quarantine.json``, tmp files
+            # mid-replace) is a sidecar, not ours to judge or delete.
+            stem, dot, ext = name.partition(".")
+            if ext != "json" or len(stem) != 64 or any(
+                c not in "0123456789abcdef" for c in stem
+            ):
+                continue
+            path = os.path.join(self.persist_dir, name)
+            tally["scanned"] += 1
+            try:
+                with open(path) as handle:
+                    document = json.load(handle)
+                cause = verify_document(document)
+            except (OSError, ValueError):
+                cause = "corrupt"
+            if cause is None:
+                tally["ok"] += 1
+            elif cause == "stale":
+                tally["stale"] += 1
+            else:
+                tally["corrupt"] += 1
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+        self._scrub = tally
+        return tally
+
     # -- accounting -----------------------------------------------------------
 
     @property
@@ -503,15 +669,21 @@ class ArtifactCache:
         """Every key currently held in memory, across all shards."""
         return [key for shard in self._shards for key in shard.keys()]
 
+    def clear(self) -> None:
+        """Drop the whole memory tier (persisted files stay on disk) —
+        an operator reset, and the test harness's simulated cold cache."""
+        for shard in self._shards:
+            shard.clear()
+
     def stats(self) -> Dict[str, Any]:
         snapshots = [shard.snapshot() for shard in self._shards]
         totals = {
             field: sum(snap[field] for snap in snapshots)
             for field in ("entries", "bytes", "hits", "misses", "disk_hits",
-                          "evictions")
+                          "evictions", "corrupt")
         }
         hits, misses = totals["hits"], totals["misses"]
-        return {
+        stats = {
             **totals,
             "max_bytes": self.max_bytes,
             "shard_count": self.shards,
@@ -520,6 +692,9 @@ class ArtifactCache:
             "code_fingerprint": source_fingerprint(),
             "hit_rate": hits / (hits + misses) if (hits + misses) else 0.0,
         }
+        if self._scrub is not None:
+            stats["scrub"] = dict(self._scrub)
+        return stats
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)

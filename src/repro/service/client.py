@@ -29,6 +29,9 @@ automatic reconnect), and the server-side kinds in
 ``worker-crash`` — the worker died, possibly through no fault of the
 request).  ``worker-timeout`` and ``poison-pill`` are deliberately *not*
 retried: the server has evidence the request itself is pathological.
+``replica-miss`` is not retried either — it is not a failure at all but
+the router replication protocol's "this backend is cold" answer to a
+``warm_only`` probe, and only the router should ever see it.
 """
 
 from __future__ import annotations
@@ -232,6 +235,26 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.checked({"op": "stats"})
+
+    def cache_get(self, key: str) -> Dict[str, Any]:
+        """Fetch raw artifact bytes by cache key (``replica-miss`` when
+        the backend does not hold them) — the replication read op."""
+        return self.checked({"op": "cache-get", "key": key})
+
+    def cache_put(
+        self, key: str, blob: str, meta: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Install raw artifact bytes under ``key`` without compiling —
+        the replication write op.  The backend refuses blobs that do not
+        match ``meta["image_sha256"]``."""
+        return self.checked(
+            {"op": "cache-put", "key": key, "blob": blob, "meta": meta}
+        )
+
+    def cache_keys(self) -> Dict[str, Any]:
+        """Enumerate the backend's memory-tier artifact keys (with
+        routing affinity and byte size) — what a drain streams."""
+        return self.checked({"op": "cache-keys"})
 
     def compile(
         self,

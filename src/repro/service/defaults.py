@@ -93,6 +93,25 @@ ROUTER_PROBE_INTERVAL_S = 2.0
 #: Consecutive failed probes (or forwarding failures) before a backend
 #: is marked unhealthy and skipped by the ring.
 ROUTER_PROBE_FAILURES = 2
+#: Replication factor: each cold artifact is written through to this
+#: many ring successors (the compiling node included), so failover
+#: lands on a warm replica instead of recompiling.
+ROUTER_REPLICATION = 2
+#: Byte budget for the hinted-handoff queue (replica writes waiting for
+#: a down backend to return).  Oldest hints are dropped — with a
+#: counter — when the budget is exceeded.
+ROUTER_HANDOFF_BYTES = 8 * 1024 * 1024
+
+# -- the rolling-restart drill -----------------------------------------------
+
+#: Backends spawned by ``loadgen --rolling-restart``.
+DRILL_BACKENDS = 3
+#: Closed-loop requests issued per drill phase (warm pass, each
+#: restart window, final warm pass).
+DRILL_REQUESTS_PER_PHASE = 16
+#: Post-restart warm hit rate the drill pins (previously-warm keys must
+#: still answer warm after every backend restarted).
+DRILL_WARM_HIT_RATE = 0.9
 
 # -- the saturation harness --------------------------------------------------
 

@@ -539,6 +539,326 @@ def run_saturation(
     return summary
 
 
+def _free_port(host: str) -> int:
+    """A port the OS just handed out — raceable in principle, fine for
+    a drill that owns the machine it runs on."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _drill_mix(programs: Sequence[str]) -> List[Tuple[str, str]]:
+    """A compact, fully deterministic mix for the drill: bench programs
+    plus synthetic variants, enough distinct keys to spread across
+    every backend's arcs without dragging the whole corpus through
+    three restarts."""
+    mix = default_mix(programs, corpus=False)
+    for index in range(6):
+        mix.append(
+            (
+                f"drill:{index}",
+                f"int main() {{ return {index} + {index}; }}\n",
+            )
+        )
+    return mix
+
+
+def _spawn_backend(host: str, port: int) -> "subprocess.Popen":
+    """One ``repro serve`` daemon as a child process (thread workers:
+    the drill exercises replication, not crash isolation)."""
+    import os
+    import subprocess
+    from pathlib import Path
+
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", host, "--port", str(port),
+            "--worker-mode", "thread", "--workers", "2",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_backend(host: str, port: int, timeout_s: float = 30.0) -> None:
+    """Block until the daemon answers a ping (it may still be binding)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            with connect_with_retry(host, port, timeout=5.0, retries=0) as client:
+                if client.ping():
+                    return
+        except (ServiceError, OSError):
+            pass
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"backend {host}:{port} never came up")
+        time.sleep(0.1)
+
+
+def run_rolling_restart(
+    backends: int = defaults.DRILL_BACKENDS,
+    requests_per_phase: int = defaults.DRILL_REQUESTS_PER_PHASE,
+    warm_hit_rate: float = defaults.DRILL_WARM_HIT_RATE,
+    replication: int = defaults.ROUTER_REPLICATION,
+    host: str = defaults.HOST,
+    programs: Sequence[str] = DEFAULT_PROGRAMS,
+    retries: int = 4,
+    stream=None,
+) -> Dict[str, Any]:
+    """The rolling-restart drill: restart every backend under load.
+
+    Spawns ``backends`` serve daemons plus an in-process router with
+    replication on, warms the cache, then — with a closed-loop load
+    thread running the whole time — walks the fleet one backend at a
+    time: ``backend-drain`` (artifacts stream to their new owners),
+    SIGTERM, wait for exit, restart on the same port, ``backend-add``.
+    The drill passes iff **zero** requests were lost (no errors, no
+    unanswered, no determinism mismatches in any phase), every artifact
+    stayed byte-identical to the warm baseline, and the final pass —
+    after every backend restarted — still answers warm at
+    ``warm_hit_rate`` or better.  That final number is the whole point:
+    before replication, each restart threw its share of the cache away.
+    """
+    import subprocess
+
+    from .router import RouterServer, RouterService
+
+    if backends < 2:
+        raise ValueError("the drill needs at least 2 backends")
+    mix = _drill_mix(programs)
+    ports = []
+    while len(ports) < backends:
+        port = _free_port(host)
+        if port not in ports:
+            ports.append(port)
+    procs: Dict[int, "subprocess.Popen"] = {}
+    summary: Dict[str, Any] = {
+        "backends": backends,
+        "replication": replication,
+        "mix_size": len(mix),
+        "restarts": [],
+        "ok": False,
+    }
+
+    def say(message: str) -> None:
+        if stream is not None:
+            print(f"[drill] {message}", file=stream)
+
+    server = None
+    load_thread = None
+    stop = threading.Event()
+    background = {
+        "requests": 0, "ok": 0, "errors": 0, "unanswered": 0,
+        "mismatches": 0, "error_kinds": {},
+    }
+    background_lock = threading.Lock()
+    baseline: Dict[str, str] = {}
+
+    def background_load(router_port: int) -> None:
+        """Closed-loop requests for the whole restart window; every one
+        must come back typed, correct, and byte-identical."""
+        try:
+            client = connect_with_retry(
+                host, router_port, retries=5, backoff=0.1
+            )
+        except (ServiceError, OSError):
+            with background_lock:
+                background["unanswered"] += 1
+            return
+        client.retries = retries
+        index = 0
+        with client:
+            while not stop.is_set():
+                name, source = mix[index % len(mix)]
+                index += 1
+                with background_lock:
+                    background["requests"] += 1
+                try:
+                    response = client.compile(source, filename=name)
+                except ServiceError as err:
+                    with background_lock:
+                        background["errors"] += 1
+                        background["error_kinds"][err.kind] = (
+                            background["error_kinds"].get(err.kind, 0) + 1
+                        )
+                        if err.kind in ("transport", "timeout", "protocol"):
+                            background["unanswered"] += 1
+                    try:
+                        client._reconnect()
+                    except OSError:
+                        return
+                    continue
+                except OSError:
+                    with background_lock:
+                        background["errors"] += 1
+                        background["unanswered"] += 1
+                    return
+                sha = response.get("image_sha256", "")
+                with background_lock:
+                    background["ok"] += 1
+                    if baseline.setdefault(response["key"], sha) != sha:
+                        background["mismatches"] += 1
+                time.sleep(0.01)
+
+    try:
+        say(f"spawning {backends} backends on ports {ports}")
+        for port in ports:
+            procs[port] = _spawn_backend(host, port)
+        for port in ports:
+            _wait_for_backend(host, port)
+        router = RouterService(
+            [(host, port) for port in ports],
+            probe_interval_s=0.2,
+            probe_failures=2,
+            timeout=60.0,
+            replication=replication,
+        )
+        server = RouterServer((host, 0), router)
+        router_port = server.server_address[1]
+        server_thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+        )
+        server_thread.start()
+        say(f"router on {host}:{router_port} (R={replication})")
+
+        warm = run_loadgen(
+            host=host, port=router_port,
+            requests=max(requests_per_phase, len(mix)),
+            workers=2, mix=mix, retries=retries,
+        )
+        baseline.update(warm.artifacts)
+        summary["warm"] = {
+            "requests": warm.requests, "ok": warm.ok,
+            "errors": warm.errors, "unanswered": warm.unanswered,
+            "mismatches": warm.mismatches,
+        }
+        say(
+            f"warm pass: {warm.ok}/{warm.requests} ok, "
+            f"{len(baseline)} distinct artifacts"
+        )
+        if warm.errors or warm.unanswered:
+            return summary
+
+        load_thread = threading.Thread(
+            target=background_load, args=(router_port,), daemon=True
+        )
+        load_thread.start()
+
+        with connect_with_retry(host, router_port, retries=3) as admin:
+            for port in ports:
+                name = f"{host}:{port}"
+                record: Dict[str, Any] = {"backend": name}
+                started = time.monotonic()
+                drained = admin.request(
+                    {"op": "backend-drain", "backend": name}
+                )
+                record["drain_ok"] = bool(drained.get("ok"))
+                record["streamed"] = drained.get("streamed", 0)
+                record["stream_failed"] = drained.get("stream_failed", 0)
+                say(
+                    f"drained {name}: streamed {record['streamed']} "
+                    f"artifacts (ok={record['drain_ok']})"
+                )
+                proc = procs[port]
+                proc.terminate()
+                try:
+                    proc.wait(timeout=30.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10.0)
+                procs[port] = _spawn_backend(host, port)
+                _wait_for_backend(host, port)
+                added = admin.request({"op": "backend-add", "backend": name})
+                record["add_ok"] = bool(added.get("ok"))
+                record["ring_generation"] = added.get("ring_generation")
+                record["window_s"] = round(time.monotonic() - started, 2)
+                say(
+                    f"restarted {name} in {record['window_s']}s "
+                    f"(ring generation {record['ring_generation']})"
+                )
+                summary["restarts"].append(record)
+                if not (record["drain_ok"] and record["add_ok"]):
+                    return summary
+
+        stop.set()
+        load_thread.join(timeout=60.0)
+        summary["background"] = dict(background)
+        say(
+            f"background load: {background['ok']}/{background['requests']} "
+            f"ok, {background['errors']} errors, "
+            f"{background['unanswered']} unanswered, "
+            f"{background['mismatches']} mismatches"
+        )
+
+        final = run_loadgen(
+            host=host, port=router_port,
+            requests=max(requests_per_phase, len(mix)),
+            workers=2, mix=mix, retries=retries,
+        )
+        drifted = sum(
+            1
+            for key, sha in final.artifacts.items()
+            if baseline.get(key, sha) != sha
+        )
+        summary["final"] = {
+            "requests": final.requests, "ok": final.ok,
+            "errors": final.errors, "unanswered": final.unanswered,
+            "mismatches": final.mismatches,
+            "hit_rate": round(final.hit_rate, 4),
+            "artifacts_drifted": drifted,
+        }
+        summary["post_restart_hit_rate"] = round(final.hit_rate, 4)
+        say(
+            f"final pass: {final.ok}/{final.requests} ok, "
+            f"hit rate {100.0 * final.hit_rate:.1f}% "
+            f"(floor {100.0 * warm_hit_rate:.0f}%), "
+            f"{drifted} artifacts drifted"
+        )
+        summary["ok"] = (
+            warm.errors == 0 and warm.unanswered == 0
+            and warm.mismatches == 0
+            and background["errors"] == 0
+            and background["unanswered"] == 0
+            and background["mismatches"] == 0
+            and final.errors == 0 and final.unanswered == 0
+            and final.mismatches == 0
+            and drifted == 0
+            and final.hit_rate >= warm_hit_rate
+        )
+        say("PASS" if summary["ok"] else "FAIL")
+        return summary
+    finally:
+        stop.set()
+        if load_thread is not None and load_thread.is_alive():
+            load_thread.join(timeout=10.0)
+        if server is not None:
+            server.drain_and_shutdown()
+            server.server_close()
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs.values():
+            try:
+                proc.wait(timeout=15.0)
+            except Exception:
+                proc.kill()
+
+
 def build_loadgen_parser() -> argparse.ArgumentParser:
     """The ``repro loadgen`` argument parser (defaults single-sourced in
     :mod:`repro.service.defaults`)."""
@@ -596,6 +916,22 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
              f"(default: {defaults.SATURATE_REQUESTS_PER_STEP})",
     )
     parser.add_argument(
+        "--rolling-restart", action="store_true",
+        help="self-contained drill: spawn backends + a replicating "
+             "router, then restart every backend under load asserting "
+             "zero lost requests and a pinned warm hit rate",
+    )
+    parser.add_argument(
+        "--backends", type=int, default=defaults.DRILL_BACKENDS,
+        help="backends spawned by --rolling-restart "
+             f"(default: {defaults.DRILL_BACKENDS})",
+    )
+    parser.add_argument(
+        "--replication", type=int, default=defaults.ROUTER_REPLICATION,
+        help="replication factor for the --rolling-restart router "
+             f"(default: {defaults.ROUTER_REPLICATION})",
+    )
+    parser.add_argument(
         "--out", metavar="FILE", default=None,
         help="write the report as JSON",
     )
@@ -604,6 +940,21 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
 
 def loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_loadgen_parser().parse_args(argv)
+
+    if args.rolling_restart:
+        summary = run_rolling_restart(
+            backends=args.backends,
+            replication=args.replication,
+            host=args.host,
+            programs=args.programs,
+            retries=max(args.retries, 4),
+            stream=sys.stdout,
+        )
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return 0 if summary["ok"] else 1
 
     if args.saturate:
         summary = run_saturation(

@@ -57,6 +57,47 @@ path).  The ``stats`` op answers with router-level accounting plus each
 backend's own live ``stats`` response and an aggregated cache summary —
 one screen for the whole deployment (docs/OPERATIONS.md shows how to
 read it).
+
+Replication
+-----------
+
+Failover alone answers the request but pays a full recompile: the ring
+successor never saw the key.  With replication factor
+:data:`~repro.service.defaults.ROUTER_REPLICATION` ``R > 1`` the router
+treats the first ``R`` distinct ring successors of a key as its
+*replica set* and keeps every artifact on all of them:
+
+* **Write-through** — after a cold compile, the router fetches the raw
+  artifact (``cache-get``) from the compiling backend and installs it
+  (``cache-put``) on the other replica-set members, so killing any one
+  backend leaves every warm key warm somewhere reachable.
+* **Read-repair** — a compile is first sent with ``warm_only``: a warm
+  backend answers normally (the warm path stays one round trip), a cold
+  one returns a typed ``replica-miss`` carrying the artifact key.  The
+  router then copies the artifact from another replica-set member into
+  the cold backend and re-sends the compile — a warm hit — falling back
+  to a real compile only when no replica has the bytes.
+* **Hinted handoff** — a replica write aimed at a down backend is
+  queued (bounded by :data:`~repro.service.defaults.ROUTER_HANDOFF_BYTES`,
+  oldest dropped first, every drop counted) and flushed by the health
+  prober the moment the backend answers a ping again.
+
+Membership
+----------
+
+The backend set is no longer frozen at router start.  Admin ops —
+``backend-add``, ``backend-remove``, ``backend-drain``, sent by
+``python -m repro router-admin`` — mutate the ring under a generation
+counter: every mutation bumps ``ring_generation``, and an op carrying
+``expect_generation`` is refused with a typed ``ring-generation-skew``
+error when the ring moved underneath the operator (two operators, one
+ring: last writer does not silently win).  ``backend-drain`` is the
+graceful exit: the node leaves the ring first (new keys stop landing on
+it), its still-cached artifacts are streamed to their new owners, and
+only then is it forgotten — the building block of the rolling-restart
+drill (``repro loadgen --rolling-restart``), which restarts every
+backend in sequence under load with zero lost requests and a pinned
+post-restart warm hit rate.
 """
 
 from __future__ import annotations
@@ -70,6 +111,7 @@ import socketserver
 import sys
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from . import defaults
@@ -143,6 +185,39 @@ class HashRing:
                 if len(seen) == len(self.nodes):
                     return
 
+    def replicas(self, key: str, count: int) -> List[str]:
+        """The first ``count`` distinct nodes in ring order from
+        ``key``'s position — the replica set that should hold ``key``'s
+        artifact (capped at the ring size)."""
+        out: List[str] = []
+        for node in self.successors(key):
+            out.append(node)
+            if len(out) >= count:
+                break
+        return out
+
+    def ownership(self) -> Dict[str, Dict[str, Any]]:
+        """Per-node ring share: virtual-node count and the fraction of
+        the 64-bit keyspace whose arcs land on that node — the stats
+        surface for 'is the load split still even?'."""
+        total = 1 << 64
+        shares = {
+            node: {"vnodes": 0, "keyspace_fraction": 0.0}
+            for node in self.nodes
+        }
+        arcs = {node: 0 for node in self.nodes}
+        count = len(self._positions)
+        for index, position in enumerate(self._positions):
+            owner = self._owners[index]
+            shares[owner]["vnodes"] += 1
+            if count == 1:
+                arcs[owner] = total
+            else:
+                arcs[owner] += (position - self._positions[index - 1]) % total
+        for node in self.nodes:
+            shares[node]["keyspace_fraction"] = arcs[node] / total
+        return shares
+
 
 class Backend:
     """One backend daemon: address, health, and routing counters."""
@@ -192,6 +267,93 @@ class Backend:
             }
 
 
+class HandoffQueue:
+    """Replica writes waiting out a down backend: hinted handoff.
+
+    Bounded by a byte budget over the blobs held.  One hint per
+    ``(backend, key)`` slot — a newer write for the same key replaces
+    the older hint — and when the budget overflows the *oldest* hints
+    are dropped first, each drop counted (a dropped hint is not data
+    loss: the artifact still lives on the other replicas and read-repair
+    restores it on the next miss; the counter exists so operators can
+    see the budget is too small).
+    """
+
+    def __init__(self, budget_bytes: int = defaults.ROUTER_HANDOFF_BYTES):
+        self.budget = int(budget_bytes)
+        self._lock = threading.Lock()
+        #: ``(backend name, key) -> (blob, meta)``, oldest first.
+        self._hints: "OrderedDict[Tuple[str, str], Tuple[str, Dict[str, Any]]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._queued = 0
+        self._flushed = 0
+        self._dropped = 0
+
+    def offer(self, backend: str, key: str, blob: str, meta: Dict[str, Any]) -> bool:
+        """Queue one replica write for later delivery.  Returns False
+        when the hint cannot be held (larger than the whole budget)."""
+        size = len(blob)
+        with self._lock:
+            if size > self.budget:
+                self._dropped += 1
+                return False
+            slot = (backend, key)
+            old = self._hints.pop(slot, None)
+            if old is not None:
+                self._bytes -= len(old[0])
+            self._hints[slot] = (blob, meta)
+            self._bytes += size
+            self._queued += 1
+            while self._bytes > self.budget and self._hints:
+                _, (old_blob, _) = self._hints.popitem(last=False)
+                self._bytes -= len(old_blob)
+                self._dropped += 1
+            return True
+
+    def take(self, backend: str) -> List[Tuple[str, str, Dict[str, Any]]]:
+        """Pop every hint held for ``backend`` (the flush path)."""
+        with self._lock:
+            slots = [slot for slot in self._hints if slot[0] == backend]
+            taken = []
+            for slot in slots:
+                blob, meta = self._hints.pop(slot)
+                self._bytes -= len(blob)
+                taken.append((slot[1], blob, meta))
+            return taken
+
+    def discard(self, backend: str) -> int:
+        """Drop every hint for a backend that left the ring for good."""
+        dropped = 0
+        with self._lock:
+            for slot in [slot for slot in self._hints if slot[0] == backend]:
+                blob, _ = self._hints.pop(slot)
+                self._bytes -= len(blob)
+                self._dropped += 1
+                dropped += 1
+        return dropped
+
+    def note_flushed(self, count: int = 1) -> None:
+        with self._lock:
+            self._flushed += count
+
+    def note_dropped(self, count: int = 1) -> None:
+        with self._lock:
+            self._dropped += count
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "queued": self._queued,
+                "flushed": self._flushed,
+                "dropped": self._dropped,
+                "pending": len(self._hints),
+                "pending_bytes": self._bytes,
+                "budget_bytes": self.budget,
+            }
+
+
 def _parse_backend(spec: str) -> Tuple[str, int]:
     host, _, port = spec.rpartition(":")
     if not host or not port.isdigit():
@@ -216,6 +378,8 @@ class RouterService:
         probe_interval_s: float = defaults.ROUTER_PROBE_INTERVAL_S,
         probe_failures: int = defaults.ROUTER_PROBE_FAILURES,
         timeout: float = defaults.CLIENT_TIMEOUT_S,
+        replication: int = defaults.ROUTER_REPLICATION,
+        handoff_bytes: int = defaults.ROUTER_HANDOFF_BYTES,
     ):
         if not backends:
             raise ValueError("router needs at least one backend")
@@ -224,16 +388,26 @@ class RouterService:
         }
         if len(self.backends) != len(backends):
             raise ValueError("duplicate backend address")
+        self.vnodes = vnodes
         self.ring = HashRing(sorted(self.backends), vnodes=vnodes)
         self.probe_interval_s = probe_interval_s
         self.probe_failures = probe_failures
         self.timeout = timeout
+        self.replication = max(1, int(replication))
+        self.handoff = HandoffQueue(handoff_bytes)
+        #: Guards ring swaps and membership mutation (never held across
+        #: network I/O); the ring itself is immutable, so request paths
+        #: just read ``self.ring`` once and work on that snapshot.
+        self._ring_lock = threading.Lock()
+        self.generation = 0
         self._local = threading.local()
         self._counter_lock = threading.Lock()
         self._requests = 0
         self._forwarded = 0
         self._failovers = 0
         self._no_backend = 0
+        self._replica_writes = 0
+        self._read_repairs = 0
         self._stop = threading.Event()
         self._prober: Optional[threading.Thread] = None
         self._started = time.monotonic()
@@ -258,12 +432,14 @@ class RouterService:
 
     def _probe_loop(self) -> None:
         while not self._stop.wait(self.probe_interval_s):
-            for backend in self.backends.values():
+            for backend in list(self.backends.values()):
                 self.probe(backend)
 
     def probe(self, backend: Backend) -> bool:
         """One liveness ping, on a short-lived connection so a wedged
-        backend cannot pin the prober's socket."""
+        backend cannot pin the prober's socket.  A backend that answers
+        gets its pending hinted-handoff writes flushed — the 'flush when
+        health probes see the backend return' half of replication."""
         try:
             with ServiceClient(
                 backend.host, backend.port, timeout=self.probe_interval_s
@@ -273,9 +449,39 @@ class RouterService:
             alive = False
         if alive:
             backend.note_success()
+            self._flush_handoff(backend)
         else:
             backend.note_failure(self.probe_failures)
         return alive
+
+    def _flush_handoff(self, backend: Backend) -> None:
+        """Deliver the hints queued for a backend that just answered a
+        probe.  A delivery failure mid-flush requeues the remainder —
+        the next successful probe tries again."""
+        hints = self.handoff.take(backend.name)
+        if not hints:
+            return
+        remaining = list(hints)
+        try:
+            with ServiceClient(
+                backend.host, backend.port, timeout=self.timeout
+            ) as client:
+                while remaining:
+                    key, blob, meta = remaining[0]
+                    response = client.request(
+                        {"op": "cache-put", "key": key, "blob": blob, "meta": meta}
+                    )
+                    remaining.pop(0)
+                    if response.get("ok"):
+                        self.handoff.note_flushed()
+                        self._count("replica_writes")
+                    else:
+                        # The backend refused the bytes (e.g. checksum
+                        # mismatch): retrying would loop forever.
+                        self.handoff.note_dropped()
+        except (ServiceError, OSError):
+            for key, blob, meta in remaining:
+                self.handoff.offer(backend.name, key, blob, meta)
 
     # -- forwarding -----------------------------------------------------------
 
@@ -318,6 +524,12 @@ class RouterService:
             }
         if op == "stats":
             return self._stats_response()
+        if op == "backend-add":
+            return self.backend_add(request)
+        if op == "backend-remove":
+            return self.backend_remove(request)
+        if op == "backend-drain":
+            return self.backend_drain(request)
         if op != "compile":
             return {
                 "ok": False,
@@ -326,10 +538,35 @@ class RouterService:
         return self._forward(request)
 
     def _forward(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        ring = self.ring  # one immutable snapshot for the whole request
+        affinity = affinity_key(request)
         order = [
             self.backends[name]
-            for name in self.ring.successors(affinity_key(request))
+            for name in ring.successors(affinity)
+            if name in self.backends
         ]
+        if not order:
+            self._count("no_backend")
+            return {
+                "ok": False,
+                "router_failovers": 0,
+                "error": _error_payload(
+                    "no-backend",
+                    "ring has no routable backends",
+                    backends=sorted(self.backends),
+                ),
+            }
+        replica_names = ring.replicas(affinity, self.replication)
+        # The replica set is ownership, not health: a down replica's
+        # write becomes a hint, not a different replica.
+        replicas = [
+            self.backends[name]
+            for name in replica_names
+            if name in self.backends
+        ]
+        replicate = self.replication > 1 and len(order) > 1 and not request.get(
+            "warm_only"
+        )
         # Healthy backends first, in ring order; unhealthy ones only as
         # a last resort (the probe may simply not have noticed a
         # recovery yet).
@@ -337,7 +574,12 @@ class RouterService:
         failovers = 0
         for backend in attempts:
             try:
-                response = self._client(backend).request(request)
+                if replicate:
+                    response = self._compile_with_replication(
+                        backend, request, affinity, replicas
+                    )
+                else:
+                    response = self._client(backend).request(request)
             except ServiceError as err:
                 if err.kind not in _FAILOVER_KINDS:
                     # protocol: the backend answered garbage — surface
@@ -371,18 +613,359 @@ class RouterService:
             ),
         }
 
+    # -- the replication protocol ---------------------------------------------
+
+    def _compile_with_replication(
+        self,
+        backend: Backend,
+        request: Dict[str, Any],
+        affinity: str,
+        replicas: List[Backend],
+    ) -> Dict[str, Any]:
+        """One compile against one backend, replication-aware.
+
+        Probe with ``warm_only`` first: a warm backend answers in the
+        same single round trip as before.  On a ``replica-miss`` the
+        artifact is read-repaired from another replica-set member when
+        possible, then the real compile is sent — a warm hit after a
+        successful repair, a cold compile otherwise — and cold results
+        are written through to the rest of the replica set.  Transport
+        failures propagate as :class:`ServiceError` so :meth:`_forward`
+        applies its usual failover policy.
+        """
+        client = self._client(backend)
+        probe = dict(request)
+        probe["warm_only"] = True
+        probe["affinity"] = affinity
+        response = client.request(probe)
+        error = response.get("error") or {}
+        if response.get("ok") or error.get("kind") != "replica-miss":
+            # Warm hit, or a real typed answer (poison-pill, bad
+            # request...) that must not be masked by replication.
+            return response
+        key = response.get("key")
+        if isinstance(key, str) and key:
+            self._read_repair(backend, key, replicas)
+        compile_request = dict(request)
+        compile_request["affinity"] = affinity
+        if isinstance(key, str) and key:
+            # The probe already counted this request's hit-or-miss;
+            # tell the backend not to count the re-sent lookup too.
+            compile_request["probed"] = key
+        response = client.request(compile_request)
+        if response.get("ok") and response.get("cache") == "miss":
+            self._replicate(backend, response.get("key"), replicas)
+        return response
+
+    def _read_repair(
+        self, target: Backend, key: str, replicas: List[Backend]
+    ) -> bool:
+        """Copy ``key``'s artifact from any other replica-set member
+        into ``target``.  True when the repair landed."""
+        for source in replicas:
+            if source.name == target.name:
+                continue
+            try:
+                got = self._client(source).request(
+                    {"op": "cache-get", "key": key}
+                )
+            except ServiceError as err:
+                if err.kind in _FAILOVER_KINDS:
+                    self._drop_client(source)
+                    source.note_failure(self.probe_failures)
+                continue
+            except OSError:
+                source.note_failure(self.probe_failures)
+                continue
+            if not got.get("ok"):
+                continue  # not warm there either
+            blob = got.get("blob")
+            meta = got.get("meta")
+            if not isinstance(blob, str) or not isinstance(meta, dict):
+                continue
+            try:
+                put = self._client(target).request(
+                    {"op": "cache-put", "key": key, "blob": blob, "meta": meta}
+                )
+            except (ServiceError, OSError):
+                # The target is failing: the compile attempt that
+                # follows will fail over through the normal path.
+                return False
+            if put.get("ok"):
+                self._count("read_repairs")
+                return True
+        return False
+
+    def _replicate(
+        self, source: Backend, key: Any, replicas: List[Backend]
+    ) -> None:
+        """Write a freshly compiled artifact through from ``source`` to
+        the rest of the replica set (down members get handoff hints)."""
+        if not isinstance(key, str) or not key:
+            return
+        targets = [b for b in replicas if b.name != source.name]
+        if not targets:
+            return
+        try:
+            got = self._client(source).request({"op": "cache-get", "key": key})
+        except (ServiceError, OSError):
+            return
+        if not got.get("ok"):
+            # e.g. an artifact larger than the cache budget was never
+            # cached at the source — nothing to replicate.
+            return
+        blob = got.get("blob")
+        meta = got.get("meta")
+        if not isinstance(blob, str) or not isinstance(meta, dict):
+            return
+        for target in targets:
+            self._replica_put(target, key, blob, meta)
+
+    def _replica_put(
+        self, target: Backend, key: str, blob: str, meta: Dict[str, Any]
+    ) -> bool:
+        """Install raw artifact bytes on one replica, queueing a
+        hinted handoff instead when the replica is down."""
+        if not target.healthy:
+            self.handoff.offer(target.name, key, blob, meta)
+            return False
+        try:
+            put = self._client(target).request(
+                {"op": "cache-put", "key": key, "blob": blob, "meta": meta}
+            )
+        except ServiceError as err:
+            if err.kind in _FAILOVER_KINDS:
+                self._drop_client(target)
+                target.note_failure(self.probe_failures)
+                self.handoff.offer(target.name, key, blob, meta)
+            return False
+        except OSError:
+            target.note_failure(self.probe_failures)
+            self.handoff.offer(target.name, key, blob, meta)
+            return False
+        if put.get("ok"):
+            self._count("replica_writes")
+            return True
+        return False
+
+    # -- membership (the admin surface) ----------------------------------------
+
+    def _generation_skew(
+        self, request: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """CAS check, called under ``_ring_lock``: an admin op carrying
+        ``expect_generation`` is refused when the ring moved."""
+        expect = request.get("expect_generation")
+        if expect is None:
+            return None
+        if not isinstance(expect, int) or isinstance(expect, bool):
+            return {
+                "ok": False,
+                "ring_generation": self.generation,
+                "error": _error_payload(
+                    "request", "expect_generation must be an integer"
+                ),
+            }
+        if expect != self.generation:
+            return {
+                "ok": False,
+                "ring_generation": self.generation,
+                "error": _error_payload(
+                    "ring-generation-skew",
+                    f"expected ring generation {expect}, "
+                    f"ring is at {self.generation}",
+                    ring_generation=self.generation,
+                    expected=expect,
+                ),
+            }
+        return None
+
+    def _admin_error(self, kind: str, message: str) -> Dict[str, Any]:
+        return {
+            "ok": False,
+            "ring_generation": self.generation,
+            "error": _error_payload(kind, message),
+        }
+
+    def _rebuild_ring(self, exclude: Sequence[str] = ()) -> None:
+        """Swap in a new ring over the current backends (minus
+        ``exclude``) and bump the generation.  Call under ``_ring_lock``."""
+        members = sorted(
+            name for name in self.backends if name not in set(exclude)
+        )
+        self.ring = HashRing(members, vnodes=self.vnodes)
+        self.generation += 1
+
+    def backend_add(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """``backend-add``: put a new (or restarted) daemon on the ring.
+        It starts taking its arcs immediately; read-repair warms it."""
+        try:
+            host, port = _parse_backend(str(request.get("backend") or ""))
+        except ValueError as err:
+            return self._admin_error("request", str(err))
+        name = f"{host}:{port}"
+        with self._ring_lock:
+            skew = self._generation_skew(request)
+            if skew is not None:
+                return skew
+            if name in self.backends:
+                return self._admin_error(
+                    "request", f"backend {name} already present"
+                )
+            backend = Backend(host, port)
+            self.backends[name] = backend
+            self._rebuild_ring()
+            generation = self.generation
+        # Probe outside the lock: routable (and handoff-flushed) now,
+        # not at the next prober tick.
+        self.probe(backend)
+        return {
+            "ok": True,
+            "op": "backend-add",
+            "backend": name,
+            "healthy": backend.healthy,
+            "ring_generation": generation,
+        }
+
+    def backend_remove(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """``backend-remove``: drop a daemon from ring and roster at
+        once — the abrupt form (its cached artifacts are abandoned; use
+        ``backend-drain`` to keep them warm)."""
+        name = str(request.get("backend") or "")
+        with self._ring_lock:
+            skew = self._generation_skew(request)
+            if skew is not None:
+                return skew
+            if name not in self.backends:
+                return self._admin_error("request", f"unknown backend {name!r}")
+            if len(self.backends) == 1:
+                return self._admin_error(
+                    "request", "cannot remove the last backend"
+                )
+            del self.backends[name]
+            self._rebuild_ring()
+            generation = self.generation
+        dropped = self.handoff.discard(name)
+        return {
+            "ok": True,
+            "op": "backend-remove",
+            "backend": name,
+            "ring_generation": generation,
+            "hints_discarded": dropped,
+        }
+
+    def backend_drain(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """``backend-drain``: the graceful exit.  The node leaves the
+        ring first (new keys stop landing on it), its still-cached
+        artifacts are streamed to their new owners under the post-drain
+        ring, and only then is it dropped from the roster."""
+        name = str(request.get("backend") or "")
+        with self._ring_lock:
+            skew = self._generation_skew(request)
+            if skew is not None:
+                return skew
+            backend = self.backends.get(name)
+            if backend is None:
+                return self._admin_error("request", f"unknown backend {name!r}")
+            if name not in self.ring.nodes:
+                return self._admin_error(
+                    "request", f"backend {name} is not on the ring"
+                )
+            if len(self.ring.nodes) == 1:
+                return self._admin_error(
+                    "request", "cannot drain the last backend"
+                )
+            self._rebuild_ring(exclude=(name,))
+            ring = self.ring
+        streamed, skipped, failed = self._stream_artifacts(backend, ring)
+        with self._ring_lock:
+            self.backends.pop(name, None)
+            self.generation += 1
+            generation = self.generation
+        dropped = self.handoff.discard(name)
+        return {
+            "ok": True,
+            "op": "backend-drain",
+            "backend": name,
+            "ring_generation": generation,
+            "streamed": streamed,
+            "skipped": skipped,
+            "stream_failed": failed,
+            "hints_discarded": dropped,
+        }
+
+    def _stream_artifacts(
+        self, backend: Backend, ring: HashRing
+    ) -> Tuple[int, int, int]:
+        """Copy every still-cached artifact off a draining backend to
+        its owners under ``ring`` (the post-drain ring).  Returns
+        ``(streamed, skipped, failed)`` — ``skipped`` counts artifacts
+        with no stored affinity (compiled before replication existed, or
+        reached the daemon without a router), which have no ring
+        identity to re-place by."""
+        streamed = skipped = failed = 0
+        try:
+            with ServiceClient(
+                backend.host, backend.port, timeout=self.timeout
+            ) as client:
+                listing = client.request({"op": "cache-keys"})
+                if not listing.get("ok"):
+                    return streamed, skipped, failed + 1
+                for item in listing.get("keys") or []:
+                    key = item.get("key")
+                    affinity = item.get("affinity")
+                    if not isinstance(key, str) or not key:
+                        continue
+                    if not isinstance(affinity, str) or not affinity:
+                        skipped += 1
+                        continue
+                    got = client.request({"op": "cache-get", "key": key})
+                    blob = got.get("blob")
+                    meta = got.get("meta")
+                    if (
+                        not got.get("ok")
+                        or not isinstance(blob, str)
+                        or not isinstance(meta, dict)
+                    ):
+                        failed += 1
+                        continue
+                    sent = False
+                    for owner_name in ring.replicas(affinity, self.replication):
+                        owner = self.backends.get(owner_name)
+                        if owner is None or owner.name == backend.name:
+                            continue
+                        if self._replica_put(owner, key, blob, meta):
+                            sent = True
+                    if sent:
+                        streamed += 1
+                    else:
+                        failed += 1
+        except (ServiceError, OSError):
+            return streamed, skipped, failed + 1
+        return streamed, skipped, failed
+
     # -- stats ----------------------------------------------------------------
 
     def _stats_response(self) -> Dict[str, Any]:
+        with self._ring_lock:
+            ring = self.ring
+            generation = self.generation
+            roster = dict(self.backends)
+        ownership = ring.ownership()
         backends: List[Dict[str, Any]] = []
         cache_totals = {
             "entries": 0, "bytes": 0, "hits": 0, "misses": 0,
             "disk_hits": 0, "evictions": 0,
         }
         miss_kinds: Dict[str, int] = {}
-        for name in sorted(self.backends):
-            backend = self.backends[name]
+        for name in sorted(roster):
+            backend = roster[name]
             snap = backend.snapshot()
+            # Ring share: a drained-but-not-yet-removed backend owns
+            # nothing (vnodes 0) while its artifacts stream out.
+            snap["ring"] = ownership.get(
+                name, {"vnodes": 0, "keyspace_fraction": 0.0}
+            )
             try:
                 live = self._client(backend).request({"op": "stats"})
             except (ServiceError, OSError):
@@ -396,13 +979,22 @@ class RouterService:
                 for kind, count in cache.get("miss_kinds", {}).items():
                     miss_kinds[kind] = miss_kinds.get(kind, 0) + count
             backends.append(snap)
+        handoff = self.handoff.snapshot()
         with self._counter_lock:
             router = {
                 "requests": self._requests,
                 "forwarded": self._forwarded,
                 "failovers": self._failovers,
                 "no_backend": self._no_backend,
-                "vnodes": self.ring.vnodes,
+                "replica_writes": self._replica_writes,
+                "read_repairs": self._read_repairs,
+                "handoff_queued": handoff["queued"],
+                "handoff_flushed": handoff["flushed"],
+                "handoff_dropped": handoff["dropped"],
+                "handoff": handoff,
+                "replication": self.replication,
+                "ring_generation": generation,
+                "vnodes": ring.vnodes,
                 "uptime_s": time.monotonic() - self._started,
             }
         lookups = cache_totals["hits"] + cache_totals["misses"]
@@ -501,6 +1093,18 @@ def build_router_parser() -> argparse.ArgumentParser:
         help="per-request forwarding timeout "
              f"(default: {defaults.CLIENT_TIMEOUT_S:g})",
     )
+    parser.add_argument(
+        "--replication", type=int, default=defaults.ROUTER_REPLICATION,
+        metavar="R",
+        help="ring successors that hold each artifact; 1 disables "
+             f"replication (default: {defaults.ROUTER_REPLICATION})",
+    )
+    parser.add_argument(
+        "--handoff-bytes", type=int, default=defaults.ROUTER_HANDOFF_BYTES,
+        metavar="BYTES",
+        help="byte budget for hinted-handoff writes queued for down "
+             f"backends (default: {defaults.ROUTER_HANDOFF_BYTES})",
+    )
     return parser
 
 
@@ -518,6 +1122,8 @@ def router_main(argv: Optional[Sequence[str]] = None) -> int:
         probe_interval_s=args.probe_interval,
         probe_failures=args.probe_failures,
         timeout=args.timeout,
+        replication=args.replication,
+        handoff_bytes=args.handoff_bytes,
     )
     server = RouterServer((args.host, args.port), router)
     host, port = server.server_address[:2]

@@ -18,6 +18,28 @@ hold open for many requests.  Operations:
     restart/kill/crash accounting.
 ``{"op": "ping"}``
     Liveness.
+``{"op": "cache-get", "key": ...}``
+    Serve the raw cached artifact (blob + meta) for ``key`` without
+    compiling anything; a typed ``replica-miss`` error when the key is
+    not cached here.  The router's replication layer uses it to fetch
+    artifacts for write-through and read-repair.
+``{"op": "cache-put", "key": ..., "blob": ..., "meta": ...}``
+    Install raw artifact bytes under ``key`` without compiling —
+    the replica-write half of the router's replication protocol.  The
+    blob must match ``meta["image_sha256"]``; damaged bytes are
+    refused with a ``request`` error rather than cached.
+``{"op": "cache-keys"}``
+    Enumerate the memory-tier keys (key, routing affinity, byte size)
+    — what the router streams off a backend being drained.
+
+A ``compile`` request may carry ``"warm_only": true``: answer from the
+cache (memory or disk tier) if warm, otherwise return a typed
+``replica-miss`` error carrying the computed cache key *without
+compiling*.  The router probes with it so a warm miss at a key's
+primary can be repaired from a replica before paying for a compile.
+It may also carry ``"affinity"`` (the router's ring-position digest),
+which is stored in the artifact meta so membership changes can re-place
+cached entries without re-deriving request identities.
 
 Responses carry ``"ok"``; failures put a *frozen*
 :class:`~repro.resilience.errors.StageError` payload under ``"error"``
@@ -81,6 +103,7 @@ import argparse
 import hashlib
 import heapq
 import json
+import os
 import signal
 import socketserver
 import sys
@@ -261,6 +284,10 @@ class PreparedJob:
     allocator_requested: str
     chaos: Optional[str]
     started: float
+    #: The router's ring-position digest for this request, stored in
+    #: the artifact meta so membership changes (drain streaming) can
+    #: re-place cached entries without re-deriving request identities.
+    affinity: Optional[str] = None
 
     def spec(self) -> Dict[str, Any]:
         """The picklable job body sent to a worker process."""
@@ -406,6 +433,9 @@ class CompileService:
         #: worker, and the quarantine once a key strikes out.
         self._strikes: Dict[str, int] = {}
         self._quarantined: Dict[str, str] = {}
+        self._cache_gets = 0
+        self._cache_puts = 0
+        self._load_quarantine()
         #: parent fds worker children must close at birth (the TCP
         #: listener, registered by serve()) — see workers.py on why an
         #: inherited listener copy is a real failure mode, not hygiene.
@@ -500,6 +530,58 @@ class CompileService:
                 and key not in self._quarantined
             ):
                 self._quarantined[key] = reason
+        self._save_quarantine()
+
+    def _quarantine_path(self) -> Optional[str]:
+        """Where strikes/quarantine live across restarts: alongside the
+        disk cache tier.  ``None`` (no persistence) without one."""
+        persist_dir = getattr(self.cache, "persist_dir", None)
+        if not persist_dir:
+            return None
+        return os.path.join(persist_dir, "quarantine.json")
+
+    def _load_quarantine(self) -> None:
+        """Reload the poison-pill book at startup so a restarted daemon
+        does not re-learn — by killing workers again — which keys are
+        lethal.  An unreadable file starts clean rather than crashing."""
+        path = self._quarantine_path()
+        if path is None or not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            strikes = document.get("strikes")
+            quarantined = document.get("quarantined")
+            if isinstance(strikes, dict):
+                self._strikes.update(
+                    {str(k): int(v) for k, v in strikes.items()}
+                )
+            if isinstance(quarantined, dict):
+                self._quarantined.update(
+                    {str(k): str(v) for k, v in quarantined.items()}
+                )
+        except (OSError, ValueError):
+            pass
+
+    def _save_quarantine(self) -> None:
+        path = self._quarantine_path()
+        if path is None:
+            return
+        with self._counter_lock:
+            document = {
+                "strikes": dict(self._strikes),
+                "quarantined": dict(self._quarantined),
+            }
+        tmp = f"{path}.tmp.{threading.get_ident()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     def count(self, counter: str, delta: int = 1) -> None:
         """Thread-safe bump of one of the accounting counters."""
@@ -520,6 +602,12 @@ class CompileService:
             return {"ok": True, "op": "ping"}
         if op == "stats":
             return self._stats_response()
+        if op == "cache-get":
+            return self._cache_get_response(request)
+        if op == "cache-put":
+            return self._cache_put_response(request)
+        if op == "cache-keys":
+            return self._cache_keys_response()
         if op != "compile":
             return {
                 "ok": False,
@@ -578,6 +666,87 @@ class CompileService:
                 ),
             }
         return job.response
+
+    # -- the replication surface (raw artifact ops, no compiling) --------------
+
+    def _cache_get_response(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        key = request.get("key")
+        if not isinstance(key, str) or not key:
+            return {
+                "ok": False,
+                "error": _error_payload("request", "cache-get: missing key"),
+            }
+        self.count("cache_gets")
+        # fetch, not get: replication reads are plumbing and must not
+        # distort the hit/miss telemetry operators reason about.
+        entry = self.cache.fetch(key)
+        if entry is None:
+            return {
+                "ok": False,
+                "key": key,
+                "error": _error_payload(
+                    "replica-miss", "key not cached on this backend", key=key
+                ),
+            }
+        return {
+            "ok": True,
+            "op": "cache-get",
+            "key": key,
+            "blob": entry.blob.decode("utf-8"),
+            "meta": entry.meta,
+        }
+
+    def _cache_put_response(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        key = request.get("key")
+        blob = request.get("blob")
+        meta = request.get("meta")
+        if (
+            not isinstance(key, str)
+            or not key
+            or not isinstance(blob, str)
+            or not isinstance(meta, dict)
+        ):
+            return {
+                "ok": False,
+                "error": _error_payload(
+                    "request", "cache-put: need key, blob, meta"
+                ),
+            }
+        raw = blob.encode("utf-8")
+        recorded = meta.get("image_sha256")
+        if recorded != _sha256_hex(raw):
+            # Refuse to install damaged bytes: a replica write that was
+            # corrupted in flight must not become a serveable artifact.
+            return {
+                "ok": False,
+                "key": key,
+                "error": _error_payload(
+                    "request",
+                    "cache-put: blob does not match meta image_sha256",
+                    key=key,
+                ),
+            }
+        self.cache.put(key, raw, dict(meta))
+        self.count("cache_puts")
+        return {"ok": True, "op": "cache-put", "key": key, "bytes": len(raw)}
+
+    def _cache_keys_response(self) -> Dict[str, Any]:
+        """The memory-tier census a router streams off a draining
+        backend: key, routing affinity (absent for artifacts compiled
+        without a router), and blob size for budget arithmetic."""
+        listing = []
+        for key in self.cache.keys():
+            entry = self.cache.peek(key)
+            if entry is None:
+                continue
+            listing.append(
+                {
+                    "key": key,
+                    "affinity": entry.meta.get("affinity"),
+                    "bytes": len(entry.blob),
+                }
+            )
+        return {"ok": True, "op": "cache-keys", "keys": listing}
 
     # -- workers --------------------------------------------------------------
 
@@ -679,7 +848,15 @@ class CompileService:
                 },
                 None,
             )
-        entry = self.cache.get(key, components=components)
+        # A compile that follows a warm_only probe (the router marks it
+        # with the probed key) already counted its hit-or-miss once;
+        # the second lookup is replication plumbing and stays out of
+        # the telemetry.
+        probed = request.get("probed")
+        if isinstance(probed, str) and probed == key:
+            entry = self.cache.fetch(key)
+        else:
+            entry = self.cache.get(key, components=components)
         if entry is not None:
             response = dict(entry.meta)
             response.update(
@@ -694,7 +871,28 @@ class CompileService:
                 }
             )
             return response, None
+        if request.get("warm_only"):
+            # A replication probe: the router wants the warm answer or
+            # the computed key (to read-repair from a replica) — never a
+            # compile.  The miss above was already counted and
+            # classified like any other.
+            return (
+                {
+                    "ok": False,
+                    "key": key,
+                    "cache": "miss",
+                    "rung_start": rung,
+                    "rung_reason": rung_reason,
+                    "error": _error_payload(
+                        "replica-miss",
+                        "not warm on this backend (warm_only probe)",
+                        key=key,
+                    ),
+                },
+                None,
+            )
         chaos = request.get("chaos")
+        affinity = request.get("affinity")
         return None, PreparedJob(
             key=key,
             components=components,
@@ -710,6 +908,7 @@ class CompileService:
             allocator_requested=allocator,
             chaos=chaos if isinstance(chaos, str) else None,
             started=started,
+            affinity=affinity if isinstance(affinity, str) else None,
         )
 
     def assemble_cold_response(
@@ -726,6 +925,8 @@ class CompileService:
         blob = meta.pop("_blob")
         if telemetry is not None:
             meta["telemetry"] = telemetry
+        if prepared.affinity is not None:
+            meta["affinity"] = prepared.affinity
         self.cache.put(
             prepared.key, blob, meta, components=prepared.components
         )
@@ -816,6 +1017,8 @@ class CompileService:
             "answered": self._answered,
             "cancelled": self._cancelled,
             "orphaned_skipped": self._orphaned_skipped,
+            "cache_gets": self._cache_gets,
+            "cache_puts": self._cache_puts,
             "queue_depth": len(self.queue),
             "workers": self._workers,
             "worker_mode": self.worker_mode,

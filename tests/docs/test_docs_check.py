@@ -3,9 +3,10 @@ a doc mentions exists in some ``--help``.
 
 This is the doc-drift tripwire behind the CI ``docs-check`` step.  The
 known-flag universe is built from the *real* parsers — ``repro.cli``'s
-argparse tree (recursively, through its subcommands), the four service
-parser factories (``serve``/``router``/``request``/``loadgen`` bypass
-argparse dispatch in the CLI), and the ``--help`` text of the
+argparse tree (recursively, through its subcommands), the five service
+parser factories (``serve``/``router``/``request``/``loadgen``/
+``router-admin`` bypass argparse dispatch in the CLI), and the
+``--help`` text of the
 ``repro.bench`` entry points — so renaming or deleting a flag without
 sweeping the docs fails here, not in a user's terminal.
 """
@@ -20,6 +21,7 @@ import pytest
 
 from repro import cli
 from repro.bench import ablations, micro, sweep, table1
+from repro.service.admin import build_admin_parser
 from repro.service.client import build_request_parser
 from repro.service.loadgen import build_loadgen_parser
 from repro.service.router import build_router_parser
@@ -72,6 +74,7 @@ def known_flags():
         build_router_parser,
         build_request_parser,
         build_loadgen_parser,
+        build_admin_parser,
     ):
         flags |= _parser_flags(factory())
     for entry in (table1.main, sweep.main, ablations.main, micro.main):
@@ -120,6 +123,7 @@ class TestUniverse:
             "--backend",        # router factory
             "--retries",        # request factory
             "--saturate",       # loadgen factory
+            "--expect-generation",  # router-admin factory
             "--jobs",           # bench --help
         ):
             assert canary in flag_universe, canary

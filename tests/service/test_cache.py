@@ -1,6 +1,7 @@
 """The content-addressed artifact cache: keys, LRU accounting, disk tier,
 shard routing, miss-kind classification, and the 8-thread hammer."""
 
+import hashlib
 import json
 import os
 import threading
@@ -235,6 +236,104 @@ class TestDiskTier:
             assert entry is not None and entry.blob == _blob(f"p{i}")
 
 
+def _hexkey(tag: str) -> str:
+    """A real-shaped cache key (64 hex chars) — the startup scrub only
+    judges files inside that namespace."""
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+class TestIntegrity:
+    """Checksummed disk tier: a damaged file must read as a classified
+    ``corrupt`` miss — never ``unclassified``, never a crash — and the
+    startup scrub must find and delete it."""
+
+    @staticmethod
+    def _flip_one_byte(path: str, offset: int = -10) -> None:
+        with open(path, "r+b") as handle:
+            handle.seek(offset, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0x01]))
+
+    def test_bit_flip_reads_as_corrupt_miss(self, tmp_path):
+        cache = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path), shards=1)
+        cache.put(_hexkey("k1"), _blob(_hexkey("k1")), {"output": [1]})
+        self._flip_one_byte(os.path.join(str(tmp_path), _hexkey("k1") + ".json"))
+        reloaded = ArtifactCache(
+            max_bytes=10_000, persist_dir=str(tmp_path), shards=1
+        )
+        # The startup scrub already classified and deleted the file...
+        assert reloaded.stats()["scrub"] == {
+            "scanned": 1, "ok": 0, "stale": 0, "corrupt": 1,
+        }
+        assert not os.path.exists(os.path.join(str(tmp_path), _hexkey("k1") + ".json"))
+        # ...and a direct read is an ordinary (absent) miss, not a crash.
+        assert reloaded.get(_hexkey("k1")) is None
+
+    def test_bit_flip_without_scrub_is_classified_corrupt(self, tmp_path):
+        cache = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path), shards=1)
+        path = os.path.join(str(tmp_path), _hexkey("k1") + ".json")
+        cache.put(_hexkey("k1"), _blob(_hexkey("k1")), {"output": [1]})
+        # Evict the memory copy so the read must go to disk.
+        cache = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path), shards=1)
+        self._flip_one_byte(path)
+        assert cache.get(_hexkey("k1")) is None
+        stats = cache.stats()
+        assert stats["miss_kinds"]["corrupt"] == 1
+        assert stats["miss_kinds"]["unclassified"] == 0
+        assert stats["corrupt"] == 1
+
+    def test_truncated_file_is_corrupt(self, tmp_path):
+        cache = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path), shards=1)
+        path = os.path.join(str(tmp_path), _hexkey("k1") + ".json")
+        cache.put(_hexkey("k1"), _blob(_hexkey("k1")), {"output": [1]})
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        cache = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path), shards=1)
+        # Scrub deleted the torn file; nothing is served from it.
+        assert cache.stats()["scrub"]["corrupt"] == 1
+        assert cache.get(_hexkey("k1")) is None
+
+    def test_scrub_tallies_ok_stale_and_corrupt(self, tmp_path):
+        writer = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path))
+        writer.put(_hexkey("good"), _blob(_hexkey("good")), {})
+        stale = json.dumps({"version": FORMAT_VERSION - 1})
+        with open(os.path.join(str(tmp_path), _hexkey("old") + ".json"), "w") as handle:
+            json.dump({"meta": {}, "image": stale}, handle)
+        with open(os.path.join(str(tmp_path), _hexkey("torn") + ".json"), "w") as handle:
+            handle.write("{nope")
+        scrubbed = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path))
+        assert scrubbed.stats()["scrub"] == {
+            "scanned": 3, "ok": 1, "stale": 1, "corrupt": 1,
+        }
+        # Corrupt deleted, stale left for format-upgrade forensics,
+        # good still served.
+        assert not os.path.exists(os.path.join(str(tmp_path), _hexkey("torn") + ".json"))
+        assert os.path.exists(os.path.join(str(tmp_path), _hexkey("old") + ".json"))
+        assert scrubbed.get(_hexkey("good")) is not None
+
+    def test_legacy_unchecksummed_file_reads_as_stale(self, tmp_path):
+        # Pre-checksum files (no sha256 header) are stale, not corrupt:
+        # they were written by an older tier, not damaged in place.
+        cache = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path), shards=1)
+        body = json.dumps({"version": FORMAT_VERSION, "tag": "legacy"})
+        with open(
+            os.path.join(str(tmp_path), _hexkey("k9") + ".json"), "w"
+        ) as handle:
+            json.dump({"meta": {}, "image": body}, handle)
+        assert cache.get(_hexkey("k9")) is None
+        assert cache.stats()["miss_kinds"]["corrupt"] == 0
+
+    def test_memory_tier_unaffected_by_disk_damage(self, tmp_path):
+        cache = ArtifactCache(max_bytes=10_000, persist_dir=str(tmp_path), shards=1)
+        cache.put(_hexkey("k1"), _blob(_hexkey("k1")), {"output": [1]})
+        self._flip_one_byte(os.path.join(str(tmp_path), _hexkey("k1") + ".json"))
+        # Memory copy still valid: damage on disk must not poison it.
+        entry = cache.get(_hexkey("k1"))
+        assert entry is not None and entry.blob == _blob(_hexkey("k1"))
+
+
 class TestSharding:
     def test_routing_is_deterministic_and_in_range(self):
         cache = ArtifactCache(max_bytes=10_000, shards=8)
@@ -295,7 +394,8 @@ class TestMissKinds:
         self._lookup(cache, "void main() { print(1); }")
         self._lookup(cache, "void main() { print(2); }")
         assert cache.miss_kinds() == {
-            "source": 2, "config": 0, "code": 0, "unclassified": 0,
+            "source": 2, "config": 0, "code": 0, "corrupt": 0,
+            "unclassified": 0,
         }
 
     def test_code_churn_is_a_code_miss(self):

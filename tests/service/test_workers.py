@@ -200,6 +200,36 @@ class TestPoisonPill:
         finally:
             service.drain(timeout=5.0)
 
+    def test_quarantine_survives_restart(self, tmp_path):
+        from repro.service.cache import ArtifactCache
+
+        probe = compile_request(TRIVIAL + "// persisted poison", chaos="crash")
+        service = make_service(
+            cache=ArtifactCache(persist_dir=str(tmp_path))
+        )
+        try:
+            for _ in range(2):  # poison_threshold strikes
+                assert service.submit(probe)["error"]["kind"] == "worker-crash"
+            assert service.submit(probe)["error"]["kind"] == "poison-pill"
+        finally:
+            service.drain(timeout=5.0)
+        assert os.path.exists(os.path.join(str(tmp_path), "quarantine.json"))
+
+        # A fresh process over the same persist_dir must refuse the key
+        # up front — no re-striking, no worker sacrificed to relearn it.
+        reborn = make_service(cache=ArtifactCache(persist_dir=str(tmp_path)))
+        try:
+            crashes_before = reborn._supervisor.stats()["crashes"]
+            refused = reborn.submit(probe)
+            assert refused["error"]["kind"] == "poison-pill"
+            assert reborn._supervisor.stats()["crashes"] == crashes_before
+            stats = reborn.submit({"op": "stats"})
+            assert len(stats["quarantined"]) == 1
+            # Healthy keys still compile after the reload.
+            assert reborn.submit(compile_request(SIEVE_LIKE))["ok"]
+        finally:
+            reborn.drain(timeout=5.0)
+
 
 class TestRestartStorm:
     def test_storm_degrades_demotes_and_recovers(self):
