@@ -42,6 +42,10 @@ def report(names: Sequence[str], k: int = 3, stream=None) -> None:
         print(_row("GRA baseline", gra), file=stream)
         print(_row("RAP (all phases)", rap), file=stream)
         print(
+            _row("SSA spill-then-color", total(bench, "ssaspill")),
+            file=stream,
+        )
+        print(
             _row("RAP, no peephole", total(bench, "rap", enable_peephole=False)),
             file=stream,
         )

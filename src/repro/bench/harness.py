@@ -1,11 +1,13 @@
-"""Measurement harness: compile, allocate, run, and compare RAP vs GRA.
+"""Measurement harness: compile, allocate, run, and compare the
+allocators.
 
 This module regenerates the paper's Table 1.  For each benchmark program,
 each register-set size k, and each allocator it:
 
 1. compiles the Mini-C source to a PDG module (cached per program);
-2. allocates every function (GRA on the cloned linear code, RAP on a fresh
-   copy of the PDG) through the :class:`~repro.resilience.pipeline.PassPipeline`,
+2. allocates every function (GRA and the SSA spill-then-color allocator
+   on the cloned linear code, RAP on a fresh copy of the PDG) through the
+   :class:`~repro.resilience.pipeline.PassPipeline`,
    which validates every result structurally;
 3. runs the allocated program in the iloc interpreter, checking that the
    observable output matches the infinite-register reference execution
@@ -14,17 +16,21 @@ each register-set size k, and each allocator it:
 4. reports per-routine counters.
 
 When an allocator crashes, fails validation, or miscompiles, the harness
-walks the fallback ladder (rap -> gra -> linearscan -> spillall, see
-:mod:`repro.resilience.fallback`) instead of aborting, recording every
-abandoned rung in ``ProgramRun.fallbacks_taken`` so a sweep always
-completes and the report shows *which* cells are degraded.
+walks the fallback ladder (rap -> gra -> ssaspill -> linearscan ->
+spillall, see :mod:`repro.resilience.fallback`) instead of aborting,
+recording every abandoned rung in ``ProgramRun.fallbacks_taken`` so a
+sweep always completes and the report shows *which* cells are degraded.
 
 Metrics, matching §4 exactly: the ``tot`` column is
 ``(cycles(GRA) - cycles(RAP)) / cycles(GRA)`` as a percentage, and the
 ``ld``/``st`` columns are the portions of that percentage attributable to
 the change in executed loads and stores (each instruction being one
 cycle); the remainder is due to copy statements.  An entry is blank when
-neither allocation contains spill code for the routine.
+neither allocation contains spill code for the routine.  The ``ssa``
+column is the same ``tot`` metric for the SSA spill-then-color allocator
+(:mod:`repro.regalloc.ssaspill`) against the same GRA baseline — the
+Table-1 comparison of region-local spilling (RAP) vs SSA-decoupled
+spilling on identical programs.
 """
 
 from __future__ import annotations
@@ -265,13 +271,20 @@ def _has_spill_code(code: Sequence[Instr], func_name: str) -> bool:
 
 @dataclass
 class Table1Cell:
-    """One routine × one k: the three percentages of Table 1.
+    """One routine × one k: the percentages of Table 1.
+
+    ``tot``/``ld``/``st`` compare RAP against GRA exactly as in the
+    paper; ``ssa`` is the total-cycle percentage for the SSA
+    spill-then-color allocator against the same GRA baseline, with its
+    own blank flag (a routine can be spill-free under GRA and RAP yet
+    spill under ssaspill, or vice versa).
 
     ``fallbacks`` records any allocator degradations behind the numbers
-    (from either the GRA or the RAP run of the owning program); a non-empty
-    list means the cell compares something other than pure GRA vs pure RAP.
-    ``used`` maps each requested allocator to the ladder rung whose code
-    actually ran (identical keys and values in a healthy cell).
+    (from the GRA, RAP, or ssaspill run of the owning program); a
+    non-empty list means the cell compares something other than the pure
+    requested allocators.  ``used`` maps each requested allocator to the
+    ladder rung whose code actually ran (identical keys and values in a
+    healthy cell).
     """
 
     tot: Optional[float]
@@ -282,6 +295,9 @@ class Table1Cell:
     blank: bool = False
     fallbacks: List[FallbackEvent] = field(default_factory=list)
     used: Dict[str, str] = field(default_factory=dict)
+    ssa: Optional[float] = None
+    ssa_counters: Counters = field(default_factory=Counters)
+    ssa_blank: bool = True
 
 
 @dataclass
@@ -306,6 +322,19 @@ class Table1:
         per_k = [self.average(k) for k in self.k_values]
         return sum(per_k) / len(per_k) if per_k else 0.0
 
+    def ssa_average(self, k: int) -> float:
+        """Average ``ssa`` percentage over the rows with a value for one k."""
+        values = [
+            row[k].ssa
+            for row in self.cells.values()
+            if k in row and row[k].ssa is not None
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def ssa_overall_average(self) -> float:
+        per_k = [self.ssa_average(k) for k in self.k_values]
+        return sum(per_k) / len(per_k) if per_k else 0.0
+
     def degraded_cells(self) -> List[Tuple[str, int, List[FallbackEvent]]]:
         """Every (routine, k) whose measurement involved a fallback."""
         out: List[Tuple[str, int, List[FallbackEvent]]] = []
@@ -322,6 +351,7 @@ def build_table1(
     k_values: Sequence[int] = DEFAULT_K_VALUES,
     gra_kwargs: Optional[dict] = None,
     rap_kwargs: Optional[dict] = None,
+    ssaspill_kwargs: Optional[dict] = None,
     jobs: Optional[int] = None,
     runs_out: Optional[List[ProgramRun]] = None,
 ) -> Table1:
@@ -336,6 +366,11 @@ def build_table1(
     """
     harness = harness or Harness()
     table = Table1(tuple(k_values))
+    per_allocator = {
+        "gra": gra_kwargs,
+        "rap": rap_kwargs,
+        "ssaspill": ssaspill_kwargs,
+    }
 
     if jobs is not None and jobs > 1:
         from .parallel import CellSpec, run_cells
@@ -343,10 +378,7 @@ def build_table1(
         specs = []
         for bench in harness.programs:
             for k in k_values:
-                for allocator, kwargs in (
-                    ("gra", gra_kwargs),
-                    ("rap", rap_kwargs),
-                ):
+                for allocator, kwargs in per_allocator.items():
                     specs.append(
                         CellSpec(
                             bench.name,
@@ -363,24 +395,31 @@ def build_table1(
     else:
 
         def measure(bench: BenchProgram, allocator: str, k: int) -> ProgramRun:
-            kwargs = gra_kwargs if allocator == "gra" else rap_kwargs
+            kwargs = per_allocator[allocator]
             return harness.run(bench, allocator, k, **(kwargs or {}))
 
     for bench in harness.programs:
         for k in k_values:
             gra_run = measure(bench, "gra", k)
             rap_run = measure(bench, "rap", k)
+            ssa_run = measure(bench, "ssaspill", k)
             if runs_out is not None:
-                runs_out.extend((gra_run, rap_run))
-            fallbacks = gra_run.fallbacks_taken + rap_run.fallbacks_taken
+                runs_out.extend((gra_run, rap_run, ssa_run))
+            fallbacks = (
+                gra_run.fallbacks_taken
+                + rap_run.fallbacks_taken
+                + ssa_run.fallbacks_taken
+            )
             used = {
                 "gra": gra_run.allocator_used,
                 "rap": rap_run.allocator_used,
+                "ssaspill": ssa_run.allocator_used,
             }
             for routine in bench.routines:
                 gra = gra_run.routine(bench, routine)
                 rap = rap_run.routine(bench, routine)
-                cell = _make_cell(gra, rap, fallbacks, used)
+                ssa = ssa_run.routine(bench, routine)
+                cell = _make_cell(gra, rap, ssa, fallbacks, used)
                 table.cells.setdefault(routine, {})[k] = cell
                 if routine not in table.routine_order:
                     table.routine_order.append(routine)
@@ -390,6 +429,7 @@ def build_table1(
 def _make_cell(
     gra: RoutineResult,
     rap: RoutineResult,
+    ssa: Optional[RoutineResult] = None,
     fallbacks: Optional[List[FallbackEvent]] = None,
     used: Optional[Dict[str, str]] = None,
 ) -> Table1Cell:
@@ -397,13 +437,38 @@ def _make_cell(
     fallbacks = list(fallbacks or [])
     used = dict(used or {})
     g, r = gra.counters, rap.counters
+    s = ssa.counters if ssa is not None else Counters()
+    ssa_blank = ssa is None or not (gra.has_spill_code or ssa.has_spill_code)
     if g.cycles == 0:
         return Table1Cell(
-            None, None, None, g, r, blank=True, fallbacks=fallbacks, used=used
+            None,
+            None,
+            None,
+            g,
+            r,
+            blank=True,
+            fallbacks=fallbacks,
+            used=used,
+            ssa=None,
+            ssa_counters=s,
+            ssa_blank=True,
         )
     tot = 100.0 * (g.cycles - r.cycles) / g.cycles
     ld = 100.0 * (g.loads - r.loads) / g.cycles
     st = 100.0 * (g.stores - r.stores) / g.cycles
+    ssa_tot = (
+        100.0 * (g.cycles - s.cycles) / g.cycles if ssa is not None else None
+    )
     return Table1Cell(
-        tot, ld, st, g, r, blank=blank, fallbacks=fallbacks, used=used
+        tot,
+        ld,
+        st,
+        g,
+        r,
+        blank=blank,
+        fallbacks=fallbacks,
+        used=used,
+        ssa=ssa_tot,
+        ssa_counters=s,
+        ssa_blank=ssa_blank,
     )

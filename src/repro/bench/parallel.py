@@ -22,9 +22,10 @@ copy), which makes them safe to farm out to worker processes:
   data and is re-raised by the parent for the *earliest cell in serial
   order*, so a dying sweep dies on the same cell with the same
   diagnostic as a serial one.  Freezing is subclass-aware: miscompiles
-  and the transformation-validator errors (motion / schedule / peephole)
-  thaw back to their own types, so callers that catch a specific class
-  behave identically with and without ``--jobs``.
+  and the transformation-validator errors (motion / schedule / peephole
+  / ssa / destruct / chordal) thaw back to their own types, so callers
+  that catch a specific class behave identically with and without
+  ``--jobs``.
 
 Scheduling is one cell per task (``chunksize=1``): the suite's cell
 costs are wildly uneven (tens of milliseconds to tens of seconds), and

@@ -2,9 +2,12 @@
 
 Run with ``python -m repro.bench.table1`` — prints the same rows as the
 paper's Table 1: for each routine and register-set size (3, 5, 7, 9), the
-percentage decrease in total executed cycles (RAP vs GRA) and the portions
-of that decrease due to loads and stores, then the per-k averages and the
-overall average (the paper's headline 2.7%).
+percentage decrease in total executed cycles (RAP vs GRA), the portions
+of that decrease due to loads and stores, and the ``ssa`` column — the
+same total-cycle metric for the SSA spill-then-color allocator
+(:mod:`repro.regalloc.ssaspill`) against the same GRA baseline — then
+the per-k averages and the overall averages (the paper's headline 2.7%
+for RAP, plus the ssaspill figure).
 
 ``--jobs N`` measures the sweep cells in N worker processes; the table
 text is byte-identical to a serial run (cells are independent and
@@ -40,7 +43,7 @@ def render_table1(table: Table1, stream=None) -> None:
     stream = stream or sys.stdout
     ks = table.k_values
     header = "Benchmark".ljust(14) + "".join(
-        f"|  k={k}: tot    ld    st  " for k in ks
+        f"|  k={k}: tot    ld    st   ssa " for k in ks
     )
     print(header, file=stream)
     print("-" * len(header), file=stream)
@@ -50,24 +53,36 @@ def render_table1(table: Table1, stream=None) -> None:
         for k in ks:
             cell = row.get(k)
             if cell is None:
-                line += "|" + " " * 24
+                line += "|" + " " * 30
                 continue
             line += (
                 "|"
                 + _fmt(cell.tot, cell.blank)
                 + _fmt(cell.ld, cell.blank)
                 + _fmt(cell.st, cell.blank)
+                + _fmt(cell.ssa, cell.ssa_blank)
                 + "  "
             )
         print(line, file=stream)
     print("-" * len(header), file=stream)
     line = "Average".ljust(14)
     for k in ks:
-        line += "|" + _fmt(table.average(k), False) + " " * 14
+        line += (
+            "|"
+            + _fmt(table.average(k), False)
+            + " " * 12
+            + _fmt(table.ssa_average(k), False)
+            + "  "
+        )
     print(line, file=stream)
     print(
         f"\nOverall average percentage decrease in cycles executed: "
         f"{table.overall_average():.1f}%  (paper: 2.7%)",
+        file=stream,
+    )
+    print(
+        f"Overall average for ssaspill (SSA spill-then-color) vs GRA: "
+        f"{table.ssa_overall_average():.1f}%",
         file=stream,
     )
     degraded = table.degraded_cells()

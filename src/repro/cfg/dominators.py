@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from .graph import CFG, BasicBlock
 
@@ -59,6 +59,44 @@ class DominatorTree:
                 return True
             node = self.idom.get(node)
         return False
+
+    def children(self) -> Dict[int, List[int]]:
+        """Dominator-tree children of every block, sorted by index (the
+        deterministic visit order SSA renaming walks)."""
+        out: Dict[int, List[int]] = {index: [] for index in self.idom}
+        for index, parent in self.idom.items():
+            if parent is not None:
+                out[parent].append(index)
+        for kids in out.values():
+            kids.sort()
+        return out
+
+
+def dominance_frontiers(
+    cfg: CFG, dom: Optional[DominatorTree] = None
+) -> Dict[int, Set[int]]:
+    """Dominance frontier of every reachable block.
+
+    Cooper-Harvey-Kennedy's frontier pass: for each join block (two or
+    more predecessors), walk up from each predecessor to the join's
+    immediate dominator, adding the join to every block passed.  SSA
+    construction places phi nodes at the iterated frontier of each
+    variable's definition blocks.
+    """
+    dom = dom or DominatorTree(cfg)
+    frontiers: Dict[int, Set[int]] = {index: set() for index in dom.idom}
+    for block in cfg.blocks:
+        if block.index not in dom.idom or len(block.preds) < 2:
+            continue
+        target = dom.idom[block.index]
+        for pred in block.preds:
+            runner: Optional[int] = pred.index
+            while runner is not None and runner != target:
+                if runner not in frontiers:
+                    break  # unreachable predecessor
+                frontiers[runner].add(block.index)
+                runner = dom.idom[runner]
+    return frontiers
 
 
 def natural_loops(cfg: CFG) -> List[Dict]:

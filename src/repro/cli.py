@@ -56,7 +56,7 @@ from .resilience.errors import StageError
 from .resilience.pipeline import PassPipeline, PipelineConfig
 from .resilience.telemetry import MetricsCollector, render_profile
 
-ALLOCATOR_CHOICES = ("gra", "rap", "linearscan", "spillall")
+ALLOCATOR_CHOICES = ("gra", "rap", "ssaspill", "linearscan", "spillall")
 
 
 def _load(
@@ -426,7 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--size", choices=("small", "medium", "large"), default="small")
     fuzz.add_argument("--k", type=int, nargs="+", default=[3, 5])
     fuzz.add_argument(
-        "--allocators", nargs="+", choices=ALLOCATOR_CHOICES, default=["gra", "rap"]
+        "--allocators",
+        nargs="+",
+        choices=ALLOCATOR_CHOICES,
+        default=["gra", "rap", "ssaspill"],
     )
     fuzz.add_argument("--out", default="artifacts")
     fuzz.add_argument("--max-cycles", type=int, default=3_000_000)

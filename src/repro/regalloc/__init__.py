@@ -1,5 +1,6 @@
 """Register allocators: the GRA baseline, the RAP hierarchical allocator,
-and the linear-scan / spill-everywhere fallback rungs."""
+the SSA-based spill-then-color allocator, and the linear-scan /
+spill-everywhere fallback rungs."""
 
 from .chaitin import AllocationError, AllocationResult, allocate_gra
 from .coloring import color_graph
@@ -7,12 +8,16 @@ from .interference import IGNode, InterferenceGraph
 from .linearscan import allocate_linearscan
 from .rap import allocate_rap
 from .spillall import allocate_spillall
+from .ssaspill import SSAAllocationResult, SSACert, allocate_ssaspill
 
 __all__ = [
     "allocate_gra",
     "allocate_rap",
+    "allocate_ssaspill",
     "allocate_linearscan",
     "allocate_spillall",
+    "SSAAllocationResult",
+    "SSACert",
     "AllocationResult",
     "AllocationError",
     "InterferenceGraph",

@@ -9,9 +9,10 @@ overlapping intervals — so a conflict-free interval assignment passes the
 pipeline's independent coloring recheck, while costing one liveness pass
 and a sort per round instead of a graph build.
 
-In the fallback chain (``rap -> gra -> linearscan -> spillall``) this is
-the *reduced-precision* rung: if the hierarchical allocator and the
-Chaitin baseline both fail (or are knocked out by fault injection), the
+In the fallback chain (``rap -> gra -> ssaspill -> linearscan ->
+spillall``) this is the *reduced-precision* rung: if the hierarchical
+allocator, the Chaitin baseline, and the SSA spill-then-color rung all
+fail (or are knocked out by fault injection), the
 harness lands here and still gets code with real cross-instruction
 register lifetimes — measurably better than spill-everywhere's
 correct-but-awful bottom rung — before sinking to the allocator of last

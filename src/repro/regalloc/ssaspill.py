@@ -1,0 +1,482 @@
+"""Decoupled spill-then-color allocation over SSA form.
+
+Bouchez, Darte & Rastello ("On the Complexity of Spill Everywhere under
+SSA Form") observe that the interference graph of a program in SSA form
+is *chordal*, and a chordal graph is k-colorable iff its largest clique
+— which for SSA interference equals MAXLIVE, the peak number of
+simultaneously live values — is at most k.  That decouples register
+allocation into two independent phases:
+
+1. **Spill** until MAXLIVE <= k.  Spill-everywhere on whole SSA values:
+   a store after the definition, a load into a fresh point-like
+   temporary before each use (a spilled phi disappears: its argument is
+   stored at the end of each predecessor instead).  Victims are chosen
+   at the first program point over pressure, by *furthest next use* in
+   linear order (Belady's heuristic).
+2. **Color** greedily along a perfect elimination order.  Definitions
+   in dominance-tree preorder are the *reverse* of a perfect
+   elimination order of the chordal interference graph, so every value
+   sees at most MAXLIVE - 1 <= k - 1 already-colored neighbors and the
+   first free color always exists: zero coloring-time spills, by
+   construction rather than by luck.  The claim is re-proved after the
+   fact by the independent chordal recheck in
+   :mod:`repro.resilience.validators`.
+
+Only then is SSA destructed (:mod:`repro.ssa.destruct`) — parallel
+copies are sequentialized at the *color* level so the emitted moves
+stay correct after the physical rewrite.
+
+Contrast on the measurement path: RAP spills *locally* where a region's
+pressure demands it, GRA spills whole live ranges chosen by
+spill-cost/degree, linear scan spills whole intervals; this rung spills
+whole SSA values chosen by next-use distance and is the only one whose
+coloring phase provably cannot fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..ir.iloc import Instr, Reg, Symbol, ldm, preg, stm
+from ..pdg.graph import PDGFunction
+from ..pdg.linearize import linearize
+from ..resilience import faults
+from ..ssa import SSAForm, build_ssa, destruct, ssa_liveness
+from ..ssa.form import DEF_INSTR, DEF_PHI, Phi
+from .chaitin import AllocationError, AllocationResult
+
+#: Spill-iteration safety cap: each iteration spills one value, and a
+#: function has finitely many spillable values, so this only trips on a
+#: rewriting bug that re-creates pressure forever.
+MAX_SPILL_ITERATIONS = 500
+
+
+@dataclass
+class SSACert:
+    """Evidence carried from the allocator to the independent validators.
+
+    Two snapshots: construction time (for the rename recheck against
+    reaching definitions of the original registers) and post-spill time
+    (what was actually colored and destructed).
+    """
+
+    func_name: str
+    k: int
+    # --- construction-time snapshot (positions align 1:1) -------------
+    pre_ssa: List[Instr]
+    renamed: List[Instr]
+    renamed_phis: Dict[int, List[Phi]]
+    origin: Dict[Reg, Reg]
+    undef: FrozenSet[Reg]
+    # --- post-spill snapshot (input of coloring and destruction) ------
+    ssa_code: List[Instr]
+    phis: Dict[int, List[Phi]]
+    unspillable: FrozenSet[Reg]
+    order: List[Reg]
+    assignment: Dict[Reg, int]
+    maxlive: int
+    spill_slots: FrozenSet[str]
+    shuffle_slots: FrozenSet[str]
+
+
+@dataclass
+class SSAAllocationResult(AllocationResult):
+    """:class:`AllocationResult` plus the SSA evidence and phase counters."""
+
+    cert: Optional[SSACert] = None
+    phis: int = 0
+    maxlive_entry: int = 0
+    maxlive_final: int = 0
+    parallel_copies: int = 0
+    cycle_breaks: int = 0
+
+    def telemetry(self) -> Dict[str, int]:
+        counters = super().telemetry()
+        counters["analysis_builds"] = self.rounds
+        counters["phis"] = self.phis
+        counters["maxlive_entry"] = self.maxlive_entry
+        counters["maxlive_final"] = self.maxlive_final
+        counters["parallel_copies"] = self.parallel_copies
+        counters["cycle_breaks"] = self.cycle_breaks
+        return counters
+
+
+def allocate_ssaspill(
+    func: PDGFunction,
+    k: int,
+    max_rounds: Optional[int] = None,
+    **_ignored,
+) -> SSAAllocationResult:
+    """Allocate one function by SSA-based spill-then-color.
+
+    ``func`` is read, not mutated (a cloned linearization, like the
+    other allocators).  ``max_rounds`` caps spill iterations.
+    """
+    if k < 3:
+        raise ValueError("a load/store architecture needs at least 3 registers")
+    code = [instr.clone() for instr in linearize(func).instrs]
+    ssa = build_ssa(code, func.name)
+    phi_count = sum(len(phis) for phis in ssa.phis.values())
+
+    # Construction-time snapshot, before the spiller rewrites anything.
+    pre_ssa = ssa.pre_ssa
+    renamed = [instr.clone() for instr in ssa.code]
+    renamed_phis = ssa.clone_phis()
+    origin_snapshot = dict(ssa.origin)
+    undef_snapshot = frozenset(ssa.undef)
+
+    spilled, slots, rounds, maxlive_entry = _lower_pressure(
+        ssa, k, max_rounds or MAX_SPILL_ITERATIONS
+    )
+    assignment, order, maxlive_final = _color(ssa, k)
+
+    ssa_code = [instr.clone() for instr in ssa.code]
+    phis_snapshot = ssa.clone_phis()
+    unspillable_snapshot = frozenset(ssa.unspillable)
+
+    dres = destruct(ssa, assignment)
+    virtual_code = [instr.clone() for instr in dres.code]
+
+    mapping = {value: preg(color) for value, color in assignment.items()}
+    out: List[Instr] = []
+    for instr in dres.code:
+        instr.rewrite_regs(mapping)
+        if instr.is_copy and instr.dst == instr.srcs[0]:
+            continue  # same-register copy, exactly like GRA
+        out.append(instr)
+
+    cert = SSACert(
+        func_name=func.name,
+        k=k,
+        pre_ssa=pre_ssa,
+        renamed=renamed,
+        renamed_phis=renamed_phis,
+        origin=origin_snapshot,
+        undef=undef_snapshot,
+        ssa_code=ssa_code,
+        phis=phis_snapshot,
+        unspillable=unspillable_snapshot,
+        order=order,
+        assignment=dict(assignment),
+        maxlive=maxlive_final,
+        spill_slots=frozenset(slot.name for slot in slots.values()),
+        shuffle_slots=frozenset(dres.shuffle_slots),
+    )
+    return SSAAllocationResult(
+        name=func.name,
+        code=out,
+        k=k,
+        rounds=rounds,
+        spilled=spilled,
+        assignment=assignment,
+        virtual_code=virtual_code,
+        cert=cert,
+        phis=phi_count,
+        maxlive_entry=maxlive_entry,
+        maxlive_final=maxlive_final,
+        parallel_copies=dres.copies,
+        cycle_breaks=dres.cycle_breaks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: lower MAXLIVE to k by spill-everywhere on SSA values
+# ---------------------------------------------------------------------------
+
+
+def _lower_pressure(
+    ssa: SSAForm, k: int, cap: int
+) -> Tuple[List[Reg], Dict[Reg, Symbol], int, int]:
+    """Spill one furthest-next-use value per iteration until no program
+    point has more than ``k`` simultaneously live values."""
+    spilled: List[Reg] = []
+    slots: Dict[Reg, Symbol] = {}
+    maxlive_entry: Optional[int] = None
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > cap:
+            raise AllocationError(
+                f"{ssa.func_name}: spilling did not lower pressure to "
+                f"k={k} in {cap} iterations"
+            )
+        live = ssa_liveness(ssa.code, ssa.cfg, ssa.phis)
+        if maxlive_entry is None:
+            maxlive_entry = live.maxlive
+        overflow = _first_overflow(ssa, live, k)
+        if overflow is None:
+            return spilled, slots, rounds, maxlive_entry
+        position, candidates = overflow
+        victim = _choose_victim(ssa, candidates, position)
+        if victim is None:
+            raise AllocationError(
+                f"{ssa.func_name}: register pressure irreducible at "
+                f"position {position} with k={k}"
+            )
+        slot = Symbol(f"{ssa.func_name}.{victim}", "spill")
+        _spill_value(ssa, victim, slot, slots)
+        slots[victim] = slot
+        spilled.append(victim)
+
+
+def _first_overflow(ssa: SSAForm, live, k: int):
+    """First program point (linear order) with pressure above ``k``.
+    Returns ``(position, live set)`` — the position next-use distances
+    are measured from — or ``None``."""
+    code = ssa.code
+    for block in ssa.cfg.blocks:
+        at_entry = live.live_before[block.start] | ssa.phi_dests(block.index)
+        if len(at_entry) > k:
+            return block.start, at_entry
+        for index in block.instr_indices():
+            before = live.live_before[index]
+            if len(before) > k:
+                return index, before
+            after = live.live_after[index] | {
+                reg for reg in code[index].defs if reg.is_virtual
+            }
+            if len(after) > k:
+                return index + 1, after
+    return None
+
+
+def _choose_victim(
+    ssa: SSAForm, candidates: Set[Reg], position: int
+) -> Optional[Reg]:
+    """The spillable candidate whose next use (in linear order,
+    wrapping) is furthest from ``position``; ties break on the higher
+    value index.  Phi arguments count as uses at the predecessor's
+    terminator."""
+    uses: Dict[Reg, List[int]] = {}
+    for index, instr in enumerate(ssa.code):
+        for reg in instr.srcs:
+            if reg.is_virtual:
+                uses.setdefault(reg, []).append(index)
+    for block_index in sorted(ssa.phis):
+        block = ssa.cfg.blocks[block_index]
+        for phi in ssa.phis[block_index]:
+            for pred in block.preds:
+                arg = phi.args[pred.index]
+                if arg.is_virtual:
+                    uses.setdefault(arg, []).append(pred.end - 1)
+
+    horizon = len(ssa.code) + 1
+    best: Optional[Tuple[int, int, Reg]] = None
+    for value in candidates:
+        if value in ssa.unspillable:
+            continue
+        positions = sorted(uses.get(value, ()))
+        upcoming = next((p for p in positions if p >= position), None)
+        if upcoming is not None:
+            distance = upcoming - position
+        elif positions:
+            distance = horizon + positions[0]  # only reached via back edge
+        else:
+            distance = 2 * horizon  # never used again
+        key = (distance, value.index, value)
+        if best is None or key > best:
+            best = key
+    return best[2] if best is not None else None
+
+
+def _spill_value(
+    ssa: SSAForm, victim: Reg, slot: Symbol, slots: Dict[Reg, Symbol]
+) -> None:
+    """Spill-everywhere rewrite of one SSA value.
+
+    Normal definition: ``stm slot`` right after the def.  Phi
+    definition: the phi is removed and each predecessor stores the
+    incoming argument at its end instead.  Every use reads through a
+    fresh point-like temporary (``ldm`` immediately before the
+    instruction; for a phi-argument use, at the predecessor's end).
+    """
+    code = ssa.code
+    before: Dict[int, List[Instr]] = {}
+    after: Dict[int, List[Instr]] = {}
+
+    def at_block_end(block, instr: Instr) -> None:
+        last = block.end - 1
+        if code[last].is_branch:
+            before.setdefault(last, []).append(instr)
+        else:
+            after.setdefault(last, []).append(instr)
+
+    def fresh_temp() -> Reg:
+        temp = ssa.new_value(ssa.origin.get(victim, victim))
+        ssa.unspillable.add(temp)
+        return temp
+
+    kind, where = ssa.def_site[victim]
+    if kind == DEF_INSTR:
+        after.setdefault(where, []).append(stm(slot, victim))
+        ssa.unspillable.add(victim)  # now a point-like def-store pair
+    elif kind == DEF_PHI:
+        phi = next(p for p in ssa.phis[where] if p.dest == victim)
+        ssa.phis[where].remove(phi)
+        block = ssa.cfg.blocks[where]
+        for pred in block.preds:
+            arg = phi.args[pred.index]
+            if arg == victim or arg in ssa.undef:
+                # Self-loop argument: the slot already holds the value on
+                # that path.  (Undef arguments cannot occur: phis with one
+                # are unspillable.)
+                continue
+            if arg in slots:
+                temp = fresh_temp()
+                at_block_end(pred, ldm(slots[arg], temp))
+                at_block_end(pred, stm(slot, temp))
+            else:
+                at_block_end(pred, stm(slot, arg))
+        del ssa.origin[victim]
+    else:  # pragma: no cover - undef values are unspillable
+        raise AllocationError(f"{ssa.func_name}: cannot spill undef {victim}")
+
+    # Instruction uses: one load into one fresh temporary per instruction.
+    for index, instr in enumerate(code):
+        if victim in instr.srcs:
+            temp = fresh_temp()
+            before.setdefault(index, []).append(ldm(slot, temp))
+            instr.srcs = [temp if reg == victim else reg for reg in instr.srcs]
+
+    # Phi-argument uses elsewhere: load at the predecessor's end, one
+    # temporary per predecessor block.
+    edge_temp: Dict[int, Reg] = {}
+    for block_index in sorted(ssa.phis):
+        block = ssa.cfg.blocks[block_index]
+        for phi in ssa.phis[block_index]:
+            for pred in block.preds:
+                if phi.args[pred.index] != victim:
+                    continue
+                temp = edge_temp.get(pred.index)
+                if temp is None:
+                    temp = fresh_temp()
+                    edge_temp[pred.index] = temp
+                    at_block_end(pred, ldm(slot, temp))
+                phi.args[pred.index] = temp
+
+    if before or after:
+        rebuilt: List[Instr] = []
+        for index, instr in enumerate(code):
+            rebuilt.extend(before.get(index, ()))
+            rebuilt.append(instr)
+            rebuilt.extend(after.get(index, ()))
+        ssa.code[:] = rebuilt
+    ssa.refresh()
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: greedy coloring along a perfect elimination order
+# ---------------------------------------------------------------------------
+
+
+def _color(ssa: SSAForm, k: int) -> Tuple[Dict[Reg, int], List[Reg], int]:
+    """Greedy coloring in dominance preorder of definitions.
+
+    For a chordal SSA interference graph this order is the reverse of a
+    perfect elimination order: when a value is colored, its
+    already-colored neighbors are exactly the values live at its
+    definition — at most ``maxlive - 1 <= k - 1`` of them — so a free
+    color always exists and no coloring-time spill can occur.
+    """
+    live = ssa_liveness(ssa.code, ssa.cfg, ssa.phis)
+    if live.maxlive > k:
+        raise AllocationError(
+            f"{ssa.func_name}: MAXLIVE {live.maxlive} > k={k} after spilling"
+        )
+    adjacency = build_ssa_interference(ssa, live)
+    order = elimination_order(ssa)
+    known = set(order)
+    missing = [value for value in ssa.origin if value not in known]
+    if missing:
+        raise AllocationError(
+            f"{ssa.func_name}: values outside the elimination order: "
+            f"{sorted(missing, key=lambda r: r.index)}"
+        )
+
+    assignment: Dict[Reg, int] = {}
+    for value in order:
+        forbidden = {
+            assignment[neighbor]
+            for neighbor in adjacency.get(value, ())
+            if neighbor in assignment
+        }
+        color = next((c for c in range(k) if c not in forbidden), None)
+        if color is None:
+            raise AllocationError(
+                f"{ssa.func_name}: no free color for {value} — "
+                "chordal guarantee violated"
+            )
+        if (
+            faults.active() is not None
+            and forbidden
+            and faults.should_fire("ssaspill.color.clash", ssa.func_name)
+        ):
+            color = min(forbidden)
+        assignment[value] = color
+    return assignment, order, live.maxlive
+
+
+def build_ssa_interference(ssa: SSAForm, live) -> Dict[Reg, Set[Reg]]:
+    """Interference of SSA values: each definition interferes with
+    everything live just after it; a block's phi destinations interfere
+    with each other and with the block's live-through values (they are
+    written by one parallel copy); values live at function entry
+    (undef values) interfere pairwise, having no definition point."""
+    adjacency: Dict[Reg, Set[Reg]] = {value: set() for value in ssa.origin}
+
+    def connect(a: Reg, b: Reg) -> None:
+        if a != b:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+
+    code = ssa.code
+    for block in ssa.cfg.blocks:
+        current: Set[Reg] = set(live.block_live_out[block.index])
+        for index in range(block.end - 1, block.start - 1, -1):
+            instr = code[index]
+            defs = [reg for reg in instr.defs if reg.is_virtual]
+            for dst in defs:
+                for other in current:
+                    connect(dst, other)
+            current -= set(defs)
+            current |= {reg for reg in instr.srcs if reg.is_virtual}
+        dests = ssa.phi_dests(block.index)
+        top = current | dests
+        for dst in dests:
+            for other in top:
+                connect(dst, other)
+
+    entry_live = sorted(
+        live.block_live_in[ssa.cfg.entry_block().index],
+        key=lambda reg: reg.index,
+    )
+    for i, a in enumerate(entry_live):
+        for b in entry_live[i + 1 :]:
+            connect(a, b)
+    return adjacency
+
+
+def elimination_order(ssa: SSAForm) -> List[Reg]:
+    """Definitions in dominance-tree preorder (reverse perfect
+    elimination order): undef values first (live at entry, no def), then
+    per block — phi destinations, then instruction definitions in
+    program order.  Dominator-tree children are visited in block-index
+    order, matching the renaming walk."""
+    order: List[Reg] = sorted(ssa.undef, key=lambda reg: reg.index)
+    children = ssa.dom.children()
+    entry = ssa.cfg.entry_block().index
+    blocks = {block.index: block for block in ssa.cfg.blocks}
+    stack = [entry]
+    while stack:
+        block_index = stack.pop()
+        block = blocks[block_index]
+        for phi in ssa.phis.get(block_index, ()):
+            order.append(phi.dest)
+        for index in block.instr_indices():
+            for dst in ssa.code[index].defs:
+                if dst.is_virtual:
+                    order.append(dst)
+        for child in reversed(children.get(block_index, ())):
+            stack.append(child)
+    return order

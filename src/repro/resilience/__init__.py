@@ -7,9 +7,11 @@ allocator is wrong?".  Four layers, each usable on its own:
   structured :class:`~repro.resilience.errors.StageError` diagnostics;
 * :mod:`.validators` — independent semantic checkers that re-prove the
   transforming phases (spill-code motion, Figure-6 peephole, list
-  scheduling) sound from scratch after every run;
-* :mod:`.fallback` — the rap → gra → linearscan → spillall retry ladder
-  used by the benchmark harness so a sweep degrades instead of dying;
+  scheduling, SSA construction/destruction, and the chordal coloring of
+  the SSA rung) sound from scratch after every run;
+* :mod:`.fallback` — the rap → gra → ssaspill → linearscan → spillall
+  retry ladder used by the benchmark harness so a sweep degrades
+  instead of dying;
 * :mod:`.faults` — deterministic probe points inside the allocators,
   the scheduler, and the rewrite phases that let tests *prove* the
   verification and fallback nets catch corruption;
@@ -21,10 +23,13 @@ allocator is wrong?".  Four layers, each usable on its own:
 """
 
 from .errors import (
+    ChordalValidationError,
+    DestructValidationError,
     MiscompileError,
     MotionValidationError,
     PeepholeValidationError,
     ScheduleValidationError,
+    SSAValidationError,
     StageContext,
     StageError,
 )
@@ -45,6 +50,8 @@ from .triage import (
 )
 
 __all__ = [
+    "ChordalValidationError",
+    "DestructValidationError",
     "FALLBACK_CHAIN",
     "Failure",
     "FallbackEvent",
@@ -59,6 +66,7 @@ __all__ = [
     "PeepholeValidationError",
     "PipelineConfig",
     "ReplayResult",
+    "SSAValidationError",
     "ScheduleValidationError",
     "STAGES",
     "StageContext",

@@ -34,41 +34,62 @@ MANIFEST = "MANIFEST.json"
 #: features double as validator coverage: every replayed program with
 #: them runs the corresponding independent validator on real output.
 #:
-#: ``linearscan.spill`` keeps a seed that makes the ladder's third rung
-#: spill (so fuzz runs exercise its interval machinery, not just its
-#: happy path).  The ``error.*`` axes keep seeds that can *trigger* each
+#: ``linearscan.spill`` and ``ssaspill.spill`` keep seeds that make the
+#: ladder's lower rungs spill (so fuzz runs exercise the interval
+#: machinery and the SSA spill-everywhere lowering, not just their happy
+#: paths).  The ``error.*`` axes keep seeds that can *trigger* each
 #: transformation validator's error path: under the matching armed fault
 #: probe the program provably raises MotionValidationError /
-#: ScheduleValidationError / PeepholeValidationError — which is the only
-#: way corpus minimization can preserve witnesses for those code paths
-#: (a seed with hoists but no write-back, say, covers ``rap.motion`` yet
-#: can never reach the drop-store error branch).
+#: ScheduleValidationError / PeepholeValidationError /
+#: DestructValidationError — which is the only way corpus minimization
+#: can preserve witnesses for those code paths (a seed with hoists but
+#: no write-back, say, covers ``rap.motion`` yet can never reach the
+#: drop-store error branch; a seed with no permutation cycle in any
+#: parallel copy can never reach the lost-copy branch).
 FEATURES = (
     "gra.spill",
     "rap.spill",
     "rap.motion",
     "rap.peephole",
     "linearscan.spill",
+    "ssaspill.spill",
     "error.motion",
     "error.schedule",
     "error.peephole",
+    "error.ssa-destruct",
 )
 
-#: feature -> (probe point, error class name, schedule stage on?) for the
-#: validator-error axes: the probe is armed, RAP allocation re-run, and
-#: the feature granted iff the named error class is raised.
+#: feature -> (probe point, error class name, allocator, schedule stage
+#: on?) for the validator-error axes: the probe is armed, allocation
+#: re-run on the named allocator, and the feature granted iff the named
+#: error class is raised.
 ERROR_AXES = (
-    ("error.motion", "rap.motion.drop-store", "MotionValidationError", False),
+    (
+        "error.motion",
+        "rap.motion.drop-store",
+        "MotionValidationError",
+        "rap",
+        False,
+    ),
     (
         "error.schedule",
         "sched.reorder-dependent",
         "ScheduleValidationError",
+        "rap",
         True,
     ),
     (
         "error.peephole",
         "rap.peephole.stale-holder",
         "PeepholeValidationError",
+        "rap",
+        False,
+    ),
+    (
+        "error.ssa-destruct",
+        "ssa.destruct.lost-copy",
+        "DestructValidationError",
+        "ssaspill",
         False,
     ),
 )
@@ -136,6 +157,11 @@ def program_features(
                 features.add("linearscan.spill")
         module = prog.fresh_module()
         for func in module.functions.values():
+            result = pipe.allocate(func, "ssaspill", k)
+            if result.spilled:
+                features.add("ssaspill.spill")
+        module = prog.fresh_module()
+        for func in module.functions.values():
             result = pipe.allocate(func, "rap", k)
             if result.spilled:
                 features.add("rap.spill")
@@ -164,7 +190,7 @@ def _error_path_features(pipe: PassPipeline, prog, k: int) -> Set[str]:
     from .errors import StageError
 
     found: Set[str] = set()
-    for feature, point, error_name, schedule in ERROR_AXES:
+    for feature, point, error_name, allocator, schedule in ERROR_AXES:
         if schedule and not _scheduler_moves_something(pipe, prog, k):
             # The swap probe fires in any block with a dependent adjacent
             # pair — near-universal.  Requiring a non-trivially scheduled
@@ -172,17 +198,34 @@ def _error_path_features(pipe: PassPipeline, prog, k: int) -> Set[str]:
             # seed whose *real* schedule the validator defends, not any
             # straight-line print.
             continue
+        runner = pipe
+        if allocator == "ssaspill":
+            # Defense in depth means the generic assignment check catches
+            # a corrupted copy window before the destruction validator
+            # runs; the axis wants a witness for the *destruct* error
+            # path specifically, so the generic check is switched off for
+            # this probe (exactly what the verify_* switches are for).
+            runner = PassPipeline(
+                _with_overrides(pipe.config, verify_assignment=False)
+            )
         error_cls = getattr(errors, error_name)
         with faults.injected(faults.FaultSpec(point, times=None)):
             try:
                 module = prog.fresh_module()
                 for func in module.functions.values():
-                    pipe.allocate(func, "rap", k, schedule=schedule)
+                    runner.allocate(func, allocator, k, schedule=schedule)
             except error_cls:
                 found.add(feature)
             except StageError:
                 pass
     return found
+
+
+def _with_overrides(config: Optional[PipelineConfig], **overrides):
+    """A copy of ``config`` (or the defaults) with fields replaced."""
+    import dataclasses
+
+    return dataclasses.replace(config or PipelineConfig(), **overrides)
 
 
 def _scheduler_moves_something(pipe: PassPipeline, prog, k: int) -> bool:

@@ -197,12 +197,45 @@ class PeepholeValidationError(StageError):
     pins the block window and the first disagreement."""
 
 
+class SSAValidationError(StageError):
+    """SSA construction is structurally or semantically wrong: a value
+    with zero or multiple definitions, a phi whose arity disagrees with
+    its block's predecessors, a definition that fails to dominate a use,
+    or — the semantic recheck — a use renamed to an SSA value whose
+    feeding original definitions do not all reach that use (a stale-def
+    renaming bug).  Raised by the independent SSA-construction validator,
+    which recomputes reaching definitions of each original register on
+    the aligned pre-rename snapshot."""
+
+
+class DestructValidationError(StageError):
+    """Out-of-SSA destruction emitted a wrong copy sequence for some CFG
+    edge: after symbolically replaying the inserted window at the
+    location (color) level, a phi destination does not hold the value its
+    incoming argument held on entry (lost copy / swapped cycle), or a
+    live-through value was clobbered.  Raised by the independent
+    destruction validator; ``context.extra`` pins the edge."""
+
+
+class ChordalValidationError(StageError):
+    """The chordal-coloring claim failed its independent recheck: the
+    elimination order is not perfect (some value's earlier neighbors do
+    not form a clique), a value saw ``k`` or more earlier neighbors
+    (a coloring-time spill would have been needed), two interfering
+    values share a color, or spill slots appeared after the spill phase
+    ended.  Raised by the chordal validator, which rebuilds SSA liveness
+    and interference from the allocator's certificate."""
+
+
 #: freeze()/thaw() dispatch for the validator error classes.  Miscompiles
 #: carry extra payload and keep their special-cased branch above.
 _VALIDATION_KINDS: Dict[str, type] = {
     "motion-validation": MotionValidationError,
     "schedule-validation": ScheduleValidationError,
     "peephole-validation": PeepholeValidationError,
+    "ssa-validation": SSAValidationError,
+    "destruct-validation": DestructValidationError,
+    "chordal-validation": ChordalValidationError,
 }
 
 

@@ -5,17 +5,19 @@ does not abort the sweep: it retries the same (program, k) cell with the
 next-simpler allocator, recording the degradation.  The ladder is ordered
 by ambition:
 
-    rap -> gra -> linearscan -> spillall
+    rap -> gra -> ssaspill -> linearscan -> spillall
 
 RAP (the paper's contribution) falls back to GRA (the paper's baseline),
-which falls back to linear scan (no interference graph, intervals only —
-reduced precision, real register lifetimes), which falls back to the
-trivial spill-everywhere allocation — which cannot fail for any k >= 3,
-because it performs no analysis at all.  A sweep therefore always
-completes; the output reports *which* cells are degraded instead of the
-whole table dying on the first bad cell.  Every rung re-runs the full
-validate stage, so a fallback result is held to the same proof
-obligations as a first-choice one.
+which falls back to the SSA spill-then-color rung (decoupled phases over
+a chordal interference graph — its coloring provably cannot fail, so
+only its spill phase can), which falls back to linear scan (no
+interference graph, intervals only — reduced precision, real register
+lifetimes), which falls back to the trivial spill-everywhere allocation
+— which cannot fail for any k >= 3, because it performs no analysis at
+all.  A sweep therefore always completes; the output reports *which*
+cells are degraded instead of the whole table dying on the first bad
+cell.  Every rung re-runs the full validate stage, so a fallback result
+is held to the same proof obligations as a first-choice one.
 """
 
 from __future__ import annotations
@@ -25,8 +27,9 @@ from typing import Dict, List, Tuple
 
 #: allocator -> the allocators to try next, in order.
 FALLBACK_CHAIN: Dict[str, Tuple[str, ...]] = {
-    "rap": ("gra", "linearscan", "spillall"),
-    "gra": ("linearscan", "spillall"),
+    "rap": ("gra", "ssaspill", "linearscan", "spillall"),
+    "gra": ("ssaspill", "linearscan", "spillall"),
+    "ssaspill": ("linearscan", "spillall"),
     "linearscan": ("spillall",),
     "spillall": (),
 }

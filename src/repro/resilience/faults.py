@@ -58,6 +58,24 @@ Probe points
     order.  Models a dropped DAG edge in the scheduler; the emitted order
     is no longer a topological order of the block's dependences.  Caught
     by the scheduler validator.
+``ssa.rename.stale-def``
+    During SSA renaming, resolve one use to the *second* entry of the
+    renaming stack — a definition shadowed (and therefore killed on
+    every path) by the one on top.  Models a stack-discipline bug in
+    construction.  Caught by the SSA-construction validator, which
+    cross-checks every use against independently computed reaching
+    definitions of the original register.
+``ssa.destruct.lost-copy``
+    While sequentializing one parallel copy during out-of-SSA
+    destruction, emit the move that closes a permutation cycle without
+    first saving the value its destination holds — the textbook
+    lost-copy bug.  Caught by the destruction validator's symbolic
+    replay of the edge's copy window.
+``ssaspill.color.clash``
+    Give one SSA value a color already assigned to an interfering
+    neighbor during the chordal greedy coloring.  Models a broken
+    interference or elimination-order bug.  Caught by the independent
+    chordal-coloring recheck.
 """
 
 from __future__ import annotations
@@ -94,6 +112,15 @@ PROBE_POINTS: Dict[str, str] = {
     ),
     "sched.reorder-dependent": (
         "swap the first adjacent dependent pair of a scheduled block"
+    ),
+    "ssa.rename.stale-def": (
+        "rename one SSA use to a shadowed (killed) definition"
+    ),
+    "ssa.destruct.lost-copy": (
+        "skip the save when breaking one parallel-copy cycle (lost copy)"
+    ),
+    "ssaspill.color.clash": (
+        "assign one SSA value a color already used by a live neighbor"
     ),
 }
 

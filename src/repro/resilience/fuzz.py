@@ -33,7 +33,7 @@ from .pipeline import PipelineConfig
 from .triage import Failure, make_bundle, merge_hit, probe_failure, write_bundle
 
 DEFAULT_K_VALUES = (3, 5)
-DEFAULT_ALLOCATORS = ("gra", "rap")
+DEFAULT_ALLOCATORS = ("gra", "rap", "ssaspill")
 
 
 @dataclass

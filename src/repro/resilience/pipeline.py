@@ -62,11 +62,13 @@ def _allocator_registry() -> Dict[str, Callable[..., Any]]:
         allocate_linearscan,
         allocate_rap,
         allocate_spillall,
+        allocate_ssaspill,
     )
 
     return {
         "gra": allocate_gra,
         "rap": allocate_rap,
+        "ssaspill": allocate_ssaspill,
         "linearscan": allocate_linearscan,
         "spillall": allocate_spillall,
     }
@@ -94,6 +96,9 @@ class PipelineConfig:
     #: motion and Figure-6 peephole from scratch after every allocation.
     verify_motion: bool = True
     verify_peephole: bool = True
+    #: the three SSA validators (construction, destruction, chordal
+    #: coloring) run against the ``ssaspill`` allocator's certificate.
+    verify_ssa: bool = True
     #: run the list scheduler as its own pipeline stage after validate,
     #: and (when ``verify_schedule``) prove the emitted order is a
     #: topological order of an independently re-derived dependence DAG.
@@ -298,6 +303,26 @@ class PassPipeline:
                 pre = getattr(result, "pre_peephole_code", None)
                 if pre is not None:
                     validate_peephole(pre, result.code, context)
+        if allocator == "ssaspill" and self.config.verify_ssa:
+            # The SSA rung's three independent validators: rename recheck
+            # against recomputed reaching definitions, symbolic replay of
+            # every parallel-copy window, and the chordal
+            # zero-coloring-time-spill re-proof.
+            cert = getattr(result, "cert", None)
+            if cert is not None:
+                from .validators import (
+                    validate_chordal,
+                    validate_destruction,
+                    validate_ssa_construction,
+                )
+
+                context = self.context(
+                    "validate", function=func.name, allocator=allocator, k=k
+                )
+                validate_ssa_construction(cert, context)
+                virtual_code = getattr(result, "virtual_code", None)
+                validate_destruction(cert, virtual_code, context)
+                validate_chordal(cert, virtual_code, context)
 
     def execute(
         self,

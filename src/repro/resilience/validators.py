@@ -32,7 +32,36 @@ recomputing the transformation's safety argument from scratch:
     Figure-6 rewrites and proves the final register file, symbolic
     memory, heap state, and observable event trace are equal.
 
-All three raise typed :class:`~repro.resilience.errors.StageError`
+The SSA spill-then-color rung (:mod:`repro.regalloc.ssaspill`) carries a
+certificate with two snapshots, checked by three further validators:
+
+``validate_ssa_construction``
+    Structural SSA invariants (single defs, phi arity, definitions
+    dominate uses) plus two semantic rechecks on the aligned pre-rename
+    snapshot: every use must resolve to the *nearest* dominating
+    definition of its original register (a shadowed — stale — definition
+    on the renaming stack is rejected even though it, too, dominates),
+    and the original definitions transitively feeding each renamed use
+    (through phis) must all appear among that use's independently
+    recomputed reaching definitions.
+
+``validate_destruction``
+    Aligns the post-spill SSA snapshot with the destructed code block by
+    block, proves everything outside the inserted copy windows survived
+    untouched, then symbolically replays each window at the *location*
+    (color) level: every phi destination must end up holding the value
+    its incoming argument held on entry to the window, and no value live
+    through the edge may be clobbered — the lost-copy and swap proofs.
+
+``validate_chordal``
+    Rebuilds SSA liveness and interference from the certificate and
+    re-proves the zero-coloring-time-spill claim: MAXLIVE <= k, the
+    elimination order is perfect (each value's earlier neighbors form a
+    clique) with fewer than k earlier neighbors per value, the coloring
+    is proper in [0, k), and no spill slot appears in the destructed
+    code beyond those certified by the spill phase and cycle breaking.
+
+All of them raise typed :class:`~repro.resilience.errors.StageError`
 subclasses carrying the stage context plus the precise region/block/pc
 where the proof failed, so a caught corruption is debuggable — and
 transportable through the ``--jobs N`` process pool — without re-running
@@ -46,9 +75,12 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ir.iloc import Instr, Op, Reg, Symbol
 from .errors import (
+    ChordalValidationError,
+    DestructValidationError,
     MotionValidationError,
     PeepholeValidationError,
     ScheduleValidationError,
+    SSAValidationError,
     StageContext,
 )
 
@@ -639,3 +671,547 @@ def _first_mismatch(
             if va != vb:
                 return "memory", f"{addr}: {va} vs {vb}"
     return None
+
+
+# ---------------------------------------------------------------------------
+# SSA construction validation
+# ---------------------------------------------------------------------------
+
+
+def validate_ssa_construction(cert, context: StageContext) -> None:
+    """Recheck SSA construction from the allocator's certificate.
+
+    ``cert`` (:class:`~repro.regalloc.ssaspill.SSACert`) carries the
+    renamed code, the phis, and a 1:1 position-aligned clone of the code
+    *before* renaming.  Structural invariants come first (single
+    definitions, phi arity, dominance of defs over uses); then the two
+    semantic rechecks described in the module docstring.  Raises
+    :class:`SSAValidationError` on the first violation.
+    """
+    from ..cfg.dominators import DominatorTree
+    from ..cfg.graph import CFG
+    from ..cfg.reachdefs import chains_for
+
+    ctx = _extend(context, phase="ssa-construct")
+    pre, renamed = cert.pre_ssa, cert.renamed
+    if len(pre) != len(renamed):
+        raise SSAValidationError(
+            f"pre-rename snapshot has {len(pre)} instructions but the "
+            f"renamed code has {len(renamed)} (alignment lost)",
+            ctx,
+        )
+    cfg = CFG(renamed)
+    dom = DominatorTree(cfg)
+    blocks = {block.index: block for block in cfg.blocks}
+    block_of = [0] * len(renamed)
+    for block in cfg.blocks:
+        for index in range(block.start, block.end):
+            block_of[index] = block.index
+
+    # --- structure: unique definitions, known origins, phi arity -------
+    _PHI_TOP = -1  # phis define at the top of their block
+    def_site: Dict[Reg, Tuple[int, int]] = {}  # value -> (block, position)
+
+    def record_def(value: Reg, block_index: int, position: int) -> None:
+        if value in def_site:
+            raise SSAValidationError(
+                f"SSA value {value} has multiple definitions", ctx
+            )
+        if value not in cert.origin:
+            raise SSAValidationError(
+                f"defined value {value} has no recorded origin", ctx
+            )
+        def_site[value] = (block_index, position)
+
+    for block_index, phis in sorted(cert.renamed_phis.items()):
+        block = blocks.get(block_index)
+        if block is None:
+            raise SSAValidationError(
+                f"phi block B{block_index} does not exist", ctx
+            )
+        preds = {pred.index for pred in block.preds}
+        for phi in phis:
+            record_def(phi.dest, block_index, _PHI_TOP)
+            if set(phi.args) != preds:
+                raise SSAValidationError(
+                    f"phi for {phi.dest} in B{block_index} names "
+                    f"predecessors {sorted(phi.args)} but the block has "
+                    f"{sorted(preds)}",
+                    _extend(ctx, block=block_index),
+                )
+    for position, instr in enumerate(renamed):
+        for dst in instr.defs:
+            if dst.is_virtual:
+                record_def(dst, block_of[position], position)
+    for value in cert.undef:
+        if value in def_site:
+            raise SSAValidationError(
+                f"undef value {value} has a definition", ctx
+            )
+
+    by_origin: Dict[Reg, List[Reg]] = {}
+    for value, origin in cert.origin.items():
+        by_origin.setdefault(origin, []).append(value)
+
+    def site_precedes(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+        """Does definition site ``a`` dominate (strictly precede) ``b``?"""
+        if a[0] == b[0]:
+            return a[1] < b[1]
+        return dom.dominates(a[0], b[0])
+
+    def check_use(value: Reg, use_block: int, use_pos: int, what: str) -> None:
+        """``value`` must be defined at the *nearest* dominating
+        definition of its origin — dominance alone is not enough; a
+        shadowed (stale) definition also dominates the use."""
+        if value not in cert.origin:
+            raise SSAValidationError(
+                f"{what} reads unknown SSA value {value}", ctx
+            )
+        site = def_site.get(value)
+        use_site = (use_block, use_pos)
+        if site is None:
+            if value not in cert.undef:
+                raise SSAValidationError(
+                    f"{what} reads {value}, which has no definition and "
+                    "is not an undef value",
+                    ctx,
+                )
+        elif not site_precedes(site, use_site):
+            raise SSAValidationError(
+                f"definition of {value} does not dominate {what}",
+                _extend(ctx, value=str(value)),
+            )
+        for other in by_origin[cert.origin[value]]:
+            if other == value:
+                continue
+            other_site = def_site.get(other)
+            if other_site is None or not site_precedes(other_site, use_site):
+                continue
+            if site is None or site_precedes(site, other_site):
+                raise SSAValidationError(
+                    f"{what} reads {value} but the nearer definition of "
+                    f"origin {cert.origin[value]} is {other} (stale "
+                    "renaming)",
+                    _extend(ctx, value=str(value), shadowing=str(other)),
+                )
+
+    for position, instr in enumerate(renamed):
+        for src in instr.srcs:
+            if src.is_virtual:
+                check_use(
+                    src, block_of[position], position, f"use at {position}"
+                )
+    for block_index, phis in sorted(cert.renamed_phis.items()):
+        block = blocks[block_index]
+        for phi in phis:
+            for pred in block.preds:
+                arg = phi.args[pred.index]
+                if arg.is_virtual:
+                    check_use(
+                        arg,
+                        pred.index,
+                        pred.end,  # the argument is read at the edge
+                        f"phi argument on B{pred.index}->B{block_index}",
+                    )
+
+    # --- semantics: feeding defs vs recomputed reaching definitions ----
+    pre_cfg = CFG(pre)
+    chains_cache: Dict[Reg, Any] = {}
+    feed_cache: Dict[Reg, Set[Any]] = {}
+    _ENTRY = object()  # feeding marker for undef values
+
+    def feeding_defs(value: Reg) -> Set[Any]:
+        """Positions of the instruction definitions transitively feeding
+        ``value`` through phis (``_ENTRY`` for undef contributions)."""
+        cached = feed_cache.get(value)
+        if cached is not None:
+            return cached
+        out: Set[Any] = set()
+        seen: Set[Reg] = set()
+        stack = [value]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            site = def_site.get(v)
+            if site is None:
+                out.add(_ENTRY)
+                continue
+            block_index, position = site
+            if position != _PHI_TOP:
+                out.add(position)
+                continue
+            for phi in cert.renamed_phis[block_index]:
+                if phi.dest == v:
+                    stack.extend(phi.args.values())
+                    break
+        feed_cache[value] = out
+        return out
+
+    for position, instr in enumerate(renamed):
+        original = pre[position]
+        if len(original.srcs) != len(instr.srcs):
+            raise SSAValidationError(
+                f"operand count changed at position {position}", ctx
+            )
+        for slot, src in enumerate(instr.srcs):
+            if not src.is_virtual:
+                continue
+            origin = cert.origin[src]
+            if original.srcs[slot] != origin:
+                raise SSAValidationError(
+                    f"use at {position} renamed {original.srcs[slot]} to "
+                    f"{src}, whose origin is {origin}",
+                    _extend(ctx, position=position),
+                )
+            chains = chains_cache.get(origin)
+            if chains is None:
+                chains = chains_cache[origin] = chains_for(pre_cfg, origin)
+            allowed = {
+                id(site)
+                for site in chains.defs_reaching(original)
+                if isinstance(site, Instr)
+            }
+            for feed in feeding_defs(src):
+                if feed is _ENTRY:
+                    continue  # undef contribution: no pre-SSA def to match
+                if id(pre[feed]) not in allowed:
+                    raise SSAValidationError(
+                        f"use of {origin} at {position} was renamed to "
+                        f"{src}, fed by the definition at {feed}, which "
+                        "does not reach the use (stale renaming)",
+                        _extend(ctx, position=position, definition=feed),
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Out-of-SSA destruction validation
+# ---------------------------------------------------------------------------
+
+
+def validate_destruction(cert, virtual_code, context: StageContext) -> None:
+    """Recheck out-of-SSA destruction by symbolic replay.
+
+    ``cert.ssa_code``/``cert.phis`` are the post-spill snapshot that was
+    destructed; ``virtual_code`` is the destructed (still virtual)
+    result.  Raises :class:`DestructValidationError` on the first lost
+    copy, clobbered live-through value, or structural mismatch.
+    """
+    from ..cfg.graph import CFG
+    from ..ssa.liveness import ssa_liveness
+
+    ctx = _extend(context, phase="ssa-destruct")
+    if virtual_code is None:
+        raise DestructValidationError(
+            "allocator kept no virtual destruction snapshot", ctx
+        )
+    cfg_ssa = CFG(cert.ssa_code)
+    cfg_out = CFG(virtual_code)
+    if len(cfg_ssa.blocks) != len(cfg_out.blocks):
+        raise DestructValidationError(
+            f"destruction changed the block count "
+            f"({len(cfg_ssa.blocks)} -> {len(cfg_out.blocks)})",
+            ctx,
+        )
+    live = ssa_liveness(cert.ssa_code, cfg_ssa, cert.phis)
+    assignment = cert.assignment
+
+    def loc(value: Reg):
+        return assignment.get(value, value)
+
+    # Which predecessor blocks own a copy window, and for which phis.
+    blocks_ssa = {block.index: block for block in cfg_ssa.blocks}
+    edges: Dict[int, Tuple[int, List[Any]]] = {}
+    for succ_index, phis in sorted(cert.phis.items()):
+        if not phis:
+            continue
+        succ = blocks_ssa.get(succ_index)
+        if succ is None:
+            raise DestructValidationError(
+                f"phi block B{succ_index} does not exist", ctx
+            )
+        for pred in succ.preds:
+            if len(pred.succs) != 1:
+                raise DestructValidationError(
+                    f"critical edge B{pred.index}->B{succ_index} carries "
+                    "a parallel copy",
+                    ctx,
+                )
+            edges[pred.index] = (succ_index, phis)
+
+    for block_ssa, block_out in zip(cfg_ssa.blocks, cfg_out.blocks):
+        before = cert.ssa_code[block_ssa.start : block_ssa.end]
+        after = virtual_code[block_out.start : block_out.end]
+        term = 1 if before and before[-1].is_branch else 0
+        term_out = 1 if after and after[-1].is_branch else 0
+        ectx = _extend(ctx, block=block_ssa.index)
+        if term != term_out or (term and str(before[-1]) != str(after[-1])):
+            raise DestructValidationError(
+                f"destruction altered the terminator of B{block_ssa.index}",
+                ectx,
+            )
+        if len(after) < len(before):
+            raise DestructValidationError(
+                f"destruction dropped instructions from B{block_ssa.index}",
+                ectx,
+            )
+        head = len(before) - term
+        for index in range(head):
+            if str(before[index]) != str(after[index]):
+                raise DestructValidationError(
+                    f"destruction altered a non-copy instruction in "
+                    f"B{block_ssa.index}: {before[index]} -> {after[index]}",
+                    ectx,
+                )
+        window = after[head : len(after) - term]
+        edge = edges.get(block_ssa.index)
+        if edge is None:
+            if window:
+                raise DestructValidationError(
+                    f"copy window inserted at B{block_ssa.index}, which "
+                    "feeds no phi",
+                    ectx,
+                )
+            continue
+        succ_index, phis = edge
+        _replay_copy_window(
+            cert,
+            window,
+            phis,
+            block_ssa.index,
+            succ_index,
+            live,
+            loc,
+            _extend(ctx, edge=f"B{block_ssa.index}->B{succ_index}"),
+        )
+
+
+def _replay_copy_window(
+    cert, window, phis, pred_index, succ_index, live, loc, ctx
+) -> None:
+    """Symbolically execute one edge's copy window at the location level
+    and prove each phi received its argument's value while every
+    live-through location kept its own."""
+    env: Dict[Any, Tuple[str, Any]] = {}
+    mem: Dict[str, Tuple[str, Any]] = {}
+
+    def read(location) -> Tuple[str, Any]:
+        return env.get(location, ("init", location))
+
+    for instr in window:
+        if instr.is_copy:
+            env[loc(instr.dst)] = read(loc(instr.srcs[0]))
+        elif instr.op is Op.STM:
+            mem[instr.addr.name] = read(loc(instr.srcs[0]))
+        elif instr.op is Op.LDM:
+            if instr.addr.name not in mem:
+                raise DestructValidationError(
+                    f"copy window loads {instr.addr.name} before any "
+                    "store to it",
+                    ctx,
+                )
+            env[loc(instr.dst)] = mem[instr.addr.name]
+        else:
+            raise DestructValidationError(
+                f"unexpected {instr.op.name} instruction in a copy window",
+                ctx,
+            )
+
+    for phi in phis:
+        arg = phi.args.get(pred_index)
+        if arg is None:
+            raise DestructValidationError(
+                f"phi for {phi.dest} has no argument for B{pred_index}",
+                ctx,
+            )
+        if arg in cert.undef:
+            continue  # no copy owed: the destination stays uninitialized
+        if read(loc(phi.dest)) != ("init", loc(arg)):
+            raise DestructValidationError(
+                f"phi destination {phi.dest} does not receive the value "
+                f"of its argument {arg} (lost copy)",
+                _extend(ctx, dest=str(phi.dest), arg=str(arg)),
+            )
+
+    dests = {phi.dest for phi in phis}
+    live_through = live.block_live_in.get(succ_index, set()) - dests
+    for value in sorted(live_through, key=lambda reg: reg.index):
+        if read(loc(value)) != ("init", loc(value)):
+            raise DestructValidationError(
+                f"copy window clobbered {value}, which is live through "
+                "the edge",
+                _extend(ctx, value=str(value)),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Chordal-coloring validation
+# ---------------------------------------------------------------------------
+
+
+def validate_chordal(cert, virtual_code, context: StageContext) -> None:
+    """Re-prove the zero-coloring-time-spill claim from the certificate.
+
+    Rebuilds SSA liveness and interference from ``cert.ssa_code`` and
+    ``cert.phis`` with rules written independently of the allocator,
+    then checks the elimination order, the clique bound, the coloring,
+    and the spill-slot ledger.  Raises :class:`ChordalValidationError`
+    on the first violation.
+    """
+    from ..cfg.graph import CFG
+    from ..ssa.liveness import ssa_liveness
+
+    ctx = _extend(context, phase="chordal")
+    k = cert.k
+    cfg = CFG(cert.ssa_code)
+    live = ssa_liveness(cert.ssa_code, cfg, cert.phis)
+    if live.maxlive > k:
+        raise ChordalValidationError(
+            f"MAXLIVE {live.maxlive} exceeds k={k} after the spill phase",
+            _extend(ctx, maxlive=live.maxlive),
+        )
+    if live.maxlive != cert.maxlive:
+        raise ChordalValidationError(
+            f"certificate claims MAXLIVE {cert.maxlive} but the rebuilt "
+            f"liveness finds {live.maxlive}",
+            _extend(ctx, maxlive=live.maxlive),
+        )
+
+    universe: Set[Reg] = set()
+    for instr in cert.ssa_code:
+        for reg in instr.regs():
+            if reg.is_virtual:
+                universe.add(reg)
+    for phis in cert.phis.values():
+        for phi in phis:
+            universe.add(phi.dest)
+            universe.update(phi.args.values())
+
+    adjacency = _rebuild_ssa_interference(cert, cfg, live, universe)
+
+    order = cert.order
+    if len(order) != len(set(order)):
+        raise ChordalValidationError(
+            "elimination order contains duplicates", ctx
+        )
+    if set(order) != universe:
+        missing = sorted(universe - set(order), key=lambda r: r.index)
+        extra = sorted(set(order) - universe, key=lambda r: r.index)
+        raise ChordalValidationError(
+            f"elimination order disagrees with the value universe "
+            f"(missing {missing}, extra {extra})",
+            ctx,
+        )
+
+    position = {value: index for index, value in enumerate(order)}
+    for index, value in enumerate(order):
+        earlier = [u for u in adjacency[value] if position[u] < index]
+        if len(earlier) >= k:
+            raise ChordalValidationError(
+                f"{value} has {len(earlier)} earlier neighbors with k={k} "
+                "— a coloring-time spill would have been required",
+                _extend(ctx, value=str(value)),
+            )
+        earlier.sort(key=lambda reg: reg.index)
+        for i, a in enumerate(earlier):
+            for b in earlier[i + 1 :]:
+                if b not in adjacency[a]:
+                    raise ChordalValidationError(
+                        f"elimination order is not perfect: earlier "
+                        f"neighbors {a} and {b} of {value} do not "
+                        "interfere",
+                        _extend(ctx, value=str(value)),
+                    )
+
+    for value in sorted(universe, key=lambda reg: reg.index):
+        color = cert.assignment.get(value)
+        if color is None:
+            raise ChordalValidationError(
+                f"{value} is missing from the assignment", ctx
+            )
+        if not 0 <= color < k:
+            raise ChordalValidationError(
+                f"{value} assigned color {color} outside [0, {k})", ctx
+            )
+        for neighbor in adjacency[value]:
+            if cert.assignment.get(neighbor) == color:
+                raise ChordalValidationError(
+                    f"interfering values {value} and {neighbor} share "
+                    f"color {color}",
+                    _extend(ctx, value=str(value), neighbor=str(neighbor)),
+                )
+
+    # Spill-slot ledger: every slot the destructed code touches must be
+    # either pre-existing traffic (params, spill-phase stores/loads —
+    # all present in the certified post-spill code) or a certified
+    # cycle-breaking shuffle slot.  Anything else is a coloring-time or
+    # destruction-time spill the phases claim cannot happen.
+    certified = {
+        instr.addr.name
+        for instr in cert.ssa_code
+        if instr.addr is not None and instr.addr.space == "spill"
+    }
+    stray = set(cert.spill_slots) - certified
+    if stray:
+        raise ChordalValidationError(
+            f"certified spill slots never touched by the post-spill "
+            f"code: {sorted(stray)}",
+            ctx,
+        )
+    allowed = certified | set(cert.shuffle_slots)
+    for index, instr in enumerate(virtual_code):
+        if (
+            instr.addr is not None
+            and instr.addr.space == "spill"
+            and instr.addr.name not in allowed
+        ):
+            raise ChordalValidationError(
+                f"spill slot {instr.addr.name} introduced after the "
+                "spill phase",
+                _extend(ctx, position=index),
+            )
+
+
+def _rebuild_ssa_interference(
+    cert, cfg, live, universe: Set[Reg]
+) -> Dict[Reg, Set[Reg]]:
+    """Independent reconstruction of the SSA interference relation: a
+    definition interferes with everything live just after it, a block's
+    phi destinations form a clique with the block's live-in values, and
+    entry-live (undef) values interfere pairwise."""
+    adjacency: Dict[Reg, Set[Reg]] = {value: set() for value in universe}
+
+    def connect(a: Reg, b: Reg) -> None:
+        if a != b:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+
+    phi_dests: Dict[int, Set[Reg]] = {
+        block_index: {phi.dest for phi in phis}
+        for block_index, phis in cert.phis.items()
+    }
+    for block in cfg.blocks:
+        current: Set[Reg] = set(live.block_live_out[block.index])
+        for index in range(block.end - 1, block.start - 1, -1):
+            instr = cert.ssa_code[index]
+            defs = [reg for reg in instr.defs if reg.is_virtual]
+            for dst in defs:
+                for other in current:
+                    connect(dst, other)
+            current -= set(defs)
+            current |= {reg for reg in instr.srcs if reg.is_virtual}
+        dests = phi_dests.get(block.index, set())
+        top = current | dests
+        for dst in dests:
+            for other in top:
+                connect(dst, other)
+
+    entry_live = sorted(
+        live.block_live_in.get(cfg.entry_block().index, set()),
+        key=lambda reg: reg.index,
+    )
+    for i, a in enumerate(entry_live):
+        for b in entry_live[i + 1 :]:
+            connect(a, b)
+    return adjacency

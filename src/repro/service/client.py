@@ -327,7 +327,7 @@ def build_request_parser() -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, default=defaults.PORT)
     parser.add_argument(
         "--allocator",
-        choices=("gra", "rap", "linearscan", "spillall"),
+        choices=("gra", "rap", "ssaspill", "linearscan", "spillall"),
         default=defaults.ALLOCATOR,
     )
     parser.add_argument("-k", type=int, default=defaults.K)

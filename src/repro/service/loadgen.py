@@ -879,7 +879,7 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--allocator",
-        choices=("gra", "rap", "linearscan", "spillall"),
+        choices=("gra", "rap", "ssaspill", "linearscan", "spillall"),
         default=defaults.ALLOCATOR,
     )
     parser.add_argument("-k", type=int, default=defaults.K)

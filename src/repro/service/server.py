@@ -127,11 +127,18 @@ from .cache import ArtifactCache, cache_key, key_components
 #: ceiling, starts at the requested allocator (full RAP by default).
 DEFAULT_RUNG_POLICY: Tuple[Tuple[float, str], ...] = (
     (defaults.DEADLINE_LINEARSCAN_MS, "linearscan"),
+    (defaults.DEADLINE_SSASPILL_MS, "ssaspill"),
     (defaults.DEADLINE_GRA_MS, "gra"),
 )
 
 #: Ladder position, for "never upgrade past the request" comparisons.
-_LADDER_ORDER = {"rap": 0, "gra": 1, "linearscan": 2, "spillall": 3}
+_LADDER_ORDER = {
+    "rap": 0,
+    "gra": 1,
+    "ssaspill": 2,
+    "linearscan": 3,
+    "spillall": 4,
+}
 
 #: How long a handler waits for its job beyond the job's own deadline —
 #: covers the worker's bookkeeping after the deadline check.  A module

@@ -1,0 +1,29 @@
+"""Static single assignment over linear iloc code.
+
+The subsystem behind the ``ssaspill`` allocator
+(:mod:`repro.regalloc.ssaspill`): SSA construction over the existing CFG
+(dominance frontiers, pruned phi insertion, dominator-tree renaming), a
+liveness analysis with phi semantics, and a verified out-of-SSA
+destruction pass (phi elimination via parallel-copy sequentialization
+with explicit lost-copy/swap handling).  The point, per Bouchez, Darte &
+Rastello: interference graphs of SSA programs are chordal, so spilling
+decouples from coloring — lower MAXLIVE to ``k`` first, then color
+greedily along the dominance tree with zero coloring-time spills.
+"""
+
+from .construct import build_ssa, normalize_code
+from .destruct import DestructResult, destruct
+from .form import Phi, SSAError, SSAForm
+from .liveness import SSALiveness, ssa_liveness
+
+__all__ = [
+    "DestructResult",
+    "Phi",
+    "SSAError",
+    "SSAForm",
+    "SSALiveness",
+    "build_ssa",
+    "destruct",
+    "normalize_code",
+    "ssa_liveness",
+]

@@ -1,0 +1,242 @@
+"""SSA construction: normalize, insert phis, rename.
+
+Pipeline:
+
+1. **Normalize** the linear code: drop unreachable blocks (a function
+   whose every branch returns leaves a dead epilogue) and split every
+   critical edge with a fresh ``label; jmp`` block.  With no critical
+   edges, out-of-SSA copies and spilled-phi stores always land on an
+   edge owned by exactly one predecessor, which kills the lost-copy
+   class of bugs at the source.
+2. **Insert phis** at the iterated dominance frontier of each virtual
+   register's definition blocks, pruned by block liveness (a phi is
+   placed only where the register is live-in).
+3. **Rename** along the dominator tree with the classic per-register
+   stack discipline.
+
+A use reached by no definition on some path (the fuzzer can produce
+path-dependent def-before-use) becomes a per-register *undef* value:
+no defining instruction, live from entry, never spillable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg.dominators import dominance_frontiers
+from ..cfg.graph import CFG
+from ..cfg.liveness import compute_liveness
+from ..ir.iloc import Instr, Op, Reg, jmp, label
+from ..resilience import faults
+from .form import SSAError, SSAForm, Phi
+
+
+def normalize_code(code: List[Instr], func_name: str) -> List[Instr]:
+    """Return ``code`` with unreachable blocks removed and every critical
+    edge split.  Branch instructions are retargeted in place; the caller
+    must own the instruction objects (pass clones)."""
+    code = _drop_unreachable(code)
+    return _split_critical_edges(code, func_name)
+
+
+def _drop_unreachable(code: List[Instr]) -> List[Instr]:
+    cfg = CFG(code)
+    reachable: Set[int] = {block.index for block in cfg.reverse_postorder()}
+    if len(reachable) == len(cfg.blocks):
+        return code
+    # Any block following a fall-through block is itself reachable, so
+    # removing unreachable blocks never breaks fall-through adjacency.
+    keep: List[Instr] = []
+    for block in cfg.blocks:
+        if block.index in reachable:
+            keep.extend(code[block.start : block.end])
+    return keep
+
+
+def _split_critical_edges(code: List[Instr], func_name: str) -> List[Instr]:
+    cfg = CFG(code)
+    splits: List[Tuple[Instr, str]] = []  # (branch instr, succ label)
+    for block in cfg.blocks:
+        if len(block.succs) < 2:
+            continue
+        branch = code[block.end - 1]
+        if branch.op is not Op.CBR:  # pragma: no cover - CBR is the only
+            continue  # multi-successor terminator
+        for succ in block.succs:
+            if len(succ.preds) < 2:
+                continue
+            target = code[succ.start]
+            if target.op is not Op.LABEL:
+                raise SSAError(
+                    f"{func_name}: CBR successor B{succ.index} does not "
+                    "start with a label"
+                )
+            splits.append((branch, target.label))
+    if not splits:
+        return code
+
+    used = {instr.label for instr in code if instr.op is Op.LABEL}
+    counter = 0
+
+    def fresh_label() -> str:
+        nonlocal counter
+        while True:
+            name = f"{func_name}_ssa{counter}"
+            counter += 1
+            if name not in used:
+                used.add(name)
+                return name
+
+    out = list(code)
+    for branch, target in splits:
+        name = fresh_label()
+        # Retarget exactly one side of the CBR (if both sides named the
+        # same label the edge was not critical: the CFG dedups it).
+        if branch.label == target:
+            branch.label = name
+        elif branch.label_false == target:
+            branch.label_false = name
+        else:  # pragma: no cover - split applied twice to one side
+            raise SSAError(
+                f"{func_name}: cannot retarget {branch} away from {target}"
+            )
+        out.append(label(name))
+        out.append(jmp(target))
+    return out
+
+
+def build_ssa(
+    code: List[Instr], func_name: str, next_index: Optional[int] = None
+) -> SSAForm:
+    """Construct pruned SSA over ``code`` (which the call takes ownership
+    of — pass freshly cloned instructions)."""
+    code = normalize_code(code, func_name)
+    max_index = -1
+    for instr in code:
+        for reg in instr.regs():
+            if reg.is_virtual and reg.index > max_index:
+                max_index = reg.index
+            elif reg.is_physical:
+                raise SSAError(
+                    f"{func_name}: physical register {reg} in pre-SSA code"
+                )
+    if next_index is None:
+        next_index = max_index + 1
+
+    ssa = SSAForm(func_name, code, next_index)
+    cfg = ssa.cfg
+    dom = ssa.dom
+    frontiers = dominance_frontiers(cfg, dom)
+    live = compute_liveness(cfg)
+
+    # --- phi insertion at the pruned iterated dominance frontier -------
+    def_blocks: Dict[Reg, Set[int]] = {}
+    for block in cfg.blocks:
+        for index in block.instr_indices():
+            for dst in code[index].defs:
+                def_blocks.setdefault(dst, set()).add(block.index)
+
+    phis: Dict[int, List[Phi]] = {}
+    phi_regs: Dict[int, Set[Reg]] = {}
+    for reg in sorted(def_blocks):
+        work = sorted(def_blocks[reg])
+        placed: Set[int] = set()
+        while work:
+            block_index = work.pop()
+            for join in sorted(frontiers.get(block_index, ())):
+                if join in placed:
+                    continue
+                if reg not in live.block_live_in[join]:
+                    continue  # pruned: dead at the join
+                placed.add(join)
+                phis.setdefault(join, []).append(Phi(reg, join, reg))
+                phi_regs.setdefault(join, set()).add(reg)
+                if join not in def_blocks[reg]:
+                    work.append(join)
+    ssa.phis = phis
+
+    # --- renaming ------------------------------------------------------
+    ssa.pre_ssa = [instr.clone() for instr in code]
+    stacks: Dict[Reg, List[Reg]] = {}
+    undef_for: Dict[Reg, Reg] = {}
+
+    def undef_value(origin: Reg) -> Reg:
+        value = undef_for.get(origin)
+        if value is None:
+            value = ssa.new_value(origin)
+            undef_for[origin] = value
+            ssa.undef.add(value)
+            ssa.unspillable.add(value)
+        return value
+
+    def current(origin: Reg, allow_probe: bool) -> Reg:
+        stack = stacks.get(origin)
+        if not stack:
+            return undef_value(origin)
+        if (
+            allow_probe
+            and len(stack) >= 2
+            and faults.active() is not None
+            and faults.should_fire("ssa.rename.stale-def", func_name)
+        ):
+            return stack[-2]  # a shadowed, provably killed definition
+        return stack[-1]
+
+    children = dom.children()
+    blocks = {block.index: block for block in cfg.blocks}
+    entry = cfg.entry_block().index
+
+    # Iterative dominator-tree walk; each frame renames one block, fills
+    # its successors' phi args, then visits dominated blocks.
+    stack: List[Tuple[int, Optional[List[Tuple[Reg, int]]]]] = [(entry, None)]
+    while stack:
+        block_index, pushed = stack.pop()
+        if pushed is not None:
+            # Unwind marker: pop this block's definitions.
+            for origin, count in pushed:
+                del stacks[origin][-count:]
+            continue
+
+        block = blocks[block_index]
+        pushed_here: Dict[Reg, int] = {}
+
+        def push(origin: Reg, value: Reg) -> None:
+            stacks.setdefault(origin, []).append(value)
+            pushed_here[origin] = pushed_here.get(origin, 0) + 1
+
+        for phi in phis.get(block_index, ()):
+            value = ssa.new_value(phi.origin)
+            phi.dest = value
+            push(phi.origin, value)
+        for index in block.instr_indices():
+            instr = code[index]
+            if instr.srcs:
+                instr.srcs = [
+                    current(reg, True) if reg.is_virtual else reg
+                    for reg in instr.srcs
+                ]
+            if instr.dst is not None and instr.dst.is_virtual:
+                origin = instr.dst
+                value = ssa.new_value(origin)
+                instr.dst = value
+                push(origin, value)
+        for succ in block.succs:
+            for phi in phis.get(succ.index, ()):
+                phi.args[block_index] = current(phi.origin, False)
+
+        stack.append((block_index, sorted(pushed_here.items())))
+        for child in reversed(children.get(block_index, ())):
+            stack.append((child, None))
+
+    # A phi fed by an undef argument can never be spilled: removing it
+    # would store the undef register in the predecessor (a faulting read
+    # the original program never performed) or leave the slot
+    # uninitialized on that path (a spill-discipline violation).
+    for phi_list in phis.values():
+        for phi in phi_list:
+            if any(arg in ssa.undef for arg in phi.args.values()):
+                ssa.unspillable.add(phi.dest)
+
+    ssa.refresh()
+    ssa.check()
+    return ssa

@@ -1,0 +1,205 @@
+"""Out-of-SSA destruction: phi elimination via parallel-copy
+sequentialization.
+
+Each CFG edge into a phi block carries one *parallel copy*: all of the
+block's phi destinations receive their incoming arguments at once.
+Construction split every critical edge, so each such copy can be
+materialized at the end of the predecessor — no edge is shared.
+
+Sequentializing a parallel copy is where lost-copy and swap bugs live.
+The worklist below reasons about *locations* (the assigned physical
+color when an allocation is provided, the SSA value itself otherwise):
+
+* a move is *ready* when its destination location is no pending move's
+  source location — emitting it clobbers nothing still needed;
+* when no move is ready the remaining moves form permutation cycles;
+  the value occupying the chosen move's destination is saved first
+  (to a fresh temporary register before allocation, through a spill
+  "shuffle" slot after allocation, when all k registers may be busy),
+  and the moves that needed it read the saved copy instead.
+
+Arguments that are *undef* values (no definition reaches the edge) get
+no copy at all: materializing one would read an uninitialized register
+and fault on paths where the original program never touched the
+variable.  The destination simply stays uninitialized, so a genuine
+use still faults exactly like the pre-SSA program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.iloc import Instr, Reg, Symbol, copy, ldm, stm
+from ..resilience import faults
+from .form import SSAError, SSAForm
+
+
+@dataclass
+class DestructResult:
+    """Destructed linear code plus accounting for telemetry/certs."""
+
+    code: List[Instr]
+    #: copies (i2i/ldm/stm) inserted, over all edges
+    copies: int = 0
+    #: permutation cycles broken
+    cycle_breaks: int = 0
+    #: shuffle slot names used for allocated cycle breaks
+    shuffle_slots: List[str] = field(default_factory=list)
+    #: fresh temporaries created for unallocated cycle breaks
+    temps: List[Reg] = field(default_factory=list)
+
+
+class _Move:
+    __slots__ = ("dval", "sval", "dloc", "sloc", "slot")
+
+    def __init__(self, dval: Reg, sval: Reg, dloc, sloc):
+        self.dval = dval
+        self.sval = sval
+        self.dloc = dloc
+        self.sloc = sloc
+        self.slot: Optional[Symbol] = None  # set when redirected to memory
+
+
+def destruct(
+    ssa: SSAForm, assignment: Optional[Dict[Reg, int]] = None
+) -> DestructResult:
+    """Lower ``ssa`` back to plain linear code.
+
+    With ``assignment`` (SSA value -> color), moves are sequentialized
+    at the *color* level — the emitted code stays correct after the
+    physical rewrite even though two values sharing a color alias.
+    Without it, values are their own locations (the pre-allocation
+    round-trip used by tests).
+    """
+    if assignment is not None:
+        missing = [
+            value
+            for phis in ssa.phis.values()
+            for phi in phis
+            for value in (phi.dest, *phi.args.values())
+            if value not in assignment
+        ]
+        if missing:
+            raise SSAError(
+                f"{ssa.func_name}: phi operands missing from assignment: "
+                f"{sorted(set(missing), key=lambda r: r.index)}"
+            )
+
+    def loc(value: Reg):
+        return assignment[value] if assignment is not None else value
+
+    result = DestructResult(code=[])
+    blocks = {block.index: block for block in ssa.cfg.blocks}
+    inserted: Dict[int, List[Instr]] = {}
+
+    for succ_index in sorted(ssa.phis):
+        phis = ssa.phis[succ_index]
+        if not phis:
+            continue
+        succ = blocks[succ_index]
+        for pred in succ.preds:
+            if len(pred.succs) != 1:
+                raise SSAError(
+                    f"{ssa.func_name}: critical edge B{pred.index}->"
+                    f"B{succ_index} survived construction"
+                )
+            window = _sequentialize(ssa, phis, pred.index, loc, result)
+            if window:
+                inserted.setdefault(pred.index, []).extend(window)
+
+    out: List[Instr] = []
+    code = ssa.code
+    for block in ssa.cfg.blocks:
+        end = block.end
+        window = inserted.get(block.index, ())
+        if not window:
+            out.extend(code[block.start : end])
+            continue
+        has_term = end > block.start and code[end - 1].is_branch
+        split = end - 1 if has_term else end
+        out.extend(code[block.start : split])
+        out.extend(window)
+        out.extend(code[split:end])
+    result.code = out
+    return result
+
+
+def _sequentialize(
+    ssa: SSAForm,
+    phis,
+    pred_index: int,
+    loc,
+    result: DestructResult,
+) -> List[Instr]:
+    pending: List[_Move] = []
+    out: List[Instr] = []
+    for phi in phis:
+        arg = phi.args[pred_index]
+        if arg in ssa.undef:
+            continue  # leave the destination uninitialized, like pre-SSA
+        if loc(phi.dest) == loc(arg):
+            # Location-identical move: the register already holds the
+            # value, so this can go first (it clobbers nothing) — but it
+            # is emitted rather than dropped so the destination keeps a
+            # definition at the virtual level.  After the physical
+            # rewrite it becomes a same-register copy and is deleted.
+            out.append(copy(arg, phi.dest))
+            result.copies += 1
+            continue
+        pending.append(_Move(phi.dest, arg, loc(phi.dest), loc(arg)))
+
+    while pending:
+        src_locs = {
+            move.sloc for move in pending if move.slot is None
+        }
+        move = next(
+            (m for m in pending if m.dloc not in src_locs), None
+        )
+        if move is not None:
+            if move.slot is not None:
+                out.append(ldm(move.slot, move.dval))
+            else:
+                out.append(copy(move.sval, move.dval))
+            result.copies += 1
+            pending.remove(move)
+            continue
+
+        # Every remaining move is part of a permutation cycle.  Save the
+        # value occupying the first move's destination, then retry.
+        move = pending[0]
+        blockers = [
+            m for m in pending if m.slot is None and m.sloc == move.dloc
+        ]
+        result.cycle_breaks += 1
+        if faults.active() is not None and faults.should_fire(
+            "ssa.destruct.lost-copy", ssa.func_name
+        ):
+            # Injected lost-copy bug: emit the clobbering move without
+            # saving what its destination held.  The blocked moves then
+            # read a location that no longer holds their value.
+            out.append(copy(move.sval, move.dval))
+            result.copies += 1
+            pending.remove(move)
+            continue
+        saved = blockers[0].sval
+        if isinstance(move.dloc, int):
+            slot = Symbol(
+                f"{ssa.func_name}.{saved}.swap{len(result.shuffle_slots)}",
+                "spill",
+            )
+            result.shuffle_slots.append(slot.name)
+            out.append(stm(slot, saved))
+            result.copies += 1
+            for blocked in blockers:
+                blocked.slot = slot
+        else:
+            temp = ssa.new_value(ssa.origin.get(saved, saved))
+            ssa.unspillable.add(temp)
+            result.temps.append(temp)
+            out.append(copy(saved, temp))
+            result.copies += 1
+            for blocked in blockers:
+                blocked.sval = temp
+                blocked.sloc = temp
+    return out

@@ -1,0 +1,139 @@
+"""Liveness with phi semantics, plus MAXLIVE.
+
+Phis are not instructions, so classic liveness misattributes their
+operands: a phi argument is live *on the incoming edge only* (it is read
+"in the predecessor", at the moment of the edge transfer), and a phi
+destination is live from the top of its block.  This module implements
+the corrected equations:
+
+    edge_live(P -> S) = (live_in(S) - phi_dests(S)) | phi_args_from(S, P)
+    live_out(B)       = union of edge_live(B -> S) over successors
+    live_in(B)        = phi_dests(B) | upexposed(B) | (live_out(B) - defs(B))
+
+``maxlive`` is the register pressure the spiller must lower to ``k``:
+the maximum, over every program point, of simultaneously live values —
+counting a value as needing a register at its definition even when dead
+(a def writes a register whether or not anyone reads it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..cfg.graph import CFG
+from ..ir.iloc import Instr, Reg
+from .form import Phi
+
+
+class SSALiveness:
+    """Liveness facts over SSA code + phi side table."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        #: per block index; live_in includes the block's phi dests.
+        self.block_live_in: Dict[int, Set[Reg]] = {}
+        self.block_live_out: Dict[int, Set[Reg]] = {}
+        #: live set immediately before code[i] (phi dests of a block are
+        #: live at its first position).
+        self.live_before: List[Set[Reg]] = []
+        #: live set immediately after code[i] (before = the next
+        #: boundary down; for a terminator this is the block's live_out).
+        self.live_after: List[Set[Reg]] = []
+        self.maxlive: int = 0
+        #: position witnessing maxlive (block entry -> the block's start).
+        self.maxlive_at: int = 0
+
+    def edge_live(
+        self, pred_index: int, succ_index: int, phis: Dict[int, List[Phi]]
+    ) -> Set[Reg]:
+        """Values live along the CFG edge ``pred -> succ``."""
+        dests = {phi.dest for phi in phis.get(succ_index, ())}
+        live = self.block_live_in[succ_index] - dests
+        for phi in phis.get(succ_index, ()):
+            live.add(phi.args[pred_index])
+        return live
+
+
+def ssa_liveness(
+    code: Sequence[Instr], cfg: CFG, phis: Dict[int, List[Phi]]
+) -> SSALiveness:
+    """Fixed-point liveness over ``code``/``cfg`` with ``phis`` applied
+    at block tops.  Physical registers are ignored (SSA code has none)."""
+    result = SSALiveness(cfg)
+    n_blocks = len(cfg.blocks)
+
+    upexposed: Dict[int, Set[Reg]] = {}
+    defs: Dict[int, Set[Reg]] = {}
+    dests: Dict[int, Set[Reg]] = {}
+    for block in cfg.blocks:
+        up: Set[Reg] = set()
+        killed: Set[Reg] = set()
+        for index in block.instr_indices():
+            instr = code[index]
+            for reg in instr.uses:
+                if reg.is_virtual and reg not in killed:
+                    up.add(reg)
+            for reg in instr.defs:
+                killed.add(reg)
+        upexposed[block.index] = up
+        defs[block.index] = killed
+        dests[block.index] = {phi.dest for phi in phis.get(block.index, ())}
+
+    live_in: Dict[int, Set[Reg]] = {b.index: set() for b in cfg.blocks}
+    live_out: Dict[int, Set[Reg]] = {b.index: set() for b in cfg.blocks}
+
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(order):
+            out: Set[Reg] = set()
+            for succ in block.succs:
+                out |= live_in[succ.index] - dests[succ.index]
+                for phi in phis.get(succ.index, ()):
+                    out.add(phi.args[block.index])
+            new_in = (
+                dests[block.index]
+                | upexposed[block.index]
+                | (out - defs[block.index])
+            )
+            if (
+                out != live_out[block.index]
+                or new_in != live_in[block.index]
+            ):
+                live_out[block.index] = out
+                live_in[block.index] = new_in
+                changed = True
+
+    result.block_live_in = live_in
+    result.block_live_out = live_out
+
+    n = len(code)
+    result.live_before = [set() for _ in range(n)]
+    result.live_after = [set() for _ in range(n)]
+    maxlive = 0
+    maxlive_at = 0
+    for block in cfg.blocks:
+        live = set(live_out[block.index])
+        for index in range(block.end - 1, block.start - 1, -1):
+            instr = code[index]
+            result.live_after[index] = set(live)
+            # Pressure at the def point: the def occupies a register
+            # alongside everything live after, even if never read.
+            pressure = len(live | set(instr.defs))
+            if pressure > maxlive:
+                maxlive, maxlive_at = pressure, index
+            live = (live - set(instr.defs)) | {
+                reg for reg in instr.uses if reg.is_virtual
+            }
+            result.live_before[index] = set(live)
+            if len(live) > maxlive:
+                maxlive, maxlive_at = len(live), index
+        # Block entry: phi dests are all live at once alongside the
+        # live-through values (a parallel copy targets them together).
+        entry_pressure = len(live | dests[block.index])
+        if entry_pressure > maxlive:
+            maxlive, maxlive_at = entry_pressure, block.start
+    result.maxlive = maxlive
+    result.maxlive_at = maxlive_at
+    return result

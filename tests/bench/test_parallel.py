@@ -45,8 +45,10 @@ def test_parallel_runs_out_in_serial_order_with_metrics():
     assert [(r.program, r.allocator, r.k) for r in runs] == [
         ("hanoi", "gra", 3),
         ("hanoi", "rap", 3),
+        ("hanoi", "ssaspill", 3),
         ("sieve", "gra", 3),
         ("sieve", "rap", 3),
+        ("sieve", "ssaspill", 3),
     ]
     for run in runs:
         assert run.wall_time > 0.0
@@ -79,11 +81,11 @@ def test_armed_fault_degrades_only_its_cells():
     assert _render(parallel) == _render(serial)
 
 
-def test_gra_knockout_completes_on_linearscan():
+def test_gra_knockout_completes_on_ssaspill():
     # With GRA knocked out by injection, every gra cell completes on the
-    # linear-scan rung (which has its own spill path, untouched by the
-    # probe) — not on spill-everywhere — the footer names the rung, and
-    # the degraded table is still byte-identical across serial/--jobs.
+    # SSA spill-then-color rung (untouched by the probe) — one rung
+    # down, not at the bottom — the footer names the rung, and the
+    # degraded table is still byte-identical across serial/--jobs.
     spec = faults.FaultSpec("gra.spill.corrupt-slot", times=None)
     with faults.injected(spec):
         serial = build_table1(Harness(_programs()), k_values=K_VALUES)
@@ -94,11 +96,35 @@ def test_gra_knockout_completes_on_linearscan():
     for routine in serial.routine_order:
         for k in K_VALUES:
             cell = serial.cells[routine][k]
-            assert cell.used["gra"] == "linearscan"
+            assert cell.used["gra"] == "ssaspill"
             assert cell.used["rap"] == "rap"
+            assert cell.used["ssaspill"] == "ssaspill"
     text = _render(serial)
-    assert "completed on gra->linearscan" in text
+    assert "completed on gra->ssaspill" in text
     assert "spillall" not in text
+    assert _render(parallel) == text
+
+
+def test_ssaspill_knockout_completes_on_linearscan():
+    # Knocking out SSA construction sends the ssaspill cells to the
+    # linear-scan rung, leaving the gra and rap columns untouched.  The
+    # probe needs a shadowed definition to corrupt, so the assertion
+    # pins sieve (which has redefinitions in every function); hanoi's
+    # cells simply stay healthy.
+    spec = faults.FaultSpec("ssa.rename.stale-def", times=None)
+    with faults.injected(spec):
+        serial = build_table1(Harness(_programs()), k_values=K_VALUES)
+    with faults.injected(spec):
+        parallel = build_table1(
+            Harness(_programs()), k_values=K_VALUES, jobs=2
+        )
+    for k in K_VALUES:
+        cell = serial.cells["sieve"][k]
+        assert cell.used["ssaspill"] == "linearscan"
+        assert cell.used["gra"] == "gra"
+        assert cell.used["rap"] == "rap"
+    text = _render(serial)
+    assert "completed on ssaspill->linearscan" in text
     assert _render(parallel) == text
 
 

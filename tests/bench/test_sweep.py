@@ -8,16 +8,25 @@ from repro.bench.sweep import render, sweep
 def test_sweep_shape_and_monotonicity():
     curves = sweep(["hanoi"], (3, 5, 8))
     rows = curves["hanoi"]
-    assert [k for k, _, _ in rows] == [3, 5, 8]
-    gra = [g for _, g, _ in rows]
-    rap = [r for _, _, r in rows]
-    # More registers never cost cycles for either allocator.
+    assert [k for k, _, _, _ in rows] == [3, 5, 8]
+    gra = [g for _, g, _, _ in rows]
+    rap = [r for _, _, r, _ in rows]
+    ssa = [s for _, _, _, s in rows]
+    # More registers never cost cycles for any allocator.
     assert gra == sorted(gra, reverse=True)
     assert rap == sorted(rap, reverse=True)
+    assert ssa == sorted(ssa, reverse=True)
 
 
 def test_render_marks_flat_tail():
-    curves = {"x": [(3, 100, 90), (4, 80, 70), (5, 80, 70), (6, 80, 70)]}
+    curves = {
+        "x": [
+            (3, 100, 90, 95),
+            (4, 80, 70, 75),
+            (5, 80, 70, 75),
+            (6, 80, 70, 75),
+        ]
+    }
     stream = io.StringIO()
     render(curves, stream=stream)
     text = stream.getvalue()
@@ -25,8 +34,10 @@ def test_render_marks_flat_tail():
     assert text.count("<- flat") == 2  # k=4 and k=5 (k=6 has no successors)
 
 
-def test_render_includes_gain_column():
-    curves = {"x": [(3, 200, 150)]}
+def test_render_includes_gain_columns():
+    curves = {"x": [(3, 200, 150, 160)]}
     stream = io.StringIO()
     render(curves, stream=stream)
-    assert "+25.0%" in stream.getvalue()
+    text = stream.getvalue()
+    assert "+25.0%" in text  # RAP vs GRA
+    assert "+20.0%" in text  # SSA vs GRA

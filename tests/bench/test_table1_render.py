@@ -31,11 +31,11 @@ class TestRender:
         table.routine_order = ["alpha", "beta"]
         table.cells = {
             "alpha": {
-                3: Table1Cell(10.0, 5.0, 1.0),
+                3: Table1Cell(10.0, 5.0, 1.0, ssa=8.0, ssa_blank=False),
                 9: Table1Cell(None, None, None, blank=True),
             },
             "beta": {
-                3: Table1Cell(-2.5, -1.0, 0.0),
+                3: Table1Cell(-2.5, -1.0, 0.0, ssa=-3.0, ssa_blank=False),
                 9: Table1Cell(4.0, 0.0, 0.0),
             },
         }
@@ -48,11 +48,23 @@ class TestRender:
         assert "alpha" in text and "beta" in text
         assert "Average" in text
         assert "paper: 2.7%" in text
+        assert "ssaspill (SSA spill-then-color)" in text
+
+    def test_header_has_ssa_subcolumn_per_k(self):
+        stream = io.StringIO()
+        render_table1(self.make_table(), stream=stream)
+        header = stream.getvalue().splitlines()[0]
+        assert header.count("ssa") == 2  # one per k group
 
     def test_averages_skip_blanks(self):
         table = self.make_table()
         assert table.average(3) == (10.0 - 2.5) / 2
         assert table.average(9) == 4.0
+
+    def test_ssa_averages_skip_valueless_cells(self):
+        table = self.make_table()
+        assert table.ssa_average(3) == (8.0 - 3.0) / 2
+        assert table.ssa_average(9) == 0.0
 
     def test_missing_cell_renders_gap(self):
         table = self.make_table()

@@ -1,0 +1,45 @@
+"""Repository hygiene tripwires.
+
+Bytecode caches were once committed by accident (58 ``.pyc`` files under
+``src/**/__pycache__/``); they churned every diff and could shadow
+edited sources in subtle ways.  This test fails the build if any tracked
+``.pyc``/``__pycache__`` entry reappears, and pins the ``.gitignore``
+rules that keep them out.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _tracked_files():
+    proc = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        pytest.skip("not a git checkout")
+    return proc.stdout.splitlines()
+
+
+class TestNoTrackedBytecode:
+    def test_no_pyc_or_pycache_is_tracked(self):
+        offenders = [
+            path
+            for path in _tracked_files()
+            if path.endswith((".pyc", ".pyo")) or "__pycache__" in path
+        ]
+        assert not offenders, (
+            "bytecode committed to git (remove with `git rm --cached`): "
+            f"{offenders[:10]}"
+        )
+
+    def test_gitignore_covers_bytecode_and_scratch(self):
+        rules = (REPO / ".gitignore").read_text().split()
+        for required in ("__pycache__/", "*.pyc", ".pytest_cache/"):
+            assert required in rules, required

@@ -134,7 +134,11 @@ class TestTable1Subcommand:
         assert payload["jobs"] == 2
         assert payload["stages"]["allocate"]["calls"] >= 1
         cells = {(c["program"], c["allocator"], c["k"]) for c in payload["cells"]}
-        assert cells == {("hanoi", "gra", 3), ("hanoi", "rap", 3)}
+        assert cells == {
+            ("hanoi", "gra", 3),
+            ("hanoi", "rap", 3),
+            ("hanoi", "ssaspill", 3),
+        }
 
 
 class TestResilienceCommands:

@@ -1,0 +1,84 @@
+"""The decoupled spill-then-color allocator's own guarantees."""
+
+import pytest
+
+from repro.bench.suite import all_programs, program
+from repro.compiler import compile_source
+from repro.regalloc import allocate_ssaspill
+from repro.regalloc.chaitin import AllocationError
+
+SPILLY = """
+int f(int a, int b, int c, int d) {
+    int e; int g; int h;
+    e = a * b; g = c * d; h = a * d;
+    return e + g + h + a + b + c + d;
+}
+void main() { print(f(2, 3, 5, 7)); }
+"""
+
+
+def allocate_all(source, k):
+    prog = compile_source(source)
+    module = prog.fresh_module()
+    return [
+        allocate_ssaspill(func, k) for func in module.functions.values()
+    ]
+
+
+class TestDecoupling:
+    """Spilling lowers MAXLIVE to k; coloring then cannot fail."""
+
+    @pytest.mark.parametrize("bench", all_programs(), ids=lambda b: b.name)
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_maxlive_at_most_k_after_spilling(self, bench, k):
+        prog = compile_source(bench.source(), filename=bench.filename)
+        for func in prog.fresh_module().functions.values():
+            result = allocate_ssaspill(func, k)
+            assert result.cert is not None
+            assert result.maxlive_final <= k
+            # Zero coloring-time spills: every spill decision was made
+            # in phase 1, so the slot set is exactly the spill list.
+            assert len(result.cert.spill_slots) == len(result.spilled)
+            assert set(result.assignment.values()) <= set(range(k))
+
+    def test_spilly_function_spills_at_3_not_at_8(self):
+        low = allocate_all(SPILLY, 3)
+        high = allocate_all(SPILLY, 8)
+        assert any(result.spilled for result in low)
+        assert not any(result.spilled for result in high)
+
+    def test_entry_maxlive_recorded(self):
+        results = allocate_all(SPILLY, 3)
+        f = next(r for r in results if r.name == "f")
+        assert f.maxlive_entry > 3 >= f.maxlive_final
+
+
+class TestTelemetry:
+    def test_phase_counters_surface(self):
+        results = allocate_all(SPILLY, 3)
+        for result in results:
+            counters = result.telemetry()
+            for key in (
+                "phis",
+                "maxlive_entry",
+                "maxlive_final",
+                "parallel_copies",
+                "cycle_breaks",
+            ):
+                assert key in counters
+
+    def test_loop_program_has_phis(self):
+        prog = compile_source(program("sieve").source())
+        results = [
+            allocate_ssaspill(func, 5)
+            for func in prog.fresh_module().functions.values()
+        ]
+        assert any(result.phis for result in results)
+
+
+class TestLimits:
+    def test_k_below_3_rejected(self):
+        prog = compile_source(SPILLY)
+        func = next(iter(prog.fresh_module().functions.values()))
+        with pytest.raises(ValueError):
+            allocate_ssaspill(func, 2)

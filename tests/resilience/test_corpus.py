@@ -70,9 +70,11 @@ class TestProgramFeatures:
         # least one committed witness seed.
         for axis in (
             "linearscan.spill",
+            "ssaspill.spill",
             "error.motion",
             "error.schedule",
             "error.peephole",
+            "error.ssa-destruct",
         ):
             assert by_feature[axis], axis
 
@@ -155,7 +157,7 @@ class TestFuzzCorpusReplay:
         )
         entries = len(load_corpus(DEFAULT_CORPUS_DIR).entries)
         assert report.corpus_entries == entries
-        assert report.scenarios == entries * 2 * 2  # allocators x k-values
+        assert report.scenarios == entries * 3 * 2  # allocators x k-values
         assert report.ok, stream.getvalue()
         assert f"{entries} corpus + 0 seeds" in stream.getvalue()
 

@@ -13,8 +13,13 @@ BENCH = program("sieve")
 
 class TestChain:
     def test_orders(self):
-        assert chain_for("rap") == ["rap", "gra", "linearscan", "spillall"]
-        assert chain_for("gra") == ["gra", "linearscan", "spillall"]
+        assert chain_for("rap") == [
+            "rap", "gra", "ssaspill", "linearscan", "spillall"
+        ]
+        assert chain_for("gra") == [
+            "gra", "ssaspill", "linearscan", "spillall"
+        ]
+        assert chain_for("ssaspill") == ["ssaspill", "linearscan", "spillall"]
         assert chain_for("linearscan") == ["linearscan", "spillall"]
         assert chain_for("spillall") == ["spillall"]
 
@@ -38,16 +43,52 @@ class TestHarnessLadder:
         assert run.fallbacks_taken == []
 
     def test_two_rung_descent(self):
-        # rap crashes AND gra's spill slots corrupt: linearscan (which
-        # has its own spill path) is the next intact rung.
+        # rap crashes AND gra's spill slots corrupt: the SSA
+        # spill-then-color rung is the next intact one.
         with faults.injected(
             FaultSpec("rap.region.raise", times=None),
             FaultSpec("gra.spill.corrupt-slot", times=None),
         ):
             harness = Harness([BENCH])
             run = harness.run(BENCH, "rap", 3)
-        assert run.allocator_used == "linearscan"
+        assert run.allocator_used == "ssaspill"
         assert [e.allocator for e in run.fallbacks_taken] == ["rap", "gra"]
+        assert run.stats.output == harness.reference_output(BENCH)
+
+    def test_gra_knockout_lands_on_ssaspill(self):
+        # The Chaitin baseline's spill slots corrupt; the miscompile is
+        # caught pre-execution and the ladder descends one rung to the
+        # SSA allocator.
+        with faults.injected(FaultSpec("gra.spill.corrupt-slot", times=None)):
+            harness = Harness([BENCH])
+            run = harness.run(BENCH, "gra", 3)
+        assert run.allocator_used == "ssaspill"
+        assert [e.allocator for e in run.fallbacks_taken] == ["gra"]
+        assert run.stats.output == harness.reference_output(BENCH)
+
+    def test_ssaspill_knockout_lands_on_linearscan(self):
+        # SSA renaming resolves a use to a shadowed definition; the
+        # construction validator catches it pre-execution and the ladder
+        # descends to linear scan.
+        with faults.injected(FaultSpec("ssa.rename.stale-def", times=None)):
+            harness = Harness([BENCH])
+            run = harness.run(BENCH, "ssaspill", 3)
+        assert run.allocator_used == "linearscan"
+        assert [e.allocator for e in run.fallbacks_taken] == ["ssaspill"]
+        assert run.stats.output == harness.reference_output(BENCH)
+
+    def test_three_rung_descent(self):
+        with faults.injected(
+            FaultSpec("rap.region.raise", times=None),
+            FaultSpec("gra.spill.corrupt-slot", times=None),
+            FaultSpec("ssa.rename.stale-def", times=None),
+        ):
+            harness = Harness([BENCH])
+            run = harness.run(BENCH, "rap", 3)
+        assert run.allocator_used == "linearscan"
+        assert [e.allocator for e in run.fallbacks_taken] == [
+            "rap", "gra", "ssaspill"
+        ]
         assert run.stats.output == harness.reference_output(BENCH)
 
     def test_requested_kwargs_not_inherited_by_fallback(self):

@@ -15,9 +15,12 @@ from repro.bench.parallel import CellSpec, run_cells
 from repro.ir.iloc import Instr, Op, Symbol, ldm, preg
 from repro.resilience import faults
 from repro.resilience.errors import (
+    ChordalValidationError,
+    DestructValidationError,
     MotionValidationError,
     PeepholeValidationError,
     ScheduleValidationError,
+    SSAValidationError,
     StageContext,
     StageError,
 )
@@ -64,9 +67,65 @@ void main() {
 }
 """
 
+#: Register pressure with a redefinition (``a``): SSA renaming maintains
+#: a two-deep stack for ``a``'s origin, so the stale-def probe has a
+#: shadowed definition to resolve to, and MAXLIVE > 3 makes the chordal
+#: coloring non-trivial for the clash probe.
+REDEF_PRESSURE_WITNESS = """
+int f(int a, int b, int c, int d) {
+    int e; int g; int h;
+    e = a * b; g = c * d; h = a * d;
+    a = e + g;
+    return e + g + h + a + b + c + d;
+}
+void main() { print(f(2, 3, 5, 7)); }
+"""
+
+#: The textbook swap loop: the loop header's phis permute ``a`` and
+#: ``b``, so out-of-SSA destruction must break a parallel-copy cycle on
+#: the back edge — exactly the move the lost-copy probe corrupts.  k=4
+#: keeps both values in registers so the cycle survives to the
+#: location level.
+SWAP_LOOP_WITNESS = """
+void main() {
+    int a; int b; int t; int i;
+    a = 1; b = 100;
+    for (i = 0; i < 6; i = i + 1) {
+        t = a; a = b; b = t;
+        print(a + 2 * b);
+    }
+    print(a); print(b);
+}
+"""
+
+#: The generic assignment recheck is defense in depth over the SSA
+#: validators: it catches a corrupted copy window / coloring before the
+#: specialized validator runs.  The ON configs for the destruct and
+#: chordal probes switch it off so each probe demonstrably lands in
+#: *its own* validator (the documented purpose of the verify_* flags);
+#: the OFF configs additionally drop verify_ssa so the corruption
+#: reaches execution as a miscompile.
+_NO_ASSIGN = PipelineConfig(verify_assignment=False)
+_SSA_OFF = PipelineConfig(verify_ssa=False)
+_SSA_AND_ASSIGN_OFF = PipelineConfig(
+    verify_ssa=False, verify_assignment=False
+)
+
 #: probe -> (source, allocator, k, error class, config with the matching
 #: validator OFF, config for the validators-ON run or None for defaults).
 SCENARIOS = {
+    "ssa.rename.stale-def": (
+        REDEF_PRESSURE_WITNESS, "ssaspill", 3, SSAValidationError,
+        _SSA_OFF, None,
+    ),
+    "ssa.destruct.lost-copy": (
+        SWAP_LOOP_WITNESS, "ssaspill", 4, DestructValidationError,
+        _SSA_AND_ASSIGN_OFF, _NO_ASSIGN,
+    ),
+    "ssaspill.color.clash": (
+        REDEF_PRESSURE_WITNESS, "ssaspill", 3, ChordalValidationError,
+        _SSA_AND_ASSIGN_OFF, _NO_ASSIGN,
+    ),
     "rap.motion.drop-store": (
         SPILLED_LOOP_WITNESS, "rap", 4, MotionValidationError,
         PipelineConfig(verify_motion=False), None,

@@ -75,6 +75,7 @@ class TestServerPolicy:
     def test_rung_policy_and_waits(self):
         assert DEFAULT_RUNG_POLICY == (
             (defaults.DEADLINE_LINEARSCAN_MS, "linearscan"),
+            (defaults.DEADLINE_SSASPILL_MS, "ssaspill"),
             (defaults.DEADLINE_GRA_MS, "gra"),
         )
         assert _GRACE_S == defaults.GRACE_S

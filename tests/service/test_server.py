@@ -59,14 +59,20 @@ class TestRungPolicy:
         assert rung_for_deadline("rap", None)[0] == "rap"
         assert rung_for_deadline("rap", 100)[0] == "linearscan"
         assert rung_for_deadline("rap", 250)[0] == "linearscan"
+        assert rung_for_deadline("rap", 400)[0] == "ssaspill"
+        assert rung_for_deadline("rap", 500)[0] == "ssaspill"
         assert rung_for_deadline("rap", 600)[0] == "gra"
         assert rung_for_deadline("rap", 5000)[0] == "rap"
 
     def test_policy_never_upgrades(self):
         # A generous deadline must not promote a cheap request to RAP.
         assert rung_for_deadline("linearscan", 5000)[0] == "linearscan"
+        assert rung_for_deadline("ssaspill", 5000)[0] == "ssaspill"
         assert rung_for_deadline("gra", 600)[0] == "gra"
         assert rung_for_deadline("spillall", 100)[0] == "spillall"
+        # A mid-band deadline still moves a RAP request down to the SSA
+        # rung, but never moves an already-cheaper request up to it.
+        assert rung_for_deadline("linearscan", 400)[0] == "linearscan"
 
     def test_reason_is_explanatory(self):
         _, reason = rung_for_deadline("rap", 100)

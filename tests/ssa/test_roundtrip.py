@@ -1,0 +1,55 @@
+"""SSA construct -> destruct round-trip equivalence on the bench suite.
+
+Building SSA and immediately destructing it (no spilling, no coloring —
+values are their own locations) must be observationally invisible: the
+round-tripped program prints the same output as the reference, with the
+structural validator (`SSAForm.check`) happy in between.  This is the
+subsystem-level guarantee the ``ssaspill`` allocator builds on.
+"""
+
+import pytest
+
+from repro.bench.suite import all_programs
+from repro.compiler import compile_source, param_slots
+from repro.interp.machine import FunctionImage, Machine, ProgramImage
+from repro.pdg.linearize import linearize
+from repro.ssa import build_ssa, destruct
+
+
+def roundtrip_image(prog):
+    """Every function linearized, taken to SSA, validated, destructed."""
+    module = prog.fresh_module()
+    functions = {}
+    for name, func in module.functions.items():
+        code = [instr.clone() for instr in linearize(func).instrs]
+        ssa = build_ssa(code, name)
+        ssa.check()
+        result = destruct(ssa)
+        functions[name] = FunctionImage(name, result.code, param_slots(func))
+    return ProgramImage(list(module.globals.values()), functions)
+
+
+@pytest.mark.parametrize("bench", all_programs(), ids=lambda b: b.name)
+def test_roundtrip_output_matches_reference(bench):
+    prog = compile_source(bench.source(), filename=bench.filename)
+
+    reference = Machine(prog.reference_image(), max_cycles=bench.max_cycles)
+    reference.run("main")
+
+    machine = Machine(roundtrip_image(prog), max_cycles=bench.max_cycles)
+    machine.run("main")
+
+    assert machine.stats.output == reference.stats.output
+
+
+@pytest.mark.parametrize("bench", all_programs(), ids=lambda b: b.name)
+def test_construction_is_valid_ssa(bench):
+    prog = compile_source(bench.source(), filename=bench.filename)
+    module = prog.fresh_module()
+    for name, func in module.functions.items():
+        code = [instr.clone() for instr in linearize(func).instrs]
+        ssa = build_ssa(code, name)
+        ssa.check()  # raises SSAError on any structural violation
+        # Every value maps back to an original register or is undef.
+        for value in ssa.values():
+            assert value in ssa.origin or value in ssa.undef
